@@ -1,0 +1,227 @@
+package repro_test
+
+// Root benchmark harness: one Benchmark per table and figure of the
+// paper's evaluation, plus micro-benchmarks for the engine's hot paths.
+//
+// Environment knobs:
+//
+//	AIMAI_SCALE  workload scale factor (default 0.08 for benches)
+//	AIMAI_FULL   set to 1 to disable Quick mode (full repeats/models)
+//
+// Each experiment benchmark builds (once, shared) the fifteen-database
+// corpus, regenerates its table, and logs it; wall time of the experiment
+// is the benchmark result.
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/aimai"
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/opt"
+	"repro/internal/engine/stats"
+	"repro/internal/expdata"
+	"repro/internal/experiments"
+	"repro/internal/feat"
+	"repro/internal/models"
+	"repro/internal/util"
+	"repro/internal/workload"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *experiments.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		scale := 0.08
+		if s := os.Getenv("AIMAI_SCALE"); s != "" {
+			if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+				scale = v
+			}
+		}
+		quick := os.Getenv("AIMAI_FULL") == ""
+		envVal, envErr = experiments.NewEnv(experiments.Config{Scale: scale, Quick: quick})
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return envVal
+}
+
+// benchExperiment regenerates one experiment per iteration and logs the
+// resulting table once.
+func benchExperiment(b *testing.B, id string) {
+	env := benchEnv(b)
+	run := experiments.Registry()[id]
+	if run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab, err := run(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", tab)
+		}
+	}
+}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkFigure1(b *testing.B)  { benchExperiment(b, "figure1") }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, "table2") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "figure6") }
+func BenchmarkTable3(b *testing.B)   { benchExperiment(b, "table3") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "figure7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "figure9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
+func BenchmarkFigure11(b *testing.B) { benchExperiment(b, "figure11") }
+func BenchmarkTable4(b *testing.B)   { benchExperiment(b, "table4") }
+func BenchmarkFigure12(b *testing.B) { benchExperiment(b, "figure12") }
+func BenchmarkFigure13(b *testing.B) { benchExperiment(b, "figure13") }
+func BenchmarkFigure14(b *testing.B) { benchExperiment(b, "figure14") }
+func BenchmarkFigure15(b *testing.B) { benchExperiment(b, "figure15") }
+func BenchmarkTable5(b *testing.B)   { benchExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B)   { benchExperiment(b, "table6") }
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkAblationTrees(b *testing.B) { benchExperiment(b, "ablation-trees") }
+func BenchmarkAblationAlpha(b *testing.B) { benchExperiment(b, "ablation-alpha") }
+
+// Micro-benchmarks for the substrate's hot paths.
+
+func microWorkload() (*workload.Workload, *opt.Optimizer, *exec.Executor) {
+	w := workload.TPCH("bench-micro", 8000, 3)
+	ds := stats.BuildDatabaseStats(w.DB, util.NewRNG(4), stats.DefaultSampleSize, stats.DefaultBuckets)
+	return w, opt.New(w.Schema, ds), exec.New(w.DB)
+}
+
+func BenchmarkOptimizerPlan(b *testing.B) {
+	w, o, _ := microWorkload()
+	q := w.Query("q5") // 6-way join: the heaviest planning case
+	cfg := catalog.NewConfiguration(
+		&catalog.Index{Table: "lineitem", KeyColumns: []string{"l_order"}},
+		&catalog.Index{Table: "orders", KeyColumns: []string{"o_cust"}},
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Optimize(q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorRun(b *testing.B) {
+	w, o, ex := microWorkload()
+	q := w.Query("q6")
+	p, err := o.Optimize(q, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := util.NewRNG(5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Execute(p, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWhatIfCachedPlan(b *testing.B) {
+	w, o, _ := microWorkload()
+	wi := opt.NewWhatIf(o)
+	q := w.Query("q3")
+	cfg := catalog.NewConfiguration(&catalog.Index{Table: "orders", KeyColumns: []string{"o_date"}})
+	if _, err := wi.Plan(q, cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wi.Plan(q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPairFeaturization(b *testing.B) {
+	w, o, _ := microWorkload()
+	q := w.Query("q3")
+	p1, _ := o.Optimize(q, nil)
+	p2, _ := o.Optimize(q, catalog.NewConfiguration(&catalog.Index{Table: "orders", KeyColumns: []string{"o_date"}}))
+	f := feat.Default()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Pair(p1, p2)
+	}
+}
+
+func BenchmarkClassifierTrain(b *testing.B) {
+	w := workload.TPCH("bench-train", 2500, 7)
+	ds, err := expdata.Collect(w, expdata.CollectOpts{Seed: 3, MaxConfigsPerQuery: 8, ExecRepeats: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := ds.Pairs(40, util.NewRNG(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf := models.NewClassifier(feat.Default(), models.RF(100, int64(i)), expdata.DefaultAlpha)
+		if err := clf.Train(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClassifierInference(b *testing.B) {
+	w := workload.TPCH("bench-infer", 2500, 7)
+	ds, err := expdata.Collect(w, expdata.CollectOpts{Seed: 3, MaxConfigsPerQuery: 8, ExecRepeats: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pairs := ds.Pairs(40, util.NewRNG(9))
+	clf := models.NewClassifier(feat.Default(), models.RF(100, 1), expdata.DefaultAlpha)
+	if err := clf.Train(pairs); err != nil {
+		b.Fatal(err)
+	}
+	p := pairs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clf.Compare(p.P1.Plan, p.P2.Plan)
+	}
+}
+
+func BenchmarkTuneQuery(b *testing.B) {
+	w := workload.TPCH("bench-tune", 5000, 7)
+	sys, err := aimai.Open(w, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tn := sys.NewTuner(nil, aimai.TunerOptions{})
+	q := w.Query("q3")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tn.TuneQuery(q, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCollectExecutionData(b *testing.B) {
+	w := workload.TPCH("bench-collect", 2000, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expdata.Collect(w, expdata.CollectOpts{Seed: int64(i), MaxConfigsPerQuery: 6, ExecRepeats: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

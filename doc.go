@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "AI Meets AI:
+// Leveraging Query Executions to Improve Index Recommendations" (Ding,
+// Das, Marcus, Wu, Chaudhuri, Narasayya; SIGMOD 2019).
+//
+// The public API lives in package repro/aimai; the experiment harness that
+// regenerates every table and figure of the paper lives in
+// repro/internal/experiments and is driven by cmd/aimai and the root-level
+// benchmarks in bench_test.go. See README.md for the architecture overview
+// and DESIGN.md for the substitution and experiment index.
+package repro

@@ -1,0 +1,78 @@
+// Adaptive: the distribution-shift story of §4.2–4.3. An offline model
+// trained on several databases is evaluated on a completely unseen one,
+// then adapted with a handful of "leaked" plans per query. Prints the
+// F1 trajectory of each adaptive strategy as local data grows.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/aimai"
+	"repro/internal/expdata"
+	"repro/internal/feat"
+	"repro/internal/ml"
+	"repro/internal/models"
+)
+
+func main() {
+	const seed = 19
+	fmt.Println("building a 4-database corpus; holding one out...")
+	ws := []*aimai.Workload{
+		aimai.TPCH("db-a", 5000, seed),
+		aimai.TPCDS("db-b", 5000, seed+1),
+		aimai.Customer("db-c", seed+2, 2, 0.2),
+		aimai.Customer("held-out", seed+3, 3, 0.2), // the unseen database
+	}
+	var sets []*expdata.Dataset
+	for _, w := range ws {
+		sys, err := aimai.Open(w, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := sys.CollectExecutionData(aimai.CollectOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sets = append(sets, ds)
+		fmt.Printf("  %-9s %4d plans\n", w.Name, len(ds.Plans))
+	}
+	corpus := &expdata.Corpus{Sets: sets}
+	train, test := expdata.HoldOutDatabase(corpus, "held-out", 60, aimai.NewRNG(seed))
+
+	offline, err := aimai.TrainClassifier(train, aimai.ClassifierOptions{Trees: 150, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noffline model on the unseen database: F1 %.3f (optimizer %.3f)\n\n",
+		aimai.EvaluateF1(offline, test),
+		aimai.EvaluateF1(aimai.OptimizerBaseline(), test))
+
+	held := corpus.Set("held-out")
+	newLocal := func() *models.Local {
+		return models.NewLocal(feat.Default(), func() ml.Classifier { return models.RF(60, seed) }, aimai.DefaultAlpha)
+	}
+	fmt.Printf("%-4s %-9s %-9s %-9s %-9s %-9s\n", "k", "offline", "local", "uncert", "nearest", "meta")
+	for _, k := range []int{2, 4, 6, 8} {
+		leak, rest := expdata.LeakPlans(held, k, 60, aimai.NewRNG(seed+int64(k)))
+		if len(leak) < 4 || len(rest) == 0 {
+			continue
+		}
+		adaptives := []models.Adaptive{
+			newLocal(),
+			models.NewUncertainty(offline, newLocal()),
+			models.NewNearestNeighbor(offline, newLocal(), 0.05),
+			models.NewMeta(offline, newLocal(), seed),
+		}
+		row := fmt.Sprintf("%-4d %-9.3f", k, aimai.EvaluateF1(offline, rest))
+		for _, a := range adaptives {
+			if err := a.Adapt(leak); err != nil {
+				log.Fatal(err)
+			}
+			row += fmt.Sprintf(" %-9.3f", aimai.EvaluateF1(a, rest))
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nwith a few plans per query from the new database, the adaptive")
+	fmt.Println("models recover most of the accuracy the shift destroyed (§7.8).")
+}

@@ -1,0 +1,63 @@
+// Planpair: the paper's core insight in isolation. Train the plan-pair
+// classifier on one part of a database's execution data and compare its
+// plan-comparison accuracy against the query optimizer's estimates on
+// held-out plans — the §7.5 experiment as a standalone program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/aimai"
+	"repro/internal/expdata"
+)
+
+func main() {
+	w := aimai.TPCDS("planpair", 6000, 7)
+	sys, err := aimai.Open(w, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("collecting execution data across index configurations...")
+	data, err := sys.CollectExecutionData(aimai.CollectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d distinct executed plans over %d queries\n\n", len(data.Plans), len(data.QueryNames()))
+
+	// Split by plan: test pairs involve only plans never seen in training,
+	// simulating inference on new configurations during a tuner's search.
+	corpus := &expdata.Corpus{Sets: []*expdata.Dataset{data}}
+	train, test := expdata.Split(corpus, expdata.SplitPlan, 0.6, 60, aimai.NewRNG(3))
+	fmt.Printf("split by plan: %d training pairs, %d test pairs\n", len(train), len(test))
+
+	clf, err := aimai.TrainClassifier(train, aimai.ClassifierOptions{Trees: 150, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	optimizer := aimai.OptimizerBaseline()
+	fmt.Printf("\n%-22s %8s\n", "comparator", "F1")
+	fmt.Printf("%-22s %8.3f\n", "optimizer estimates", aimai.EvaluateF1(optimizer, test))
+	fmt.Printf("%-22s %8.3f\n", "plan-pair classifier", aimai.EvaluateF1(clf, test))
+
+	// Show a few disagreements: pairs where the classifier corrects the
+	// optimizer.
+	fmt.Println("\npairs where the classifier corrects the optimizer:")
+	shown := 0
+	for _, p := range test {
+		truth := p.Label(aimai.DefaultAlpha)
+		o := optimizer.Compare(p.P1.Plan, p.P2.Plan)
+		c := clf.Compare(p.P1.Plan, p.P2.Plan)
+		if o != truth && c == truth && shown < 5 {
+			shown++
+			fmt.Printf("  %s: actual %s (cost %.0f -> %.0f); optimizer said %s (est %.0f -> %.0f)\n",
+				p.QueryName(), truth, p.P1.Cost, p.P2.Cost,
+				o, p.P1.Plan.EstTotalCost, p.P2.Plan.EstTotalCost)
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (none in this sample)")
+	}
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a database, run a query, collect execution data, train
+// the plan-pair classifier, and tune a query with the classifier gate —
+// the full pipeline of the paper in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/aimai"
+)
+
+func main() {
+	// 1. A TPC-H-like database with skewed data and 22 analytical queries.
+	w := aimai.TPCH("quickstart", 8000, 42)
+	sys, err := aimai.Open(w, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Plan and execute a query without any indexes.
+	q := w.Query("q6") // tight multi-predicate scan of lineitem
+	fmt.Println("query:", q.SQL())
+	plan, err := sys.PlanQuery(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noptimizer plan (no indexes):\n%s\n", plan)
+	res, err := sys.Execute(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed: %d result rows, measured cost %.1f\n\n", len(res.Rows), res.Cost)
+
+	// 3. Collect execution data across index configurations (§7.3).
+	fmt.Println("collecting execution data (what-if plans + real executions)...")
+	data, err := sys.CollectExecutionData(aimai.CollectOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := data.Pairs(60, aimai.NewRNG(7))
+	fmt.Printf("collected %d distinct plans, %d plan pairs\n\n", len(data.Plans), len(pairs))
+
+	// 4. Train the plan-pair classifier and compare against the optimizer.
+	clf, err := aimai.TrainClassifier(pairs, aimai.ClassifierOptions{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classifier F1 (in-sample): %.3f  vs optimizer baseline: %.3f\n\n",
+		aimai.EvaluateF1(clf, pairs), aimai.EvaluateF1(aimai.OptimizerBaseline(), pairs))
+
+	// 5. Tune the query with the classifier gating regressions (§5).
+	tn := sys.NewTuner(clf, aimai.TunerOptions{})
+	rec, err := tn.TuneQuery(q, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommended indexes:")
+	for _, ix := range rec.NewIndexes {
+		fmt.Println("  CREATE INDEX ON", ix.ID())
+	}
+	fmt.Printf("estimated improvement: %.0f%%\n", 100*rec.EstImprovement)
+
+	// 6. Verify against reality.
+	after, err := sys.Execute(q, rec.Config)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured cost: %.1f -> %.1f (%.0f%% actual improvement)\n",
+		res.Cost, after.Cost, 100*(1-after.Cost/res.Cost))
+}

@@ -1,0 +1,93 @@
+// Telemetry: the cloud pipeline of §2.3 end to end. Three "tenant"
+// databases featurize their executed plans and emit telemetry (JSON lines —
+// raw plans never leave the tenant). A central trainer consumes the
+// aggregated stream, trains the plan-pair classifier, serializes the model,
+// and a fourth tenant loads the deployed blob and uses it to gate its own
+// index tuning.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/aimai"
+)
+
+func main() {
+	const seed = 31
+
+	// --- Tenant side: collect + featurize + emit ------------------------
+	tenants := []*aimai.Workload{
+		aimai.TPCH("tenant-a", 4000, seed),
+		aimai.TPCDS("tenant-b", 4000, seed+1),
+		aimai.Customer("tenant-c", seed+2, 2, 0.15),
+	}
+	var stream bytes.Buffer // the aggregated telemetry feed
+	for _, w := range tenants {
+		sys, err := aimai.Open(w, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := sys.CollectExecutionData(aimai.CollectOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := stream.Len()
+		if err := aimai.ExportTelemetry(&stream, data); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s emitted %4d featurized plans (%5.1f KB of telemetry)\n",
+			w.Name, len(data.Plans), float64(stream.Len()-before)/1024)
+	}
+
+	// --- Cloud side: train from telemetry alone -------------------------
+	recs, err := aimai.ImportTelemetry(&stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncloud trainer received %d plan records\n", len(recs))
+	clf, err := aimai.TrainClassifierFromTelemetry(recs, aimai.ClassifierOptions{Trees: 120, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy: serialize the model blob.
+	var blob bytes.Buffer
+	if err := aimai.SaveClassifier(clf, &blob); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed model blob: %.1f KB\n\n", float64(blob.Len())/1024)
+
+	// --- A new tenant loads the deployed model and tunes with it --------
+	target := aimai.Customer("tenant-new", seed+9, 2, 0.15)
+	sys, err := aimai.Open(target, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := aimai.LoadClassifier(&blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tn := sys.NewTuner(loaded, aimai.TunerOptions{})
+	cont := sys.NewContinuousTuner(tn, aimai.ContinuousOptions{Iterations: 4})
+	improved, regressed := 0, 0
+	n := 8
+	if n > len(target.Queries) {
+		n = len(target.Queries)
+	}
+	for _, q := range target.Queries[:n] {
+		trace, err := cont.TuneQueryContinuously(q, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if trace.Improved(0.2) {
+			improved++
+		}
+		if trace.RegressedFinal {
+			regressed++
+		}
+	}
+	fmt.Printf("tenant-new tuned %d queries with the deployed model: %d improved, %d final regressions\n",
+		n, improved, regressed)
+}

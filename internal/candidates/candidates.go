@@ -1,0 +1,136 @@
+// Package candidates generates syntactic candidate indexes for queries —
+// the first phase of a Chaudhuri–Narasayya-style index tuner, shared by the
+// tuner's search and by the execution-data collector (which explores
+// subsets of tuner recommendations, §7.3).
+package candidates
+
+import (
+	"sort"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/query"
+)
+
+// MaxCandidatesPerQuery caps the syntactic candidates generated per query.
+const MaxCandidatesPerQuery = 8
+
+// CandidateIndexes generates syntactic candidate indexes for one query:
+// single-column indexes on equality/range/join columns, multi-column
+// indexes ordered equalities-then-range, covering variants with included
+// columns, and a columnstore candidate for aggregation-heavy fact access.
+// Results are deduplicated and capped at MaxCandidatesPerQuery.
+func CandidateIndexes(q *query.Query, schema *catalog.Schema) []*catalog.Index {
+	var out []*catalog.Index
+	seen := map[string]bool{}
+	add := func(ix *catalog.Index) {
+		if ix == nil {
+			return
+		}
+		id := ix.ID()
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, ix)
+		}
+	}
+
+	for _, table := range q.Tables {
+		meta := schema.Table(table)
+		if meta == nil {
+			continue
+		}
+		var eqCols, rangeCols, joinCols []string
+		for _, p := range q.PredsOn(table) {
+			if p.IsEquality() {
+				eqCols = appendUnique(eqCols, p.Column)
+			} else {
+				rangeCols = appendUnique(rangeCols, p.Column)
+			}
+		}
+		for _, j := range q.JoinsOn(table) {
+			joinCols = appendUnique(joinCols, j.ColumnFor(table))
+		}
+		used := q.ColumnsUsed(table)
+
+		// Multi-column key: equalities first, then the first range column.
+		var key []string
+		key = append(key, eqCols...)
+		if len(rangeCols) > 0 {
+			key = append(key, rangeCols[0])
+		}
+		if len(key) > 0 {
+			add(&catalog.Index{Table: table, KeyColumns: key})
+			// Covering variant including all remaining used columns.
+			if inc := subtract(used, key); len(inc) > 0 {
+				add(&catalog.Index{Table: table, KeyColumns: key, IncludedColumns: inc})
+			}
+		}
+		// Per-column candidates on predicates.
+		for _, c := range append(append([]string{}, eqCols...), rangeCols...) {
+			add(&catalog.Index{Table: table, KeyColumns: []string{c}})
+		}
+		// Join-column candidates, with a covering variant.
+		for _, c := range joinCols {
+			add(&catalog.Index{Table: table, KeyColumns: []string{c}})
+			if inc := subtract(used, []string{c}); len(inc) > 0 {
+				add(&catalog.Index{Table: table, KeyColumns: []string{c}, IncludedColumns: inc})
+			}
+		}
+		// Join column + predicate key (index NLJ with pushed filter).
+		if len(joinCols) > 0 && len(eqCols) > 0 {
+			add(&catalog.Index{Table: table, KeyColumns: append([]string{joinCols[0]}, eqCols[0])})
+		}
+		// Columnstore candidate for aggregate scans over wider tables.
+		if len(q.Aggs) > 0 && len(used) >= 2 && meta.Rows >= 1000 {
+			add(&catalog.Index{Table: table, Kind: catalog.Columnstore})
+		}
+	}
+
+	// Deterministic order, then cap: prefer candidates on bigger tables
+	// (where indexing matters most), breaking ties by ID.
+	sort.SliceStable(out, func(i, j int) bool {
+		ri := tableRows(schema, out[i].Table)
+		rj := tableRows(schema, out[j].Table)
+		if ri != rj {
+			return ri > rj
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	if len(out) > MaxCandidatesPerQuery {
+		out = out[:MaxCandidatesPerQuery]
+	}
+	return out
+}
+
+func tableRows(s *catalog.Schema, table string) int64 {
+	if t := s.Table(table); t != nil {
+		return t.Rows
+	}
+	return 0
+}
+
+func appendUnique(xs []string, x string) []string {
+	for _, v := range xs {
+		if v == x {
+			return xs
+		}
+	}
+	return append(xs, x)
+}
+
+// subtract returns the elements of a not present in b, preserving order.
+func subtract(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		found := false
+		for _, y := range b {
+			if x == y {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package candidates
+
+import (
+	"testing"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/query"
+)
+
+func schema() *catalog.Schema {
+	s := catalog.NewSchema("db")
+	s.AddTable(&catalog.Table{Name: "fact", Rows: 50000, Columns: []catalog.Column{
+		{Name: "id"}, {Name: "fk"}, {Name: "a"}, {Name: "b"}, {Name: "v"},
+	}})
+	s.AddTable(&catalog.Table{Name: "dim", Rows: 500, Columns: []catalog.Column{
+		{Name: "d_id"}, {Name: "d_cat"},
+	}})
+	return s
+}
+
+func ids(ixs []*catalog.Index) map[string]bool {
+	out := map[string]bool{}
+	for _, ix := range ixs {
+		out[ix.ID()] = true
+	}
+	return out
+}
+
+func TestEqualityThenRangeKeyOrder(t *testing.T) {
+	q := &query.Query{
+		Name:   "q",
+		Tables: []string{"fact"},
+		Preds: []query.Pred{
+			{Table: "fact", Column: "a", Lo: 0, Hi: 100}, // range
+			{Table: "fact", Column: "b", Lo: 5, Hi: 5},   // equality
+		},
+		Select: []query.ColRef{{Table: "fact", Column: "v"}},
+	}
+	got := ids(CandidateIndexes(q, schema()))
+	// The multi-column key must put the equality first, range second.
+	if !got["fact/bt(b,a)"] {
+		t.Fatalf("missing eq-then-range key; got %v", got)
+	}
+	// Covering variant includes the remaining used column.
+	if !got["fact/bt(b,a)+(v)"] {
+		t.Fatalf("missing covering variant; got %v", got)
+	}
+	// Per-column candidates.
+	if !got["fact/bt(a)"] || !got["fact/bt(b)"] {
+		t.Fatalf("missing single-column candidates; got %v", got)
+	}
+}
+
+func TestJoinColumnCandidates(t *testing.T) {
+	q := &query.Query{
+		Name:   "q",
+		Tables: []string{"fact", "dim"},
+		Joins:  []query.Join{{LeftTable: "fact", LeftColumn: "fk", RightTable: "dim", RightColumn: "d_id"}},
+		Preds:  []query.Pred{{Table: "fact", Column: "b", Lo: 1, Hi: 1}},
+		Select: []query.ColRef{{Table: "fact", Column: "v"}},
+	}
+	got := ids(CandidateIndexes(q, schema()))
+	if !got["fact/bt(fk)"] {
+		t.Fatalf("missing join-column candidate; got %v", got)
+	}
+	// Join column + equality predicate composite (index NLJ with filter).
+	if !got["fact/bt(fk,b)"] {
+		t.Fatalf("missing join+eq composite; got %v", got)
+	}
+}
+
+func TestColumnstoreCandidateForAggregates(t *testing.T) {
+	agg := &query.Query{
+		Name:    "agg",
+		Tables:  []string{"fact"},
+		GroupBy: []query.ColRef{{Table: "fact", Column: "a"}},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: query.ColRef{Table: "fact", Column: "v"}}},
+	}
+	if !ids(CandidateIndexes(agg, schema()))["fact/cs"] {
+		t.Fatal("aggregate query on a big table should get a columnstore candidate")
+	}
+	// Small tables do not.
+	aggDim := &query.Query{
+		Name:    "aggdim",
+		Tables:  []string{"dim"},
+		GroupBy: []query.ColRef{{Table: "dim", Column: "d_cat"}},
+		Aggs:    []query.Agg{{Func: query.Count}},
+	}
+	if ids(CandidateIndexes(aggDim, schema()))["dim/cs"] {
+		t.Fatal("500-row table should not get a columnstore candidate")
+	}
+}
+
+func TestCapAndBigTablePriority(t *testing.T) {
+	q := &query.Query{
+		Name:   "wide",
+		Tables: []string{"fact", "dim"},
+		Preds: []query.Pred{
+			{Table: "fact", Column: "a", Lo: 1, Hi: 1},
+			{Table: "fact", Column: "b", Lo: 1, Hi: 9},
+			{Table: "fact", Column: "v", Lo: 1, Hi: 9},
+			{Table: "dim", Column: "d_cat", Lo: 1, Hi: 1},
+		},
+		Joins:   []query.Join{{LeftTable: "fact", LeftColumn: "fk", RightTable: "dim", RightColumn: "d_id"}},
+		GroupBy: []query.ColRef{{Table: "dim", Column: "d_cat"}},
+		Aggs:    []query.Agg{{Func: query.Count}},
+	}
+	cands := CandidateIndexes(q, schema())
+	if len(cands) > MaxCandidatesPerQuery {
+		t.Fatalf("cap exceeded: %d", len(cands))
+	}
+	// Candidates on the 50k-row fact table must come first.
+	if cands[0].Table != "fact" {
+		t.Fatalf("big-table candidates should lead: %v", cands[0].ID())
+	}
+}
+
+func TestNoCandidatesForBareSelect(t *testing.T) {
+	q := &query.Query{
+		Name:   "bare",
+		Tables: []string{"dim"},
+		Select: []query.ColRef{{Table: "dim", Column: "d_cat"}},
+	}
+	if got := CandidateIndexes(q, schema()); len(got) != 0 {
+		t.Fatalf("no predicates/joins/aggs should yield no candidates: %v", got)
+	}
+}
+
+func TestUnknownTableSkipped(t *testing.T) {
+	q := &query.Query{
+		Name:   "ghost",
+		Tables: []string{"ghost"},
+		Preds:  []query.Pred{{Table: "ghost", Column: "x", Lo: 1, Hi: 1}},
+	}
+	if got := CandidateIndexes(q, schema()); len(got) != 0 {
+		t.Fatalf("unknown table should be skipped: %v", got)
+	}
+}

@@ -1,0 +1,321 @@
+// Package btree implements the B+ tree used for the engine's row-store
+// secondary indexes. Keys are composite int64 tuples; values are row ids.
+// Leaves are linked for ordered range scans, which is what makes index
+// seeks, ordered index scans, and merge-join-friendly ordered delivery
+// possible in the executor.
+package btree
+
+import "sort"
+
+// fanout is the maximum number of keys per node. Chosen small enough to
+// exercise multi-level trees in tests while keeping probe depth realistic.
+const fanout = 64
+
+// Key is a composite index key.
+type Key []int64
+
+// Compare orders keys lexicographically. A shorter key that is a prefix of a
+// longer one compares as smaller (so a prefix probe [v] finds the first
+// composite key starting with v when used as an inclusive lower bound).
+func Compare(a, b Key) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Entry is one (key, row id) pair stored in a leaf.
+type Entry struct {
+	Key Key
+	Row int32
+}
+
+type node struct {
+	leaf     bool
+	keys     []Key   // separator keys (internal) or entry keys (leaf)
+	children []*node // internal only
+	rows     []int32 // leaf only, parallel to keys
+	next     *node   // leaf chain
+}
+
+// Tree is a B+ tree index.
+type Tree struct {
+	root   *node
+	height int
+	size   int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}, height: 1}
+}
+
+// BulkLoad builds a tree from entries, sorting them first. It is the fast
+// path for index creation and produces packed leaves.
+func BulkLoad(userEntries []Entry) *Tree {
+	entries := make([]Entry, len(userEntries))
+	for i, e := range userEntries {
+		entries[i] = Entry{Key: augment(e.Key, e.Row), Row: e.Row}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return Compare(entries[i].Key, entries[j].Key) < 0
+	})
+	// Build leaf level.
+	var leaves []*node
+	const fill = fanout * 3 / 4
+	for start := 0; start < len(entries); start += fill {
+		end := start + fill
+		if end > len(entries) {
+			end = len(entries)
+		}
+		l := &node{leaf: true}
+		for _, e := range entries[start:end] {
+			l.keys = append(l.keys, e.Key)
+			l.rows = append(l.rows, e.Row)
+		}
+		leaves = append(leaves, l)
+	}
+	if len(leaves) == 0 {
+		return New()
+	}
+	for i := 0; i+1 < len(leaves); i++ {
+		leaves[i].next = leaves[i+1]
+	}
+	// Build internal levels bottom-up.
+	level := leaves
+	height := 1
+	for len(level) > 1 {
+		var parents []*node
+		for start := 0; start < len(level); start += fill {
+			end := start + fill
+			if end > len(level) {
+				end = len(level)
+			}
+			p := &node{}
+			for _, c := range level[start:end] {
+				p.children = append(p.children, c)
+				p.keys = append(p.keys, minKey(c))
+			}
+			parents = append(parents, p)
+		}
+		level = parents
+		height++
+	}
+	return &Tree{root: level[0], height: height, size: len(entries)}
+}
+
+func minKey(n *node) Key {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	if len(n.keys) == 0 {
+		return nil
+	}
+	return n.keys[0]
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels, used by the cost model to charge
+// per-probe work proportional to tree depth.
+func (t *Tree) Height() int { return t.height }
+
+// augment appends the row id to the key so every stored key is unique.
+// Unique keys keep node-split boundaries well-defined in the presence of
+// duplicate user keys; the row suffix is stripped before reaching callers.
+func augment(k Key, row int32) Key {
+	ik := make(Key, len(k)+1)
+	copy(ik, k)
+	ik[len(k)] = int64(row)
+	return ik
+}
+
+// Insert adds an entry. Duplicate keys are allowed.
+func (t *Tree) Insert(userKey Key, row int32) {
+	k := augment(userKey, row)
+	promoted, right := t.insert(t.root, k, row)
+	if right != nil {
+		newRoot := &node{
+			keys:     []Key{minKey(t.root), promoted},
+			children: []*node{t.root, right},
+		}
+		t.root = newRoot
+		t.height++
+	}
+	t.size++
+}
+
+// insert descends to a leaf, inserts, and splits on overflow. It returns the
+// separator key and new right sibling when the child split.
+func (t *Tree) insert(n *node, k Key, row int32) (Key, *node) {
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return Compare(n.keys[i], k) > 0 })
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k
+		n.rows = append(n.rows, 0)
+		copy(n.rows[i+1:], n.rows[i:])
+		n.rows[i] = row
+		if len(n.keys) <= fanout {
+			return nil, nil
+		}
+		mid := len(n.keys) / 2
+		right := &node{leaf: true, next: n.next}
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.rows = append(right.rows, n.rows[mid:]...)
+		n.keys = n.keys[:mid]
+		n.rows = n.rows[:mid]
+		n.next = right
+		return right.keys[0], right
+	}
+	ci := sort.Search(len(n.keys), func(i int) bool { return Compare(n.keys[i], k) > 0 })
+	if ci > 0 {
+		ci--
+	}
+	promoted, right := t.insert(n.children[ci], k, row)
+	if right == nil {
+		return nil, nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[ci+2:], n.keys[ci+1:])
+	n.keys[ci+1] = promoted
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.children) <= fanout {
+		return nil, nil
+	}
+	mid := len(n.children) / 2
+	r := &node{}
+	r.keys = append(r.keys, n.keys[mid:]...)
+	r.children = append(r.children, n.children[mid:]...)
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid]
+	return r.keys[0], r
+}
+
+// seekLeaf returns the leaf that may contain the first key >= k and the
+// position within it.
+func (t *Tree) seekLeaf(k Key) (*node, int) {
+	n := t.root
+	for !n.leaf {
+		ci := sort.Search(len(n.keys), func(i int) bool { return Compare(n.keys[i], k) > 0 })
+		if ci > 0 {
+			ci--
+		}
+		n = n.children[ci]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return Compare(n.keys[i], k) >= 0 })
+	return n, i
+}
+
+// Range calls fn for every entry with lo <= key <= hi (inclusive bounds,
+// compared lexicographically). A nil lo starts at the smallest key; a nil hi
+// ends at the largest. fn returning false stops the scan.
+func (t *Tree) Range(lo, hi Key, fn func(k Key, row int32) bool) {
+	var n *node
+	var i int
+	if lo == nil {
+		n = t.root
+		for !n.leaf {
+			n = n.children[0]
+		}
+	} else {
+		n, i = t.seekLeaf(lo)
+	}
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			if hi != nil && compareUpper(n.keys[i], hi) > 0 {
+				return
+			}
+			// Strip the internal row-id suffix before surfacing the key.
+			if !fn(n.keys[i][:len(n.keys[i])-1], n.rows[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// compareUpper compares an entry key against an upper bound: when the bound
+// is a strict prefix of the key, the key is considered within the bound
+// (so probing hi=[v] includes all composite keys starting with v).
+func compareUpper(k, hi Key) int {
+	n := len(hi)
+	if len(k) < n {
+		n = len(k)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case k[i] < hi[i]:
+			return -1
+		case k[i] > hi[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Seek collects all rows whose key prefix equals k.
+func (t *Tree) Seek(k Key) []int32 {
+	var rows []int32
+	t.Range(k, k, func(_ Key, row int32) bool {
+		rows = append(rows, row)
+		return true
+	})
+	return rows
+}
+
+// Scan calls fn for every entry in key order.
+func (t *Tree) Scan(fn func(k Key, row int32) bool) { t.Range(nil, nil, fn) }
+
+// Validate checks structural invariants (ordering within leaves, leaf chain
+// order, and size consistency). It is used by tests.
+func (t *Tree) Validate() error {
+	var prev Key
+	count := 0
+	bad := false
+	t.Scan(func(k Key, _ int32) bool {
+		if prev != nil && Compare(prev, k) > 0 {
+			bad = true
+			return false
+		}
+		prev = k
+		count++
+		return true
+	})
+	if bad {
+		return errOutOfOrder
+	}
+	if count != t.size {
+		return errSizeMismatch
+	}
+	return nil
+}
+
+type btreeError string
+
+func (e btreeError) Error() string { return string(e) }
+
+const (
+	errOutOfOrder   = btreeError("btree: entries out of order")
+	errSizeMismatch = btreeError("btree: scan count != size")
+)

@@ -1,0 +1,245 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want int
+	}{
+		{Key{1}, Key{2}, -1},
+		{Key{2}, Key{1}, 1},
+		{Key{1, 2}, Key{1, 2}, 0},
+		{Key{1}, Key{1, 0}, -1}, // prefix is smaller
+		{Key{1, 5}, Key{1}, 1},  // extension is larger
+		{Key{1, 2}, Key{1, 3}, -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Fatalf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestInsertAndSeek(t *testing.T) {
+	tr := New()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(Key{int64(i % 97), int64(i)}, int32(i))
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rows := tr.Seek(Key{5})
+	want := 0
+	for i := 0; i < 1000; i++ {
+		if i%97 == 5 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("prefix seek found %d rows, want %d", len(rows), want)
+	}
+	exact := tr.Seek(Key{5, 5})
+	if len(exact) != 1 || exact[0] != 5 {
+		t.Fatalf("exact seek: %v", exact)
+	}
+	if got := tr.Seek(Key{200}); len(got) != 0 {
+		t.Fatalf("seek for absent key: %v", got)
+	}
+}
+
+func TestBulkLoadMatchesInserts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 5000
+	entries := make([]Entry, n)
+	ins := New()
+	for i := range entries {
+		k := Key{rng.Int63n(500), rng.Int63n(100)}
+		entries[i] = Entry{Key: k, Row: int32(i)}
+		ins.Insert(k, int32(i))
+	}
+	bl := BulkLoad(entries)
+	if bl.Len() != ins.Len() {
+		t.Fatalf("sizes differ: %d vs %d", bl.Len(), ins.Len())
+	}
+	if err := bl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var a, b []int32
+	bl.Scan(func(_ Key, r int32) bool { a = append(a, r); return true })
+	ins.Scan(func(_ Key, r int32) bool { b = append(b, r); return true })
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row sets differ at %d", i)
+		}
+	}
+	if bl.Height() < 2 {
+		t.Fatalf("5000 entries should build a multi-level tree, height=%d", bl.Height())
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	entries := make([]Entry, 100)
+	for i := range entries {
+		entries[i] = Entry{Key: Key{int64(i)}, Row: int32(i)}
+	}
+	tr := BulkLoad(entries)
+	var got []int32
+	tr.Range(Key{10}, Key{20}, func(_ Key, r int32) bool {
+		got = append(got, r)
+		return true
+	})
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Fatalf("range [10,20]: %v", got)
+	}
+	// Open lower bound.
+	got = got[:0]
+	tr.Range(nil, Key{3}, func(_ Key, r int32) bool { got = append(got, r); return true })
+	if len(got) != 4 {
+		t.Fatalf("range [nil,3]: %v", got)
+	}
+	// Open upper bound.
+	got = got[:0]
+	tr.Range(Key{97}, nil, func(_ Key, r int32) bool { got = append(got, r); return true })
+	if len(got) != 3 {
+		t.Fatalf("range [97,nil]: %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Range(nil, nil, func(_ Key, _ int32) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop: %d", count)
+	}
+}
+
+func TestRangeWithCompositeUpperBoundPrefix(t *testing.T) {
+	tr := New()
+	tr.Insert(Key{1, 1}, 0)
+	tr.Insert(Key{2, 1}, 1)
+	tr.Insert(Key{2, 9}, 2)
+	tr.Insert(Key{3, 0}, 3)
+	var rows []int32
+	tr.Range(Key{2}, Key{2}, func(_ Key, r int32) bool { rows = append(rows, r); return true })
+	if len(rows) != 2 || rows[0] != 1 || rows[1] != 2 {
+		t.Fatalf("prefix range over composite keys: %v", rows)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("empty tree length")
+	}
+	if rows := tr.Seek(Key{1}); len(rows) != 0 {
+		t.Fatal("seek on empty tree")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bl := BulkLoad(nil)
+	if bl.Len() != 0 {
+		t.Fatal("bulk load of nothing")
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Insert(Key{7}, int32(i))
+	}
+	rows := tr.Seek(Key{7})
+	if len(rows) != 200 {
+		t.Fatalf("duplicates: got %d rows", len(rows))
+	}
+}
+
+func TestPropertyRangeMatchesLinearScan(t *testing.T) {
+	f := func(vals []int16, lo16, hi16 int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		entries := make([]Entry, len(vals))
+		for i, v := range vals {
+			entries[i] = Entry{Key: Key{int64(v)}, Row: int32(i)}
+		}
+		tr := BulkLoad(append([]Entry(nil), entries...))
+		lo, hi := int64(lo16), int64(hi16)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := map[int32]bool{}
+		for i, v := range vals {
+			if int64(v) >= lo && int64(v) <= hi {
+				want[int32(i)] = true
+			}
+		}
+		got := map[int32]bool{}
+		tr.Range(Key{lo}, Key{hi}, func(_ Key, r int32) bool {
+			got[r] = true
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for r := range want {
+			if !got[r] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyInsertPreservesOrder(t *testing.T) {
+	f := func(vals []int32) bool {
+		tr := New()
+		for i, v := range vals {
+			tr.Insert(Key{int64(v)}, int32(i))
+		}
+		return tr.Validate() == nil && tr.Len() == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBulkLoad(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	entries := make([]Entry, 100000)
+	for i := range entries {
+		entries[i] = Entry{Key: Key{rng.Int63n(1 << 20)}, Row: int32(i)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(append([]Entry(nil), entries...))
+	}
+}
+
+func BenchmarkSeek(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	entries := make([]Entry, 100000)
+	for i := range entries {
+		entries[i] = Entry{Key: Key{rng.Int63n(1 << 20)}, Row: int32(i)}
+	}
+	tr := BulkLoad(entries)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Seek(Key{int64(i) % (1 << 20)})
+	}
+}

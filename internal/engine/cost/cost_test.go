@@ -1,0 +1,131 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/engine/plan"
+)
+
+func TestScanCostScalesWithRowsAndBytes(t *testing.T) {
+	m := TrueModel()
+	small := m.OpCost(plan.TableScan, plan.Row, plan.Serial, Args{RowsIn: 100, Bytes: 800})
+	big := m.OpCost(plan.TableScan, plan.Row, plan.Serial, Args{RowsIn: 10000, Bytes: 80000})
+	if big <= small*50 {
+		t.Fatalf("scan cost should scale ~linearly: %v vs %v", small, big)
+	}
+}
+
+func TestSeekCheaperThanScanForSelectiveProbe(t *testing.T) {
+	m := TrueModel()
+	scan := m.OpCost(plan.TableScan, plan.Row, plan.Serial, Args{RowsIn: 100000, Bytes: 800000})
+	seek := m.OpCost(plan.IndexSeek, plan.Row, plan.Serial, Args{Probes: 1, Height: 3, RowsOut: 10, Bytes: 80})
+	if seek >= scan/100 {
+		t.Fatalf("selective seek should be far cheaper: seek=%v scan=%v", seek, scan)
+	}
+}
+
+func TestBatchModeDiscount(t *testing.T) {
+	m := TrueModel()
+	a := Args{RowsIn: 10000, RowsIn2: 1000, RowsOut: 5000}
+	row := m.OpCost(plan.HashJoin, plan.Row, plan.Serial, a)
+	batch := m.OpCost(plan.HashJoin, plan.Batch, plan.Serial, a)
+	if batch >= row {
+		t.Fatal("batch hash join should be cheaper")
+	}
+	// Batch mode must not affect ineligible operators.
+	sa := Args{Probes: 10, Height: 3, RowsOut: 100, Bytes: 800}
+	if m.OpCost(plan.IndexSeek, plan.Batch, plan.Serial, sa) != m.OpCost(plan.IndexSeek, plan.Row, plan.Serial, sa) {
+		t.Fatal("index seek is not batch eligible")
+	}
+}
+
+func TestParallelSpeedupAndOverhead(t *testing.T) {
+	m := TrueModel()
+	a := Args{RowsIn: 100000, Bytes: 800000}
+	ser := m.OpCost(plan.TableScan, plan.Row, plan.Serial, a)
+	par := m.OpCost(plan.TableScan, plan.Row, plan.Parallel, a)
+	if par >= ser {
+		t.Fatal("parallel scan of a big table should be cheaper")
+	}
+	// Tiny input: parallel overhead should dominate.
+	tiny := Args{RowsIn: 5, Bytes: 40}
+	if m.OpCost(plan.TableScan, plan.Row, plan.Parallel, tiny) <= m.OpCost(plan.TableScan, plan.Row, plan.Serial, tiny) {
+		t.Fatal("parallel startup should hurt tiny scans")
+	}
+}
+
+func TestSortSpillOnlyInTrueModel(t *testing.T) {
+	tm, om := TrueModel(), OptimizerModel()
+	small := Args{RowsIn: 1000}
+	huge := Args{RowsIn: 200000}
+	tRatio := tm.OpCost(plan.Sort, plan.Row, plan.Serial, huge) / tm.OpCost(plan.Sort, plan.Row, plan.Serial, small)
+	oRatio := om.OpCost(plan.Sort, plan.Row, plan.Serial, huge) / om.OpCost(plan.Sort, plan.Row, plan.Serial, small)
+	if tRatio <= oRatio*1.5 {
+		t.Fatalf("true model must charge spill above threshold: true ratio %v, believed %v", tRatio, oRatio)
+	}
+}
+
+func TestLookupMiscalibration(t *testing.T) {
+	// The optimizer must under-price key lookups relative to the truth:
+	// that is the classic non-covering-index regression mechanism.
+	a := Args{RowsIn: 10000, Bytes: 80000}
+	believed := OptimizerModel().OpCost(plan.KeyLookup, plan.Row, plan.Serial, a)
+	truth := TrueModel().OpCost(plan.KeyLookup, plan.Row, plan.Serial, a)
+	if believed >= truth {
+		t.Fatalf("lookup must be under-priced by the optimizer: believed=%v true=%v", believed, truth)
+	}
+}
+
+func TestIndexNLJUsesProbes(t *testing.T) {
+	m := TrueModel()
+	idxNLJ := m.OpCost(plan.NestedLoopJoin, plan.Row, plan.Serial, Args{Probes: 100, Height: 3, RowsOut: 100, RowsIn: 100, RowsIn2: 100000})
+	plain := m.OpCost(plan.NestedLoopJoin, plan.Row, plan.Serial, Args{RowsIn: 100, RowsIn2: 100000, RowsOut: 100})
+	if idxNLJ >= plain {
+		t.Fatal("index NLJ should beat plain NLJ against a big inner")
+	}
+}
+
+func TestExchangeStartupDominatesSmallInputs(t *testing.T) {
+	m := TrueModel()
+	c := m.OpCost(plan.Exchange, plan.Row, plan.Parallel, Args{RowsIn: 1})
+	if c < m.ExchStartup {
+		t.Fatalf("exchange must include startup: %v", c)
+	}
+}
+
+func TestCostsNonNegativeProperty(t *testing.T) {
+	m := TrueModel()
+	f := func(op8 uint8, mode, par bool, rows, rows2, out, bytes, probes uint32) bool {
+		op := plan.Op(int(op8) % plan.NumOps)
+		md, pr := plan.Row, plan.Serial
+		if mode {
+			md = plan.Batch
+		}
+		if par {
+			pr = plan.Parallel
+		}
+		c := m.OpCost(op, md, pr, Args{
+			RowsIn: float64(rows), RowsIn2: float64(rows2), RowsOut: float64(out),
+			Bytes: float64(bytes), Probes: float64(probes), Height: 3,
+		})
+		return c >= 0 && !isNaN(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func isNaN(f float64) bool { return f != f }
+
+func TestModelsShareFunctionalForms(t *testing.T) {
+	// Same args, both models positive for all ops.
+	a := Args{RowsIn: 1000, RowsIn2: 100, RowsOut: 500, Bytes: 8000, Probes: 10, Height: 3}
+	for op := 0; op < plan.NumOps; op++ {
+		for _, m := range []*Model{TrueModel(), OptimizerModel()} {
+			if c := m.OpCost(plan.Op(op), plan.Row, plan.Serial, a); c <= 0 {
+				t.Fatalf("op %v should have positive cost, got %v", plan.Op(op), c)
+			}
+		}
+	}
+}

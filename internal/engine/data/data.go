@@ -1,0 +1,263 @@
+// Package data holds the physical table data of the engine and the
+// synthetic data generators used to populate workload databases.
+//
+// All values are stored column-wise as int64 (floats are fixed-point scaled,
+// strings dictionary-encoded, dates are day numbers). Generators can produce
+// uniform, Zipf-skewed, normal, sequential, correlated, and functionally
+// dependent columns. Skew and correlation are the mechanisms that break the
+// optimizer's uniformity/independence assumptions and create the structured
+// estimation errors the paper's classifier learns from.
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/util"
+)
+
+// Table is the materialized data of one catalog table: one int64 slice per
+// column, all of equal length.
+type Table struct {
+	Meta *catalog.Table
+	cols map[string][]int64
+}
+
+// NewTable creates an empty materialized table for the given metadata.
+func NewTable(meta *catalog.Table) *Table {
+	return &Table{Meta: meta, cols: map[string][]int64{}}
+}
+
+// SetColumn installs the data of one column. It panics when the column is
+// unknown to the schema or when its length disagrees with other columns,
+// both of which indicate generator bugs.
+func (t *Table) SetColumn(name string, vals []int64) {
+	if t.Meta.ColumnIndex(name) < 0 {
+		panic(fmt.Sprintf("data: column %q not in table %q", name, t.Meta.Name))
+	}
+	for n, c := range t.cols {
+		if len(c) != len(vals) {
+			panic(fmt.Sprintf("data: column %q length %d != column %q length %d", name, len(vals), n, len(c)))
+		}
+	}
+	t.cols[name] = vals
+}
+
+// Column returns the data of the named column, or nil when absent.
+func (t *Table) Column(name string) []int64 { return t.cols[name] }
+
+// NumRows returns the number of rows in the table.
+func (t *Table) NumRows() int {
+	for _, c := range t.cols {
+		return len(c)
+	}
+	return 0
+}
+
+// Value returns the value of a column at a row.
+func (t *Table) Value(col string, row int) int64 { return t.cols[col][row] }
+
+// Database is the materialized data of a schema.
+type Database struct {
+	Schema *catalog.Schema
+	Tables map[string]*Table
+}
+
+// NewDatabase creates an empty database for a schema.
+func NewDatabase(s *catalog.Schema) *Database {
+	return &Database{Schema: s, Tables: map[string]*Table{}}
+}
+
+// AddTable registers materialized table data and syncs the catalog row
+// count to the actual data length.
+func (d *Database) AddTable(t *Table) {
+	d.Tables[t.Meta.Name] = t
+	t.Meta.Rows = int64(t.NumRows())
+}
+
+// Table returns the materialized data of the named table, or nil.
+func (d *Database) Table(name string) *Table { return d.Tables[name] }
+
+// Generator produces the values of one column.
+type Generator interface {
+	// Generate returns n values drawn from the generator's distribution.
+	Generate(rng *util.RNG, n int) []int64
+}
+
+// UniformGen draws uniformly from [Lo, Hi].
+type UniformGen struct{ Lo, Hi int64 }
+
+// Generate implements Generator.
+func (g UniformGen) Generate(rng *util.RNG, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = rng.Int64Range(g.Lo, g.Hi)
+	}
+	return out
+}
+
+// ZipfGen draws Zipf(s)-distributed ranks over [1, N] and maps rank r to
+// Base + r*Step. High skew concentrates mass on a few values, defeating the
+// optimizer's uniformity-within-bucket assumption.
+type ZipfGen struct {
+	S    float64
+	N    int64
+	Base int64
+	Step int64
+}
+
+// Generate implements Generator.
+func (g ZipfGen) Generate(rng *util.RNG, n int) []int64 {
+	step := g.Step
+	if step == 0 {
+		step = 1
+	}
+	z := util.NewZipf(rng, g.S, g.N)
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.Base + z.Next()*step
+	}
+	return out
+}
+
+// NormalGen draws from round(N(Mean, Std)) clipped to [Lo, Hi].
+type NormalGen struct {
+	Mean, Std float64
+	Lo, Hi    int64
+}
+
+// Generate implements Generator.
+func (g NormalGen) Generate(rng *util.RNG, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		v := int64(g.Mean + g.Std*rng.NormFloat64())
+		if v < g.Lo {
+			v = g.Lo
+		}
+		if v > g.Hi {
+			v = g.Hi
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// SequentialGen produces Base, Base+Step, Base+2*Step, ... — primary keys.
+type SequentialGen struct {
+	Base int64
+	Step int64
+}
+
+// Generate implements Generator.
+func (g SequentialGen) Generate(rng *util.RNG, n int) []int64 {
+	step := g.Step
+	if step == 0 {
+		step = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.Base + int64(i)*step
+	}
+	return out
+}
+
+// CorrelatedGen derives a column from an already-generated source column:
+// value = Scale*src + Noise where Noise ~ U[-Jitter, +Jitter]. Strong
+// correlation violates the optimizer's attribute-independence assumption on
+// conjunctive predicates.
+type CorrelatedGen struct {
+	Source []int64
+	Scale  float64
+	Jitter int64
+}
+
+// Generate implements Generator. n must equal len(Source).
+func (g CorrelatedGen) Generate(rng *util.RNG, n int) []int64 {
+	if n != len(g.Source) {
+		panic(fmt.Sprintf("data: correlated generator length mismatch: %d != %d", n, len(g.Source)))
+	}
+	out := make([]int64, n)
+	for i := range out {
+		v := int64(g.Scale * float64(g.Source[i]))
+		if g.Jitter > 0 {
+			v += rng.Int64Range(-g.Jitter, g.Jitter)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// FDGen produces a functional dependency: value = hash-mix of the source
+// value into [0, Cardinality). Rows with equal source values get equal
+// outputs, creating hidden redundancy between predicates.
+type FDGen struct {
+	Source      []int64
+	Cardinality int64
+}
+
+// Generate implements Generator. n must equal len(Source).
+func (g FDGen) Generate(rng *util.RNG, n int) []int64 {
+	if n != len(g.Source) {
+		panic(fmt.Sprintf("data: fd generator length mismatch: %d != %d", n, len(g.Source)))
+	}
+	card := g.Cardinality
+	if card <= 0 {
+		card = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		x := uint64(g.Source[i])
+		x ^= x >> 33
+		x *= 0xff51afd7ed558ccd
+		x ^= x >> 33
+		out[i] = int64(x % uint64(card))
+	}
+	return out
+}
+
+// FKGen draws foreign keys referencing a parent key column, with optional
+// Zipf skew over the parent rows (skew > 0 makes a few parents "hot").
+type FKGen struct {
+	ParentKeys []int64
+	Skew       float64
+}
+
+// Generate implements Generator.
+func (g FKGen) Generate(rng *util.RNG, n int) []int64 {
+	if len(g.ParentKeys) == 0 {
+		panic("data: FK generator with empty parent keys")
+	}
+	out := make([]int64, n)
+	if g.Skew > 0 {
+		z := util.NewZipf(rng, g.Skew, int64(len(g.ParentKeys)))
+		for i := range out {
+			out[i] = g.ParentKeys[z.Next()-1]
+		}
+		return out
+	}
+	for i := range out {
+		out[i] = g.ParentKeys[rng.Intn(len(g.ParentKeys))]
+	}
+	return out
+}
+
+// ColumnSpec pairs a column name with its generator, used by BuildTable.
+type ColumnSpec struct {
+	Name string
+	Gen  Generator
+}
+
+// BuildTable materializes a table of n rows from per-column specs. Columns
+// are generated in spec order so correlated generators can reference earlier
+// columns.
+func BuildTable(meta *catalog.Table, rng *util.RNG, n int, specs []ColumnSpec) *Table {
+	t := NewTable(meta)
+	for _, sp := range specs {
+		t.SetColumn(sp.Name, sp.Gen.Generate(rng.Split("col:"+sp.Name), n))
+	}
+	if got, want := len(t.cols), len(meta.Columns); got != want {
+		panic(fmt.Sprintf("data: table %q built %d of %d columns", meta.Name, got, want))
+	}
+	meta.Rows = int64(n)
+	return t
+}

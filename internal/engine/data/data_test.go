@@ -1,0 +1,202 @@
+package data
+
+import (
+	"testing"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/util"
+)
+
+func meta2() *catalog.Table {
+	return &catalog.Table{Name: "t", Columns: []catalog.Column{
+		{Name: "a", Type: catalog.TypeInt},
+		{Name: "b", Type: catalog.TypeInt},
+	}}
+}
+
+func TestTableSetColumn(t *testing.T) {
+	tb := NewTable(meta2())
+	tb.SetColumn("a", []int64{1, 2, 3})
+	tb.SetColumn("b", []int64{4, 5, 6})
+	if tb.NumRows() != 3 || tb.Value("b", 1) != 5 {
+		t.Fatal("basic access wrong")
+	}
+	if tb.Column("nope") != nil {
+		t.Fatal("missing column should be nil")
+	}
+}
+
+func TestTableSetColumnPanics(t *testing.T) {
+	tb := NewTable(meta2())
+	tb.SetColumn("a", []int64{1, 2})
+	for name, fn := range map[string]func(){
+		"unknown column":  func() { tb.SetColumn("zz", []int64{1, 2}) },
+		"length mismatch": func() { tb.SetColumn("b", []int64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestUniformGen(t *testing.T) {
+	g := UniformGen{Lo: 10, Hi: 20}
+	vals := g.Generate(util.NewRNG(1), 1000)
+	seen := map[int64]bool{}
+	for _, v := range vals {
+		if v < 10 || v > 20 {
+			t.Fatalf("out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 11 {
+		t.Fatalf("uniform should cover the domain, saw %d values", len(seen))
+	}
+}
+
+func TestZipfGenSkew(t *testing.T) {
+	g := ZipfGen{S: 1.3, N: 100, Base: 0, Step: 1}
+	vals := g.Generate(util.NewRNG(2), 5000)
+	counts := map[int64]int{}
+	for _, v := range vals {
+		counts[v]++
+	}
+	if counts[1] < 5*counts[50]+1 {
+		t.Fatalf("zipf head not dominant: c1=%d c50=%d", counts[1], counts[50])
+	}
+}
+
+func TestNormalGenClipped(t *testing.T) {
+	g := NormalGen{Mean: 50, Std: 30, Lo: 0, Hi: 100}
+	for _, v := range g.Generate(util.NewRNG(3), 2000) {
+		if v < 0 || v > 100 {
+			t.Fatalf("normal out of clip range: %d", v)
+		}
+	}
+}
+
+func TestSequentialGen(t *testing.T) {
+	g := SequentialGen{Base: 5, Step: 2}
+	vals := g.Generate(util.NewRNG(4), 4)
+	want := []int64{5, 7, 9, 11}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("seq[%d] = %d, want %d", i, vals[i], want[i])
+		}
+	}
+	// Zero step defaults to 1.
+	vals = SequentialGen{}.Generate(util.NewRNG(4), 3)
+	if vals[2] != 2 {
+		t.Fatal("zero step should default to 1")
+	}
+}
+
+func TestCorrelatedGen(t *testing.T) {
+	src := []int64{10, 20, 30, 40}
+	g := CorrelatedGen{Source: src, Scale: 2, Jitter: 0}
+	vals := g.Generate(util.NewRNG(5), 4)
+	for i, v := range vals {
+		if v != src[i]*2 {
+			t.Fatalf("correlated[%d] = %d", i, v)
+		}
+	}
+	jg := CorrelatedGen{Source: src, Scale: 1, Jitter: 3}
+	for i, v := range jg.Generate(util.NewRNG(6), 4) {
+		if v < src[i]-3 || v > src[i]+3 {
+			t.Fatalf("jitter out of bounds: %d vs %d", v, src[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	g.Generate(util.NewRNG(7), 5)
+}
+
+func TestFDGenDeterministicDependency(t *testing.T) {
+	src := []int64{1, 2, 1, 3, 2, 1}
+	g := FDGen{Source: src, Cardinality: 10}
+	vals := g.Generate(util.NewRNG(8), len(src))
+	byKey := map[int64]int64{}
+	for i, s := range src {
+		if prev, ok := byKey[s]; ok && prev != vals[i] {
+			t.Fatal("functional dependency violated")
+		}
+		byKey[s] = vals[i]
+		if vals[i] < 0 || vals[i] >= 10 {
+			t.Fatalf("fd value out of range: %d", vals[i])
+		}
+	}
+}
+
+func TestFKGen(t *testing.T) {
+	parents := []int64{100, 200, 300}
+	g := FKGen{ParentKeys: parents}
+	vals := g.Generate(util.NewRNG(9), 300)
+	ok := map[int64]bool{100: true, 200: true, 300: true}
+	for _, v := range vals {
+		if !ok[v] {
+			t.Fatalf("fk not in parent domain: %d", v)
+		}
+	}
+	skewed := FKGen{ParentKeys: parents, Skew: 1.5}.Generate(util.NewRNG(10), 3000)
+	counts := map[int64]int{}
+	for _, v := range skewed {
+		counts[v]++
+	}
+	if counts[100] <= counts[300] {
+		t.Fatalf("skewed fk should favor first parent: %v", counts)
+	}
+}
+
+func TestBuildTableAndDatabase(t *testing.T) {
+	m := meta2()
+	rng := util.NewRNG(11)
+	tb := BuildTable(m, rng, 50, []ColumnSpec{
+		{Name: "a", Gen: SequentialGen{}},
+		{Name: "b", Gen: UniformGen{Lo: 0, Hi: 9}},
+	})
+	if tb.NumRows() != 50 || m.Rows != 50 {
+		t.Fatal("BuildTable row count not synced")
+	}
+	s := catalog.NewSchema("db")
+	s.AddTable(m)
+	db := NewDatabase(s)
+	db.AddTable(tb)
+	if db.Table("t") != tb || db.Table("x") != nil {
+		t.Fatal("database table lookup wrong")
+	}
+}
+
+func TestBuildTableMissingColumnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("missing column spec should panic")
+		}
+	}()
+	BuildTable(meta2(), util.NewRNG(12), 10, []ColumnSpec{{Name: "a", Gen: SequentialGen{}}})
+}
+
+func TestBuildTableDeterminism(t *testing.T) {
+	build := func() *Table {
+		return BuildTable(meta2(), util.NewRNG(99), 100, []ColumnSpec{
+			{Name: "a", Gen: UniformGen{Lo: 0, Hi: 1000}},
+			{Name: "b", Gen: ZipfGen{S: 1.1, N: 50}},
+		})
+	}
+	t1, t2 := build(), build()
+	for _, c := range []string{"a", "b"} {
+		v1, v2 := t1.Column(c), t2.Column(c)
+		for i := range v1 {
+			if v1[i] != v2[i] {
+				t.Fatalf("column %s not deterministic at row %d", c, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,967 @@
+// Package exec implements the query executor. It runs physical plans over
+// the materialized data, producing real result rows, true per-operator
+// cardinalities, and the ground-truth execution cost (CPU work) under
+// cost.TrueModel() with multiplicative measurement noise.
+//
+// The executor never consults the optimizer's estimates: the gap between a
+// plan's estimated and executed cost is exactly the phenomenon the paper's
+// classifier learns. Labels use the median cost over several executions, as
+// in §2.2 of the paper.
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine/btree"
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/cost"
+	"repro/internal/engine/data"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/query"
+	"repro/internal/util"
+)
+
+// ridColumn is the pseudo-column carrying base-table row ids between an
+// index seek and its key lookup.
+const ridColumn = "#rid"
+
+// columnstoreCompression mirrors the optimizer's assumed scan-byte
+// reduction; the executor grants the same compression on columnstore scans.
+const columnstoreCompression = 4.0
+
+// MaxIntermediateRows guards against runaway intermediate results from
+// catastrophically bad plans.
+const MaxIntermediateRows = 4_000_000
+
+// Executor runs plans against one database.
+type Executor struct {
+	DB    *data.Database
+	Model *cost.Model
+	// NoiseSigma is the standard deviation of the multiplicative
+	// log-normal measurement noise applied per operator.
+	NoiseSigma float64
+
+	indexes map[string]*btree.Tree
+}
+
+// New returns an executor over db with the database's ground-truth cost
+// calibration (cost.TrueModelFor) and default measurement noise.
+func New(db *data.Database) *Executor {
+	return &Executor{
+		DB:         db,
+		Model:      cost.TrueModelFor(db.Schema.Name),
+		NoiseSigma: 0.06,
+		indexes:    map[string]*btree.Tree{},
+	}
+}
+
+// Result is the outcome of executing one plan.
+type Result struct {
+	// Cols and Rows are the produced relation.
+	Cols []query.ColRef
+	Rows [][]int64
+	// WorkCost is the deterministic total work (no noise).
+	WorkCost float64
+	// MeasuredCost is WorkCost with measurement noise applied.
+	MeasuredCost float64
+	// Annotated is a copy of the plan with ActualRows/ActualCost filled.
+	Annotated *plan.Plan
+}
+
+// rel is an intermediate relation during execution.
+type rel struct {
+	cols []query.ColRef
+	rows [][]int64
+}
+
+func (r *rel) colIdx(table, column string) int {
+	for i, c := range r.cols {
+		if c.Table == table && c.Column == column {
+			return i
+		}
+	}
+	return -1
+}
+
+// runState carries per-execution state.
+type runState struct {
+	e    *Executor
+	q    *query.Query
+	rng  *util.RNG
+	work float64
+	meas float64
+}
+
+// Execute runs the plan once. rng drives measurement noise only; the result
+// rows and WorkCost are deterministic for a given plan and database.
+func (e *Executor) Execute(p *plan.Plan, rng *util.RNG) (*Result, error) {
+	if rng == nil {
+		rng = util.NewRNG(1)
+	}
+	cl := clonePlan(p)
+	st := &runState{e: e, q: p.Query, rng: rng}
+	out, err := st.run(cl.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Cols:         out.cols,
+		Rows:         out.rows,
+		WorkCost:     st.work,
+		MeasuredCost: st.meas,
+		Annotated:    cl,
+	}, nil
+}
+
+// MedianCost executes the plan k times and returns the median measured
+// cost, the paper's robust labeling measure.
+func (e *Executor) MedianCost(p *plan.Plan, rng *util.RNG, k int) (float64, error) {
+	if k < 1 {
+		k = 1
+	}
+	costs := make([]float64, 0, k)
+	for i := 0; i < k; i++ {
+		r, err := e.Execute(p, rng.SplitInt(i))
+		if err != nil {
+			return 0, err
+		}
+		costs = append(costs, r.MeasuredCost)
+	}
+	return util.Median(costs), nil
+}
+
+// clonePlan deep-copies the plan tree so cached plans are never mutated.
+func clonePlan(p *plan.Plan) *plan.Plan {
+	var cp func(n *plan.Node) *plan.Node
+	cp = func(n *plan.Node) *plan.Node {
+		c := *n
+		c.Children = make([]*plan.Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = cp(ch)
+		}
+		return &c
+	}
+	return &plan.Plan{Root: cp(p.Root), Query: p.Query, ConfigFP: p.ConfigFP, EstTotalCost: p.EstTotalCost}
+}
+
+// Index returns (building and caching on demand) the physical B+ tree for
+// an index id on a table.
+func (e *Executor) Index(ix *catalog.Index) (*btree.Tree, error) {
+	id := ix.ID()
+	if t, ok := e.indexes[id]; ok {
+		return t, nil
+	}
+	tb := e.DB.Table(ix.Table)
+	if tb == nil {
+		return nil, fmt.Errorf("exec: no data for table %q", ix.Table)
+	}
+	n := tb.NumRows()
+	entries := make([]btree.Entry, n)
+	keyCols := make([][]int64, len(ix.KeyColumns))
+	for i, kc := range ix.KeyColumns {
+		keyCols[i] = tb.Column(kc)
+		if keyCols[i] == nil {
+			return nil, fmt.Errorf("exec: index %q references missing column %q", id, kc)
+		}
+	}
+	for r := 0; r < n; r++ {
+		k := make(btree.Key, len(keyCols))
+		for i := range keyCols {
+			k[i] = keyCols[i][r]
+		}
+		entries[r] = btree.Entry{Key: k, Row: int32(r)}
+	}
+	t := btree.BulkLoad(entries)
+	e.indexes[id] = t
+	return t, nil
+}
+
+// DropIndex evicts a cached physical index (after configuration changes).
+func (e *Executor) DropIndex(ix *catalog.Index) { delete(e.indexes, ix.ID()) }
+
+// charge computes an operator's true cost, applies noise, and annotates the
+// node with actuals.
+func (st *runState) charge(n *plan.Node, a cost.Args) {
+	c := st.e.Model.OpCost(n.Op, n.Mode, n.Par, a)
+	noisy := c
+	if st.e.NoiseSigma > 0 {
+		noisy = c * st.rng.LogNormal(st.e.NoiseSigma)
+	}
+	n.ActualRows = a.RowsOut
+	n.ActualCost = noisy
+	st.work += c
+	st.meas += noisy
+}
+
+// run executes the subtree rooted at n.
+func (st *runState) run(n *plan.Node) (*rel, error) {
+	switch n.Op {
+	case plan.TableScan:
+		return st.tableScan(n)
+	case plan.ColumnstoreScan:
+		return st.columnstoreScan(n)
+	case plan.IndexScan:
+		return st.indexScan(n)
+	case plan.IndexSeek:
+		return st.indexSeek(n)
+	case plan.KeyLookup:
+		return st.keyLookup(n)
+	case plan.Filter:
+		return st.filter(n)
+	case plan.HashJoin:
+		return st.hashJoin(n)
+	case plan.MergeJoin:
+		return st.mergeJoin(n)
+	case plan.NestedLoopJoin:
+		return st.nestedLoopJoin(n)
+	case plan.Sort:
+		return st.sortOp(n)
+	case plan.Top:
+		return st.topOp(n)
+	case plan.HashAggregate, plan.StreamAggregate:
+		return st.aggregate(n)
+	case plan.Exchange:
+		out, err := st.run(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		st.charge(n, cost.Args{RowsIn: float64(len(out.rows)), RowsOut: float64(len(out.rows))})
+		return out, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported operator %v", n.Op)
+	}
+}
+
+// allCols returns the full column list of a table as ColRefs.
+func (st *runState) allCols(table string) ([]query.ColRef, *data.Table, error) {
+	tb := st.e.DB.Table(table)
+	if tb == nil {
+		return nil, nil, fmt.Errorf("exec: no data for table %q", table)
+	}
+	cols := make([]query.ColRef, len(tb.Meta.Columns))
+	for i, c := range tb.Meta.Columns {
+		cols[i] = query.ColRef{Table: table, Column: c.Name}
+	}
+	return cols, tb, nil
+}
+
+// matchAll evaluates a conjunction against a table row.
+func matchAll(preds []query.Pred, tb *data.Table, row int) bool {
+	for _, p := range preds {
+		if !p.Matches(tb.Column(p.Column)[row]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *runState) tableScan(n *plan.Node) (*rel, error) {
+	cols, tb, err := st.allCols(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	nr := tb.NumRows()
+	out := &rel{cols: cols}
+	colData := make([][]int64, len(cols))
+	for i, c := range cols {
+		colData[i] = tb.Column(c.Column)
+	}
+	for r := 0; r < nr; r++ {
+		if matchAll(n.ResidualPreds, tb, r) {
+			row := make([]int64, len(cols))
+			for i := range cols {
+				row[i] = colData[i][r]
+			}
+			out.rows = append(out.rows, row)
+		}
+	}
+	st.charge(n, cost.Args{
+		RowsIn:  float64(nr),
+		RowsOut: float64(len(out.rows)),
+		Bytes:   float64(nr) * float64(tb.Meta.RowWidth()),
+	})
+	return out, nil
+}
+
+func (st *runState) columnstoreScan(n *plan.Node) (*rel, error) {
+	out, err := st.tableScanBody(n)
+	if err != nil {
+		return nil, err
+	}
+	tb := st.e.DB.Table(n.Table)
+	st.charge(n, cost.Args{
+		RowsIn:  float64(tb.NumRows()),
+		RowsOut: float64(len(out.rows)),
+		Bytes:   float64(tb.NumRows()) * float64(tb.Meta.RowWidth()) / columnstoreCompression,
+	})
+	return out, nil
+}
+
+// tableScanBody produces the filtered rows without charging cost.
+func (st *runState) tableScanBody(n *plan.Node) (*rel, error) {
+	cols, tb, err := st.allCols(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	out := &rel{cols: cols}
+	for r := 0; r < tb.NumRows(); r++ {
+		if matchAll(n.ResidualPreds, tb, r) {
+			row := make([]int64, len(cols))
+			for i, c := range cols {
+				row[i] = tb.Column(c.Column)[r]
+			}
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+// indexMetaFromNode resolves the index definition carried on a plan node.
+func indexMetaFromNode(n *plan.Node, db *data.Database) (*catalog.Index, error) {
+	if n.IndexDef == nil {
+		return nil, fmt.Errorf("exec: node %s has no index definition", n.KeyName())
+	}
+	if db.Table(n.IndexDef.Table) == nil {
+		return nil, fmt.Errorf("exec: index %q on missing table", n.Index)
+	}
+	return n.IndexDef, nil
+}
+
+func (st *runState) indexScan(n *plan.Node) (*rel, error) {
+	ix, err := indexMetaFromNode(n, st.e.DB)
+	if err != nil {
+		return nil, err
+	}
+	tb := st.e.DB.Table(n.Table)
+	out, cols, fetched, err := st.scanIndexRange(ix, tb, nil, nil, n.ResidualPreds)
+	if err != nil {
+		return nil, err
+	}
+	idxW := indexRowWidth(ix, tb.Meta)
+	st.charge(n, cost.Args{
+		RowsIn:  float64(tb.NumRows()),
+		RowsOut: float64(len(out)),
+		Bytes:   float64(tb.NumRows()) * idxW,
+	})
+	_ = fetched
+	return &rel{cols: cols, rows: out}, nil
+}
+
+// seekBounds derives the B+ tree probe range from the seek predicates.
+func seekBounds(ix *catalog.Index, seekPreds []query.Pred) (lo, hi btree.Key) {
+	byCol := map[string]query.Pred{}
+	for _, p := range seekPreds {
+		byCol[p.Column] = p
+	}
+	for _, kc := range ix.KeyColumns {
+		p, ok := byCol[kc]
+		if !ok {
+			break
+		}
+		lo = append(lo, p.Lo)
+		hi = append(hi, p.Hi)
+		if !p.IsEquality() {
+			break
+		}
+	}
+	return lo, hi
+}
+
+// indexOutputCols lists the columns an index materializes, plus the rid.
+func indexOutputCols(ix *catalog.Index, table string) []query.ColRef {
+	var cols []query.ColRef
+	seen := map[string]bool{}
+	for _, c := range ix.KeyColumns {
+		if !seen[c] {
+			cols = append(cols, query.ColRef{Table: table, Column: c})
+			seen[c] = true
+		}
+	}
+	inc := append([]string(nil), ix.IncludedColumns...)
+	sort.Strings(inc)
+	for _, c := range inc {
+		if !seen[c] {
+			cols = append(cols, query.ColRef{Table: table, Column: c})
+			seen[c] = true
+		}
+	}
+	cols = append(cols, query.ColRef{Table: table, Column: ridColumn})
+	return cols
+}
+
+// scanIndexRange walks the tree in [lo,hi], applies residual predicates on
+// covered columns, and returns materialized index rows. fetched counts rows
+// touched before residual filtering.
+func (st *runState) scanIndexRange(ix *catalog.Index, tb *data.Table, lo, hi btree.Key, residual []query.Pred) ([][]int64, []query.ColRef, int, error) {
+	tree, err := st.e.Index(ix)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cols := indexOutputCols(ix, ix.Table)
+	colData := make([][]int64, len(cols)-1)
+	for i := 0; i < len(cols)-1; i++ {
+		colData[i] = tb.Column(cols[i].Column)
+	}
+	var rows [][]int64
+	fetched := 0
+	tree.Range(lo, hi, func(_ btree.Key, rid int32) bool {
+		fetched++
+		if !matchAll(residual, tb, int(rid)) {
+			return true
+		}
+		row := make([]int64, len(cols))
+		for i := range colData {
+			row[i] = colData[i][rid]
+		}
+		row[len(cols)-1] = int64(rid)
+		rows = append(rows, row)
+		return true
+	})
+	return rows, cols, fetched, nil
+}
+
+func indexRowWidth(ix *catalog.Index, meta *catalog.Table) float64 {
+	var w float64 = 8
+	for _, c := range ix.KeyColumns {
+		if col := meta.Column(c); col != nil {
+			w += float64(col.Type.Width())
+		}
+	}
+	for _, c := range ix.IncludedColumns {
+		if col := meta.Column(c); col != nil {
+			w += float64(col.Type.Width())
+		}
+	}
+	return w
+}
+
+func (st *runState) indexSeek(n *plan.Node) (*rel, error) {
+	ix, err := indexMetaFromNode(n, st.e.DB)
+	if err != nil {
+		return nil, err
+	}
+	tb := st.e.DB.Table(n.Table)
+	lo, hi := seekBounds(ix, n.SeekPreds)
+	rows, cols, fetched, err := st.scanIndexRange(ix, tb, lo, hi, n.ResidualPreds)
+	if err != nil {
+		return nil, err
+	}
+	tree, _ := st.e.Index(ix)
+	st.charge(n, cost.Args{
+		Probes:  1,
+		Height:  float64(tree.Height()),
+		RowsOut: float64(len(rows)),
+		Bytes:   float64(fetched) * indexRowWidth(ix, tb.Meta),
+	})
+	return &rel{cols: cols, rows: rows}, nil
+}
+
+func (st *runState) keyLookup(n *plan.Node) (*rel, error) {
+	in, err := st.run(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	ridIdx := in.colIdx(n.Table, ridColumn)
+	if ridIdx < 0 {
+		return nil, fmt.Errorf("exec: key lookup without rid column from child")
+	}
+	cols, tb, err := st.allCols(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	out := &rel{cols: cols}
+	for _, r := range in.rows {
+		rid := int(r[ridIdx])
+		row := make([]int64, len(cols))
+		for i, c := range cols {
+			row[i] = tb.Column(c.Column)[rid]
+		}
+		out.rows = append(out.rows, row)
+	}
+	st.charge(n, cost.Args{
+		RowsIn:  float64(len(in.rows)),
+		RowsOut: float64(len(out.rows)),
+		Bytes:   float64(len(in.rows)) * float64(tb.Meta.RowWidth()),
+	})
+	return out, nil
+}
+
+// evalPreds evaluates predicates against a relation row.
+func evalPreds(preds []query.Pred, r *rel, row []int64) (bool, error) {
+	for _, p := range preds {
+		i := r.colIdx(p.Table, p.Column)
+		if i < 0 {
+			return false, fmt.Errorf("exec: filter references missing column %s.%s", p.Table, p.Column)
+		}
+		if !p.Matches(row[i]) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (st *runState) filter(n *plan.Node) (*rel, error) {
+	in, err := st.run(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	out := &rel{cols: in.cols}
+	for _, row := range in.rows {
+		ok, err := evalPreds(n.ResidualPreds, in, row)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out.rows = append(out.rows, row)
+		}
+	}
+	st.charge(n, cost.Args{RowsIn: float64(len(in.rows)), RowsOut: float64(len(out.rows))})
+	return out, nil
+}
+
+func concatRow(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func relBytes(r *rel) float64 {
+	return float64(len(r.rows)) * float64(len(r.cols)) * 8
+}
+
+func (st *runState) hashJoin(n *plan.Node) (*rel, error) {
+	probe, err := st.run(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	build, err := st.run(n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	j := n.Join
+	pIdx := probe.colIdx(j.LeftTable, j.LeftColumn)
+	bIdx := build.colIdx(j.RightTable, j.RightColumn)
+	if pIdx < 0 { // join sides may be flipped relative to children
+		pIdx = probe.colIdx(j.RightTable, j.RightColumn)
+		bIdx = build.colIdx(j.LeftTable, j.LeftColumn)
+	}
+	if pIdx < 0 || bIdx < 0 {
+		return nil, fmt.Errorf("exec: hash join columns not found for %s", j)
+	}
+	ht := make(map[int64][][]int64, len(build.rows))
+	for _, row := range build.rows {
+		ht[row[bIdx]] = append(ht[row[bIdx]], row)
+	}
+	out := &rel{cols: append(append([]query.ColRef{}, probe.cols...), build.cols...)}
+	for _, prow := range probe.rows {
+		for _, brow := range ht[prow[pIdx]] {
+			out.rows = append(out.rows, concatRow(prow, brow))
+			if len(out.rows) > MaxIntermediateRows {
+				return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
+			}
+		}
+	}
+	st.charge(n, cost.Args{
+		RowsIn: float64(len(probe.rows)), RowsIn2: float64(len(build.rows)),
+		RowsOut: float64(len(out.rows)), Bytes: relBytes(probe) + relBytes(build),
+	})
+	return out, nil
+}
+
+func (st *runState) mergeJoin(n *plan.Node) (*rel, error) {
+	left, err := st.run(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	right, err := st.run(n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	j := n.Join
+	lIdx := left.colIdx(j.LeftTable, j.LeftColumn)
+	rIdx := right.colIdx(j.RightTable, j.RightColumn)
+	if lIdx < 0 {
+		lIdx = left.colIdx(j.RightTable, j.RightColumn)
+		rIdx = right.colIdx(j.LeftTable, j.LeftColumn)
+	}
+	if lIdx < 0 || rIdx < 0 {
+		return nil, fmt.Errorf("exec: merge join columns not found for %s", j)
+	}
+	out := &rel{cols: append(append([]query.ColRef{}, left.cols...), right.cols...)}
+	li, ri := 0, 0
+	for li < len(left.rows) && ri < len(right.rows) {
+		lv, rv := left.rows[li][lIdx], right.rows[ri][rIdx]
+		switch {
+		case lv < rv:
+			li++
+		case lv > rv:
+			ri++
+		default:
+			// Match runs on both sides.
+			le := li
+			for le < len(left.rows) && left.rows[le][lIdx] == lv {
+				le++
+			}
+			re := ri
+			for re < len(right.rows) && right.rows[re][rIdx] == rv {
+				re++
+			}
+			for a := li; a < le; a++ {
+				for b := ri; b < re; b++ {
+					out.rows = append(out.rows, concatRow(left.rows[a], right.rows[b]))
+					if len(out.rows) > MaxIntermediateRows {
+						return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
+					}
+				}
+			}
+			li, ri = le, re
+		}
+	}
+	st.charge(n, cost.Args{
+		RowsIn: float64(len(left.rows)), RowsIn2: float64(len(right.rows)),
+		RowsOut: float64(len(out.rows)), Bytes: relBytes(left) + relBytes(right),
+	})
+	return out, nil
+}
+
+// findInnerSeek locates the NLJ-driven index seek (one with no seek
+// predicates) in an inner subtree, returning the path of nodes from the top
+// of the subtree down to it. Only Filter and KeyLookup nodes may sit above
+// the driven seek: anything else means the inner side is a general subtree
+// (a plain nested-loop join), not a per-probe index chain.
+func findInnerSeek(n *plan.Node) []*plan.Node {
+	if n.Op == plan.IndexSeek && len(n.SeekPreds) == 0 {
+		return []*plan.Node{n}
+	}
+	if n.Op != plan.Filter && n.Op != plan.KeyLookup {
+		return nil
+	}
+	for _, c := range n.Children {
+		if path := findInnerSeek(c); path != nil {
+			return append([]*plan.Node{n}, path...)
+		}
+	}
+	return nil
+}
+
+func (st *runState) nestedLoopJoin(n *plan.Node) (*rel, error) {
+	outer, err := st.run(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	innerPath := findInnerSeek(n.Children[1])
+	if innerPath != nil {
+		return st.indexNLJ(n, outer, innerPath)
+	}
+	// Plain nested loops: materialize the inner once.
+	inner, err := st.run(n.Children[1])
+	if err != nil {
+		return nil, err
+	}
+	j := n.Join
+	oIdx := outer.colIdx(j.LeftTable, j.LeftColumn)
+	iIdx := inner.colIdx(j.RightTable, j.RightColumn)
+	if oIdx < 0 {
+		oIdx = outer.colIdx(j.RightTable, j.RightColumn)
+		iIdx = inner.colIdx(j.LeftTable, j.LeftColumn)
+	}
+	if oIdx < 0 || iIdx < 0 {
+		return nil, fmt.Errorf("exec: NLJ columns not found for %s", j)
+	}
+	out := &rel{cols: append(append([]query.ColRef{}, outer.cols...), inner.cols...)}
+	for _, orow := range outer.rows {
+		for _, irow := range inner.rows {
+			if orow[oIdx] == irow[iIdx] {
+				out.rows = append(out.rows, concatRow(orow, irow))
+				if len(out.rows) > MaxIntermediateRows {
+					return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
+				}
+			}
+		}
+	}
+	st.charge(n, cost.Args{
+		RowsIn: float64(len(outer.rows)), RowsIn2: float64(len(inner.rows)),
+		RowsOut: float64(len(out.rows)), Bytes: relBytes(inner),
+	})
+	return out, nil
+}
+
+// indexNLJ drives per-outer-row probes into the inner index, accounting
+// work on the inner seek/lookup/filter nodes as production executors do
+// (per-execution actuals summed across probes).
+func (st *runState) indexNLJ(n *plan.Node, outer *rel, innerPath []*plan.Node) (*rel, error) {
+	seekNode := innerPath[len(innerPath)-1]
+	ix, err := indexMetaFromNode(seekNode, st.e.DB)
+	if err != nil {
+		return nil, err
+	}
+	tb := st.e.DB.Table(seekNode.Table)
+	tree, err := st.e.Index(ix)
+	if err != nil {
+		return nil, err
+	}
+	j := n.Join
+	innerColName := j.ColumnFor(seekNode.Table)
+	if innerColName == "" {
+		return nil, fmt.Errorf("exec: index NLJ join %s does not touch inner table %s", j, seekNode.Table)
+	}
+	oIdx := outer.colIdx(j.LeftTable, j.LeftColumn)
+	if oIdx < 0 {
+		oIdx = outer.colIdx(j.RightTable, j.RightColumn)
+	}
+	if oIdx < 0 {
+		return nil, fmt.Errorf("exec: index NLJ outer join column not found for %s", j)
+	}
+	if ix.KeyColumns[0] != innerColName {
+		return nil, fmt.Errorf("exec: index NLJ key mismatch: %s vs %s", ix.KeyColumns[0], innerColName)
+	}
+
+	// Identify the optional lookup and filter stages of the inner chain.
+	var lookupNode, filterNode *plan.Node
+	for _, pn := range innerPath[:len(innerPath)-1] {
+		switch pn.Op {
+		case plan.KeyLookup:
+			lookupNode = pn
+		case plan.Filter:
+			filterNode = pn
+		}
+	}
+
+	idxCols := indexOutputCols(ix, seekNode.Table)
+	colData := make([][]int64, len(idxCols)-1)
+	for i := 0; i < len(idxCols)-1; i++ {
+		colData[i] = tb.Column(idxCols[i].Column)
+	}
+	var innerCols []query.ColRef
+	var fullCols []query.ColRef
+	if lookupNode != nil {
+		fullCols, _, _ = st.allCols(seekNode.Table)
+		innerCols = fullCols
+	} else {
+		innerCols = idxCols
+	}
+	out := &rel{cols: append(append([]query.ColRef{}, outer.cols...), innerCols...)}
+
+	probes, fetched, seekOut, lookups, filtOut := 0, 0, 0, 0, 0
+	for _, orow := range outer.rows {
+		key := btree.Key{orow[oIdx]}
+		probes++
+		var matches [][]int64
+		tree.Range(key, key, func(_ btree.Key, rid int32) bool {
+			fetched++
+			if !matchAll(seekNode.ResidualPreds, tb, int(rid)) {
+				return true
+			}
+			seekOut++
+			var irow []int64
+			if lookupNode != nil {
+				lookups++
+				if filterNode != nil && !matchAll(filterNode.ResidualPreds, tb, int(rid)) {
+					return true
+				}
+				filtOut++
+				irow = make([]int64, len(fullCols))
+				for i, c := range fullCols {
+					irow[i] = tb.Column(c.Column)[rid]
+				}
+			} else {
+				irow = make([]int64, len(idxCols))
+				for i := range colData {
+					irow[i] = colData[i][rid]
+				}
+				irow[len(idxCols)-1] = int64(rid)
+			}
+			matches = append(matches, irow)
+			return true
+		})
+		for _, irow := range matches {
+			out.rows = append(out.rows, concatRow(orow, irow))
+			if len(out.rows) > MaxIntermediateRows {
+				return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
+			}
+		}
+	}
+
+	// Charge the inner chain with summed per-probe work.
+	st.charge(seekNode, cost.Args{
+		Probes: float64(probes), Height: float64(tree.Height()),
+		RowsOut: float64(seekOut), Bytes: float64(fetched) * indexRowWidth(ix, tb.Meta),
+	})
+	if lookupNode != nil {
+		st.charge(lookupNode, cost.Args{
+			RowsIn: float64(lookups), RowsOut: float64(lookups),
+			Bytes: float64(lookups) * float64(tb.Meta.RowWidth()),
+		})
+	}
+	if filterNode != nil {
+		st.charge(filterNode, cost.Args{RowsIn: float64(lookups), RowsOut: float64(filtOut)})
+	}
+	st.charge(n, cost.Args{RowsIn: float64(len(outer.rows)), RowsOut: float64(len(out.rows))})
+	return out, nil
+}
+
+func (st *runState) sortOp(n *plan.Node) (*rel, error) {
+	in, err := st.run(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	idxs := make([]int, len(n.SortCols))
+	for i, c := range n.SortCols {
+		idxs[i] = in.colIdx(c.Table, c.Column)
+		if idxs[i] < 0 {
+			return nil, fmt.Errorf("exec: sort column %s not found", c)
+		}
+	}
+	desc := st.q != nil && st.q.Desc && sameColRefs(n.SortCols, st.q.OrderBy)
+	rows := append([][]int64(nil), in.rows...)
+	sort.SliceStable(rows, func(a, b int) bool {
+		for _, i := range idxs {
+			if rows[a][i] != rows[b][i] {
+				if desc {
+					return rows[a][i] > rows[b][i]
+				}
+				return rows[a][i] < rows[b][i]
+			}
+		}
+		return false
+	})
+	st.charge(n, cost.Args{RowsIn: float64(len(rows)), RowsOut: float64(len(rows)), Bytes: relBytes(in)})
+	return &rel{cols: in.cols, rows: rows}, nil
+}
+
+func sameColRefs(a, b []query.ColRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *runState) topOp(n *plan.Node) (*rel, error) {
+	in, err := st.run(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	rows := in.rows
+	if n.TopN > 0 && len(rows) > n.TopN {
+		rows = rows[:n.TopN]
+	}
+	st.charge(n, cost.Args{RowsIn: float64(len(in.rows)), RowsOut: float64(len(rows))})
+	return &rel{cols: in.cols, rows: rows}, nil
+}
+
+// aggregate evaluates the query's group-by and aggregate list.
+func (st *runState) aggregate(n *plan.Node) (*rel, error) {
+	in, err := st.run(n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	q := st.q
+	gIdxs := make([]int, len(n.GroupCols))
+	for i, c := range n.GroupCols {
+		gIdxs[i] = in.colIdx(c.Table, c.Column)
+		if gIdxs[i] < 0 {
+			return nil, fmt.Errorf("exec: group column %s not found", c)
+		}
+	}
+	aIdxs := make([]int, len(q.Aggs))
+	for i, a := range q.Aggs {
+		if a.Func == query.Count {
+			aIdxs[i] = -1
+			continue
+		}
+		aIdxs[i] = in.colIdx(a.Col.Table, a.Col.Column)
+		if aIdxs[i] < 0 {
+			return nil, fmt.Errorf("exec: aggregate column %s not found", a.Col)
+		}
+	}
+
+	type aggState struct {
+		key   []int64
+		count int64
+		sums  []int64
+		mins  []int64
+		maxs  []int64
+		seen  bool
+	}
+	groups := map[string]*aggState{}
+	var order []string
+	keyBuf := make([]byte, 0, 64)
+	for _, row := range in.rows {
+		keyBuf = keyBuf[:0]
+		for _, gi := range gIdxs {
+			v := row[gi]
+			for s := 0; s < 64; s += 8 {
+				keyBuf = append(keyBuf, byte(v>>uint(s)))
+			}
+		}
+		k := string(keyBuf)
+		g, ok := groups[k]
+		if !ok {
+			g = &aggState{
+				sums: make([]int64, len(q.Aggs)),
+				mins: make([]int64, len(q.Aggs)),
+				maxs: make([]int64, len(q.Aggs)),
+			}
+			g.key = make([]int64, len(gIdxs))
+			for i, gi := range gIdxs {
+				g.key[i] = row[gi]
+			}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.count++
+		for i, ai := range aIdxs {
+			if ai < 0 {
+				continue
+			}
+			v := row[ai]
+			g.sums[i] += v
+			if !g.seen || v < g.mins[i] {
+				g.mins[i] = v
+			}
+			if !g.seen || v > g.maxs[i] {
+				g.maxs[i] = v
+			}
+		}
+		g.seen = true
+	}
+
+	cols := append([]query.ColRef{}, n.GroupCols...)
+	for i, a := range q.Aggs {
+		cols = append(cols, query.ColRef{Table: "", Column: fmt.Sprintf("#agg%d:%s", i, a.String())})
+	}
+	out := &rel{cols: cols}
+	if len(gIdxs) == 0 && len(in.rows) == 0 {
+		// Scalar aggregate over empty input yields a single zero row.
+		row := make([]int64, len(cols))
+		out.rows = append(out.rows, row)
+	}
+	for _, k := range order {
+		g := groups[k]
+		row := make([]int64, 0, len(cols))
+		row = append(row, g.key...)
+		for i, a := range q.Aggs {
+			switch a.Func {
+			case query.Count:
+				row = append(row, g.count)
+			case query.Sum:
+				row = append(row, g.sums[i])
+			case query.Min:
+				row = append(row, g.mins[i])
+			case query.Max:
+				row = append(row, g.maxs[i])
+			case query.Avg:
+				row = append(row, g.sums[i]/g.count)
+			}
+		}
+		out.rows = append(out.rows, row)
+	}
+	st.charge(n, cost.Args{RowsIn: float64(len(in.rows)), RowsOut: float64(len(out.rows)), Bytes: relBytes(in)})
+	return out, nil
+}

@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/opt"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/query"
+	"repro/internal/util"
+)
+
+// forceOp reoptimizes with tweaked optimizer knobs until the wanted
+// operator appears, or skips the test.
+func planWith(t *testing.T, e *env, q *query.Query, cfg *catalog.Configuration, mutate func(*opt.Optimizer), want plan.Op) *plan.Plan {
+	t.Helper()
+	o := opt.New(e.schema, e.st)
+	if mutate != nil {
+		mutate(o)
+	}
+	p, err := o.Optimize(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	p.Root.Walk(func(n *plan.Node) {
+		if n.Op == want {
+			found = true
+		}
+	})
+	if !found {
+		t.Skipf("optimizer did not choose %v for this data; plan:\n%s", want, p)
+	}
+	return p
+}
+
+func TestParallelPlanExecutes(t *testing.T) {
+	e := newEnv(t)
+	q := &query.Query{
+		Name:    "parq",
+		Tables:  []string{"fact"},
+		GroupBy: []query.ColRef{{Table: "fact", Column: "f_dim"}},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: query.ColRef{Table: "fact", Column: "f_val"}}},
+	}
+	p := planWith(t, e, q, nil, func(o *opt.Optimizer) { o.ParallelThreshold = 1 }, plan.Exchange)
+	r, err := e.exec.Execute(p, util.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the serial plan's results.
+	serial, err := opt.New(e.schema, e.st).Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := e.exec.Execute(serial, util.NewRNG(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(rs.Rows) {
+		t.Fatalf("parallel result rows %d != serial %d", len(r.Rows), len(rs.Rows))
+	}
+}
+
+func TestIndexScanExecutes(t *testing.T) {
+	e := newEnv(t)
+	// Covering index with no sargable predicate: index scan beats the
+	// wider heap scan.
+	q := &query.Query{
+		Name:   "iscan",
+		Tables: []string{"fact"},
+		Select: []query.ColRef{{Table: "fact", Column: "f_val"}},
+		Aggs:   nil,
+	}
+	ix := &catalog.Index{Table: "fact", KeyColumns: []string{"f_val"}}
+	p := planWith(t, e, q, catalog.NewConfiguration(ix), nil, plan.IndexScan)
+	r, err := e.exec.Execute(p, util.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != e.db.Table("fact").NumRows() {
+		t.Fatalf("index scan row count %d", len(r.Rows))
+	}
+	// Index scans deliver rows in key order.
+	vi := -1
+	for i, c := range r.Cols {
+		if c.Column == "f_val" {
+			vi = i
+		}
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i][vi] < r.Rows[i-1][vi] {
+			t.Fatal("index scan should deliver key order")
+		}
+	}
+}
+
+func TestMergeJoinExecutes(t *testing.T) {
+	e := newEnv(t)
+	q := &query.Query{
+		Name:    "mj",
+		Tables:  []string{"fact", "dim"},
+		Joins:   []query.Join{{LeftTable: "fact", LeftColumn: "f_dim", RightTable: "dim", RightColumn: "d_id"}},
+		GroupBy: []query.ColRef{{Table: "dim", Column: "d_cat"}},
+		Aggs:    []query.Agg{{Func: query.Count}},
+	}
+	// Price hash joins out of reach to force the merge join.
+	p := planWith(t, e, q, nil, func(o *opt.Optimizer) {
+		o.Model.HashBuildCPU = 1e6
+		o.Model.HashProbeCPU = 1e6
+		o.Model.NLJCPU = 1e6
+		o.Model.ProbeCPU = 1e6
+	}, plan.MergeJoin)
+	r, err := e.exec.Execute(p, util.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare group counts against the default plan.
+	def, _ := opt.New(e.schema, e.st).Optimize(q, nil)
+	rd, err := e.exec.Execute(def, util.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(rd.Rows) {
+		t.Fatalf("merge join groups %d != default %d", len(r.Rows), len(rd.Rows))
+	}
+	sum := func(rows [][]int64) int64 {
+		var s int64
+		for _, row := range rows {
+			s += row[1]
+		}
+		return s
+	}
+	if sum(r.Rows) != sum(rd.Rows) {
+		t.Fatal("merge join and hash join disagree on counts")
+	}
+}
+
+func TestPlainNLJExecutes(t *testing.T) {
+	e := newEnv(t)
+	q := &query.Query{
+		Name:   "plainnlj",
+		Tables: []string{"fact", "dim"},
+		Preds:  []query.Pred{{Table: "dim", Column: "d_cat", Lo: 2, Hi: 2}},
+		Joins:  []query.Join{{LeftTable: "fact", LeftColumn: "f_dim", RightTable: "dim", RightColumn: "d_id"}},
+		Aggs:   []query.Agg{{Func: query.Count}},
+	}
+	p := planWith(t, e, q, nil, func(o *opt.Optimizer) {
+		o.Model.HashBuildCPU = 1e6
+		o.Model.HashProbeCPU = 1e6
+		o.Model.MergeCPU = 1e6
+		o.Model.SortCPU = 1e6
+	}, plan.NestedLoopJoin)
+	r, err := e.exec.Execute(p, util.NewRNG(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, _ := opt.New(e.schema, e.st).Optimize(q, nil)
+	rd, _ := e.exec.Execute(def, util.NewRNG(7))
+	if r.Rows[0][0] != rd.Rows[0][0] {
+		t.Fatalf("NLJ count %d != default %d", r.Rows[0][0], rd.Rows[0][0])
+	}
+}
+
+func TestStreamAggregateExecutes(t *testing.T) {
+	e := newEnv(t)
+	// Group and order by a near-unique column: the stream path gets the
+	// required ordering for free and wins the tie.
+	q := &query.Query{
+		Name:    "sagg",
+		Tables:  []string{"dim"},
+		GroupBy: []query.ColRef{{Table: "dim", Column: "d_id"}},
+		Aggs:    []query.Agg{{Func: query.Count}},
+		OrderBy: []query.ColRef{{Table: "dim", Column: "d_id"}},
+	}
+	p := planWith(t, e, q, nil, nil, plan.StreamAggregate)
+	r, err := e.exec.Execute(p, util.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != e.db.Table("dim").NumRows() {
+		t.Fatalf("groups: %d", len(r.Rows))
+	}
+	// Output must be ordered by the group key without an extra sort node.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i][0] < r.Rows[i-1][0] {
+			t.Fatal("stream aggregate output must be ordered")
+		}
+	}
+}
+
+func TestRunRejectsUnknownOperator(t *testing.T) {
+	e := newEnv(t)
+	bad := &plan.Plan{
+		Root:  &plan.Node{Op: plan.Op(99)},
+		Query: &query.Query{Name: "bad"},
+	}
+	if _, err := e.exec.Execute(bad, util.NewRNG(1)); err == nil {
+		t.Fatal("unknown operator should fail")
+	}
+}
+
+func TestMissingTableFails(t *testing.T) {
+	e := newEnv(t)
+	bad := &plan.Plan{
+		Root:  &plan.Node{Op: plan.TableScan, Table: "ghost"},
+		Query: &query.Query{Name: "bad"},
+	}
+	if _, err := e.exec.Execute(bad, util.NewRNG(1)); err == nil {
+		t.Fatal("missing table should fail")
+	}
+}
+
+func TestWorkCostDeterministic(t *testing.T) {
+	e := newEnv(t)
+	q := &query.Query{
+		Name:    "det",
+		Tables:  []string{"fact", "dim"},
+		Joins:   []query.Join{{LeftTable: "fact", LeftColumn: "f_dim", RightTable: "dim", RightColumn: "d_id"}},
+		GroupBy: []query.ColRef{{Table: "dim", Column: "d_cat"}},
+		Aggs:    []query.Agg{{Func: query.Count}},
+	}
+	p, err := opt.New(e.schema, e.st).Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WorkCost (noise-free) must be identical across executions and across
+	// different noise seeds; MeasuredCost varies.
+	r1, err := e.exec.Execute(p, util.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.exec.Execute(p, util.NewRNG(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.WorkCost != r2.WorkCost {
+		t.Fatalf("work cost not deterministic: %v vs %v", r1.WorkCost, r2.WorkCost)
+	}
+	if r1.MeasuredCost == r2.MeasuredCost {
+		t.Fatal("measured cost should vary with the noise seed")
+	}
+}

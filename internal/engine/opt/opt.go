@@ -1,0 +1,716 @@
+// Package opt implements the cost-based query optimizer. Given a logical
+// query, database statistics, and an index configuration — real or
+// hypothetical — it produces a physical plan annotated with estimates.
+//
+// Because planning consumes only statistics (never physical index
+// structures), calling Optimize with a hypothetical configuration *is* the
+// "what-if" API of Chaudhuri and Narasayya that index tuners rely on.
+//
+// The optimizer's estimates err in structured ways: cardinalities come from
+// histograms with uniformity/independence/containment assumptions
+// (internal/engine/stats) and operator costs use the believed calibration
+// of cost.OptimizerModel(). The executor disagrees on both, which creates
+// the estimate-vs-execution gap the paper's classifier learns to correct.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/cost"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/query"
+	"repro/internal/engine/stats"
+)
+
+// columnstoreCompression is the scan-bytes reduction the optimizer assumes
+// for columnstore segments.
+const columnstoreCompression = 4.0
+
+// btreeFanout approximates the effective fanout used to estimate index
+// height at planning time.
+const btreeFanout = 48.0
+
+// Optimizer plans queries against a schema, statistics, and a cost model.
+type Optimizer struct {
+	Schema *catalog.Schema
+	Stats  *stats.DatabaseStats
+	Model  *cost.Model
+
+	// ParallelThreshold is the estimated serial cost above which a
+	// parallel alternative is considered.
+	ParallelThreshold float64
+	// DPTableLimit is the largest table count planned with exact dynamic
+	// programming; larger queries use greedy join ordering.
+	DPTableLimit int
+}
+
+// New returns an optimizer with the default believed cost model.
+func New(schema *catalog.Schema, st *stats.DatabaseStats) *Optimizer {
+	return &Optimizer{
+		Schema:            schema,
+		Stats:             st,
+		Model:             cost.OptimizerModel(),
+		ParallelThreshold: 20000,
+		DPTableLimit:      10,
+	}
+}
+
+// subPlan is a partial plan during enumeration.
+type subPlan struct {
+	node   *plan.Node
+	tables uint64  // bitmask over query table ordinals
+	rows   float64 // estimated output rows
+	width  float64 // estimated output row width in bytes
+	cost   float64 // cumulative estimated cost
+	hasCS  bool    // subtree contains a columnstore scan (batch eligible)
+}
+
+// planner carries per-query planning state.
+type planner struct {
+	o        *Optimizer
+	q        *query.Query
+	cfg      *catalog.Configuration
+	tableIdx map[string]int
+	args     map[*plan.Node]cost.Args // for recosting under mode/par changes
+}
+
+// Optimize produces the physical plan for q under configuration cfg. cfg
+// may contain hypothetical indexes: only statistics are consulted.
+func (o *Optimizer) Optimize(q *query.Query, cfg *catalog.Configuration) (*plan.Plan, error) {
+	if err := q.Validate(o.Schema); err != nil {
+		return nil, err
+	}
+	if cfg == nil {
+		cfg = catalog.NewConfiguration()
+	}
+	p := &planner{
+		o:        o,
+		q:        q,
+		cfg:      cfg,
+		tableIdx: map[string]int{},
+		args:     map[*plan.Node]cost.Args{},
+	}
+	for i, t := range q.Tables {
+		p.tableIdx[t] = i
+	}
+
+	// Phase 1: best access path per table.
+	base := make([]*subPlan, len(q.Tables))
+	for i, t := range q.Tables {
+		base[i] = p.bestAccessPath(t)
+	}
+
+	// Phase 2: join ordering.
+	var joined *subPlan
+	switch {
+	case len(base) == 1:
+		joined = base[0]
+	case len(base) <= o.DPTableLimit:
+		joined = p.dpJoin(base)
+	default:
+		joined = p.greedyJoin(base)
+	}
+	if joined == nil {
+		return nil, fmt.Errorf("opt: no join order found for query %s", q.Name)
+	}
+
+	// Phase 3: aggregation, ordering, top.
+	final := p.addAggregation(joined)
+	final = p.addOrdering(final)
+
+	// Phase 4: parallelism decision.
+	serialCost := final.cost
+	result := final
+	if serialCost > o.ParallelThreshold {
+		par := p.parallelize(final)
+		if par.cost < serialCost {
+			result = par
+		}
+	}
+
+	pl := &plan.Plan{
+		Root:         result.node,
+		Query:        q,
+		ConfigFP:     cfg.Fingerprint(),
+		EstTotalCost: result.cost,
+	}
+	return pl, nil
+}
+
+// annotate stores estimates and cost args on a node and returns the node's
+// estimated cost under the planner's model.
+func (p *planner) annotate(n *plan.Node, a cost.Args, width float64) float64 {
+	c := p.o.Model.OpCost(n.Op, n.Mode, n.Par, a)
+	n.EstRows = a.RowsOut
+	n.EstRowWidth = width
+	n.EstBytesProcessed = a.Bytes
+	n.EstCost = c
+	p.args[n] = a
+	return c
+}
+
+// selOf estimates the selectivity of one predicate.
+func (p *planner) selOf(pr query.Pred) float64 {
+	if pr.IsEquality() {
+		return p.o.Stats.SelectivityEq(pr.Table, pr.Column, pr.Lo)
+	}
+	return p.o.Stats.SelectivityRange(pr.Table, pr.Column, pr.Lo, pr.Hi)
+}
+
+// selAll multiplies predicate selectivities (attribute-value independence).
+func (p *planner) selAll(preds []query.Pred) float64 {
+	s := 1.0
+	for _, pr := range preds {
+		s *= p.selOf(pr)
+	}
+	return s
+}
+
+// colWidth returns the byte width of a column, defaulting to 8.
+func (p *planner) colWidth(table, col string) float64 {
+	if t := p.o.Schema.Table(table); t != nil {
+		if c := t.Column(col); c != nil {
+			return float64(c.Type.Width())
+		}
+	}
+	return 8
+}
+
+// widthOf sums column widths.
+func (p *planner) widthOf(table string, cols []string) float64 {
+	var w float64
+	for _, c := range cols {
+		w += p.colWidth(table, c)
+	}
+	return w
+}
+
+// estHeight estimates B+ tree height from row count.
+func estHeight(rows float64) float64 {
+	if rows < 2 {
+		return 1
+	}
+	return math.Max(1, math.Ceil(math.Log(rows)/math.Log(btreeFanout)))
+}
+
+// bestAccessPath picks the cheapest way to produce the filtered rows of a
+// table: heap scan, columnstore scan, covering index scan, or index seek
+// (with key lookup when not covering).
+func (p *planner) bestAccessPath(table string) *subPlan {
+	meta := p.o.Schema.Table(table)
+	rows := float64(p.o.Stats.RowCount(table))
+	preds := p.q.PredsOn(table)
+	need := p.q.ColumnsUsed(table)
+	needW := p.widthOf(table, need)
+	outRows := rows * p.selAll(preds)
+	mask := uint64(1) << p.tableIdx[table]
+
+	candidates := []*subPlan{p.tableScanPath(table, meta, rows, preds, outRows, needW, mask)}
+	for _, ix := range p.cfg.IndexesOn(table) {
+		if ix.Kind == catalog.Columnstore {
+			candidates = append(candidates, p.columnstorePath(table, ix, rows, preds, outRows, needW, mask))
+			continue
+		}
+		if sp := p.indexPath(table, meta, ix, rows, preds, outRows, need, needW, mask); sp != nil {
+			candidates = append(candidates, sp)
+		}
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.cost < best.cost {
+			best = c
+		}
+	}
+	return best
+}
+
+func (p *planner) tableScanPath(table string, meta *catalog.Table, rows float64, preds []query.Pred, outRows, needW float64, mask uint64) *subPlan {
+	n := &plan.Node{Op: plan.TableScan, Table: table, ResidualPreds: preds}
+	c := p.annotate(n, cost.Args{
+		RowsIn: rows, RowsOut: outRows, Bytes: rows * float64(meta.RowWidth()),
+	}, needW)
+	return &subPlan{node: n, tables: mask, rows: outRows, width: needW, cost: c}
+}
+
+func (p *planner) columnstorePath(table string, ix *catalog.Index, rows float64, preds []query.Pred, outRows, needW float64, mask uint64) *subPlan {
+	n := &plan.Node{Op: plan.ColumnstoreScan, Mode: plan.Batch, Table: table, Index: ix.ID(), IndexDef: ix, ResidualPreds: preds}
+	c := p.annotate(n, cost.Args{
+		RowsIn: rows, RowsOut: outRows, Bytes: rows * needW / columnstoreCompression,
+	}, needW)
+	return &subPlan{node: n, tables: mask, rows: outRows, width: needW, cost: c, hasCS: true}
+}
+
+// seekablePrefix splits preds into the prefix satisfiable by the index key
+// (equalities on leading key columns, then at most one range) and the rest.
+func seekablePrefix(ix *catalog.Index, preds []query.Pred) (seek, rest []query.Pred) {
+	used := make([]bool, len(preds))
+	for _, kc := range ix.KeyColumns {
+		found := -1
+		for i, pr := range preds {
+			if !used[i] && pr.Column == kc {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		used[found] = true
+		seek = append(seek, preds[found])
+		if !preds[found].IsEquality() {
+			break // a range ends the seekable prefix
+		}
+	}
+	for i, pr := range preds {
+		if !used[i] {
+			rest = append(rest, pr)
+		}
+	}
+	return seek, rest
+}
+
+// indexPath builds a seek (or covering index-scan) path for one B+ tree
+// index, or nil when the index is unusable for this query.
+func (p *planner) indexPath(table string, meta *catalog.Table, ix *catalog.Index, rows float64, preds []query.Pred, outRows float64, need []string, needW float64, mask uint64) *subPlan {
+	seekPreds, rest := seekablePrefix(ix, preds)
+	covering := ix.CoversAll(need)
+	idxW := p.widthOf(table, ix.KeyColumns) + p.widthOf(table, ix.IncludedColumns) + 8
+
+	if len(seekPreds) == 0 {
+		if !covering || idxW >= float64(meta.RowWidth()) {
+			return nil // no seek and no covering benefit
+		}
+		// Covering ordered index scan: cheaper bytes than the heap scan.
+		n := &plan.Node{Op: plan.IndexScan, Table: table, Index: ix.ID(), IndexDef: ix, ResidualPreds: preds}
+		c := p.annotate(n, cost.Args{RowsIn: rows, RowsOut: outRows, Bytes: rows * idxW}, needW)
+		return &subPlan{node: n, tables: mask, rows: outRows, width: needW, cost: c}
+	}
+
+	selSeek := p.selAll(seekPreds)
+	fetched := rows * selSeek
+	// Residual predicates evaluable on columns the index covers are applied
+	// during the seek; the remainder waits for the key lookup.
+	var covRes, uncovRes []query.Pred
+	for _, pr := range rest {
+		if ix.Covers(pr.Column) {
+			covRes = append(covRes, pr)
+		} else {
+			uncovRes = append(uncovRes, pr)
+		}
+	}
+	seekOut := fetched * p.selAll(covRes)
+	seek := &plan.Node{Op: plan.IndexSeek, Table: table, Index: ix.ID(), IndexDef: ix, SeekPreds: seekPreds, ResidualPreds: covRes}
+	seekCost := p.annotate(seek, cost.Args{
+		Probes: 1, Height: estHeight(rows), RowsOut: seekOut, Bytes: fetched * idxW,
+	}, math.Min(idxW, needW))
+
+	if covering {
+		return &subPlan{node: seek, tables: mask, rows: seekOut, width: needW, cost: seekCost}
+	}
+
+	// Non-covering: key lookup fetches full rows, then a filter applies the
+	// uncovered residual predicates. This is the plan shape whose cost the
+	// optimizer systematically under-estimates (cost.OptimizerModel).
+	lookup := &plan.Node{Op: plan.KeyLookup, Table: table, Children: []*plan.Node{seek}}
+	lookCost := p.annotate(lookup, cost.Args{
+		RowsIn: seekOut, RowsOut: seekOut, Bytes: seekOut * float64(meta.RowWidth()),
+	}, needW)
+	top := lookup
+	total := seekCost + lookCost
+	if len(uncovRes) > 0 {
+		filter := &plan.Node{Op: plan.Filter, ResidualPreds: uncovRes, Children: []*plan.Node{lookup}}
+		fOut := seekOut * p.selAll(uncovRes)
+		total += p.annotate(filter, cost.Args{RowsIn: seekOut, RowsOut: fOut}, needW)
+		top = filter
+	}
+	finalRows := outRows
+	if len(uncovRes) == 0 {
+		finalRows = seekOut
+	}
+	return &subPlan{node: top, tables: mask, rows: finalRows, width: needW, cost: total}
+}
+
+// joinsBetween returns the join predicates connecting two table sets.
+func (p *planner) joinsBetween(a, b uint64) []query.Join {
+	var out []query.Join
+	for _, j := range p.q.Joins {
+		li, ri := uint64(1)<<p.tableIdx[j.LeftTable], uint64(1)<<p.tableIdx[j.RightTable]
+		if (li&a != 0 && ri&b != 0) || (li&b != 0 && ri&a != 0) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// joinSel multiplies the containment-assumption selectivities of joins.
+func (p *planner) joinSel(joins []query.Join) float64 {
+	s := 1.0
+	for _, j := range joins {
+		s *= p.o.Stats.JoinSelectivity(j.LeftTable, j.LeftColumn, j.RightTable, j.RightColumn)
+	}
+	return s
+}
+
+// bestJoin combines two subplans with the cheapest join algorithm, or nil
+// when no join predicate connects them (cross products are not planned).
+func (p *planner) bestJoin(a, b *subPlan) *subPlan {
+	joins := p.joinsBetween(a.tables, b.tables)
+	if len(joins) == 0 {
+		return nil
+	}
+	outRows := a.rows * b.rows * p.joinSel(joins)
+	if outRows < 1 {
+		outRows = 1
+	}
+	width := a.width + b.width
+	mask := a.tables | b.tables
+	j := joins[0]
+	hasCS := a.hasCS || b.hasCS
+	mode := plan.Row
+	if hasCS {
+		mode = plan.Batch
+	}
+
+	var best *subPlan
+	consider := func(sp *subPlan) {
+		if sp != nil && (best == nil || sp.cost < best.cost) {
+			best = sp
+		}
+	}
+
+	// Hash join: build on the smaller input.
+	{
+		probe, build := a, b
+		if build.rows > probe.rows {
+			probe, build = build, probe
+		}
+		n := &plan.Node{Op: plan.HashJoin, Mode: mode, Join: &j, Children: []*plan.Node{probe.node, build.node}}
+		c := p.annotate(n, cost.Args{
+			RowsIn: probe.rows, RowsIn2: build.rows, RowsOut: outRows,
+			Bytes: probe.rows*probe.width + build.rows*build.width,
+		}, width)
+		consider(&subPlan{node: n, tables: mask, rows: outRows, width: width, cost: a.cost + b.cost + c, hasCS: hasCS})
+	}
+
+	// Merge join: sort both inputs on their side of the join, then merge.
+	{
+		colA := query.ColRef{Table: j.LeftTable, Column: j.LeftColumn}
+		colB := query.ColRef{Table: j.RightTable, Column: j.RightColumn}
+		if a.tables&(uint64(1)<<p.tableIdx[j.LeftTable]) == 0 {
+			colA, colB = colB, colA
+		}
+		sortA := p.sortNode(a, []query.ColRef{colA})
+		sortB := p.sortNode(b, []query.ColRef{colB})
+		n := &plan.Node{Op: plan.MergeJoin, Mode: mode, Join: &j, Children: []*plan.Node{sortA.node, sortB.node}}
+		c := p.annotate(n, cost.Args{
+			RowsIn: a.rows, RowsIn2: b.rows, RowsOut: outRows,
+			Bytes: a.rows*a.width + b.rows*b.width,
+		}, width)
+		consider(&subPlan{node: n, tables: mask, rows: outRows, width: width, cost: sortA.cost + sortB.cost + c, hasCS: hasCS})
+	}
+
+	// Index nested-loop join: inner must be a single base table with an
+	// index whose leading key matches the join column.
+	consider(p.indexNLJ(a, b, joins, outRows, width))
+	consider(p.indexNLJ(b, a, joins, outRows, width))
+
+	// Plain nested-loop join, only for tiny inners.
+	if b.rows <= 1000 || a.rows <= 1000 {
+		outer, inner := a, b
+		if inner.rows > outer.rows {
+			outer, inner = inner, outer
+		}
+		if inner.rows <= 1000 {
+			n := &plan.Node{Op: plan.NestedLoopJoin, Join: &j, Children: []*plan.Node{outer.node, inner.node}}
+			c := p.annotate(n, cost.Args{
+				RowsIn: outer.rows, RowsIn2: inner.rows, RowsOut: outRows,
+				Bytes: inner.rows * inner.width,
+			}, width)
+			consider(&subPlan{node: n, tables: mask, rows: outRows, width: width, cost: a.cost + b.cost + c, hasCS: hasCS})
+		}
+	}
+	return best
+}
+
+// sortNode wraps a subplan in a Sort.
+func (p *planner) sortNode(in *subPlan, cols []query.ColRef) *subPlan {
+	mode := plan.Row
+	if in.hasCS {
+		mode = plan.Batch
+	}
+	n := &plan.Node{Op: plan.Sort, Mode: mode, SortCols: cols, Children: []*plan.Node{in.node}}
+	c := p.annotate(n, cost.Args{RowsIn: in.rows, RowsOut: in.rows, Bytes: in.rows * in.width}, in.width)
+	return &subPlan{node: n, tables: in.tables, rows: in.rows, width: in.width, cost: in.cost + c, hasCS: in.hasCS}
+}
+
+// indexNLJ builds an index nested-loop join with outer driving per-row
+// probes into a base-table index on the inner side.
+func (p *planner) indexNLJ(outer, inner *subPlan, joins []query.Join, outRows, width float64) *subPlan {
+	// Inner must be exactly one base table.
+	if inner.tables&(inner.tables-1) != 0 {
+		return nil
+	}
+	ti := 0
+	for inner.tables>>uint(ti)&1 == 0 {
+		ti++
+	}
+	table := p.q.Tables[ti]
+	meta := p.o.Schema.Table(table)
+	rows := float64(p.o.Stats.RowCount(table))
+	need := p.q.ColumnsUsed(table)
+	needW := p.widthOf(table, need)
+
+	// Find the join column on the inner side.
+	var joinCol string
+	var j query.Join
+	for _, cand := range joins {
+		if c := cand.ColumnFor(table); c != "" {
+			joinCol, j = c, cand
+			break
+		}
+	}
+	if joinCol == "" {
+		return nil
+	}
+	var best *subPlan
+	for _, ix := range p.cfg.IndexesOn(table) {
+		if ix.Kind != catalog.BTree || len(ix.KeyColumns) == 0 || ix.KeyColumns[0] != joinCol {
+			continue
+		}
+		preds := p.q.PredsOn(table)
+		perProbeSel := p.o.Stats.JoinSelectivity(j.LeftTable, j.LeftColumn, j.RightTable, j.RightColumn)
+		fetched := outer.rows * rows * perProbeSel // total rows fetched across probes
+		var covRes, uncovRes []query.Pred
+		for _, pr := range preds {
+			if ix.Covers(pr.Column) {
+				covRes = append(covRes, pr)
+			} else {
+				uncovRes = append(uncovRes, pr)
+			}
+		}
+		covering := ix.CoversAll(need)
+		idxW := p.widthOf(table, ix.KeyColumns) + p.widthOf(table, ix.IncludedColumns) + 8
+		seekOut := fetched * p.selAll(covRes)
+
+		seek := &plan.Node{Op: plan.IndexSeek, Table: table, Index: ix.ID(), IndexDef: ix, ResidualPreds: covRes}
+		innerCost := p.annotate(seek, cost.Args{
+			Probes: outer.rows, Height: estHeight(rows), RowsOut: seekOut, Bytes: fetched * idxW,
+		}, math.Min(idxW, needW))
+		innerTop := seek
+		if !covering {
+			lookup := &plan.Node{Op: plan.KeyLookup, Table: table, Children: []*plan.Node{seek}}
+			innerCost += p.annotate(lookup, cost.Args{
+				RowsIn: seekOut, RowsOut: seekOut, Bytes: seekOut * float64(meta.RowWidth()),
+			}, needW)
+			innerTop = lookup
+			if len(uncovRes) > 0 {
+				filter := &plan.Node{Op: plan.Filter, ResidualPreds: uncovRes, Children: []*plan.Node{lookup}}
+				innerCost += p.annotate(filter, cost.Args{RowsIn: seekOut, RowsOut: seekOut * p.selAll(uncovRes)}, needW)
+				innerTop = filter
+			}
+		}
+		n := &plan.Node{Op: plan.NestedLoopJoin, Join: &j, Children: []*plan.Node{outer.node, innerTop}}
+		c := p.annotate(n, cost.Args{RowsIn: outer.rows, RowsOut: outRows}, width)
+		sp := &subPlan{
+			node: n, tables: outer.tables | inner.tables, rows: outRows, width: width,
+			cost: outer.cost + innerCost + c, hasCS: outer.hasCS,
+		}
+		if best == nil || sp.cost < best.cost {
+			best = sp
+		}
+	}
+	return best
+}
+
+// dpJoin finds the cheapest join order by dynamic programming over
+// connected table subsets.
+func (p *planner) dpJoin(base []*subPlan) *subPlan {
+	n := len(base)
+	full := (uint64(1) << n) - 1
+	best := map[uint64]*subPlan{}
+	for _, b := range base {
+		best[b.tables] = b
+	}
+	for size := 2; size <= n; size++ {
+		for set := uint64(1); set <= full; set++ {
+			if popcount(set) != size {
+				continue
+			}
+			// Split set into (sub, set^sub) pairs.
+			for sub := (set - 1) & set; sub > 0; sub = (sub - 1) & set {
+				other := set ^ sub
+				if sub > other {
+					continue // each unordered split once
+				}
+				a, okA := best[sub]
+				b, okB := best[other]
+				if !okA || !okB {
+					continue
+				}
+				if j := p.bestJoin(a, b); j != nil {
+					if cur, ok := best[set]; !ok || j.cost < cur.cost {
+						best[set] = j
+					}
+				}
+			}
+		}
+	}
+	return best[full]
+}
+
+// greedyJoin repeatedly joins the cheapest connectable pair; used beyond
+// the DP table limit.
+func (p *planner) greedyJoin(base []*subPlan) *subPlan {
+	pool := append([]*subPlan(nil), base...)
+	for len(pool) > 1 {
+		var bi, bj int
+		var bestSP *subPlan
+		for i := 0; i < len(pool); i++ {
+			for j := i + 1; j < len(pool); j++ {
+				if sp := p.bestJoin(pool[i], pool[j]); sp != nil {
+					if bestSP == nil || sp.cost < bestSP.cost {
+						bestSP, bi, bj = sp, i, j
+					}
+				}
+			}
+		}
+		if bestSP == nil {
+			return nil
+		}
+		next := pool[:0]
+		for k, sp := range pool {
+			if k != bi && k != bj {
+				next = append(next, sp)
+			}
+		}
+		pool = append(next, bestSP)
+	}
+	return pool[0]
+}
+
+// addAggregation appends the aggregate operator when the query groups or
+// aggregates, choosing between hash aggregation and sort+stream.
+func (p *planner) addAggregation(in *subPlan) *subPlan {
+	if len(p.q.GroupBy) == 0 && len(p.q.Aggs) == 0 {
+		return in
+	}
+	groups := p.estGroups(in.rows)
+	outW := in.width // close enough for group rows
+	mode := plan.Row
+	if in.hasCS {
+		mode = plan.Batch
+	}
+
+	hash := &plan.Node{Op: plan.HashAggregate, Mode: mode, GroupCols: p.q.GroupBy, Children: []*plan.Node{in.node}}
+	hc := p.annotate(hash, cost.Args{RowsIn: in.rows, RowsOut: groups, Bytes: in.rows * in.width}, outW)
+	hashSP := &subPlan{node: hash, tables: in.tables, rows: groups, width: outW, cost: in.cost + hc, hasCS: in.hasCS}
+
+	if len(p.q.GroupBy) == 0 {
+		return hashSP // scalar aggregate: stream/hash equivalent; use hash
+	}
+	sorted := p.sortNode(in, p.q.GroupBy)
+	stream := &plan.Node{Op: plan.StreamAggregate, GroupCols: p.q.GroupBy, Children: []*plan.Node{sorted.node}}
+	sc := p.annotate(stream, cost.Args{RowsIn: in.rows, RowsOut: groups, Bytes: in.rows * in.width}, outW)
+	streamSP := &subPlan{node: stream, tables: in.tables, rows: groups, width: outW, cost: sorted.cost + sc, hasCS: in.hasCS}
+	// When the query also orders by the group columns, the hash path will
+	// need its own sort later (over far fewer rows) while the stream path
+	// gets the ordering for free; credit the hash path with that cost so
+	// the comparison is fair.
+	if sameCols(p.q.GroupBy, p.q.OrderBy) {
+		// Ties go to the stream path: it delivers the required order.
+		hashTotal := hashSP.cost + p.o.Model.OpCost(plan.Sort, hash.Mode, plan.Serial, cost.Args{RowsIn: groups, RowsOut: groups})
+		if streamSP.cost <= hashTotal {
+			return streamSP
+		}
+		return hashSP
+	}
+	if streamSP.cost < hashSP.cost {
+		return streamSP
+	}
+	return hashSP
+}
+
+// estGroups estimates the number of groups from group-column distinct
+// counts, capped by input rows.
+func (p *planner) estGroups(rowsIn float64) float64 {
+	if len(p.q.GroupBy) == 0 {
+		return 1
+	}
+	g := 1.0
+	for _, c := range p.q.GroupBy {
+		if cs := p.o.Stats.Column(c.Table, c.Column); cs != nil {
+			g *= math.Max(1, cs.Distinct)
+		} else {
+			g *= 100
+		}
+	}
+	return math.Max(1, math.Min(g, rowsIn))
+}
+
+// addOrdering appends Sort/Top operators for ORDER BY and LIMIT.
+func (p *planner) addOrdering(in *subPlan) *subPlan {
+	out := in
+	if len(p.q.OrderBy) > 0 {
+		// StreamAggregate output is already ordered by the group columns.
+		if !(out.node.Op == plan.StreamAggregate && sameCols(p.q.GroupBy, p.q.OrderBy)) {
+			out = p.sortNode(out, p.q.OrderBy)
+		}
+	}
+	if p.q.Limit > 0 {
+		outRows := math.Min(float64(p.q.Limit), out.rows)
+		n := &plan.Node{Op: plan.Top, TopN: p.q.Limit, Children: []*plan.Node{out.node}}
+		c := p.annotate(n, cost.Args{RowsIn: out.rows, RowsOut: outRows}, out.width)
+		out = &subPlan{node: n, tables: out.tables, rows: outRows, width: out.width, cost: out.cost + c, hasCS: out.hasCS}
+	}
+	return out
+}
+
+func sameCols(a, b []query.ColRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parallelize produces the parallel alternative: every operator below a
+// root Exchange runs parallel and is recosted under the believed DOP.
+func (p *planner) parallelize(in *subPlan) *subPlan {
+	cloned, totalCost := p.cloneRecost(in.node, plan.Parallel)
+	ex := &plan.Node{Op: plan.Exchange, Par: plan.Parallel, Children: []*plan.Node{cloned}}
+	if cloned.Mode == plan.Batch {
+		ex.Mode = plan.Batch
+	}
+	exCost := p.annotate(ex, cost.Args{RowsIn: cloned.EstRows, RowsOut: cloned.EstRows, Bytes: cloned.EstRows * in.width}, in.width)
+	return &subPlan{
+		node: ex, tables: in.tables, rows: in.rows, width: in.width,
+		cost: totalCost + exCost, hasCS: in.hasCS,
+	}
+}
+
+// cloneRecost deep-copies a tree with the given parallelism and recosts
+// every node from its stored args. Returns the clone and subtree cost.
+func (p *planner) cloneRecost(n *plan.Node, par plan.Parallelism) (*plan.Node, float64) {
+	c := *n
+	c.Par = par
+	c.Children = make([]*plan.Node, len(n.Children))
+	var total float64
+	for i, ch := range n.Children {
+		cc, sub := p.cloneRecost(ch, par)
+		c.Children[i] = cc
+		total += sub
+	}
+	a := p.args[n]
+	c.EstCost = p.o.Model.OpCost(c.Op, c.Mode, c.Par, a)
+	p.args[&c] = a
+	return &c, total + c.EstCost
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

@@ -1,0 +1,77 @@
+package opt
+
+import (
+	"sync"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/query"
+)
+
+// WhatIf wraps an Optimizer with a plan cache keyed by (query, configuration
+// fingerprint). Index tuners probe the same hypothetical configurations for
+// many queries and the same query under many configurations; caching keeps
+// the search cheap, mirroring the optimizer-call caching of production
+// tuners.
+type WhatIf struct {
+	Opt *Optimizer
+
+	mu    sync.Mutex
+	cache map[whatIfKey]*plan.Plan
+	calls int
+	hits  int
+}
+
+type whatIfKey struct {
+	queryName string
+	configFP  string
+}
+
+// NewWhatIf returns a caching what-if facade over the optimizer.
+func NewWhatIf(o *Optimizer) *WhatIf {
+	return &WhatIf{Opt: o, cache: map[whatIfKey]*plan.Plan{}}
+}
+
+// Plan returns the optimizer's plan for q under the (possibly hypothetical)
+// configuration cfg. Results are cached; callers must not mutate the
+// returned plan's estimate annotations. (The executor clones plans before
+// filling actuals.)
+func (w *WhatIf) Plan(q *query.Query, cfg *catalog.Configuration) (*plan.Plan, error) {
+	fp := ""
+	if cfg != nil {
+		fp = cfg.Fingerprint()
+	}
+	key := whatIfKey{queryName: q.Name, configFP: fp}
+	w.mu.Lock()
+	w.calls++
+	if p, ok := w.cache[key]; ok {
+		w.hits++
+		w.mu.Unlock()
+		return p, nil
+	}
+	w.mu.Unlock()
+	p, err := w.Opt.Optimize(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	w.cache[key] = p
+	w.mu.Unlock()
+	return p, nil
+}
+
+// Stats reports cache calls and hits, for tuner overhead accounting.
+func (w *WhatIf) Stats() (calls, hits int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.calls, w.hits
+}
+
+// Reset clears the cache (used between tuning iterations when statistics
+// change).
+func (w *WhatIf) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.cache = map[whatIfKey]*plan.Plan{}
+	w.calls, w.hits = 0, 0
+}

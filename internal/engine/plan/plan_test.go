@@ -1,0 +1,158 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine/query"
+)
+
+func samplePlan() *Plan {
+	scan := &Node{Op: TableScan, Table: "lineitem", EstRows: 1000, EstRowWidth: 8, EstCost: 10}
+	seek := &Node{Op: IndexSeek, Table: "orders", Index: "orders/bt(o_id)",
+		SeekPreds: []query.Pred{{Table: "orders", Column: "o_id", Lo: 1, Hi: 1}},
+		EstRows:   10, EstRowWidth: 8, EstCost: 1}
+	join := &Node{Op: HashJoin, Children: []*Node{scan, seek},
+		Join:    &query.Join{LeftTable: "lineitem", LeftColumn: "l_oid", RightTable: "orders", RightColumn: "o_id"},
+		EstRows: 100, EstRowWidth: 16, EstCost: 20}
+	agg := &Node{Op: HashAggregate, Children: []*Node{join}, EstRows: 5, EstRowWidth: 16, EstCost: 3,
+		GroupCols: []query.ColRef{{Table: "orders", Column: "o_id"}}}
+	return &Plan{
+		Root:         agg,
+		Query:        &query.Query{Name: "q", Tables: []string{"lineitem", "orders"}},
+		EstTotalCost: 34,
+	}
+}
+
+func TestKeySpace(t *testing.T) {
+	seen := map[int]bool{}
+	for o := 0; o < NumOps; o++ {
+		for m := 0; m < 2; m++ {
+			for p := 0; p < 2; p++ {
+				k := KeyIndex(Op(o), Mode(m), Parallelism(p))
+				if k < 0 || k >= NumKeys {
+					t.Fatalf("key out of range: %d", k)
+				}
+				if seen[k] {
+					t.Fatalf("duplicate key index %d", k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+	if len(seen) != NumKeys {
+		t.Fatalf("key space not dense: %d != %d", len(seen), NumKeys)
+	}
+}
+
+func TestKeyNames(t *testing.T) {
+	n := &Node{Op: HashJoin, Mode: Batch, Par: Parallel}
+	if n.KeyName() != "HashJoin_Batch_Parallel" {
+		t.Fatalf("key name: %s", n.KeyName())
+	}
+	if KeyName(KeyIndex(IndexSeek, Row, Serial)) != "IndexSeek_Row_Serial" {
+		t.Fatal("round trip failed")
+	}
+	// All ops have proper names.
+	for o := 0; o < NumOps; o++ {
+		if strings.HasPrefix(Op(o).String(), "Op(") {
+			t.Fatalf("missing name for op %d", o)
+		}
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	p := samplePlan()
+	if p.Root.IsLeaf() {
+		t.Fatal("root is not a leaf")
+	}
+	if !p.Root.Children[0].Children[0].IsLeaf() {
+		t.Fatal("scan is a leaf")
+	}
+	if h := p.Root.Height(); h != 3 {
+		t.Fatalf("height = %d, want 3", h)
+	}
+	if p.NumNodes() != 4 {
+		t.Fatalf("node count = %d", p.NumNodes())
+	}
+	join := p.Root.Children[0]
+	if join.EstBytesOut() != 1600 {
+		t.Fatalf("EstBytesOut: %v", join.EstBytesOut())
+	}
+	var order []Op
+	p.Root.Walk(func(n *Node) { order = append(order, n.Op) })
+	want := []Op{HashAggregate, HashJoin, TableScan, IndexSeek}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("walk order: %v", order)
+		}
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a, b := samplePlan(), samplePlan()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical plans must share fingerprints")
+	}
+	// Estimates do not affect the fingerprint.
+	b.Root.EstRows = 999999
+	b.Root.EstCost = 1
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("estimates must not affect fingerprint")
+	}
+	// Structure does.
+	c := samplePlan()
+	c.Root.Children[0].Op = MergeJoin
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different join algorithm must change fingerprint")
+	}
+	// Index choice does.
+	d := samplePlan()
+	d.Root.Children[0].Children[1].Index = "orders/bt(o_date)"
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("different index must change fingerprint")
+	}
+	// Predicate constants do (different parameterizations are distinct plans).
+	e := samplePlan()
+	e.Root.Children[0].Children[1].SeekPreds[0].Lo = 2
+	e.Root.Children[0].Children[1].SeekPreds[0].Hi = 2
+	if a.Fingerprint() == e.Fingerprint() {
+		t.Fatal("different constants must change fingerprint")
+	}
+	// Child order does (join sides are not symmetric).
+	f := samplePlan()
+	j := f.Root.Children[0]
+	j.Children[0], j.Children[1] = j.Children[1], j.Children[0]
+	if a.Fingerprint() == f.Fingerprint() {
+		t.Fatal("swapped children must change fingerprint")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	p := samplePlan()
+	s := p.String()
+	for _, frag := range []string{
+		"HashAggregate_Row_Serial", "HashJoin_Row_Serial", "TableScan_Row_Serial",
+		"IndexSeek_Row_Serial", "table=orders", "index=orders/bt(o_id)",
+		"seek(orders.o_id = 1)", "estRows=10.0",
+	} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("plan string missing %q:\n%s", frag, s)
+		}
+	}
+	// Actuals appear once set.
+	p.Root.ActualRows = 5
+	p.Root.ActualCost = 2.5
+	if !strings.Contains(p.String(), "rows=5") {
+		t.Fatal("actuals not rendered")
+	}
+}
+
+func TestModeParallelismStrings(t *testing.T) {
+	if Row.String() != "Row" || Batch.String() != "Batch" {
+		t.Fatal("mode strings")
+	}
+	if Serial.String() != "Serial" || Parallel.String() != "Parallel" {
+		t.Fatal("parallelism strings")
+	}
+}

@@ -1,0 +1,167 @@
+package expdata
+
+import (
+	"sort"
+
+	"repro/internal/util"
+)
+
+// SplitMode enumerates the train/test split strategies of §7.3. From Pair
+// to Database, the train and test distributions grow increasingly
+// different.
+type SplitMode int
+
+// Split modes.
+const (
+	// SplitPair splits the union of pairs into disjoint sets.
+	SplitPair SplitMode = iota
+	// SplitPlan splits each query's plans into disjoint sets; pairs are
+	// built within each side, so test pairs involve only unseen plans.
+	SplitPlan
+	// SplitQuery splits queries into disjoint sets.
+	SplitQuery
+	// SplitDatabase holds out entire databases (see HoldOutDatabase).
+	SplitDatabase
+)
+
+var splitNames = [...]string{"pair", "plan", "query", "database"}
+
+// String implements fmt.Stringer.
+func (m SplitMode) String() string {
+	if int(m) < len(splitNames) {
+		return splitNames[m]
+	}
+	return "unknown"
+}
+
+// Split divides a corpus into train/test pairs under the given mode.
+// trainFrac is the fraction of the unit being split (pairs, plans, or
+// queries) assigned to training. maxPairsPerQuery caps emitted pairs.
+func Split(c *Corpus, mode SplitMode, trainFrac float64, maxPairsPerQuery int, rng *util.RNG) (train, test []Pair) {
+	switch mode {
+	case SplitPair:
+		all := c.AllPairs(maxPairsPerQuery, rng.Split("all"))
+		perm := rng.Split("perm").Perm(len(all))
+		nTrain := int(float64(len(all)) * trainFrac)
+		for i, pi := range perm {
+			if i < nTrain {
+				train = append(train, all[pi])
+			} else {
+				test = append(test, all[pi])
+			}
+		}
+	case SplitPlan:
+		for _, ds := range c.Sets {
+			srng := rng.Split("plan:" + ds.DB)
+			for _, qn := range ds.QueryNames() {
+				plans := ds.PlansOf(qn)
+				if len(plans) < 2 {
+					continue
+				}
+				perm := srng.Perm(len(plans))
+				nTrain := int(float64(len(plans)) * trainFrac)
+				// Pairs need two plans: at tiny train ratios, keep at
+				// least two training plans per query when available.
+				if nTrain < 2 && len(plans) >= 4 {
+					nTrain = 2
+				}
+				var trP, teP []*ExecutedPlan
+				for i, pi := range perm {
+					if i < nTrain {
+						trP = append(trP, plans[pi])
+					} else {
+						teP = append(teP, plans[pi])
+					}
+				}
+				train = append(train, pairsAmong(trP, maxPairsPerQuery, srng)...)
+				test = append(test, pairsAmong(teP, maxPairsPerQuery, srng)...)
+			}
+		}
+	case SplitQuery:
+		for _, ds := range c.Sets {
+			srng := rng.Split("query:" + ds.DB)
+			qns := ds.QueryNames()
+			perm := srng.Perm(len(qns))
+			nTrain := int(float64(len(qns)) * trainFrac)
+			for i, qi := range perm {
+				pairs := pairsAmong(ds.PlansOf(qns[qi]), maxPairsPerQuery, srng)
+				if i < nTrain {
+					train = append(train, pairs...)
+				} else {
+					test = append(test, pairs...)
+				}
+			}
+		}
+	case SplitDatabase:
+		// Hold out one random database; prefer HoldOutDatabase directly.
+		if len(c.Sets) == 0 {
+			return nil, nil
+		}
+		held := c.Sets[rng.Intn(len(c.Sets))].DB
+		return HoldOutDatabase(c, held, maxPairsPerQuery, rng)
+	}
+	return train, test
+}
+
+// HoldOutDatabase returns train pairs from every database except held, and
+// test pairs from the held-out database (§7.7).
+func HoldOutDatabase(c *Corpus, held string, maxPairsPerQuery int, rng *util.RNG) (train, test []Pair) {
+	for _, ds := range c.Sets {
+		pairs := ds.Pairs(maxPairsPerQuery, rng.Split("ho:"+ds.DB))
+		if ds.DB == held {
+			test = append(test, pairs...)
+		} else {
+			train = append(train, pairs...)
+		}
+	}
+	return train, test
+}
+
+// LeakPlans moves k plans per query of the held-out dataset into a "leaked"
+// training set (§7.7–7.8): leaked-train pairs are built among the k leaked
+// plans of each query; the remaining test pairs involve only unleaked
+// plans. The returned sets are disjoint in plans.
+func LeakPlans(held *Dataset, k int, maxPairsPerQuery int, rng *util.RNG) (leakTrain, test []Pair) {
+	for _, qn := range held.QueryNames() {
+		plans := held.PlansOf(qn)
+		perm := rng.Split("leak:" + qn).Perm(len(plans))
+		var leaked, rest []*ExecutedPlan
+		for i, pi := range perm {
+			if i < k {
+				leaked = append(leaked, plans[pi])
+			} else {
+				rest = append(rest, plans[pi])
+			}
+		}
+		leakTrain = append(leakTrain, pairsAmong(leaked, maxPairsPerQuery, rng)...)
+		test = append(test, pairsAmong(rest, maxPairsPerQuery, rng)...)
+	}
+	return leakTrain, test
+}
+
+// LabelCounts tallies pair labels at threshold alpha.
+func LabelCounts(pairs []Pair, alpha float64) map[Label]int {
+	out := map[Label]int{}
+	for _, p := range pairs {
+		out[p.Label(alpha)]++
+	}
+	return out
+}
+
+// SortPairs orders pairs deterministically (by db, query, plan costs) for
+// reproducible downstream batching.
+func SortPairs(pairs []Pair) {
+	sort.SliceStable(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.DB() != b.DB() {
+			return a.DB() < b.DB()
+		}
+		if a.QueryName() != b.QueryName() {
+			return a.QueryName() < b.QueryName()
+		}
+		if a.P1.Cost != b.P1.Cost {
+			return a.P1.Cost < b.P1.Cost
+		}
+		return a.P2.Cost < b.P2.Cost
+	})
+}

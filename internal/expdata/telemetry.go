@@ -1,0 +1,131 @@
+package expdata
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/feat"
+)
+
+// PlanRecord is the telemetry form of one executed plan (§2.3): databases
+// emit featurized plans — per-channel vectors plus the estimated total
+// cost — and the measured execution cost. Raw plans never leave the
+// database; cross-database training happens on these records.
+type PlanRecord struct {
+	DB           string               `json:"db"`
+	Query        string               `json:"query"`
+	TemplateHash uint64               `json:"template_hash"`
+	Fingerprint  uint64               `json:"fingerprint"`
+	Cost         float64              `json:"cost"`
+	EstTotalCost float64              `json:"est_total_cost"`
+	Channels     map[string][]float64 `json:"channels"`
+}
+
+// ToRecord featurizes one executed plan into its telemetry form.
+func ToRecord(ep *ExecutedPlan, channels []feat.Channel) PlanRecord {
+	rec := PlanRecord{
+		DB:           ep.DB,
+		Query:        ep.Query.Name,
+		TemplateHash: ep.Query.TemplateHash(),
+		Fingerprint:  ep.Plan.Fingerprint(),
+		Cost:         ep.Cost,
+		EstTotalCost: ep.Plan.EstTotalCost,
+		Channels:     map[string][]float64{},
+	}
+	for _, c := range channels {
+		rec.Channels[c.String()] = feat.PlanVector(ep.Plan, c)
+	}
+	return rec
+}
+
+// ExportTelemetry writes a dataset as JSON lines of PlanRecords.
+func ExportTelemetry(w io.Writer, ds *Dataset, channels []feat.Channel) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ep := range ds.Plans {
+		if err := enc.Encode(ToRecord(ep, channels)); err != nil {
+			return fmt.Errorf("expdata: encoding telemetry: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportTelemetry reads JSON-lines PlanRecords.
+func ImportTelemetry(r io.Reader) ([]PlanRecord, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []PlanRecord
+	for dec.More() {
+		var rec PlanRecord
+		if err := dec.Decode(&rec); err != nil {
+			return nil, fmt.Errorf("expdata: decoding telemetry record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// TelemetryPairs reconstructs labeled training vectors from telemetry:
+// plans of the same (db, query) are paired, the pair vector is computed
+// from the stored channel vectors with the given featurizer configuration,
+// and the label from the stored costs. Returns the feature matrix, labels,
+// and group keys (db + "/" + query) for grouped splitting.
+func TelemetryPairs(recs []PlanRecord, f *feat.Featurizer, alpha float64, maxPerQuery int) (X [][]float64, y []int, groups []string, err error) {
+	type key struct{ db, q string }
+	byQuery := map[key][]*PlanRecord{}
+	var order []key
+	for i := range recs {
+		k := key{recs[i].DB, recs[i].Query}
+		if _, ok := byQuery[k]; !ok {
+			order = append(order, k)
+		}
+		byQuery[k] = append(byQuery[k], &recs[i])
+	}
+	chNames := make([]string, len(f.Channels))
+	for i, c := range f.Channels {
+		chNames[i] = c.String()
+	}
+	for _, k := range order {
+		plans := byQuery[k]
+		emitted := 0
+		for i := 0; i < len(plans); i++ {
+			for j := 0; j < len(plans); j++ {
+				if i == j {
+					continue
+				}
+				if maxPerQuery > 0 && emitted >= maxPerQuery {
+					break
+				}
+				v, perr := pairFromRecords(plans[i], plans[j], f, chNames)
+				if perr != nil {
+					return nil, nil, nil, perr
+				}
+				X = append(X, v)
+				y = append(y, int(LabelOf(plans[i].Cost, plans[j].Cost, alpha)))
+				groups = append(groups, k.db+"/"+k.q)
+				emitted++
+			}
+		}
+	}
+	return X, y, groups, nil
+}
+
+// pairFromRecords combines two telemetry records into a pair vector using
+// the stored per-channel plan vectors.
+func pairFromRecords(a, b *PlanRecord, f *feat.Featurizer, chNames []string) ([]float64, error) {
+	var v1s, v2s [][]float64
+	for _, name := range chNames {
+		v1, ok1 := a.Channels[name]
+		v2, ok2 := b.Channels[name]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("expdata: telemetry record missing channel %q", name)
+		}
+		if len(v1) != len(v2) {
+			return nil, fmt.Errorf("expdata: channel %q dimension mismatch (%d vs %d)", name, len(v1), len(v2))
+		}
+		v1s = append(v1s, v1)
+		v2s = append(v2s, v2)
+	}
+	return f.PairFromVectors(v1s, v2s, a.EstTotalCost, b.EstTotalCost), nil
+}

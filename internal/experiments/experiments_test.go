@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyEnv builds the smallest environment exercising all experiment paths:
+// both TPC-DS scales (Figure 11/14 prefer them) plus two customer DBs.
+var tinyEnv *Env
+
+func getEnv(t testing.TB) *Env {
+	t.Helper()
+	if tinyEnv != nil {
+		return tinyEnv
+	}
+	e, err := NewEnv(Config{
+		Scale:     0.04,
+		Seed:      42,
+		Quick:     true,
+		Databases: []string{"tpcds10", "tpcds100", "cust6", "cust2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tinyEnv = e
+	return e
+}
+
+func TestEnvConstruction(t *testing.T) {
+	e := getEnv(t)
+	if len(e.Workloads) != 4 {
+		t.Fatalf("workloads: %d", len(e.Workloads))
+	}
+	if e.Workload("cust6") == nil || e.Workload("ghost") != nil {
+		t.Fatal("Workload lookup")
+	}
+	for _, ds := range e.Corpus.Sets {
+		if len(ds.Plans) == 0 {
+			t.Fatalf("no plans collected for %s", ds.DB)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.Notes = append(tab.Notes, "a note")
+	s := tab.String()
+	for _, frag := range []string{"== x: demo ==", "a  bb", "1  2", "note: a note"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("rendering missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(reg))
+	}
+	for _, id := range Order() {
+		if reg[id] == nil {
+			t.Fatalf("order lists unknown experiment %s", id)
+		}
+	}
+	if len(Order()) != len(reg) {
+		t.Fatal("order and registry disagree")
+	}
+}
+
+// checkTable validates basic result-table invariants.
+func checkTable(t *testing.T, tab *Table, wantID string) {
+	t.Helper()
+	if tab.ID != wantID {
+		t.Fatalf("table id %s != %s", tab.ID, wantID)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatalf("%s produced no rows", wantID)
+	}
+	for _, r := range tab.Rows {
+		if len(r) != len(tab.Header) {
+			t.Fatalf("%s row width %d != header %d", wantID, len(r), len(tab.Header))
+		}
+	}
+	t.Logf("\n%s", tab)
+}
+
+func TestFigure1(t *testing.T) {
+	tab, err := Figure1(getEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "figure1")
+	// The ALL row must report a nontrivial regression fraction.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "ALL" {
+		t.Fatal("missing ALL row")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSuffix(last[2], "%"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 5 || v > 60 {
+		t.Fatalf("estimated-improvement regression rate out of plausible band: %v%%", v)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	tab, err := Table2(getEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "table2")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("one row per workload expected: %d", len(tab.Rows))
+	}
+}
+
+func TestFigure6AndDependents(t *testing.T) {
+	e := getEnv(t)
+	tab, err := Figure6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "figure6")
+	// Classifier column must beat Optimizer column on the plan split.
+	clf, _ := strconv.ParseFloat(tab.Rows[0][5], 64)
+	opt, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	if clf <= opt {
+		t.Fatalf("classifier (%v) must beat optimizer (%v) on plan split", clf, opt)
+	}
+
+	t3, err := Table3(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, t3, "table3")
+
+	f15, err := Figure15(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f15, "figure15")
+	// All normalized costs >= 1.
+	for _, r := range f15.Rows {
+		v, _ := strconv.ParseFloat(r[1], 64)
+		if v < 1 {
+			t.Fatalf("normalized cost below optimal: %v", v)
+		}
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	tab, err := Figure7(getEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "figure7")
+}
+
+func TestFigure8And9And10(t *testing.T) {
+	e := getEnv(t)
+	f8, err := Figure8(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f8, "figure8")
+
+	f9, err := Figure9(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f9, "figure9")
+
+	f10, err := Figure10(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f10, "figure10")
+}
+
+func TestTable5(t *testing.T) {
+	tab, err := Table5(getEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "table5")
+}
+
+func TestFigure12(t *testing.T) {
+	tab, err := Figure12(getEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "figure12")
+}
+
+func TestFigure13(t *testing.T) {
+	tab, err := Figure13(getEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "figure13")
+}
+
+func TestTuningExperiments(t *testing.T) {
+	e := getEnv(t)
+	f11, err := Figure11(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f11, "figure11")
+	if len(f11.Rows) != 3*len(tunerNames) {
+		t.Fatalf("figure11 rows: %d", len(f11.Rows))
+	}
+
+	t6, err := Table6(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, t6, "table6")
+
+	f14, err := Figure14(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, f14, "figure14")
+}
+
+func TestAblations(t *testing.T) {
+	e := getEnv(t)
+	at, err := AblationTrees(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, at, "ablation-trees")
+	aa, err := AblationAlpha(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, aa, "ablation-alpha")
+}
+
+func TestTable4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload-level tuning is slow")
+	}
+	tab, err := Table4(getEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "table4")
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/util"
+)
+
+// Figure1 reproduces the motivating scatter of Figure 1: among plan pairs
+// where the optimizer estimates P2 cheaper than P1, how often is P2
+// actually a regression? The paper observes ~20–30% of estimated
+// improvements regress, with several 2–10x-estimated-cheaper plans ending
+// 2x+ slower.
+func Figure1(e *Env) (*Table, error) {
+	rng := e.rng("figure1")
+	type bucket struct {
+		lo, hi float64
+		label  string
+		n      int
+		regr   int
+		big    int
+		ratios []float64
+	}
+	buckets := []*bucket{
+		{lo: 1.0, hi: 2.0, label: "est 1-2x cheaper"},
+		{lo: 2.0, hi: 10.0, label: "est 2-10x cheaper"},
+		{lo: 10.0, hi: 1e18, label: "est >10x cheaper"},
+	}
+	total, totalRegr, totalBig := 0, 0, 0
+	for _, ds := range e.Corpus.Sets {
+		for _, p := range ds.Pairs(40, rng.Split("pairs:"+ds.DB)) {
+			est1, est2 := p.P1.Plan.EstTotalCost, p.P2.Plan.EstTotalCost
+			if est2 >= est1 || est2 <= 0 {
+				continue // only optimizer-predicted improvements
+			}
+			estRatio := est1 / est2
+			actRatio := util.Clip(p.P2.Cost/p.P1.Cost, 0.01, 100)
+			for _, b := range buckets {
+				if estRatio >= b.lo && estRatio < b.hi {
+					b.n++
+					b.ratios = append(b.ratios, actRatio)
+					if actRatio > 1 {
+						b.regr++
+					}
+					if actRatio >= 2 {
+						b.big++
+					}
+				}
+			}
+			total++
+			if actRatio > 1 {
+				totalRegr++
+			}
+			if actRatio >= 2 {
+				totalBig++
+			}
+		}
+	}
+	t := &Table{
+		ID:     "figure1",
+		Title:  "Estimated improvements that actually regress (CPU cost ratio, clipped [0.01,100])",
+		Header: []string{"est-improvement bucket", "pairs", "actual regressions", ">=2x regressions", "median actual ratio"},
+	}
+	for _, b := range buckets {
+		if b.n == 0 {
+			t.AddRow(b.label, "0", "-", "-", "-")
+			continue
+		}
+		t.AddRow(b.label, fmt.Sprint(b.n),
+			pct(float64(b.regr)/float64(b.n)),
+			pct(float64(b.big)/float64(b.n)),
+			f3(util.Median(b.ratios)))
+	}
+	if total > 0 {
+		t.AddRow("ALL", fmt.Sprint(total),
+			pct(float64(totalRegr)/float64(total)),
+			pct(float64(totalBig)/float64(total)), "-")
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"paper reports ~20-30%% of estimated improvements regress; measured %s", pct(float64(totalRegr)/float64(total))))
+	}
+	return t, nil
+}
+
+// Table2 reproduces the workload-statistics table: database size, table
+// count, query count, join statistics, and the collected execution-data
+// volumes (plans, max plans per query, pairs).
+func Table2(e *Env) (*Table, error) {
+	rng := e.rng("table2")
+	t := &Table{
+		ID:     "table2",
+		Title:  "Workload and execution-data statistics",
+		Header: []string{"workload", "size (MB)", "#tables", "#queries", "avg #joins", "max #joins", "#plans", "max plans/query", "#plan pairs"},
+	}
+	var totPlans, totPairs int
+	for _, w := range e.Workloads {
+		st := w.ComputeStats()
+		ds := e.Corpus.Set(w.Name)
+		pairs := len(ds.Pairs(0, rng.Split(w.Name)))
+		t.AddRow(w.Name, f1(st.SizeMB), fmt.Sprint(st.Tables), fmt.Sprint(st.Queries),
+			fmt.Sprintf("%.1f", st.AvgJoins), fmt.Sprint(st.MaxJoins),
+			fmt.Sprint(len(ds.Plans)), fmt.Sprint(ds.MaxPlansPerQuery()), fmt.Sprint(pairs))
+		totPlans += len(ds.Plans)
+		totPairs += pairs
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("corpus totals: %d distinct executed plans, %d ordered pairs", totPlans, totPairs))
+	return t, nil
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/expdata"
+	"repro/internal/feat"
+	"repro/internal/ml"
+	"repro/internal/ml/forest"
+	"repro/internal/models"
+)
+
+// offlineModelNames is §7.6's presentation order.
+var offlineModelNames = []string{"LR", "RF", "LGBM", "DNN", "HybridDNN"}
+
+// newOfflineModel builds one of §7.6's classifier families. DNN-family
+// training sets are capped (pure-Go training cost); tree families use the
+// full training set.
+func (e *Env) newOfflineModel(name string, f *feat.Featurizer, seed int64) ml.Classifier {
+	switch name {
+	case "LR":
+		return models.LR(seed)
+	case "RF":
+		return models.RF(e.Cfg.rfTrees(), seed)
+	case "LGBM":
+		return models.LGBM(e.Cfg.gbtRounds(), seed)
+	case "DNN":
+		return models.DNN(f, models.DNNConfig{Arch: models.ArchPC, Epochs: e.Cfg.dnnEpochs(), Seed: seed})
+	case "HybridDNN":
+		net := models.DNN(f, models.DNNConfig{Arch: models.ArchPC, Epochs: e.Cfg.dnnEpochs(), Seed: seed})
+		return models.NewHybridDNN(net, forest.Config{Trees: 50, Seed: seed + 9})
+	default:
+		panic("unknown offline model " + name)
+	}
+}
+
+func isDNNFamily(name string) bool { return name == "DNN" || name == "HybridDNN" }
+
+// trainNamedClassifier trains one named offline model into a comparator.
+func (e *Env) trainNamedClassifier(name string, train []expdata.Pair, seed int64) (*models.Classifier, error) {
+	f := feat.Default()
+	if isDNNFamily(name) {
+		train = capPairs(train, e.Cfg.dnnPairCap(), e.rng("cap:"+name))
+	}
+	clf := models.NewClassifier(f, e.newOfflineModel(name, f, seed), expdata.DefaultAlpha)
+	if err := clf.Train(train); err != nil {
+		return nil, err
+	}
+	return clf, nil
+}
+
+// Figure7 reproduces §7.6: offline model comparison across split modes.
+func Figure7(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "figure7",
+		Title:  "Offline models: F1 (regression class) by train/test split",
+		Header: append([]string{"split"}, offlineModelNames...),
+	}
+	reps := e.Cfg.repeats(3, 1)
+	for _, split := range []expdata.SplitMode{expdata.SplitPair, expdata.SplitPlan, expdata.SplitQuery} {
+		sums := map[string]float64{}
+		for r := 0; r < reps; r++ {
+			rng := e.rng(fmt.Sprintf("figure7:%s:%d", split, r))
+			train, test := expdata.Split(e.Corpus, split, 0.6, 40, rng)
+			for _, name := range offlineModelNames {
+				clf, err := e.trainNamedClassifier(name, train, e.Cfg.Seed+int64(r)*31)
+				if err != nil {
+					return nil, err
+				}
+				sums[name] += models.EvaluateF1(clf, test, expdata.DefaultAlpha, expdata.Regression)
+			}
+		}
+		row := []string{split.String()}
+		for _, name := range offlineModelNames {
+			row = append(row, f3(sums[name]/float64(reps)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: tree models (RF best) lead on pair/plan splits; DNN/Hybrid competitive on the query split; LR weakest")
+	return t, nil
+}
+
+// Figure13 reproduces Appendix A.4: DNN architecture ablation — fully
+// connected (FC), partially connected (PC), PC with skip connections
+// (PC-skip), and the Hybrid DNN — by split mode.
+func Figure13(e *Env) (*Table, error) {
+	archs := []struct {
+		name  string
+		build func(f *feat.Featurizer, seed int64) ml.Classifier
+	}{
+		{"FC", func(f *feat.Featurizer, seed int64) ml.Classifier {
+			return models.DNN(f, models.DNNConfig{Arch: models.ArchFC, Epochs: e.Cfg.dnnEpochs(), Seed: seed})
+		}},
+		{"PC", func(f *feat.Featurizer, seed int64) ml.Classifier {
+			return models.DNN(f, models.DNNConfig{Arch: models.ArchPC, Epochs: e.Cfg.dnnEpochs(), Seed: seed})
+		}},
+		{"PC-skip", func(f *feat.Featurizer, seed int64) ml.Classifier {
+			return models.DNN(f, models.DNNConfig{Arch: models.ArchPCSkip, Epochs: e.Cfg.dnnEpochs(), Seed: seed})
+		}},
+		{"Hybrid", func(f *feat.Featurizer, seed int64) ml.Classifier {
+			net := models.DNN(f, models.DNNConfig{Arch: models.ArchPCSkip, Epochs: e.Cfg.dnnEpochs(), Seed: seed})
+			return models.NewHybridDNN(net, forest.Config{Trees: 50, Seed: seed + 3})
+		}},
+	}
+	t := &Table{
+		ID:     "figure13",
+		Title:  "DNN architectures: F1 (regression class) by split",
+		Header: []string{"split", "FC", "PC", "PC-skip", "Hybrid"},
+	}
+	for _, split := range []expdata.SplitMode{expdata.SplitPlan, expdata.SplitQuery} {
+		rng := e.rng("figure13:" + split.String())
+		train, test := expdata.Split(e.Corpus, split, 0.6, 40, rng)
+		train = capPairs(train, e.Cfg.dnnPairCap(), rng.Split("cap"))
+		row := []string{split.String()}
+		for _, a := range archs {
+			f := feat.Default()
+			clf := models.NewClassifier(f, a.build(f, e.Cfg.Seed+991), expdata.DefaultAlpha)
+			if err := clf.Train(train); err != nil {
+				return nil, err
+			}
+			row = append(row, f3(models.EvaluateF1(clf, test, expdata.DefaultAlpha, expdata.Regression)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "expected shape: incremental gains FC -> PC -> PC-skip -> Hybrid")
+	return t, nil
+}
+
+// Figure12 reproduces Appendix A.1: classifier vs optimizer on
+// production-mode execution data (noisy concurrent executions, passive
+// collection) across split modes and train ratios 0.1 / 0.5.
+func Figure12(e *Env) (*Table, error) {
+	prod, err := e.ProductionCorpus()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "figure12",
+		Title:  "Production-mode data: F1 (regression class), classifier (RF) vs optimizer",
+		Header: []string{"split", "train ratio", "Optimizer", "Classifier"},
+	}
+	optimizer := models.NewOptimizerBaseline(expdata.DefaultAlpha)
+	for _, split := range []expdata.SplitMode{expdata.SplitPair, expdata.SplitPlan, expdata.SplitQuery} {
+		for _, ratio := range []float64{0.1, 0.5} {
+			rng := e.rng(fmt.Sprintf("figure12:%s:%v", split, ratio))
+			train, test := expdata.Split(prod, split, ratio, 40, rng)
+			if len(train) == 0 || len(test) == 0 {
+				continue
+			}
+			clf, err := e.trainClassifier(train, e.Cfg.Seed+1212)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(split.String(), fmt.Sprintf("%.1f", ratio),
+				f3(models.EvaluateF1(optimizer, test, expdata.DefaultAlpha, expdata.Regression)),
+				f3(models.EvaluateF1(clf, test, expdata.DefaultAlpha, expdata.Regression)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: classifier above optimizer even at train ratio 0.1; gap widest when distributions match (pair split)")
+	return t, nil
+}

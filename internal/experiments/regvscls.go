@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/expdata"
+	"repro/internal/feat"
+	"repro/internal/ml"
+	"repro/internal/models"
+	"repro/internal/util"
+)
+
+// fig6ModelNames is the presentation order of §7.5's comparators.
+var fig6ModelNames = []string{"Optimizer", "OperatorModel", "PlanModel", "PairModel", "Classifier"}
+
+// fig6Models trains the §7.5 model set on one training split: the
+// optimizer baseline, the operator-level regressor, the plan-level
+// regressor (RF), the pair-ratio regressor (GBT, pair_diff_ratio), and the
+// classifier (RF, pair_diff_normalized).
+func (e *Env) fig6Models(train []expdata.Pair, seed int64) (map[string]models.Comparator, error) {
+	out := map[string]models.Comparator{
+		"Optimizer": models.NewOptimizerBaseline(expdata.DefaultAlpha),
+	}
+	plans := models.UniquePlans(train)
+
+	op := models.NewOperatorRegressor(func() ml.Regressor { return models.LinearRegressor(seed + 1) }, expdata.DefaultAlpha)
+	if err := op.Train(plans); err != nil {
+		return nil, err
+	}
+	out["OperatorModel"] = op
+
+	pr := models.NewPlanRegressor(feat.Default(), models.RFRegressor(e.Cfg.rfTrees(), seed+2), expdata.DefaultAlpha)
+	if err := pr.Train(plans); err != nil {
+		return nil, err
+	}
+	out["PlanModel"] = pr
+
+	ratioFeat := &feat.Featurizer{Channels: feat.DefaultChannels(), Transform: feat.PairDiffRatio, IncludeTotalCost: true}
+	pair := models.NewPairRatioRegressor(ratioFeat, models.GBTRegressor(e.Cfg.gbtRounds(), seed+3), expdata.DefaultAlpha)
+	if err := pair.Train(train); err != nil {
+		return nil, err
+	}
+	out["PairModel"] = pair
+
+	clf, err := e.trainClassifier(train, seed+4)
+	if err != nil {
+		return nil, err
+	}
+	out["Classifier"] = clf
+	return out, nil
+}
+
+// Figure6 reproduces §7.5: regression-vs-classification F1 (regression
+// class) under split-by-plan and split-by-query, 60/40 train/test.
+func Figure6(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "figure6",
+		Title:  "Regression vs classification: F1 of the regression class (60/40 split)",
+		Header: append([]string{"split"}, fig6ModelNames...),
+	}
+	for _, split := range []expdata.SplitMode{expdata.SplitPlan, expdata.SplitQuery} {
+		reps := e.Cfg.repeats(5, 2)
+		if split == expdata.SplitQuery {
+			reps = e.Cfg.repeats(10, 3)
+		}
+		sums := map[string]float64{}
+		for r := 0; r < reps; r++ {
+			rng := e.rng(fmt.Sprintf("figure6:%s:%d", split, r))
+			train, test := expdata.Split(e.Corpus, split, 0.6, 40, rng)
+			ms, err := e.fig6Models(train, e.Cfg.Seed+int64(r)*101)
+			if err != nil {
+				return nil, err
+			}
+			for name, m := range ms {
+				sums[name] += models.EvaluateF1(m, test, expdata.DefaultAlpha, expdata.Regression)
+			}
+		}
+		row := []string{split.String()}
+		for _, name := range fig6ModelNames {
+			row = append(row, f3(sums[name]/float64(reps)))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: Classifier highest; Optimizer and OperatorModel lowest; PairModel best among regressors")
+	return t, nil
+}
+
+// Table3 reproduces the segmented F1 of §7.5: F1 by plan-cost percentile
+// and by cost-difference ratio, for Optimizer (O), PairModel (P), and
+// Classifier (C).
+func Table3(e *Env) (*Table, error) {
+	rng := e.rng("table3")
+	train, test := expdata.Split(e.Corpus, expdata.SplitPlan, 0.6, 40, rng)
+	ms, err := e.fig6Models(train, e.Cfg.Seed+555)
+	if err != nil {
+		return nil, err
+	}
+	type segment struct {
+		label string
+		pairs []expdata.Pair
+	}
+	// Plan-cost terciles (cost1 + cost2).
+	costs := make([]float64, len(test))
+	for i, p := range test {
+		costs[i] = p.P1.Cost + p.P2.Cost
+	}
+	q33 := util.Percentile(costs, 33)
+	q66 := util.Percentile(costs, 66)
+	costSegs := []*segment{
+		{label: "plan cost p0-33"}, {label: "plan cost p33-66"}, {label: "plan cost p66-100"},
+	}
+	for i, p := range test {
+		switch {
+		case costs[i] <= q33:
+			costSegs[0].pairs = append(costSegs[0].pairs, p)
+		case costs[i] <= q66:
+			costSegs[1].pairs = append(costSegs[1].pairs, p)
+		default:
+			costSegs[2].pairs = append(costSegs[2].pairs, p)
+		}
+	}
+	// Diff-ratio segments: max/min − 1.
+	ratioSegs := []*segment{
+		{label: "diff ratio <0.5"}, {label: "diff ratio 0.5-1"}, {label: "diff ratio 1-2"}, {label: "diff ratio >=2"},
+	}
+	for _, p := range test {
+		r := math.Max(p.P1.Cost, p.P2.Cost)/math.Max(1e-12, math.Min(p.P1.Cost, p.P2.Cost)) - 1
+		switch {
+		case r < 0.5:
+			ratioSegs[0].pairs = append(ratioSegs[0].pairs, p)
+		case r < 1:
+			ratioSegs[1].pairs = append(ratioSegs[1].pairs, p)
+		case r < 2:
+			ratioSegs[2].pairs = append(ratioSegs[2].pairs, p)
+		default:
+			ratioSegs[3].pairs = append(ratioSegs[3].pairs, p)
+		}
+	}
+	t := &Table{
+		ID:     "table3",
+		Title:  "Segmented F1: Optimizer (O) / PairModel (P) / Classifier (C)",
+		Header: []string{"segment", "pairs", "O", "P", "C"},
+	}
+	for _, seg := range append(costSegs, ratioSegs...) {
+		if len(seg.pairs) == 0 {
+			t.AddRow(seg.label, "0", "-", "-", "-")
+			continue
+		}
+		t.AddRow(seg.label, fmt.Sprint(len(seg.pairs)),
+			f3(models.EvaluateF1(ms["Optimizer"], seg.pairs, expdata.DefaultAlpha, expdata.Regression)),
+			f3(models.EvaluateF1(ms["PairModel"], seg.pairs, expdata.DefaultAlpha, expdata.Regression)),
+			f3(models.EvaluateF1(ms["Classifier"], seg.pairs, expdata.DefaultAlpha, expdata.Regression)))
+	}
+	t.Notes = append(t.Notes, "expected shape: C best in every segment, largest margins at small-to-moderate diff ratios")
+	return t, nil
+}
+
+// Figure15 reproduces Appendix A.2: simulated workload cost when each model
+// picks the predicted-cheaper plan of every pair, normalized by the optimal
+// (always-cheaper) workload cost.
+func Figure15(e *Env) (*Table, error) {
+	rng := e.rng("figure15")
+	train, test := expdata.Split(e.Corpus, expdata.SplitPlan, 0.6, 40, rng)
+	ms, err := e.fig6Models(train, e.Cfg.Seed+777)
+	if err != nil {
+		return nil, err
+	}
+	var optimal float64
+	for _, p := range test {
+		optimal += math.Min(p.P1.Cost, p.P2.Cost)
+	}
+	t := &Table{
+		ID:     "figure15",
+		Title:  "Workload cost from model-guided plan choice, normalized by optimal",
+		Header: []string{"model", "normalized workload cost"},
+	}
+	names := append([]string(nil), fig6ModelNames...)
+	sort.Strings(names)
+	type scored struct {
+		name string
+		cost float64
+	}
+	var all []scored
+	for _, name := range fig6ModelNames {
+		m := ms[name]
+		var total float64
+		for _, p := range test {
+			if m.Compare(p.P1.Plan, p.P2.Plan) == expdata.Regression {
+				total += p.P1.Cost // keep P1
+			} else {
+				total += p.P2.Cost // move to P2
+			}
+		}
+		all = append(all, scored{name: name, cost: total / math.Max(optimal, 1e-12)})
+	}
+	for _, s := range all {
+		t.AddRow(s.name, f3(s.cost))
+	}
+	t.Notes = append(t.Notes, "expected shape: Classifier lowest (closest to 1.0), Optimizer worst")
+	return t, nil
+}

@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/opt"
+	"repro/internal/engine/query"
+	"repro/internal/engine/stats"
+	"repro/internal/expdata"
+	"repro/internal/feat"
+	"repro/internal/ml"
+	"repro/internal/models"
+	"repro/internal/tuner"
+	"repro/internal/util"
+	"repro/internal/workload"
+)
+
+// tunerNames is §7.9's presentation order.
+var tunerNames = []string{"Opt", "OptTr", "AdaptiveDB", "AdaptivePlan"}
+
+// fig11Workload describes one end-to-end tuning scenario.
+type fig11Workload struct {
+	name    string
+	initial func(w *workload.Workload) *catalog.Configuration
+}
+
+// fig11Workloads picks the three scenarios of §7.9, degrading gracefully
+// when the environment holds fewer databases.
+func (e *Env) fig11Workloads() []fig11Workload {
+	preferred := []fig11Workload{
+		{name: "tpcds10", initial: func(*workload.Workload) *catalog.Configuration { return expdata.InitialNone() }},
+		{name: "tpcds100", initial: func(w *workload.Workload) *catalog.Configuration {
+			return expdata.InitialColumnstore(w.Schema, 1000)
+		}},
+		{name: "cust6", initial: func(*workload.Workload) *catalog.Configuration { return expdata.InitialNone() }},
+	}
+	var out []fig11Workload
+	for _, p := range preferred {
+		if e.Workload(p.name) != nil {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		for i, w := range e.Workloads {
+			if i >= 3 {
+				break
+			}
+			out = append(out, fig11Workload{name: w.Name, initial: func(*workload.Workload) *catalog.Configuration {
+				return expdata.InitialNone()
+			}})
+		}
+	}
+	return out
+}
+
+// queryTuningRun is the trace set of one (workload, tuner) combination.
+type queryTuningRun struct {
+	workload string
+	tuner    string
+	traces   []*tuner.QueryTrace
+}
+
+// fig11Results caches the expensive end-to-end runs shared by Figure11,
+// Table6, and Figure14.
+type fig11Results struct {
+	runs []queryTuningRun
+}
+
+// buildComparator constructs the comparator for one tuner variant.
+// AdaptivePlan's offline model sees pre-collected plans from the tuned
+// database (split-by-plan); AdaptiveDB's only other databases.
+func (e *Env) buildComparator(name, db string) (models.Comparator, func(*expdata.Dataset), error) {
+	switch name {
+	case "Opt", "OptTr":
+		return nil, nil, nil
+	}
+	rng := e.rng("fig11cmp:" + name + ":" + db)
+	others, _ := expdata.HoldOutDatabase(e.Corpus, db, 40, rng)
+	train := others
+	if name == "AdaptivePlan" {
+		own := e.Corpus.Set(db)
+		if own != nil {
+			// Pre-tuning plans of this database join the offline set.
+			leak, _ := expdata.LeakPlans(own, 4, 40, rng.Split("own"))
+			train = append(append([]expdata.Pair{}, others...), leak...)
+		}
+	}
+	offline, err := e.trainClassifier(train, e.Cfg.Seed+2020)
+	if err != nil {
+		return nil, nil, err
+	}
+	local := models.NewLocal(feat.Default(), func() ml.Classifier {
+		return models.RF(50, e.Cfg.Seed+2021)
+	}, expdata.DefaultAlpha)
+	adaptive := models.NewUncertainty(offline, local)
+	lastPlans := 0
+	onData := func(d *expdata.Dataset) {
+		if len(d.Plans) == lastPlans {
+			return // nothing new: skip retraining
+		}
+		lastPlans = len(d.Plans)
+		pairs := d.Pairs(40, util.NewRNG(e.Cfg.Seed+2022))
+		if len(pairs) < 4 {
+			return
+		}
+		// Retraining failures (degenerate single-class data early on)
+		// leave the previous local model in place.
+		_ = adaptive.Adapt(pairs)
+	}
+	return adaptive, onData, nil
+}
+
+// expensiveQueries returns the top queries by initial estimated cost — the
+// paper tunes only expensive queries (CPU >= 500ms).
+func expensiveQueries(w *workload.Workload, whatIf *opt.WhatIf, init *catalog.Configuration, limit int) ([]*query.Query, error) {
+	type qc struct {
+		q *query.Query
+		c float64
+	}
+	var all []qc
+	for _, q := range w.Queries {
+		p, err := whatIf.Plan(q, init)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, qc{q: q, c: p.EstTotalCost})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].c > all[j].c })
+	if limit > len(all) {
+		limit = len(all)
+	}
+	out := make([]*query.Query, limit)
+	for i := 0; i < limit; i++ {
+		out[i] = all[i].q
+	}
+	return out, nil
+}
+
+// tuningRuns executes (or returns cached) §7.9 query-level tuning for
+// every workload x tuner combination.
+func (e *Env) tuningRuns() (*fig11Results, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fig11Cache != nil {
+		return e.fig11Cache, nil
+	}
+	res := &fig11Results{}
+	queriesPerWorkload := 12
+	if e.Cfg.Quick {
+		queriesPerWorkload = 5
+	}
+	iterations := e.Cfg.repeats(10, 5)
+	for _, fw := range e.fig11Workloads() {
+		w := e.Workload(fw.name)
+		ds := stats.BuildDatabaseStats(w.DB, e.rng("fig11stats:"+w.Name), stats.DefaultSampleSize, stats.DefaultBuckets)
+		init := fw.initial(w)
+		for _, tname := range tunerNames {
+			whatIf := opt.NewWhatIf(opt.New(w.Schema, ds))
+			qs, err := expensiveQueries(w, whatIf, init, queriesPerWorkload)
+			if err != nil {
+				return nil, err
+			}
+			cmp, onData, err := e.buildComparator(tname, w.Name)
+			if err != nil {
+				return nil, err
+			}
+			opts := tuner.Options{MaxNewIndexes: 5}
+			if tname == "OptTr" {
+				opts.MinEstImprovement = 0.2
+			}
+			tn := tuner.New(w.Schema, whatIf, cmp, opts)
+			cont := tuner.NewContinuous(tn, exec.New(w.DB), tuner.ContinuousOpts{
+				Iterations:       iterations,
+				Lambda:           0.2,
+				ExecRepeats:      3,
+				StopOnRegression: cmp == nil, // Opt/OptTr take no feedback
+				Seed:             e.Cfg.Seed + 3030,
+			})
+			cont.OnData = onData
+			run := queryTuningRun{workload: w.Name, tuner: tname}
+			for _, q := range qs {
+				trace, err := cont.TuneQueryContinuously(q, init)
+				if err != nil {
+					return nil, fmt.Errorf("tuning %s/%s with %s: %w", w.Name, q.Name, tname, err)
+				}
+				run.traces = append(run.traces, trace)
+			}
+			res.runs = append(res.runs, run)
+		}
+	}
+	e.fig11Cache = res
+	return res, nil
+}
+
+// Figure11 reproduces §7.9 query-level tuning: Improve(cumulative) and
+// Regress(final) per workload and tuner.
+func Figure11(e *Env) (*Table, error) {
+	res, err := e.tuningRuns()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "figure11",
+		Title:  "Query-level continuous tuning: improved (cumulative, >=20%) / regressed (final)",
+		Header: []string{"workload", "tuner", "queries", "improved", "regressed"},
+	}
+	for _, run := range res.runs {
+		improved, regressed := 0, 0
+		for _, tr := range run.traces {
+			if tr.Improved(0.2) {
+				improved++
+			}
+			if tr.RegressedFinal {
+				regressed++
+			}
+		}
+		t.AddRow(run.workload, run.tuner, fmt.Sprint(len(run.traces)), fmt.Sprint(improved), fmt.Sprint(regressed))
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: Adaptive* eliminate (nearly) all final regressions with comparable or better improvement; OptTr trades improvements for few avoided regressions")
+	return t, nil
+}
+
+// Table6 reproduces Appendix A.5: the distribution of per-query improvement
+// factors at the final configuration.
+func Table6(e *Env) (*Table, error) {
+	res, err := e.tuningRuns()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "table6",
+		Title:  "Query improvement distribution at the final configuration",
+		Header: []string{"workload", "tuner", ">=100x", ">=10x", ">=2x", ">=1.25x", "regressed"},
+	}
+	for _, run := range res.runs {
+		var b100, b10, b2, b125, reg int
+		for _, tr := range run.traces {
+			if tr.RegressedFinal {
+				reg++
+			}
+			if tr.FinalCost <= 0 {
+				continue
+			}
+			ratio := tr.InitialCost / tr.FinalCost
+			switch {
+			case ratio >= 100:
+				b100++
+				fallthrough
+			case ratio >= 10:
+				b10++
+				fallthrough
+			case ratio >= 2:
+				b2++
+				fallthrough
+			case ratio >= 1.25:
+				b125++
+			}
+		}
+		t.AddRow(run.workload, run.tuner,
+			fmt.Sprint(b100), fmt.Sprint(b10), fmt.Sprint(b2), fmt.Sprint(b125), fmt.Sprint(reg))
+	}
+	t.Notes = append(t.Notes,
+		"buckets are cumulative (>=10x includes >=100x); expected shape: models keep the big (>=10x) wins Opt finds, OptTr loses many")
+	return t, nil
+}
+
+// Figure14 reproduces Appendix A.5's per-iteration view: improved and
+// regressed counts at each iteration for AdaptiveDB vs AdaptivePlan on the
+// columnstore-initial workload, showing AdaptiveDB catching up as local
+// data accumulates.
+func Figure14(e *Env) (*Table, error) {
+	res, err := e.tuningRuns()
+	if err != nil {
+		return nil, err
+	}
+	target := ""
+	for _, fw := range e.fig11Workloads() {
+		if fw.name == "tpcds100" {
+			target = fw.name
+		}
+	}
+	if target == "" && len(e.fig11Workloads()) > 0 {
+		target = e.fig11Workloads()[0].name
+	}
+	iterations := e.Cfg.repeats(10, 5)
+	t := &Table{
+		ID:     "figure14",
+		Title:  fmt.Sprintf("Per-iteration improved/regressed on %s", target),
+		Header: []string{"iteration", "ADB improved", "ADB regressed", "APlan improved", "APlan regressed"},
+	}
+	perIter := func(run *queryTuningRun, iter int) (improved, regressed int) {
+		for _, tr := range run.traces {
+			cost := tr.InitialCost
+			lastRevert := false
+			for _, it := range tr.Iterations {
+				if it.Iter > iter {
+					break
+				}
+				if it.Reverted {
+					lastRevert = true
+				} else {
+					cost = it.CostAfter
+					lastRevert = false
+				}
+			}
+			if cost < 0.8*tr.InitialCost {
+				improved++
+			}
+			if lastRevert {
+				regressed++
+			}
+		}
+		return improved, regressed
+	}
+	var adb, aplan *queryTuningRun
+	for i := range res.runs {
+		run := &res.runs[i]
+		if run.workload != target {
+			continue
+		}
+		switch run.tuner {
+		case "AdaptiveDB":
+			adb = run
+		case "AdaptivePlan":
+			aplan = run
+		}
+	}
+	if adb == nil || aplan == nil {
+		return nil, fmt.Errorf("figure14: missing adaptive runs for %s", target)
+	}
+	for iter := 1; iter <= iterations; iter++ {
+		ai, ar := perIter(adb, iter)
+		pi, pr := perIter(aplan, iter)
+		t.AddRow(fmt.Sprint(iter), fmt.Sprint(ai), fmt.Sprint(ar), fmt.Sprint(pi), fmt.Sprint(pr))
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: AdaptivePlan leads in early iterations; AdaptiveDB catches up as passively collected data accumulates")
+	return t, nil
+}
+
+// Table4 reproduces §7.9 workload-level tuning: improvement distribution
+// over randomly sampled five-query workloads.
+func Table4(e *Env) (*Table, error) {
+	perDB := e.Cfg.repeats(8, 3) // query workloads sampled per database
+	iterations := e.Cfg.repeats(6, 3)
+	t := &Table{
+		ID:     "table4",
+		Title:  "Workload-level tuning: improvement distribution over sampled 5-query workloads",
+		Header: []string{"tuner", "regressed(<-5%)", "flat(+-5%)", "5-25%", "25-50%", ">50%", "improved total"},
+	}
+	type bucketCounts struct{ reg, flat, low, mid, high int }
+	counts := map[string]*bucketCounts{}
+	for _, n := range tunerNames {
+		counts[n] = &bucketCounts{}
+	}
+	for _, fw := range e.fig11Workloads() {
+		w := e.Workload(fw.name)
+		ds := stats.BuildDatabaseStats(w.DB, e.rng("t4stats:"+w.Name), stats.DefaultSampleSize, stats.DefaultBuckets)
+		init := fw.initial(w)
+		rng := e.rng("table4:" + w.Name)
+		for s := 0; s < perDB; s++ {
+			idx := rng.SampleWithoutReplacement(len(w.Queries), 5)
+			qs := make([]*query.Query, len(idx))
+			for i, j := range idx {
+				qs[i] = w.Queries[j]
+			}
+			for _, tname := range tunerNames {
+				cmp, onData, err := e.buildComparator(tname, w.Name)
+				if err != nil {
+					return nil, err
+				}
+				opts := tuner.Options{MaxNewIndexes: 5}
+				if tname == "OptTr" {
+					opts.MinEstImprovement = 0.2
+				}
+				whatIf := opt.NewWhatIf(opt.New(w.Schema, ds))
+				tn := tuner.New(w.Schema, whatIf, cmp, opts)
+				cont := tuner.NewContinuous(tn, exec.New(w.DB), tuner.ContinuousOpts{
+					Iterations:       iterations,
+					Lambda:           0.2,
+					ExecRepeats:      2,
+					StopOnRegression: cmp == nil,
+					Seed:             e.Cfg.Seed + int64(s)*17,
+				})
+				cont.OnData = onData
+				trace, err := cont.TuneWorkloadContinuously(qs, init)
+				if err != nil {
+					return nil, err
+				}
+				imp := trace.Improvement()
+				c := counts[tname]
+				switch {
+				case imp < -0.05:
+					c.reg++
+				case imp < 0.05:
+					c.flat++
+				case imp < 0.25:
+					c.low++
+				case imp < 0.50:
+					c.mid++
+				default:
+					c.high++
+				}
+			}
+		}
+	}
+	for _, n := range tunerNames {
+		c := counts[n]
+		t.AddRow(n, fmt.Sprint(c.reg), fmt.Sprint(c.flat), fmt.Sprint(c.low), fmt.Sprint(c.mid), fmt.Sprint(c.high),
+			fmt.Sprint(c.low+c.mid+c.high))
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d sampled workloads per database, %d iterations", perDB, iterations),
+		"expected shape: AdaptivePlan improves the most workloads; OptTr the fewest")
+	return t, nil
+}

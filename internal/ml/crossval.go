@@ -1,0 +1,56 @@
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/util"
+)
+
+// CrossValF1 runs k-fold cross-validation of a classifier family and
+// returns the mean F1 of the given class — the model-selection procedure
+// of §7.4. build must return a fresh untrained classifier per fold.
+func CrossValF1(build func() Classifier, X [][]float64, y []int, numClasses, folds, class int, rng *util.RNG) (float64, error) {
+	if len(X) == 0 {
+		return 0, fmt.Errorf("ml: empty dataset")
+	}
+	var sum float64
+	ks := KFold(len(X), folds, rng)
+	for _, fold := range ks {
+		trainX, trainY := Subset(X, y, fold[0])
+		testX, testY := Subset(X, y, fold[1])
+		c := build()
+		if err := c.Fit(trainX, trainY, numClasses); err != nil {
+			return 0, err
+		}
+		sum += F1OfClass(c, testX, testY, numClasses, class)
+	}
+	return sum / float64(len(ks)), nil
+}
+
+// GridPoint is one hyper-parameter setting with its cross-validated score.
+type GridPoint struct {
+	Name  string
+	Score float64
+}
+
+// GridSearch cross-validates every named classifier family and returns the
+// scores sorted as given plus the best index.
+func GridSearch(builders map[string]func() Classifier, X [][]float64, y []int, numClasses, folds, class int, rng *util.RNG, order []string) ([]GridPoint, int, error) {
+	var out []GridPoint
+	best := -1
+	for _, name := range order {
+		build, ok := builders[name]
+		if !ok {
+			return nil, -1, fmt.Errorf("ml: unknown grid point %q", name)
+		}
+		score, err := CrossValF1(build, X, y, numClasses, folds, class, rng.Split("grid:"+name))
+		if err != nil {
+			return nil, -1, fmt.Errorf("ml: grid point %q: %w", name, err)
+		}
+		out = append(out, GridPoint{Name: name, Score: score})
+		if best < 0 || score > out[best].Score {
+			best = len(out) - 1
+		}
+	}
+	return out, best, nil
+}

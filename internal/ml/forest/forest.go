@@ -1,0 +1,212 @@
+// Package forest implements Random Forests — the paper's best offline
+// model family (§7.6) — as bagged CART ensembles with per-split feature
+// subsampling, soft-vote class probabilities (the uncertainty source used
+// by the adaptive models), and a regression variant.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/ml/tree"
+	"repro/internal/util"
+)
+
+// Config controls forest training.
+type Config struct {
+	// Trees is the ensemble size (default 100).
+	Trees int
+	// MaxDepth bounds individual trees; 0 unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 1, as the paper).
+	MinLeaf int
+	// ImpurityThreshold is the Gini early-stopping threshold (paper: 1e-6).
+	ImpurityThreshold float64
+	// MaxFeatures per split; 0 defaults to sqrt(d) for classification and
+	// d/3 for regression.
+	MaxFeatures int
+	// Seed drives bootstrap and feature sampling.
+	Seed int64
+	// Workers bounds training parallelism; 0 uses GOMAXPROCS.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.ImpurityThreshold == 0 {
+		c.ImpurityThreshold = 1e-6
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Classifier is a random-forest classifier.
+type Classifier struct {
+	cfg        Config
+	trees      []*tree.Tree
+	numClasses int
+}
+
+// NewClassifier returns an untrained forest.
+func NewClassifier(cfg Config) *Classifier {
+	return &Classifier{cfg: cfg.withDefaults()}
+}
+
+// Fit implements ml.Classifier.
+func (f *Classifier) Fit(X [][]float64, y []int, numClasses int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("forest: empty training set")
+	}
+	f.numClasses = numClasses
+	d := len(X[0])
+	maxFeat := f.cfg.MaxFeatures
+	if maxFeat == 0 {
+		maxFeat = int(math.Ceil(math.Sqrt(float64(d))))
+	}
+	f.trees = make([]*tree.Tree, f.cfg.Trees)
+	rng := util.NewRNG(f.cfg.Seed)
+	seeds := make([]int64, f.cfg.Trees)
+	for i := range seeds {
+		seeds[i] = rng.SplitInt(i).Seed()
+	}
+	return parallelFor(f.cfg.Trees, f.cfg.Workers, func(i int) error {
+		trng := util.NewRNG(seeds[i])
+		idx := bootstrap(len(X), trng)
+		t := tree.New(tree.Config{
+			MaxDepth:          f.cfg.MaxDepth,
+			MinLeaf:           f.cfg.MinLeaf,
+			ImpurityThreshold: f.cfg.ImpurityThreshold,
+			MaxFeatures:       maxFeat,
+			Seed:              seeds[i] ^ 0x5f5f,
+		})
+		if err := t.FitClassifier(X, y, numClasses, idx); err != nil {
+			return err
+		}
+		f.trees[i] = t
+		return nil
+	})
+}
+
+// PredictProba implements ml.Classifier: the soft vote over trees.
+func (f *Classifier) PredictProba(x []float64) []float64 {
+	out := make([]float64, f.numClasses)
+	for _, t := range f.trees {
+		p := t.PredictProba(x)
+		for c := range out {
+			out[c] += p[c]
+		}
+	}
+	for c := range out {
+		out[c] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// NumTrees returns the ensemble size.
+func (f *Classifier) NumTrees() int { return len(f.trees) }
+
+// Regressor is a random-forest regressor (mean of tree predictions).
+type Regressor struct {
+	cfg   Config
+	trees []*tree.Tree
+}
+
+// NewRegressor returns an untrained forest regressor.
+func NewRegressor(cfg Config) *Regressor {
+	return &Regressor{cfg: cfg.withDefaults()}
+}
+
+// Fit implements ml.Regressor.
+func (f *Regressor) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("forest: empty training set")
+	}
+	d := len(X[0])
+	maxFeat := f.cfg.MaxFeatures
+	if maxFeat == 0 {
+		maxFeat = d/3 + 1
+	}
+	f.trees = make([]*tree.Tree, f.cfg.Trees)
+	rng := util.NewRNG(f.cfg.Seed)
+	seeds := make([]int64, f.cfg.Trees)
+	for i := range seeds {
+		seeds[i] = rng.SplitInt(i).Seed()
+	}
+	return parallelFor(f.cfg.Trees, f.cfg.Workers, func(i int) error {
+		trng := util.NewRNG(seeds[i])
+		idx := bootstrap(len(X), trng)
+		t := tree.New(tree.Config{
+			MaxDepth:          f.cfg.MaxDepth,
+			MinLeaf:           f.cfg.MinLeaf,
+			ImpurityThreshold: f.cfg.ImpurityThreshold,
+			MaxFeatures:       maxFeat,
+			Seed:              seeds[i] ^ 0x6f6f,
+		})
+		if err := t.FitRegressor(X, y, idx); err != nil {
+			return err
+		}
+		f.trees[i] = t
+		return nil
+	})
+}
+
+// Predict implements ml.Regressor.
+func (f *Regressor) Predict(x []float64) float64 {
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// bootstrap samples n indices with replacement.
+func bootstrap(n int, rng *util.RNG) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(n)
+	}
+	return out
+}
+
+// parallelFor runs fn(0..n-1) on up to workers goroutines, returning the
+// first error.
+func parallelFor(n, workers int, fn func(int) error) error {
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				if err := fn(i); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,64 @@
+package forest
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/ml/tree"
+)
+
+// Dump is the serialized form of a trained forest classifier.
+type Dump struct {
+	Trees      []*tree.Dump
+	NumClasses int
+	Config     Config
+}
+
+// EncodeDump flattens the trained classifier into its serializable form.
+func (f *Classifier) EncodeDump() (*Dump, error) {
+	if len(f.trees) == 0 {
+		return nil, fmt.Errorf("forest: dumping an untrained classifier")
+	}
+	d := &Dump{NumClasses: f.numClasses, Config: f.cfg}
+	for _, t := range f.trees {
+		d.Trees = append(d.Trees, t.Encode())
+	}
+	return d, nil
+}
+
+// FromDump rebuilds a classifier from its serialized form.
+func FromDump(d *Dump) (*Classifier, error) {
+	f := &Classifier{cfg: d.Config, numClasses: d.NumClasses}
+	for i, td := range d.Trees {
+		t, err := tree.Decode(td)
+		if err != nil {
+			return nil, fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+		f.trees = append(f.trees, t)
+	}
+	if len(f.trees) == 0 {
+		return nil, fmt.Errorf("forest: model has no trees")
+	}
+	return f, nil
+}
+
+// Save gob-encodes the trained classifier to w. The resulting blob is the
+// deployable model artifact of the paper's architecture (§2.3): trained
+// offline, shipped to tuners.
+func (f *Classifier) Save(w io.Writer) error {
+	d, err := f.EncodeDump()
+	if err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// Load reads a classifier previously written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var d Dump
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("forest: decoding model: %w", err)
+	}
+	return FromDump(&d)
+}

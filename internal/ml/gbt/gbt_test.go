@@ -1,0 +1,55 @@
+package gbt
+
+import "testing"
+
+func TestFitRejectsEmpty(t *testing.T) {
+	if err := NewClassifier(Config{Rounds: 2}).Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty gbt classifier fit should fail")
+	}
+	if err := NewRegressor(Config{Rounds: 2}).Fit(nil, nil); err == nil {
+		t.Fatal("empty gbt regressor fit should fail")
+	}
+	if err := NewLGBMClassifier(LGBMConfig{Rounds: 2}).Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty lgbm fit should fail")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Rounds != 100 || c.LearningRate != 0.1 || c.MaxDepth != 6 || c.MinLeaf != 5 || c.Subsample != 1 {
+		t.Fatalf("gbt defaults: %+v", c)
+	}
+	l := LGBMConfig{Bins: 9999}.withDefaults()
+	if l.Bins != 255 || l.MaxLeaves != 31 {
+		t.Fatalf("lgbm defaults: %+v", l)
+	}
+}
+
+func TestBinnerMonotone(t *testing.T) {
+	X := [][]float64{{1}, {5}, {9}, {13}, {2}, {7}, {11}, {3}}
+	b := fitBinner(X, 4)
+	prev := -1
+	for _, v := range []float64{0, 2, 4, 8, 12, 99} {
+		bin := int(b.bin(0, v))
+		if bin < prev {
+			t.Fatalf("bins must be monotone in value: %v -> %d after %d", v, bin, prev)
+		}
+		prev = bin
+	}
+}
+
+func TestSubsampledTraining(t *testing.T) {
+	X := make([][]float64, 120)
+	y := make([]float64, 120)
+	for i := range X {
+		X[i] = []float64{float64(i)}
+		y[i] = float64(i % 7)
+	}
+	g := NewRegressor(Config{Rounds: 5, Subsample: 0.5, Seed: 2})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if v := g.Predict(X[3]); v < -10 || v > 20 {
+		t.Fatalf("subsampled prediction wild: %v", v)
+	}
+}

@@ -1,0 +1,325 @@
+package gbt
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// LGBMConfig controls the LightGBM-style booster: histogram-binned features
+// and leaf-wise (best-first) tree growth bounded by a leaf budget.
+type LGBMConfig struct {
+	// Rounds is the number of boosting rounds.
+	Rounds int
+	// LearningRate shrinks tree contributions (default 0.1).
+	LearningRate float64
+	// MaxLeaves bounds leaves per tree (default 31).
+	MaxLeaves int
+	// MinLeaf is the minimum samples per leaf (default 5).
+	MinLeaf int
+	// Bins is the histogram resolution per feature (default 64, max 255).
+	Bins int
+	// Seed reserved for subsampling extensions.
+	Seed int64
+}
+
+func (c LGBMConfig) withDefaults() LGBMConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 100
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.MaxLeaves <= 0 {
+		c.MaxLeaves = 31
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 5
+	}
+	if c.Bins <= 0 {
+		c.Bins = 64
+	}
+	if c.Bins > 255 {
+		c.Bins = 255
+	}
+	return c
+}
+
+// binner maps continuous features to small integer bins via per-feature
+// quantile boundaries learned on the training data.
+type binner struct {
+	bounds [][]float64 // per feature: ascending upper bounds
+}
+
+func fitBinner(X [][]float64, bins int) *binner {
+	d := len(X[0])
+	b := &binner{bounds: make([][]float64, d)}
+	vals := make([]float64, len(X))
+	for f := 0; f < d; f++ {
+		for i := range X {
+			vals[i] = X[i][f]
+		}
+		sort.Float64s(vals)
+		var bounds []float64
+		for q := 1; q < bins; q++ {
+			v := vals[len(vals)*q/bins]
+			if len(bounds) == 0 || v > bounds[len(bounds)-1] {
+				bounds = append(bounds, v)
+			}
+		}
+		b.bounds[f] = bounds
+	}
+	return b
+}
+
+func (b *binner) bin(f int, v float64) uint8 {
+	bounds := b.bounds[f]
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return uint8(lo)
+}
+
+func (b *binner) binAll(X [][]float64) [][]uint8 {
+	out := make([][]uint8, len(X))
+	for i, row := range X {
+		br := make([]uint8, len(row))
+		for f, v := range row {
+			br[f] = b.bin(f, v)
+		}
+		out[i] = br
+	}
+	return out
+}
+
+// leafTree is one leaf-wise-grown tree over binned features.
+type leafTree struct {
+	feature []int   // per node; -1 for leaves
+	bin     []uint8 // split bin (go left when bin(x) <= bin)
+	left    []int32 // child node ids
+	right   []int32
+	value   []float64 // leaf payload
+}
+
+func (t *leafTree) predictBinned(row []uint8) float64 {
+	n := 0
+	for t.feature[n] >= 0 {
+		if row[t.feature[n]] <= t.bin[n] {
+			n = int(t.left[n])
+		} else {
+			n = int(t.right[n])
+		}
+	}
+	return t.value[n]
+}
+
+// splitCandidate is a pending leaf split in the best-first queue.
+type splitCandidate struct {
+	node    int
+	idx     []int
+	gain    float64
+	feature int
+	bin     uint8
+}
+
+type splitQueue []*splitCandidate
+
+func (q splitQueue) Len() int            { return len(q) }
+func (q splitQueue) Less(i, j int) bool  { return q[i].gain > q[j].gain }
+func (q splitQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *splitQueue) Push(x interface{}) { *q = append(*q, x.(*splitCandidate)) }
+func (q *splitQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// growLeafWise builds one tree on residuals using best-first splitting.
+func growLeafWise(binned [][]uint8, resid []float64, idx []int, cfg LGBMConfig, bins int) *leafTree {
+	t := &leafTree{}
+	newNode := func() int {
+		t.feature = append(t.feature, -1)
+		t.bin = append(t.bin, 0)
+		t.left = append(t.left, 0)
+		t.right = append(t.right, 0)
+		t.value = append(t.value, 0)
+		return len(t.feature) - 1
+	}
+	root := newNode()
+	q := &splitQueue{}
+	if c := evalSplit(binned, resid, idx, cfg, bins); c != nil {
+		c.node = root
+		heap.Push(q, c)
+	}
+	setLeaf := func(node int, rows []int) {
+		var s float64
+		for _, i := range rows {
+			s += resid[i]
+		}
+		t.value[node] = s / float64(len(rows))
+	}
+	setLeaf(root, idx)
+	leaves := 1
+	for q.Len() > 0 && leaves < cfg.MaxLeaves {
+		c := heap.Pop(q).(*splitCandidate)
+		var li, ri []int
+		for _, i := range c.idx {
+			if binned[i][c.feature] <= c.bin {
+				li = append(li, i)
+			} else {
+				ri = append(ri, i)
+			}
+		}
+		if len(li) < cfg.MinLeaf || len(ri) < cfg.MinLeaf {
+			continue
+		}
+		t.feature[c.node] = c.feature
+		t.bin[c.node] = c.bin
+		l, r := newNode(), newNode()
+		t.left[c.node] = int32(l)
+		t.right[c.node] = int32(r)
+		setLeaf(l, li)
+		setLeaf(r, ri)
+		leaves++
+		if lc := evalSplit(binned, resid, li, cfg, bins); lc != nil {
+			lc.node = l
+			lc.idx = li
+			heap.Push(q, lc)
+		}
+		if rc := evalSplit(binned, resid, ri, cfg, bins); rc != nil {
+			rc.node = r
+			rc.idx = ri
+			heap.Push(q, rc)
+		}
+	}
+	return t
+}
+
+// evalSplit finds the best histogram split of a row set, or nil.
+func evalSplit(binned [][]uint8, resid []float64, idx []int, cfg LGBMConfig, bins int) *splitCandidate {
+	if len(idx) < 2*cfg.MinLeaf {
+		return nil
+	}
+	d := len(binned[0])
+	var totSum float64
+	for _, i := range idx {
+		totSum += resid[i]
+	}
+	n := float64(len(idx))
+	parentScore := totSum * totSum / n
+	best := &splitCandidate{gain: 1e-10, feature: -1}
+	sums := make([]float64, bins)
+	counts := make([]int, bins)
+	for f := 0; f < d; f++ {
+		for b := range sums {
+			sums[b] = 0
+			counts[b] = 0
+		}
+		for _, i := range idx {
+			b := binned[i][f]
+			sums[b] += resid[i]
+			counts[b]++
+		}
+		var lSum float64
+		lCount := 0
+		for b := 0; b < bins-1; b++ {
+			lSum += sums[b]
+			lCount += counts[b]
+			if lCount < cfg.MinLeaf || len(idx)-lCount < cfg.MinLeaf {
+				continue
+			}
+			rSum := totSum - lSum
+			nl, nr := float64(lCount), n-float64(lCount)
+			gain := lSum*lSum/nl + rSum*rSum/nr - parentScore
+			if gain > best.gain {
+				best.gain = gain
+				best.feature = f
+				best.bin = uint8(b)
+			}
+		}
+	}
+	if best.feature < 0 {
+		return nil
+	}
+	best.idx = idx
+	return best
+}
+
+// LGBMClassifier boosts leaf-wise histogram trees with softmax loss.
+type LGBMClassifier struct {
+	cfg        LGBMConfig
+	binner     *binner
+	trees      [][]*leafTree // [round][class]
+	numClasses int
+}
+
+// NewLGBMClassifier returns an untrained LightGBM-style classifier.
+func NewLGBMClassifier(cfg LGBMConfig) *LGBMClassifier {
+	return &LGBMClassifier{cfg: cfg.withDefaults()}
+}
+
+// Fit implements ml.Classifier.
+func (g *LGBMClassifier) Fit(X [][]float64, y []int, numClasses int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("lgbm: empty training set")
+	}
+	g.numClasses = numClasses
+	g.binner = fitBinner(X, g.cfg.Bins)
+	binned := g.binner.binAll(X)
+	n := len(X)
+	F := make([][]float64, n)
+	for i := range F {
+		F[i] = make([]float64, numClasses)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	resid := make([]float64, n)
+	for round := 0; round < g.cfg.Rounds; round++ {
+		roundTrees := make([]*leafTree, numClasses)
+		for k := 0; k < numClasses; k++ {
+			for i := 0; i < n; i++ {
+				p := ml.Softmax(F[i])
+				t := 0.0
+				if y[i] == k {
+					t = 1
+				}
+				resid[i] = t - p[k]
+			}
+			roundTrees[k] = growLeafWise(binned, resid, idx, g.cfg, g.cfg.Bins)
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < numClasses; k++ {
+				F[i][k] += g.cfg.LearningRate * roundTrees[k].predictBinned(binned[i])
+			}
+		}
+		g.trees = append(g.trees, roundTrees)
+	}
+	return nil
+}
+
+// PredictProba implements ml.Classifier.
+func (g *LGBMClassifier) PredictProba(x []float64) []float64 {
+	row := make([]uint8, len(x))
+	for f, v := range x {
+		row[f] = g.binner.bin(f, v)
+	}
+	scores := make([]float64, g.numClasses)
+	for _, round := range g.trees {
+		for k, t := range round {
+			scores[k] += g.cfg.LearningRate * t.predictBinned(row)
+		}
+	}
+	return ml.Softmax(scores)
+}

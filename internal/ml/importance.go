@@ -1,0 +1,49 @@
+package ml
+
+import (
+	"sort"
+
+	"repro/internal/util"
+)
+
+// PermutationImportance measures per-feature importance of a trained
+// classifier: the drop in the target class's F1 when one feature column is
+// shuffled across the evaluation set. Model-agnostic; used to inspect
+// which operator-key attributes the plan-pair classifier leans on.
+func PermutationImportance(c Classifier, X [][]float64, y []int, numClasses, class int, rng *util.RNG) []float64 {
+	if len(X) == 0 {
+		return nil
+	}
+	base := F1OfClass(c, X, y, numClasses, class)
+	d := len(X[0])
+	out := make([]float64, d)
+	col := make([]float64, len(X))
+	for f := 0; f < d; f++ {
+		for i := range X {
+			col[i] = X[i][f]
+		}
+		perm := rng.Split("pi").SplitInt(f).Perm(len(X))
+		shuffled := make([][]float64, len(X))
+		for i := range X {
+			row := append([]float64(nil), X[i]...)
+			row[f] = col[perm[i]]
+			shuffled[i] = row
+		}
+		out[f] = base - F1OfClass(c, shuffled, y, numClasses, class)
+	}
+	return out
+}
+
+// TopFeatures returns the indices of the k most important features by
+// score, descending.
+func TopFeatures(importance []float64, k int) []int {
+	idx := make([]int, len(importance))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return importance[idx[a]] > importance[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

@@ -1,0 +1,121 @@
+// Package knn implements k-nearest-neighbour classification with cosine or
+// Euclidean distance. The adaptive models use it both as a local learner
+// and — via Distance() — as the neighbourhood test that decides whether the
+// local model has seen training data near a query point (§4.3).
+package knn
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// Metric selects the distance function.
+type Metric int
+
+// Distance metrics.
+const (
+	Cosine Metric = iota
+	Euclidean
+)
+
+// Config controls the classifier.
+type Config struct {
+	// K is the neighbour count (default 5).
+	K int
+	// Metric is the distance function (default Cosine, as the paper).
+	Metric Metric
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 5
+	}
+	return c
+}
+
+// Classifier is a brute-force kNN classifier.
+type Classifier struct {
+	cfg Config
+	X   [][]float64
+	y   []int
+	k   int
+}
+
+// New returns an untrained kNN classifier.
+func New(cfg Config) *Classifier {
+	return &Classifier{cfg: cfg.withDefaults()}
+}
+
+// Fit implements ml.Classifier (it memorizes the training data).
+func (c *Classifier) Fit(X [][]float64, y []int, numClasses int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("knn: empty training set")
+	}
+	c.X, c.y, c.k = X, y, numClasses
+	return nil
+}
+
+func (c *Classifier) dist(a, b []float64) float64 {
+	if c.cfg.Metric == Euclidean {
+		return ml.EuclideanDistance(a, b)
+	}
+	return ml.CosineDistance(a, b)
+}
+
+// Neighbors returns the indices and distances of the k nearest training
+// points to x, nearest first.
+func (c *Classifier) Neighbors(x []float64, k int) (idx []int, dists []float64) {
+	type nd struct {
+		i int
+		d float64
+	}
+	all := make([]nd, len(c.X))
+	for i := range c.X {
+		all[i] = nd{i: i, d: c.dist(x, c.X[i])}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+	if k > len(all) {
+		k = len(all)
+	}
+	for _, n := range all[:k] {
+		idx = append(idx, n.i)
+		dists = append(dists, n.d)
+	}
+	return idx, dists
+}
+
+// NearestDistance returns the distance from x to its closest training
+// point; the adaptive Nearest Neighbor strategy compares this against a
+// threshold to decide local-vs-offline (§4.3).
+func (c *Classifier) NearestDistance(x []float64) float64 {
+	if len(c.X) == 0 {
+		return 1e18
+	}
+	best := c.dist(x, c.X[0])
+	for i := 1; i < len(c.X); i++ {
+		if d := c.dist(x, c.X[i]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// PredictProba implements ml.Classifier via distance-weighted voting.
+func (c *Classifier) PredictProba(x []float64) []float64 {
+	idx, dists := c.Neighbors(x, c.cfg.K)
+	out := make([]float64, c.k)
+	var total float64
+	for j, i := range idx {
+		w := 1 / (dists[j] + 1e-9)
+		out[c.y[i]] += w
+		total += w
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}

@@ -1,0 +1,50 @@
+package knn
+
+import "testing"
+
+func TestFitRejectsEmpty(t *testing.T) {
+	if err := New(Config{}).Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty knn fit should fail")
+	}
+}
+
+func TestMetricsDiffer(t *testing.T) {
+	X := [][]float64{{1, 0}, {0, 1}, {10, 0}}
+	y := []int{0, 1, 0}
+	cos := New(Config{K: 1, Metric: Cosine})
+	euc := New(Config{K: 1, Metric: Euclidean})
+	if err := cos.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := euc.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Query far along x: cosine sees (1,0) and (10,0) as identical
+	// directions; euclidean prefers (10,0).
+	q := []float64{100, 0}
+	if d := cos.NearestDistance(q); d > 1e-9 {
+		t.Fatalf("cosine distance along same direction should be ~0: %v", d)
+	}
+	idx, _ := euc.Neighbors(q, 1)
+	if idx[0] != 2 {
+		t.Fatalf("euclidean nearest should be (10,0): %d", idx[0])
+	}
+}
+
+func TestNearestDistanceEmptyIndexIsHuge(t *testing.T) {
+	c := New(Config{})
+	if d := c.NearestDistance([]float64{1}); d < 1e17 {
+		t.Fatalf("empty index distance: %v", d)
+	}
+}
+
+func TestNeighborsClampsK(t *testing.T) {
+	c := New(Config{K: 3})
+	if err := c.Fit([][]float64{{1}, {2}}, []int{0, 1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	idx, dists := c.Neighbors([]float64{1.2}, 10)
+	if len(idx) != 2 || len(dists) != 2 {
+		t.Fatalf("k beyond data should clamp: %d", len(idx))
+	}
+}

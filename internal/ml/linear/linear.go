@@ -1,0 +1,255 @@
+// Package linear implements softmax (multinomial logistic) regression and
+// ordinary linear regression, trained with mini-batch Adam and L2
+// regularization. Logistic regression is the paper's linear-learner
+// baseline (§4.1).
+package linear
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+	"repro/internal/util"
+)
+
+// Config controls gradient training.
+type Config struct {
+	// Epochs is the number of passes over the data (default 60).
+	Epochs int
+	// LearningRate is Adam's step size (default 0.01).
+	LearningRate float64
+	// L2 is the weight-decay factor (default 1e-4).
+	L2 float64
+	// BatchSize is the mini-batch size (default 64).
+	BatchSize int
+	// Seed drives shuffling and initialization.
+	Seed int64
+	// Standardize scales inputs to zero mean/unit variance (default on
+	// via NewLogistic/NewLinear).
+	Standardize bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.01
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	return c
+}
+
+// adam holds per-parameter Adam state.
+type adam struct {
+	m, v []float64
+	t    int
+	lr   float64
+}
+
+func newAdam(n int, lr float64) *adam {
+	return &adam{m: make([]float64, n), v: make([]float64, n), lr: lr}
+}
+
+const (
+	beta1 = 0.9
+	beta2 = 0.999
+	eps   = 1e-8
+)
+
+// step applies one Adam update to params given grads.
+func (a *adam) step(params, grads []float64) {
+	a.t++
+	b1c := 1 - math.Pow(beta1, float64(a.t))
+	b2c := 1 - math.Pow(beta2, float64(a.t))
+	for i := range params {
+		a.m[i] = beta1*a.m[i] + (1-beta1)*grads[i]
+		a.v[i] = beta2*a.v[i] + (1-beta2)*grads[i]*grads[i]
+		params[i] -= a.lr * (a.m[i] / b1c) / (math.Sqrt(a.v[i]/b2c) + eps)
+	}
+}
+
+// Logistic is a softmax classifier.
+type Logistic struct {
+	cfg Config
+	// W is [class][feature+1] with the bias last.
+	W    [][]float64
+	std  *ml.Standardizer
+	k, d int
+}
+
+// NewLogistic returns an untrained logistic-regression classifier with
+// standardization enabled.
+func NewLogistic(cfg Config) *Logistic {
+	cfg.Standardize = true
+	return &Logistic{cfg: cfg.withDefaults()}
+}
+
+// Fit implements ml.Classifier.
+func (l *Logistic) Fit(X [][]float64, y []int, numClasses int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("linear: empty training set")
+	}
+	l.k, l.d = numClasses, len(X[0])
+	if l.cfg.Standardize {
+		l.std = ml.FitStandardizer(X)
+		X = l.std.TransformAll(X)
+	}
+	rng := util.NewRNG(l.cfg.Seed)
+	l.W = make([][]float64, l.k)
+	opts := make([]*adam, l.k)
+	grads := make([][]float64, l.k)
+	for c := range l.W {
+		l.W[c] = make([]float64, l.d+1)
+		for j := range l.W[c] {
+			l.W[c][j] = rng.NormFloat64() * 0.01
+		}
+		opts[c] = newAdam(l.d+1, l.cfg.LearningRate)
+		grads[c] = make([]float64, l.d+1)
+	}
+	n := len(X)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for ep := 0; ep < l.cfg.Epochs; ep++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += l.cfg.BatchSize {
+			end := start + l.cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := order[start:end]
+			for c := range grads {
+				for j := range grads[c] {
+					grads[c][j] = 0
+				}
+			}
+			for _, i := range batch {
+				p := l.logits(X[i])
+				proba := ml.Softmax(p)
+				for c := 0; c < l.k; c++ {
+					t := 0.0
+					if y[i] == c {
+						t = 1
+					}
+					g := proba[c] - t
+					for j := 0; j < l.d; j++ {
+						grads[c][j] += g * X[i][j]
+					}
+					grads[c][l.d] += g
+				}
+			}
+			scale := 1 / float64(len(batch))
+			for c := 0; c < l.k; c++ {
+				for j := range grads[c] {
+					grads[c][j] = grads[c][j]*scale + l.cfg.L2*l.W[c][j]
+				}
+				opts[c].step(l.W[c], grads[c])
+			}
+		}
+	}
+	return nil
+}
+
+func (l *Logistic) logits(x []float64) []float64 {
+	out := make([]float64, l.k)
+	for c := 0; c < l.k; c++ {
+		s := l.W[c][l.d]
+		for j := 0; j < l.d; j++ {
+			s += l.W[c][j] * x[j]
+		}
+		out[c] = s
+	}
+	return out
+}
+
+// PredictProba implements ml.Classifier.
+func (l *Logistic) PredictProba(x []float64) []float64 {
+	if l.std != nil {
+		x = l.std.Transform(x)
+	}
+	return ml.Softmax(l.logits(x))
+}
+
+// Linear is an ordinary least-squares regressor trained with Adam.
+type Linear struct {
+	cfg Config
+	w   []float64 // [feature+1], bias last
+	std *ml.Standardizer
+	d   int
+}
+
+// NewLinear returns an untrained linear regressor with standardization.
+func NewLinear(cfg Config) *Linear {
+	cfg.Standardize = true
+	return &Linear{cfg: cfg.withDefaults()}
+}
+
+// Fit implements ml.Regressor.
+func (l *Linear) Fit(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return fmt.Errorf("linear: empty training set")
+	}
+	l.d = len(X[0])
+	if l.cfg.Standardize {
+		l.std = ml.FitStandardizer(X)
+		X = l.std.TransformAll(X)
+	}
+	rng := util.NewRNG(l.cfg.Seed)
+	l.w = make([]float64, l.d+1)
+	opt := newAdam(l.d+1, l.cfg.LearningRate)
+	grads := make([]float64, l.d+1)
+	n := len(X)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for ep := 0; ep < l.cfg.Epochs; ep++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < n; start += l.cfg.BatchSize {
+			end := start + l.cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := order[start:end]
+			for j := range grads {
+				grads[j] = 0
+			}
+			for _, i := range batch {
+				g := l.predictStd(X[i]) - y[i]
+				for j := 0; j < l.d; j++ {
+					grads[j] += g * X[i][j]
+				}
+				grads[l.d] += g
+			}
+			scale := 1 / float64(len(batch))
+			for j := range grads {
+				grads[j] = grads[j]*scale + l.cfg.L2*l.w[j]
+			}
+			opt.step(l.w, grads)
+		}
+	}
+	return nil
+}
+
+func (l *Linear) predictStd(x []float64) float64 {
+	s := l.w[l.d]
+	for j := 0; j < l.d; j++ {
+		s += l.w[j] * x[j]
+	}
+	return s
+}
+
+// Predict implements ml.Regressor.
+func (l *Linear) Predict(x []float64) float64 {
+	if l.std != nil {
+		x = l.std.Transform(x)
+	}
+	return l.predictStd(x)
+}

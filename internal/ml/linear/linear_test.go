@@ -1,0 +1,38 @@
+package linear
+
+import "testing"
+
+func TestFitRejectsEmpty(t *testing.T) {
+	if err := NewLogistic(Config{}).Fit(nil, nil, 2); err == nil {
+		t.Fatal("empty logistic fit should fail")
+	}
+	if err := NewLinear(Config{}).Fit(nil, nil); err == nil {
+		t.Fatal("empty linear fit should fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Epochs != 60 || c.LearningRate != 0.01 || c.L2 != 1e-4 || c.BatchSize != 64 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	// Explicit zero-disable of L2 is preserved through withDefaults only
+	// when negative; 0 means "default".
+	if (Config{L2: -1}).withDefaults().L2 != -1 {
+		t.Fatal("negative L2 should be preserved (explicit disable)")
+	}
+}
+
+func TestLogisticProbabilitiesNormalized(t *testing.T) {
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []int{0, 0, 1, 1}
+	l := NewLogistic(Config{Epochs: 10, Seed: 1})
+	if err := l.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	p := l.PredictProba([]float64{1.5})
+	sum := p[0] + p[1]
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("probabilities must normalize: %v", p)
+	}
+}

@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/util"
+)
+
+// lossOf computes the cross-entropy loss of the network on one sample,
+// without dropout, for numerical differentiation.
+func lossOf(n *Net, x []float64, label int) float64 {
+	p := n.PredictProba(x)
+	return -math.Log(math.Max(p[label], 1e-12))
+}
+
+// numericalGradCheck compares backprop gradients against central finite
+// differences for every parameter of every block.
+func numericalGradCheck(t *testing.T, cfg Config, dim int, groups []int) {
+	t.Helper()
+	cfg.KeyGroups = groups
+	cfg.Epochs = 1
+	cfg.BatchSize = 1
+	cfg.L2 = 0 // isolate the data gradient
+	n := New(cfg)
+	rng := util.NewRNG(99)
+	// One training sample; tiny pre-fit to initialize.
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = rng.Float64()*2 - 1
+	}
+	label := 1
+	if err := n.Fit([][]float64{x, x}, []int{label, label}, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compute analytic gradients via one manual forward/backward.
+	xs := n.std.Transform(x)
+	gW := map[*block][][]float64{}
+	gB := map[*block][]float64{}
+	for _, b := range n.allBlocks() {
+		if b.isPassthrough() {
+			continue
+		}
+		m := make([][]float64, b.out)
+		for o := range m {
+			m[o] = make([]float64, len(b.inIdx))
+		}
+		gW[b] = m
+		gB[b] = make([]float64, b.out)
+	}
+	cur := xs
+	stack := n.stack()
+	for _, l := range stack {
+		cur = l.forward(cur, false, n.rng) // no dropout
+	}
+	proba := ml.Softmax(cur)
+	dout := make([]float64, len(proba))
+	for c := range proba {
+		tgt := 0.0
+		if c == label {
+			tgt = 1
+		}
+		dout[c] = proba[c] - tgt
+	}
+	for li := len(stack) - 1; li >= 0; li-- {
+		dout = stack[li].backward(dout, gW, gB)
+	}
+
+	const eps = 1e-5
+	const tol = 2e-3
+	checked := 0
+	for _, b := range n.allBlocks() {
+		if b.isPassthrough() {
+			continue
+		}
+		for o := range b.W {
+			for i := range b.W[o] {
+				orig := b.W[o][i]
+				b.W[o][i] = orig + eps
+				lp := lossOf(n, x, label)
+				b.W[o][i] = orig - eps
+				lm := lossOf(n, x, label)
+				b.W[o][i] = orig
+				numeric := (lp - lm) / (2 * eps)
+				analytic := gW[b][o][i]
+				if math.Abs(numeric-analytic) > tol*(1+math.Abs(numeric)) {
+					t.Fatalf("weight grad mismatch: numeric %v vs analytic %v", numeric, analytic)
+				}
+				checked++
+			}
+			orig := b.B[o]
+			b.B[o] = orig + eps
+			lp := lossOf(n, x, label)
+			b.B[o] = orig - eps
+			lm := lossOf(n, x, label)
+			b.B[o] = orig
+			numeric := (lp - lm) / (2 * eps)
+			if math.Abs(numeric-gB[b][o]) > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("bias grad mismatch: numeric %v vs analytic %v", numeric, gB[b][o])
+			}
+			checked++
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("gradient check covered only %d parameters", checked)
+	}
+}
+
+// TestGradientChecks verifies backprop against central finite differences
+// for every architecture variant.
+func TestGradientChecks(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		dim    int
+		groups []int
+	}{
+		{
+			name: "dense-tanh",
+			cfg: Config{Hidden: []LayerSpec{
+				{Kind: Dense, Out: 5, Act: Tanh},
+				{Kind: Dense, Out: 4, Act: Tanh},
+			}},
+			dim: 6,
+		},
+		{
+			name: "dense-relu-skip",
+			cfg: Config{Hidden: []LayerSpec{
+				{Kind: Dense, Out: 6, Act: ReLU},
+				{Kind: Dense, Out: 6, Act: Tanh, Skip: true},
+			}},
+			dim: 6,
+		},
+		{
+			name: "partial",
+			cfg: Config{Hidden: []LayerSpec{
+				{Kind: PartialGroup, Out: 3, Act: Tanh},
+				{Kind: PartialGroup, Out: 1, Act: Tanh},
+				{Kind: Dense, Out: 4, Act: Tanh},
+			}},
+			dim:    7,
+			groups: []int{0, 0, 1, 1, 2, 2, -1},
+		},
+		{
+			name: "highway",
+			cfg: Config{Hidden: []LayerSpec{
+				{Kind: Dense, Out: 5, Act: Tanh},
+				{Kind: Highway, Act: Tanh},
+			}},
+			dim: 6,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			numericalGradCheck(t, c.cfg, c.dim, c.groups)
+		})
+	}
+}

@@ -1,0 +1,80 @@
+package tree
+
+import "fmt"
+
+// Dump is the flat, export-friendly form of a trained tree, suitable for
+// encoding/gob. Nodes are stored in pre-order; leaves have Feature == -1.
+type Dump struct {
+	Feature    []int32
+	Thresh     []float64
+	Left       []int32 // child ids; 0 is never a valid child (root is 0)
+	Right      []int32
+	Value      []float64 // regression payload
+	Proba      []float64 // classification payload, NumClasses per leaf (zeros for internals)
+	NumClasses int
+}
+
+// Encode flattens the tree.
+func (t *Tree) Encode() *Dump {
+	d := &Dump{NumClasses: t.numClasses}
+	var visit func(n *node) int32
+	visit = func(n *node) int32 {
+		id := int32(len(d.Feature))
+		d.Feature = append(d.Feature, int32(n.feature))
+		d.Thresh = append(d.Thresh, n.thresh)
+		d.Left = append(d.Left, 0)
+		d.Right = append(d.Right, 0)
+		d.Value = append(d.Value, n.value)
+		proba := make([]float64, t.numClasses)
+		copy(proba, n.proba)
+		d.Proba = append(d.Proba, proba...)
+		if !n.isLeaf() {
+			l := visit(n.left)
+			r := visit(n.right)
+			d.Left[id] = l
+			d.Right[id] = r
+		}
+		return id
+	}
+	if t.root != nil {
+		visit(t.root)
+	}
+	return d
+}
+
+// Decode rebuilds a tree from its flat form.
+func Decode(d *Dump) (*Tree, error) {
+	n := len(d.Feature)
+	if n == 0 {
+		return nil, fmt.Errorf("tree: empty dump")
+	}
+	if len(d.Thresh) != n || len(d.Left) != n || len(d.Right) != n || len(d.Value) != n {
+		return nil, fmt.Errorf("tree: inconsistent dump arrays")
+	}
+	if d.NumClasses > 0 && len(d.Proba) != n*d.NumClasses {
+		return nil, fmt.Errorf("tree: proba array length %d != %d", len(d.Proba), n*d.NumClasses)
+	}
+	nodes := make([]node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = node{
+			feature: int(d.Feature[i]),
+			thresh:  d.Thresh[i],
+			value:   d.Value[i],
+		}
+		if d.NumClasses > 0 && d.Feature[i] < 0 {
+			nodes[i].proba = d.Proba[i*d.NumClasses : (i+1)*d.NumClasses]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if d.Feature[i] < 0 {
+			continue
+		}
+		l, r := d.Left[i], d.Right[i]
+		if l <= 0 || r <= 0 || int(l) >= n || int(r) >= n {
+			return nil, fmt.Errorf("tree: bad child ids at node %d", i)
+		}
+		nodes[i].left = &nodes[l]
+		nodes[i].right = &nodes[r]
+	}
+	return &Tree{root: &nodes[0], numClasses: d.NumClasses, nodes: n}, nil
+}

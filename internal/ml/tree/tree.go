@@ -1,0 +1,331 @@
+// Package tree implements CART decision trees: Gini-impurity
+// classification trees and variance-reduction regression trees, with the
+// regularization knobs the paper tunes (§7.4): minimum samples per leaf and
+// an impurity early-stopping threshold, plus per-split feature subsampling
+// for random forests.
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/util"
+)
+
+// Config controls tree induction.
+type Config struct {
+	// MaxDepth bounds tree depth; 0 means unlimited.
+	MaxDepth int
+	// MinLeaf is the minimum number of samples in a leaf (default 1).
+	MinLeaf int
+	// ImpurityThreshold stops splitting when a node's impurity (Gini for
+	// classification, variance for regression) falls below it.
+	ImpurityThreshold float64
+	// MaxFeatures is the number of features sampled per split; 0 uses all.
+	MaxFeatures int
+	// Seed drives feature subsampling.
+	Seed int64
+}
+
+func (c Config) minLeaf() int {
+	if c.MinLeaf < 1 {
+		return 1
+	}
+	return c.MinLeaf
+}
+
+// node is one tree node; leaves carry a class distribution or value.
+type node struct {
+	feature int
+	thresh  float64
+	left    *node
+	right   *node
+	// Leaf payload.
+	proba []float64 // classification
+	value float64   // regression
+}
+
+func (n *node) isLeaf() bool { return n.left == nil }
+
+// Tree is a trained decision tree.
+type Tree struct {
+	cfg        Config
+	root       *node
+	numClasses int // 0 for regression trees
+	nodes      int
+}
+
+// NumNodes returns the node count (a size/complexity measure).
+func (t *Tree) NumNodes() int { return t.nodes }
+
+// splitCtx carries induction state.
+type splitCtx struct {
+	X   [][]float64
+	y   []int     // classification labels
+	yf  []float64 // regression targets
+	k   int
+	rng *util.RNG
+	cfg Config
+}
+
+// FitClassifier trains a Gini classification tree on rows idx of (X, y).
+// idx == nil uses all rows.
+func (t *Tree) FitClassifier(X [][]float64, y []int, numClasses int, idx []int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("tree: empty training set")
+	}
+	if numClasses < 2 {
+		return fmt.Errorf("tree: need at least 2 classes, got %d", numClasses)
+	}
+	t.numClasses = numClasses
+	if idx == nil {
+		idx = seq(len(X))
+	}
+	ctx := &splitCtx{X: X, y: y, k: numClasses, rng: util.NewRNG(t.cfg.Seed), cfg: t.cfg}
+	t.root = t.grow(ctx, idx, 0)
+	return nil
+}
+
+// FitRegressor trains a variance-reduction regression tree.
+func (t *Tree) FitRegressor(X [][]float64, y []float64, idx []int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("tree: empty training set")
+	}
+	t.numClasses = 0
+	if idx == nil {
+		idx = seq(len(X))
+	}
+	ctx := &splitCtx{X: X, yf: y, rng: util.NewRNG(t.cfg.Seed), cfg: t.cfg}
+	t.root = t.grow(ctx, idx, 0)
+	return nil
+}
+
+// New creates an untrained tree with the given config.
+func New(cfg Config) *Tree { return &Tree{cfg: cfg} }
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// leaf builds a leaf node for the samples in idx.
+func (t *Tree) leaf(ctx *splitCtx, idx []int) *node {
+	t.nodes++
+	if ctx.k > 0 {
+		proba := make([]float64, ctx.k)
+		for _, i := range idx {
+			proba[ctx.y[i]]++
+		}
+		for c := range proba {
+			proba[c] /= float64(len(idx))
+		}
+		return &node{feature: -1, proba: proba}
+	}
+	var sum float64
+	for _, i := range idx {
+		sum += ctx.yf[i]
+	}
+	return &node{feature: -1, value: sum / float64(len(idx))}
+}
+
+// impurity computes Gini (classification) or variance (regression).
+func impurity(ctx *splitCtx, idx []int) float64 {
+	n := float64(len(idx))
+	if n == 0 {
+		return 0
+	}
+	if ctx.k > 0 {
+		counts := make([]float64, ctx.k)
+		for _, i := range idx {
+			counts[ctx.y[i]]++
+		}
+		g := 1.0
+		for _, c := range counts {
+			p := c / n
+			g -= p * p
+		}
+		return g
+	}
+	var sum, sumsq float64
+	for _, i := range idx {
+		v := ctx.yf[i]
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	return sumsq/n - mean*mean
+}
+
+// grow recursively builds the tree.
+func (t *Tree) grow(ctx *splitCtx, idx []int, depth int) *node {
+	if len(idx) < 2*ctx.cfg.minLeaf() ||
+		(ctx.cfg.MaxDepth > 0 && depth >= ctx.cfg.MaxDepth) ||
+		impurity(ctx, idx) <= ctx.cfg.ImpurityThreshold {
+		return t.leaf(ctx, idx)
+	}
+	feat, thresh, ok := t.bestSplit(ctx, idx)
+	if !ok {
+		return t.leaf(ctx, idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if ctx.X[i][feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < ctx.cfg.minLeaf() || len(right) < ctx.cfg.minLeaf() {
+		return t.leaf(ctx, idx)
+	}
+	t.nodes++
+	return &node{
+		feature: feat,
+		thresh:  thresh,
+		left:    t.grow(ctx, left, depth+1),
+		right:   t.grow(ctx, right, depth+1),
+	}
+}
+
+// bestSplit scans candidate features for the split with the largest
+// impurity reduction.
+func (t *Tree) bestSplit(ctx *splitCtx, idx []int) (feat int, thresh float64, ok bool) {
+	d := len(ctx.X[0])
+	feats := seq(d)
+	if ctx.cfg.MaxFeatures > 0 && ctx.cfg.MaxFeatures < d {
+		feats = ctx.rng.SampleWithoutReplacement(d, ctx.cfg.MaxFeatures)
+	}
+	bestGain := 1e-12
+	vals := make([]fvPair, len(idx))
+	for _, f := range feats {
+		for p, i := range idx {
+			vals[p] = fvPair{v: ctx.X[i][f], i: i}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		if vals[0].v == vals[len(vals)-1].v {
+			continue // constant feature
+		}
+		if ctx.k > 0 {
+			if g, th, found := bestGiniSplit(ctx, vals); found && g > bestGain {
+				bestGain, feat, thresh, ok = g, f, th, true
+			}
+		} else {
+			if g, th, found := bestVarSplit(ctx, vals); found && g > bestGain {
+				bestGain, feat, thresh, ok = g, f, th, true
+			}
+		}
+	}
+	return feat, thresh, ok
+}
+
+// fvPair is a (feature value, row index) pair for split scanning.
+type fvPair struct {
+	v float64
+	i int
+}
+
+// bestGiniSplit scans sorted values accumulating class counts.
+func bestGiniSplit(ctx *splitCtx, vals []fvPair) (gain, thresh float64, ok bool) {
+	n := len(vals)
+	total := make([]float64, ctx.k)
+	for _, p := range vals {
+		total[ctx.y[p.i]]++
+	}
+	parent := giniOf(total, float64(n))
+	left := make([]float64, ctx.k)
+	minLeaf := ctx.cfg.minLeaf()
+	for p := 0; p < n-1; p++ {
+		left[ctx.y[vals[p].i]]++
+		if vals[p].v == vals[p+1].v {
+			continue
+		}
+		nl := p + 1
+		nr := n - nl
+		if nl < minLeaf || nr < minLeaf {
+			continue
+		}
+		right := make([]float64, ctx.k)
+		for c := range right {
+			right[c] = total[c] - left[c]
+		}
+		g := parent - (float64(nl)*giniOf(left, float64(nl))+float64(nr)*giniOf(right, float64(nr)))/float64(n)
+		if g > gain {
+			gain = g
+			thresh = (vals[p].v + vals[p+1].v) / 2
+			ok = true
+		}
+	}
+	return gain, thresh, ok
+}
+
+func giniOf(counts []float64, n float64) float64 {
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}
+
+// bestVarSplit scans sorted values accumulating sums for variance gain.
+func bestVarSplit(ctx *splitCtx, vals []fvPair) (gain, thresh float64, ok bool) {
+	n := len(vals)
+	var totSum, totSq float64
+	for _, p := range vals {
+		v := ctx.yf[p.i]
+		totSum += v
+		totSq += v * v
+	}
+	parent := totSq/float64(n) - (totSum/float64(n))*(totSum/float64(n))
+	var lSum, lSq float64
+	minLeaf := ctx.cfg.minLeaf()
+	for p := 0; p < n-1; p++ {
+		v := ctx.yf[vals[p].i]
+		lSum += v
+		lSq += v * v
+		if vals[p].v == vals[p+1].v {
+			continue
+		}
+		nl := float64(p + 1)
+		nr := float64(n) - nl
+		if int(nl) < minLeaf || int(nr) < minLeaf {
+			continue
+		}
+		rSum, rSq := totSum-lSum, totSq-lSq
+		lVar := lSq/nl - (lSum/nl)*(lSum/nl)
+		rVar := rSq/nr - (rSum/nr)*(rSum/nr)
+		g := parent - (nl*lVar+nr*rVar)/float64(n)
+		if g > gain {
+			gain = g
+			thresh = (vals[p].v + vals[p+1].v) / 2
+			ok = true
+		}
+	}
+	return gain, thresh, ok
+}
+
+// descend walks to the leaf for x.
+func (t *Tree) descend(x []float64) *node {
+	n := t.root
+	for !n.isLeaf() {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n
+}
+
+// PredictProba returns the class distribution of x's leaf.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	return t.descend(x).proba
+}
+
+// Predict returns the regression value of x's leaf.
+func (t *Tree) Predict(x []float64) float64 {
+	return t.descend(x).value
+}

@@ -1,0 +1,146 @@
+// Package models implements the paper's task-level models over the ML
+// substrate: the plan-pair classifier (§2.2/§4) with any base learner, the
+// regressor baselines of §6.1 (operator-level, plan-level, pair-ratio), the
+// optimizer baseline, the Hybrid DNN (§6.2.2), and the adaptive models of
+// §4.3/§6.2.3 (Local, Uncertainty, Nearest Neighbor, Meta, transfer).
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/engine/plan"
+	"repro/internal/expdata"
+	"repro/internal/feat"
+	"repro/internal/ml"
+)
+
+// Comparator predicts the cost relation of a plan pair (P1, P2): whether
+// P2 regresses, improves, or is comparable. This is the interface the index
+// tuner consumes (§5).
+type Comparator interface {
+	Compare(p1, p2 *plan.Plan) expdata.Label
+}
+
+// IsRegression reports whether moving from pOld's plan to pNew's plan is
+// predicted to significantly increase execution cost.
+func IsRegression(c Comparator, pOld, pNew *plan.Plan) bool {
+	return c.Compare(pOld, pNew) == expdata.Regression
+}
+
+// IsImprovement reports whether pNew is predicted to be significantly
+// cheaper than pOld.
+func IsImprovement(c Comparator, pOld, pNew *plan.Plan) bool {
+	return c.Compare(pOld, pNew) == expdata.Improvement
+}
+
+// Classifier is the paper's core contribution: a ternary classifier over
+// featurized plan pairs, directly minimizing comparison errors.
+type Classifier struct {
+	Feat  *feat.Featurizer
+	Model ml.Classifier
+	// Alpha is the significance threshold the training labels use.
+	Alpha float64
+
+	trained bool
+}
+
+// NewClassifier wires a base learner to a featurizer at threshold alpha.
+func NewClassifier(f *feat.Featurizer, m ml.Classifier, alpha float64) *Classifier {
+	if alpha <= 0 {
+		alpha = expdata.DefaultAlpha
+	}
+	return &Classifier{Feat: f, Model: m, Alpha: alpha}
+}
+
+// Vectorize converts pairs into a feature matrix and label vector.
+func (c *Classifier) Vectorize(pairs []expdata.Pair) ([][]float64, []int) {
+	X := make([][]float64, len(pairs))
+	y := make([]int, len(pairs))
+	for i, p := range pairs {
+		X[i] = c.Feat.Pair(p.P1.Plan, p.P2.Plan)
+		y[i] = int(p.Label(c.Alpha))
+	}
+	return X, y
+}
+
+// Train fits the base learner on labeled pairs.
+func (c *Classifier) Train(pairs []expdata.Pair) error {
+	if len(pairs) == 0 {
+		return fmt.Errorf("models: no training pairs")
+	}
+	X, y := c.Vectorize(pairs)
+	if err := c.Model.Fit(X, y, expdata.NumLabels); err != nil {
+		return err
+	}
+	c.trained = true
+	return nil
+}
+
+// TrainVectors fits the base learner on pre-featurized pair vectors (the
+// telemetry training path: vectors come from expdata.TelemetryPairs).
+func (c *Classifier) TrainVectors(X [][]float64, y []int) error {
+	if len(X) == 0 {
+		return fmt.Errorf("models: no training vectors")
+	}
+	if err := c.Model.Fit(X, y, expdata.NumLabels); err != nil {
+		return err
+	}
+	c.trained = true
+	return nil
+}
+
+// Trained reports whether Train has succeeded.
+func (c *Classifier) Trained() bool { return c.trained }
+
+// PredictProba returns class probabilities for a plan pair.
+func (c *Classifier) PredictProba(p1, p2 *plan.Plan) []float64 {
+	return c.Model.PredictProba(c.Feat.Pair(p1, p2))
+}
+
+// Compare implements Comparator.
+func (c *Classifier) Compare(p1, p2 *plan.Plan) expdata.Label {
+	return expdata.Label(ml.Predict(c.Model, c.Feat.Pair(p1, p2)))
+}
+
+// Uncertainty returns 1 − max class probability for a pair.
+func (c *Classifier) Uncertainty(p1, p2 *plan.Plan) float64 {
+	return ml.Uncertainty(c.PredictProba(p1, p2))
+}
+
+// EvaluateF1 scores a comparator on test pairs, returning the F1 of the
+// given class (the paper reports the regression class, §7.1).
+func EvaluateF1(c Comparator, pairs []expdata.Pair, alpha float64, class expdata.Label) float64 {
+	conf := ml.NewConfusion(expdata.NumLabels)
+	for _, p := range pairs {
+		conf.Add(int(p.Label(alpha)), int(c.Compare(p.P1.Plan, p.P2.Plan)))
+	}
+	return conf.Metrics(int(class)).F1
+}
+
+// EvaluateMetrics returns the full confusion matrix of a comparator.
+func EvaluateMetrics(c Comparator, pairs []expdata.Pair, alpha float64) *ml.Confusion {
+	conf := ml.NewConfusion(expdata.NumLabels)
+	for _, p := range pairs {
+		conf.Add(int(p.Label(alpha)), int(c.Compare(p.P1.Plan, p.P2.Plan)))
+	}
+	return conf
+}
+
+// OptimizerBaseline compares plans by the optimizer's estimated total cost
+// with the same α thresholds — the state-of-the-art tuner behaviour.
+type OptimizerBaseline struct {
+	Alpha float64
+}
+
+// NewOptimizerBaseline returns the optimizer-estimate comparator.
+func NewOptimizerBaseline(alpha float64) *OptimizerBaseline {
+	if alpha <= 0 {
+		alpha = expdata.DefaultAlpha
+	}
+	return &OptimizerBaseline{Alpha: alpha}
+}
+
+// Compare implements Comparator.
+func (o *OptimizerBaseline) Compare(p1, p2 *plan.Plan) expdata.Label {
+	return expdata.LabelOf(p1.EstTotalCost, p2.EstTotalCost, o.Alpha)
+}

@@ -1,0 +1,93 @@
+package models
+
+import (
+	"fmt"
+
+	"repro/internal/expdata"
+	"repro/internal/feat"
+	"repro/internal/ml"
+	"repro/internal/ml/forest"
+	"repro/internal/ml/nn"
+)
+
+// HybridDNN stacks a random forest on the last hidden layer of a DNN
+// (§6.2.2): the network learns the latent representation, the forest the
+// decision rules. Adaptation retrains only the forest head on new data
+// while the network stays frozen (§6.2.3).
+type HybridDNN struct {
+	Net      *nn.Net
+	RFConfig forest.Config
+
+	rf *forest.Classifier
+	k  int
+}
+
+// NewHybridDNN wires a network to a forest head.
+func NewHybridDNN(net *nn.Net, rfCfg forest.Config) *HybridDNN {
+	if rfCfg.Trees == 0 {
+		rfCfg.Trees = 50 // the paper stacks an RF with 50 trees
+	}
+	return &HybridDNN{Net: net, RFConfig: rfCfg}
+}
+
+// Fit implements ml.Classifier: trains the DNN, then the forest on the
+// latent representations.
+func (h *HybridDNN) Fit(X [][]float64, y []int, numClasses int) error {
+	h.k = numClasses
+	if err := h.Net.Fit(X, y, numClasses); err != nil {
+		return err
+	}
+	return h.fitHead(X, y)
+}
+
+func (h *HybridDNN) fitHead(X [][]float64, y []int) error {
+	H := make([][]float64, len(X))
+	for i, x := range X {
+		H[i] = h.Net.Hidden(x)
+	}
+	h.rf = forest.NewClassifier(h.RFConfig)
+	return h.rf.Fit(H, y, h.k)
+}
+
+// AdaptHead retrains only the forest head on new data, the transfer path
+// for the hybrid model.
+func (h *HybridDNN) AdaptHead(X [][]float64, y []int) error {
+	if h.rf == nil {
+		return fmt.Errorf("models: hybrid head adaptation before Fit")
+	}
+	return h.fitHead(X, y)
+}
+
+// PredictProba implements ml.Classifier.
+func (h *HybridDNN) PredictProba(x []float64) []float64 {
+	return h.rf.PredictProba(h.Net.Hidden(x))
+}
+
+// HybridAdaptive wraps a trained hybrid-DNN classifier as an Adaptive
+// comparator: Adapt retrains the RF head on local pairs.
+type HybridAdaptive struct {
+	*Classifier
+	hybrid *HybridDNN
+}
+
+// NewHybridAdaptive builds the adaptive wrapper around an offline-trained
+// hybrid classifier.
+func NewHybridAdaptive(f *feat.Featurizer, hybrid *HybridDNN, alpha float64) *HybridAdaptive {
+	return &HybridAdaptive{
+		Classifier: NewClassifier(f, hybrid, alpha),
+		hybrid:     hybrid,
+	}
+}
+
+// Adapt implements Adaptive.
+func (h *HybridAdaptive) Adapt(local []expdata.Pair) error {
+	X, y := h.Vectorize(local)
+	return h.hybrid.AdaptHead(X, y)
+}
+
+var _ ml.Classifier = (*HybridDNN)(nil)
+var _ Adaptive = (*HybridAdaptive)(nil)
+var _ Adaptive = (*Local)(nil)
+var _ Adaptive = (*Uncertainty)(nil)
+var _ Adaptive = (*NearestNeighbor)(nil)
+var _ Adaptive = (*Meta)(nil)

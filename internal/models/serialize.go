@@ -1,0 +1,81 @@
+package models
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/feat"
+	"repro/internal/ml/forest"
+)
+
+// classifierHeader persists everything about a trained RF classifier
+// except the forest itself: the featurization recipe and the threshold.
+type classifierHeader struct {
+	Channels         []int
+	Transform        int
+	IncludeTotalCost bool
+	Alpha            float64
+}
+
+// SaveClassifier serializes a trained RF-based classifier: the
+// featurization configuration followed by the forest. Only random-forest
+// base learners are supported (the deployment configuration of §2.3).
+func SaveClassifier(c *Classifier, w io.Writer) error {
+	rf, ok := c.Model.(*forest.Classifier)
+	if !ok {
+		return fmt.Errorf("models: only random-forest classifiers are serializable, got %T", c.Model)
+	}
+	hdr := classifierHeader{
+		Transform:        int(c.Feat.Transform),
+		IncludeTotalCost: c.Feat.IncludeTotalCost,
+		Alpha:            c.Alpha,
+	}
+	for _, ch := range c.Feat.Channels {
+		hdr.Channels = append(hdr.Channels, int(ch))
+	}
+	dump, err := rf.EncodeDump()
+	if err != nil {
+		return err
+	}
+	// One gob stream holds both messages: gob decoders read ahead, so two
+	// independent streams on the same reader would not round-trip.
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&hdr); err != nil {
+		return err
+	}
+	return enc.Encode(dump)
+}
+
+// LoadClassifier reads a classifier written by SaveClassifier.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	dec := gob.NewDecoder(r)
+	var hdr classifierHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("models: decoding classifier header: %w", err)
+	}
+	f := &feat.Featurizer{
+		Transform:        feat.PairTransform(hdr.Transform),
+		IncludeTotalCost: hdr.IncludeTotalCost,
+	}
+	for _, ch := range hdr.Channels {
+		if ch < 0 || ch >= feat.NumChannels {
+			return nil, fmt.Errorf("models: bad channel id %d", ch)
+		}
+		f.Channels = append(f.Channels, feat.Channel(ch))
+	}
+	if hdr.Transform < 0 || hdr.Transform >= feat.NumTransforms {
+		return nil, fmt.Errorf("models: bad transform id %d", hdr.Transform)
+	}
+	var dump forest.Dump
+	if err := dec.Decode(&dump); err != nil {
+		return nil, fmt.Errorf("models: decoding forest: %w", err)
+	}
+	rf, err := forest.FromDump(&dump)
+	if err != nil {
+		return nil, err
+	}
+	clf := NewClassifier(f, rf, hdr.Alpha)
+	clf.trained = true
+	return clf, nil
+}

@@ -1,0 +1,72 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/expdata"
+	"repro/internal/feat"
+	"repro/internal/ml/linear"
+)
+
+func TestClassifierSaveLoadRoundTrip(t *testing.T) {
+	train, test := trainTest(t, expdata.SplitPair)
+	clf := NewClassifier(feat.Default(), RF(40, 5), expdata.DefaultAlpha)
+	if err := clf.Train(train); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveClassifier(clf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	size := buf.Len()
+	if size < 1024 {
+		t.Fatalf("model blob suspiciously small: %d bytes", size)
+	}
+	t.Logf("serialized model: %d KB", size/1024)
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Trained() || loaded.Alpha != clf.Alpha {
+		t.Fatal("metadata not restored")
+	}
+	if loaded.Feat.Transform != clf.Feat.Transform || len(loaded.Feat.Channels) != len(clf.Feat.Channels) {
+		t.Fatal("featurizer not restored")
+	}
+	// Predictions must be bit-identical.
+	for i, p := range test {
+		if i >= 300 {
+			break
+		}
+		a := clf.PredictProba(p.P1.Plan, p.P2.Plan)
+		b := loaded.PredictProba(p.P1.Plan, p.P2.Plan)
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatalf("prediction diverged after round trip at pair %d class %d", i, c)
+			}
+		}
+	}
+}
+
+func TestSaveRejectsNonForest(t *testing.T) {
+	clf := NewClassifier(feat.Default(), linear.NewLogistic(linear.Config{Epochs: 1}), 0.2)
+	var buf bytes.Buffer
+	if err := SaveClassifier(clf, &buf); err == nil {
+		t.Fatal("non-RF model should not serialize")
+	}
+}
+
+func TestSaveRejectsUntrained(t *testing.T) {
+	clf := NewClassifier(feat.Default(), RF(10, 1), 0.2)
+	var buf bytes.Buffer
+	if err := SaveClassifier(clf, &buf); err == nil {
+		t.Fatal("untrained model should not serialize")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadClassifier(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage should not load")
+	}
+}

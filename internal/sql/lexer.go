@@ -1,0 +1,131 @@
+// Package sql parses the engine's SQL dialect into the logical query
+// model: single-block SELECT statements with qualified columns, aggregate
+// functions, conjunctive comparison/BETWEEN predicates, equijoins in the
+// WHERE clause, GROUP BY, ORDER BY [DESC], and LIMIT.
+//
+// The dialect is exactly what query.Query.SQL() renders, so parsing is the
+// inverse of rendering — a round-trip property the tests enforce over every
+// generated workload query.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // = <= >= < >
+	tokKeyword
+)
+
+// keywords of the dialect (upper-cased).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"GROUP": true, "ORDER": true, "BY": true, "DESC": true, "ASC": true,
+	"LIMIT": true, "BETWEEN": true, "COUNT": true, "SUM": true,
+	"MIN": true, "MAX": true, "AVG": true, "AS": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes the input.
+type lexer struct {
+	in  string
+	pos int
+}
+
+func (l *lexer) errf(pos int, format string, args ...interface{}) error {
+	return fmt.Errorf("sql: at offset %d: %s", pos, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.in) && unicode.IsSpace(rune(l.in[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.in) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.in[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '.':
+		l.pos++
+		return token{kind: tokDot, text: ".", pos: start}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == '*':
+		l.pos++
+		return token{kind: tokStar, text: "*", pos: start}, nil
+	case c == '=', c == '<', c == '>':
+		l.pos++
+		if (c == '<' || c == '>') && l.pos < len(l.in) && l.in[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokOp, text: l.in[start:l.pos], pos: start}, nil
+	case c == '-' || unicode.IsDigit(rune(c)):
+		l.pos++
+		for l.pos < len(l.in) && unicode.IsDigit(rune(l.in[l.pos])) {
+			l.pos++
+		}
+		if l.pos == start+1 && c == '-' {
+			return token{}, l.errf(start, "dangling '-'")
+		}
+		return token{kind: tokNumber, text: l.in[start:l.pos], pos: start}, nil
+	case unicode.IsLetter(rune(c)) || c == '_':
+		l.pos++
+		for l.pos < len(l.in) {
+			r := rune(l.in[l.pos])
+			if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+				break
+			}
+			l.pos++
+		}
+		text := l.in[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			return token{kind: tokKeyword, text: strings.ToUpper(text), pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+// lex tokenizes the whole input.
+func lex(in string) ([]token, error) {
+	l := &lexer{in: in}
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,422 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/query"
+)
+
+// Parse parses one SELECT statement into a logical query. When schema is
+// non-nil, unqualified column references are resolved against it and the
+// result is validated; with a nil schema all columns must be qualified as
+// table.column and no validation runs.
+func Parse(input string, schema *catalog.Schema) (*query.Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, schema: schema, in: input}
+	q, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if schema != nil {
+		if err := q.Validate(schema); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks   []token
+	i      int
+	schema *catalog.Schema
+	in     string
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("sql: at offset %d near %q: %s", t.pos, t.text, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.advance()
+	if t.kind != tokKeyword || t.text != kw {
+		return p.errf(t, "expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokKeyword && t.text == kw
+}
+
+// selectItem is a parsed projection entry: either a column or an aggregate.
+type selectItem struct {
+	col *query.ColRef
+	agg *query.Agg
+}
+
+// parseSelect parses: SELECT items FROM tables [WHERE conj] [GROUP BY cols]
+// [ORDER BY cols [DESC]] [LIMIT n].
+func (p *parser) parseSelect() (*query.Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	var items []selectItem
+	star := false
+	for {
+		if p.peek().kind == tokStar {
+			p.advance()
+			star = true
+		} else {
+			it, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, it)
+		}
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	q := &query.Query{Weight: 1}
+	for {
+		t := p.advance()
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected table name")
+		}
+		q.Tables = append(q.Tables, t.text)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+
+	if p.atKeyword("WHERE") {
+		p.advance()
+		if err := p.parseConjunction(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		cols, err := p.parseColumnList(q)
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = cols
+	}
+	if p.atKeyword("ORDER") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		cols, err := p.parseColumnList(q)
+		if err != nil {
+			return nil, err
+		}
+		q.OrderBy = cols
+		if p.atKeyword("DESC") {
+			p.advance()
+			q.Desc = true
+		} else if p.atKeyword("ASC") {
+			p.advance()
+		}
+	}
+	if p.atKeyword("LIMIT") {
+		p.advance()
+		t := p.advance()
+		if t.kind != tokNumber {
+			return nil, p.errf(t, "expected LIMIT count")
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf(t, "bad LIMIT count")
+		}
+		q.Limit = n
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, p.errf(t, "unexpected trailing input")
+	}
+
+	// Distribute select items: aggregates vs plain columns. Group-by
+	// columns repeated in the projection are dropped (they are implied).
+	// Column references are resolved now that the table list is known.
+	for _, it := range items {
+		if it.agg != nil {
+			agg := *it.agg
+			if agg.Func != query.Count {
+				col, err := p.resolve(q, agg.Col)
+				if err != nil {
+					return nil, err
+				}
+				agg.Col = col
+			}
+			q.Aggs = append(q.Aggs, agg)
+			continue
+		}
+		col, err := p.resolve(q, *it.col)
+		if err != nil {
+			return nil, err
+		}
+		implied := false
+		for _, g := range q.GroupBy {
+			if g == col {
+				implied = true
+			}
+		}
+		if !implied {
+			q.Select = append(q.Select, col)
+		}
+	}
+	if star && len(q.Aggs) == 0 && len(q.GroupBy) == 0 && len(q.Select) == 0 {
+		// SELECT *: project the first column of each table (the engine
+		// materializes full rows regardless; this keeps validation happy).
+		for _, tn := range q.Tables {
+			if p.schema != nil {
+				if tb := p.schema.Table(tn); tb != nil && len(tb.Columns) > 0 {
+					q.Select = append(q.Select, query.ColRef{Table: tn, Column: tb.Columns[0].Name})
+				}
+			}
+		}
+		if p.schema == nil {
+			return nil, fmt.Errorf("sql: SELECT * requires a schema")
+		}
+	}
+	if len(q.Aggs) > 0 && len(q.Select) > 0 {
+		return nil, fmt.Errorf("sql: cannot mix aggregates with plain select columns (use GROUP BY)")
+	}
+	return q, nil
+}
+
+// parseSelectItem parses `agg(col)`, `COUNT(*)`, or a column reference.
+func (p *parser) parseSelectItem() (selectItem, error) {
+	t := p.peek()
+	if t.kind == tokKeyword {
+		var fn query.AggFunc
+		switch t.text {
+		case "COUNT":
+			fn = query.Count
+		case "SUM":
+			fn = query.Sum
+		case "MIN":
+			fn = query.Min
+		case "MAX":
+			fn = query.Max
+		case "AVG":
+			fn = query.Avg
+		default:
+			return selectItem{}, p.errf(t, "unexpected keyword in select list")
+		}
+		p.advance()
+		if tt := p.advance(); tt.kind != tokLParen {
+			return selectItem{}, p.errf(tt, "expected ( after aggregate")
+		}
+		agg := query.Agg{Func: fn}
+		if fn == query.Count {
+			if tt := p.advance(); tt.kind != tokStar {
+				return selectItem{}, p.errf(tt, "expected COUNT(*)")
+			}
+		} else {
+			col, err := p.parseColumn()
+			if err != nil {
+				return selectItem{}, err
+			}
+			agg.Col = col
+		}
+		if tt := p.advance(); tt.kind != tokRParen {
+			return selectItem{}, p.errf(tt, "expected )")
+		}
+		return selectItem{agg: &agg}, nil
+	}
+	col, err := p.parseColumn()
+	if err != nil {
+		return selectItem{}, err
+	}
+	return selectItem{col: &col}, nil
+}
+
+// parseColumn parses table.column, or a bare column resolved later.
+func (p *parser) parseColumn() (query.ColRef, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return query.ColRef{}, p.errf(t, "expected column reference")
+	}
+	if p.peek().kind == tokDot {
+		p.advance()
+		c := p.advance()
+		if c.kind != tokIdent {
+			return query.ColRef{}, p.errf(c, "expected column name after '.'")
+		}
+		return query.ColRef{Table: t.text, Column: c.Name()}, nil
+	}
+	return query.ColRef{Column: t.text}, nil
+}
+
+// Name returns the identifier text (helper for readability).
+func (t token) Name() string { return t.text }
+
+// parseColumnList parses comma-separated column references, resolving bare
+// names against the query's tables.
+func (p *parser) parseColumnList(q *query.Query) ([]query.ColRef, error) {
+	var out []query.ColRef
+	for {
+		c, err := p.parseColumn()
+		if err != nil {
+			return nil, err
+		}
+		rc, err := p.resolve(q, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rc)
+		if p.peek().kind != tokComma {
+			return out, nil
+		}
+		p.advance()
+	}
+}
+
+// resolve fills in the table of an unqualified column using the schema.
+func (p *parser) resolve(q *query.Query, c query.ColRef) (query.ColRef, error) {
+	if c.Table != "" {
+		return c, nil
+	}
+	if p.schema == nil {
+		return c, fmt.Errorf("sql: unqualified column %q requires a schema", c.Column)
+	}
+	var found []string
+	for _, tn := range q.Tables {
+		if tb := p.schema.Table(tn); tb != nil && tb.ColumnIndex(c.Column) >= 0 {
+			found = append(found, tn)
+		}
+	}
+	switch len(found) {
+	case 1:
+		return query.ColRef{Table: found[0], Column: c.Column}, nil
+	case 0:
+		return c, fmt.Errorf("sql: column %q not found in %s", c.Column, strings.Join(q.Tables, ", "))
+	default:
+		return c, fmt.Errorf("sql: column %q is ambiguous (%s)", c.Column, strings.Join(found, ", "))
+	}
+}
+
+// parseConjunction parses AND-separated conditions: equijoins
+// (col = col), comparisons (col op literal), and BETWEEN.
+func (p *parser) parseConjunction(q *query.Query) error {
+	for {
+		if err := p.parseCondition(q); err != nil {
+			return err
+		}
+		if !p.atKeyword("AND") {
+			return nil
+		}
+		p.advance()
+	}
+}
+
+func (p *parser) parseCondition(q *query.Query) error {
+	lhs, err := p.parseColumn()
+	if err != nil {
+		return err
+	}
+	lhsRes, err := p.resolve(q, lhs)
+	if err != nil {
+		return err
+	}
+	t := p.advance()
+	switch {
+	case t.kind == tokKeyword && t.text == "BETWEEN":
+		lo, err := p.parseNumber()
+		if err != nil {
+			return err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return err
+		}
+		hi, err := p.parseNumber()
+		if err != nil {
+			return err
+		}
+		q.Preds = append(q.Preds, query.Pred{Table: lhsRes.Table, Column: lhsRes.Column, Lo: lo, Hi: hi})
+		return nil
+	case t.kind == tokOp:
+		// Either a join (rhs is a column) or a predicate (rhs is a number).
+		rhs := p.peek()
+		if rhs.kind == tokIdent {
+			if t.text != "=" {
+				return p.errf(t, "only equijoins are supported between columns")
+			}
+			rcol, err := p.parseColumn()
+			if err != nil {
+				return err
+			}
+			rhsRes, err := p.resolve(q, rcol)
+			if err != nil {
+				return err
+			}
+			q.Joins = append(q.Joins, query.Join{
+				LeftTable: lhsRes.Table, LeftColumn: lhsRes.Column,
+				RightTable: rhsRes.Table, RightColumn: rhsRes.Column,
+			})
+			return nil
+		}
+		v, err := p.parseNumber()
+		if err != nil {
+			return err
+		}
+		pred := query.Pred{Table: lhsRes.Table, Column: lhsRes.Column}
+		switch t.text {
+		case "=":
+			pred.Lo, pred.Hi = v, v
+		case "<=":
+			pred.Lo, pred.Hi = query.NoLo, v
+		case "<":
+			pred.Lo, pred.Hi = query.NoLo, v-1
+		case ">=":
+			pred.Lo, pred.Hi = v, query.NoHi
+		case ">":
+			pred.Lo, pred.Hi = v+1, query.NoHi
+		default:
+			return p.errf(t, "unsupported operator")
+		}
+		q.Preds = append(q.Preds, pred)
+		return nil
+	default:
+		return p.errf(t, "expected comparison or BETWEEN")
+	}
+}
+
+func (p *parser) parseNumber() (int64, error) {
+	t := p.advance()
+	if t.kind != tokNumber {
+		return 0, p.errf(t, "expected integer literal")
+	}
+	v, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf(t, "bad integer")
+	}
+	return v, nil
+}

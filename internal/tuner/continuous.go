@@ -1,0 +1,277 @@
+package tuner
+
+import (
+	"fmt"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/query"
+	"repro/internal/expdata"
+	"repro/internal/util"
+)
+
+// ContinuousOpts configure the continuous-tuning driver (§2.1 problem 2,
+// evaluated in §7.9).
+type ContinuousOpts struct {
+	// Iterations is the number of tuning rounds (paper: 10).
+	Iterations int
+	// Lambda is the measured-regression threshold for reverting (0.2).
+	Lambda float64
+	// ExecRepeats is the number of executions whose median measures a
+	// configuration (default 3).
+	ExecRepeats int
+	// StopOnRegression stops tuning after the first revert, as the
+	// feedback-free Opt/OptTr baselines must (they would recommend the
+	// same reverted indexes forever).
+	StopOnRegression bool
+	// Seed drives measurement noise.
+	Seed int64
+}
+
+func (o ContinuousOpts) withDefaults() ContinuousOpts {
+	if o.Iterations <= 0 {
+		o.Iterations = 10
+	}
+	if o.Lambda <= 0 {
+		o.Lambda = 0.2
+	}
+	if o.ExecRepeats <= 0 {
+		o.ExecRepeats = 3
+	}
+	return o
+}
+
+// Continuous drives iterative tuning with real executions: implement the
+// recommendation, measure, revert regressions, collect execution data, and
+// let adaptive models retrain between iterations.
+type Continuous struct {
+	Tuner *Tuner
+	Exec  *exec.Executor
+	Opts  ContinuousOpts
+	// Collected accumulates the executed plans observed during tuning
+	// (the passively collected data adaptive models retrain on).
+	Collected *expdata.Dataset
+	// OnData, when set, is invoked after each measurement round with the
+	// accumulated dataset; adaptive comparators retrain here.
+	OnData func(d *expdata.Dataset)
+}
+
+// NewContinuous wires a continuous driver.
+func NewContinuous(t *Tuner, ex *exec.Executor, opts ContinuousOpts) *Continuous {
+	return &Continuous{
+		Tuner:     t,
+		Exec:      ex,
+		Opts:      opts.withDefaults(),
+		Collected: expdata.NewDataset(ex.DB.Schema.Name),
+	}
+}
+
+// measure plans and executes a query under a configuration, records the
+// executed plan into the collected dataset, and returns it.
+func (c *Continuous) measure(q *query.Query, cfg *catalog.Configuration, rng *util.RNG) (*expdata.ExecutedPlan, error) {
+	p, err := c.Tuner.WhatIf.Plan(q, cfg)
+	if err != nil {
+		return nil, err
+	}
+	first, err := c.Exec.Execute(p, rng.SplitInt(0))
+	if err != nil {
+		return nil, err
+	}
+	costs := []float64{first.MeasuredCost}
+	for i := 1; i < c.Opts.ExecRepeats; i++ {
+		r, err := c.Exec.Execute(p, rng.SplitInt(i))
+		if err != nil {
+			return nil, err
+		}
+		costs = append(costs, r.MeasuredCost)
+	}
+	ep := &expdata.ExecutedPlan{
+		DB:       c.Exec.DB.Schema.Name,
+		Query:    q,
+		Plan:     p,
+		Executed: first.Annotated,
+		Cost:     util.Median(costs),
+		Configs:  []string{cfg.Fingerprint()},
+	}
+	c.Collected.Add(ep)
+	return ep, nil
+}
+
+// IterRecord traces one tuning iteration.
+type IterRecord struct {
+	Iter       int
+	NewIndexes int
+	Reverted   bool
+	// CostBefore/CostAfter are the measured costs at the incumbent and
+	// candidate configurations.
+	CostBefore float64
+	CostAfter  float64
+}
+
+// QueryTrace is the outcome of continuously tuning one query.
+type QueryTrace struct {
+	Query       *query.Query
+	InitialCost float64
+	FinalCost   float64
+	FinalConfig *catalog.Configuration
+	Iterations  []IterRecord
+	// RegressedFinal reports a revert at the last attempted iteration
+	// (the paper's Regress(final) metric).
+	RegressedFinal bool
+	// Stopped reports that tuning stopped before the iteration budget.
+	Stopped bool
+}
+
+// Improved reports whether the final cost improved by at least frac over
+// the initial cost (Improve(cumulative) uses frac = 0.2).
+func (tr *QueryTrace) Improved(frac float64) bool {
+	return tr.FinalCost < (1-frac)*tr.InitialCost
+}
+
+// TuneQueryContinuously runs the per-query continuous loop of §7.9.
+func (c *Continuous) TuneQueryContinuously(q *query.Query, c0 *catalog.Configuration) (*QueryTrace, error) {
+	if c0 == nil {
+		c0 = catalog.NewConfiguration()
+	}
+	rng := util.NewRNG(c.Opts.Seed).Split("cont:" + q.Name)
+	base, err := c.measure(q, c0, rng.Split("init"))
+	if err != nil {
+		return nil, fmt.Errorf("tuner: measuring initial config for %s: %w", q.Name, err)
+	}
+	c.notify()
+	trace := &QueryTrace{Query: q, InitialCost: base.Cost, FinalCost: base.Cost, FinalConfig: c0}
+	cur := c0
+	curCost := base.Cost
+	for iter := 1; iter <= c.Opts.Iterations; iter++ {
+		rec, err := c.Tuner.TuneQuery(q, cur)
+		if err != nil {
+			return nil, err
+		}
+		if len(rec.NewIndexes) == 0 {
+			trace.Stopped = true
+			break
+		}
+		ep, err := c.measure(q, rec.Config, rng.SplitInt(iter))
+		if err != nil {
+			return nil, err
+		}
+		r := IterRecord{Iter: iter, NewIndexes: len(rec.NewIndexes), CostBefore: curCost, CostAfter: ep.Cost}
+		if ep.Cost > (1+c.Opts.Lambda)*curCost {
+			// Measured regression: revert the indexes.
+			r.Reverted = true
+			trace.RegressedFinal = true
+			trace.Iterations = append(trace.Iterations, r)
+			c.notify()
+			if c.Opts.StopOnRegression {
+				trace.Stopped = true
+				break
+			}
+			continue
+		}
+		trace.RegressedFinal = false
+		cur, curCost = rec.Config, ep.Cost
+		trace.Iterations = append(trace.Iterations, r)
+		c.notify()
+	}
+	trace.FinalCost = curCost
+	trace.FinalConfig = cur
+	return trace, nil
+}
+
+// WorkloadTrace is the outcome of continuously tuning a query workload.
+type WorkloadTrace struct {
+	InitialCost float64
+	FinalCost   float64
+	FinalConfig *catalog.Configuration
+	Iterations  []IterRecord
+	Stopped     bool
+}
+
+// Improvement returns the fractional workload cost reduction.
+func (tr *WorkloadTrace) Improvement() float64 {
+	if tr.InitialCost <= 0 {
+		return 0
+	}
+	return 1 - tr.FinalCost/tr.InitialCost
+}
+
+// measureWorkload measures every query under cfg and returns per-query
+// costs and the weighted total.
+func (c *Continuous) measureWorkload(qs []*query.Query, cfg *catalog.Configuration, rng *util.RNG) ([]float64, float64, error) {
+	costs := make([]float64, len(qs))
+	var total float64
+	for i, q := range qs {
+		ep, err := c.measure(q, cfg, rng.Split("q:"+q.Name))
+		if err != nil {
+			return nil, 0, err
+		}
+		costs[i] = ep.Cost
+		w := q.Weight
+		if w <= 0 {
+			w = 1
+		}
+		total += w * ep.Cost
+	}
+	return costs, total, nil
+}
+
+// TuneWorkloadContinuously runs the workload-level continuous loop of §7.9:
+// each iteration recommends up to MaxNewIndexes, implements them, and
+// reverts to the previous configuration when any query regresses.
+func (c *Continuous) TuneWorkloadContinuously(qs []*query.Query, c0 *catalog.Configuration) (*WorkloadTrace, error) {
+	if c0 == nil {
+		c0 = catalog.NewConfiguration()
+	}
+	rng := util.NewRNG(c.Opts.Seed).Split("contw")
+	curCosts, curTotal, err := c.measureWorkload(qs, c0, rng.Split("init"))
+	if err != nil {
+		return nil, err
+	}
+	c.notify()
+	trace := &WorkloadTrace{InitialCost: curTotal, FinalCost: curTotal, FinalConfig: c0}
+	cur := c0
+	for iter := 1; iter <= c.Opts.Iterations; iter++ {
+		rec, err := c.Tuner.TuneWorkload(qs, cur)
+		if err != nil {
+			return nil, err
+		}
+		if len(rec.NewIndexes) == 0 {
+			trace.Stopped = true
+			break
+		}
+		newCosts, newTotal, err := c.measureWorkload(qs, rec.Config, rng.SplitInt(iter))
+		if err != nil {
+			return nil, err
+		}
+		r := IterRecord{Iter: iter, NewIndexes: len(rec.NewIndexes), CostBefore: curTotal, CostAfter: newTotal}
+		regressed := false
+		for i := range qs {
+			if newCosts[i] > (1+c.Opts.Lambda)*curCosts[i] {
+				regressed = true
+				break
+			}
+		}
+		if regressed {
+			r.Reverted = true
+			trace.Iterations = append(trace.Iterations, r)
+			c.notify()
+			if c.Opts.StopOnRegression {
+				trace.Stopped = true
+				break
+			}
+			continue
+		}
+		cur, curCosts, curTotal = rec.Config, newCosts, newTotal
+		trace.Iterations = append(trace.Iterations, r)
+		c.notify()
+	}
+	trace.FinalCost = curTotal
+	trace.FinalConfig = cur
+	return trace, nil
+}
+
+func (c *Continuous) notify() {
+	if c.OnData != nil {
+		c.OnData(c.Collected)
+	}
+}

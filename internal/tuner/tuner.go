@@ -1,0 +1,304 @@
+// Package tuner implements a Chaudhuri–Narasayya-style index tuner: a
+// query-level search over hypothetical configurations through the
+// optimizer's what-if API, a workload-level greedy enumeration under
+// constraints (index count, storage budget), and a continuous-tuning driver
+// that implements configurations, measures real executions, reverts
+// regressions, and feeds new execution data back to adaptive models.
+//
+// The tuner stays "in-sync" with the optimizer by only ever considering the
+// plan the optimizer picks for a configuration (§5). A plan-pair Comparator
+// — the paper's classifier — can gate the search: configurations predicted
+// to regress are rejected, and improvements are accepted by prediction
+// rather than by estimated cost alone.
+package tuner
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/candidates"
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/opt"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/query"
+	"repro/internal/expdata"
+	"repro/internal/models"
+)
+
+// Options bound the tuner's search.
+type Options struct {
+	// MaxNewIndexes bounds the indexes added relative to the initial
+	// configuration (the per-iteration limit of continuous tuning;
+	// default 5, as §7.9).
+	MaxNewIndexes int
+	// StorageBudget bounds the estimated bytes of added indexes (0 = off).
+	StorageBudget int64
+	// Alpha is the significance threshold used with the comparator.
+	Alpha float64
+	// MinEstImprovement is the OptTr baseline knob: a configuration is
+	// only recommended when the estimated improvement exceeds this
+	// fraction (0 disables the threshold).
+	MinEstImprovement float64
+	// RequireImprovement makes the model-gated tuner advance only on
+	// predicted improvements (with optimizer-estimate tie-breaks on
+	// unsure), per §5.
+	RequireImprovement bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNewIndexes <= 0 {
+		o.MaxNewIndexes = 5
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = expdata.DefaultAlpha
+	}
+	return o
+}
+
+// Tuner searches index configurations for queries and workloads.
+type Tuner struct {
+	Schema *catalog.Schema
+	WhatIf *opt.WhatIf
+	// Cmp is the plan-pair comparator gating the search; nil reproduces
+	// the classic estimate-only tuner.
+	Cmp  models.Comparator
+	Opts Options
+}
+
+// New creates a tuner over a schema and what-if facade. cmp may be nil.
+func New(schema *catalog.Schema, whatIf *opt.WhatIf, cmp models.Comparator, opts Options) *Tuner {
+	return &Tuner{Schema: schema, WhatIf: whatIf, Cmp: cmp, Opts: opts.withDefaults()}
+}
+
+// Recommendation is the outcome of a query-level search.
+type Recommendation struct {
+	Config *catalog.Configuration
+	Plan   *plan.Plan
+	// NewIndexes are the indexes added relative to the initial config.
+	NewIndexes []*catalog.Index
+	// EstImprovement is the optimizer-estimated fractional cost reduction.
+	EstImprovement float64
+}
+
+// allowedByBudget checks the storage budget on the added indexes.
+func (t *Tuner) allowedByBudget(c0, c *catalog.Configuration) bool {
+	if t.Opts.StorageBudget <= 0 {
+		return true
+	}
+	var added int64
+	for _, ix := range c.Diff(c0) {
+		added += ix.EstimatedBytes(t.Schema.Table(ix.Table))
+	}
+	return added <= t.Opts.StorageBudget
+}
+
+// acceptNoRegression applies the no-regression gate for one query: the
+// comparator must not predict a regression versus the initial plan.
+func (t *Tuner) acceptNoRegression(p0, pH *plan.Plan) bool {
+	if t.Cmp == nil {
+		return true // the classic tuner trusts estimates
+	}
+	return !models.IsRegression(t.Cmp, p0, pH)
+}
+
+// better decides whether candidate pH improves on the incumbent pBest,
+// using the comparator when present (optimizer estimates break unsure
+// ties, §5), otherwise estimated cost.
+func (t *Tuner) better(pBest, pH *plan.Plan) bool {
+	if t.Cmp != nil {
+		switch t.Cmp.Compare(pBest, pH) {
+		case expdata.Improvement:
+			return true
+		case expdata.Regression:
+			return false
+		default:
+			if t.Opts.RequireImprovement {
+				return false
+			}
+			return pH.EstTotalCost < pBest.EstTotalCost
+		}
+	}
+	return pH.EstTotalCost < pBest.EstTotalCost
+}
+
+// TuneQuery searches the best configuration for one query starting from
+// c0: greedy addition of candidate indexes, gated by the no-regression
+// constraint and the improvement rule.
+func (t *Tuner) TuneQuery(q *query.Query, c0 *catalog.Configuration) (*Recommendation, error) {
+	if c0 == nil {
+		c0 = catalog.NewConfiguration()
+	}
+	p0, err := t.WhatIf.Plan(q, c0)
+	if err != nil {
+		return nil, fmt.Errorf("tuner: initial plan for %s: %w", q.Name, err)
+	}
+	cands := candidates.CandidateIndexes(q, t.Schema)
+	bestCfg, bestPlan := c0, p0
+	used := map[string]bool{}
+
+	for len(bestCfg.Diff(c0)) < t.Opts.MaxNewIndexes {
+		var stepCfg *catalog.Configuration
+		var stepPlan *plan.Plan
+		var stepIx *catalog.Index
+		for _, ix := range cands {
+			if used[ix.ID()] || bestCfg.Has(ix) {
+				continue
+			}
+			cfg := bestCfg.Clone().Add(ix)
+			if !t.allowedByBudget(c0, cfg) {
+				continue
+			}
+			pH, err := t.WhatIf.Plan(q, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if !t.acceptNoRegression(p0, pH) {
+				continue
+			}
+			// The incumbent for the greedy step is the best plan so far;
+			// candidates must also beat the current step leader.
+			ref := bestPlan
+			if stepPlan != nil {
+				ref = stepPlan
+			}
+			if t.better(ref, pH) {
+				stepCfg, stepPlan, stepIx = cfg, pH, ix
+			}
+		}
+		if stepCfg == nil {
+			break
+		}
+		bestCfg, bestPlan = stepCfg, stepPlan
+		used[stepIx.ID()] = true
+	}
+
+	rec := &Recommendation{
+		Config:     bestCfg,
+		Plan:       bestPlan,
+		NewIndexes: bestCfg.Diff(c0),
+	}
+	if p0.EstTotalCost > 0 {
+		rec.EstImprovement = 1 - bestPlan.EstTotalCost/p0.EstTotalCost
+	}
+	// The OptTr baseline refuses recommendations below the estimated
+	// improvement threshold.
+	if t.Opts.MinEstImprovement > 0 && rec.EstImprovement < t.Opts.MinEstImprovement {
+		return &Recommendation{Config: c0, Plan: p0}, nil
+	}
+	return rec, nil
+}
+
+// WorkloadRecommendation is the outcome of a workload-level search.
+type WorkloadRecommendation struct {
+	Config *catalog.Configuration
+	// NewIndexes are added relative to the initial configuration.
+	NewIndexes []*catalog.Index
+	// EstCost is the weighted optimizer-estimated workload cost under
+	// Config.
+	EstCost float64
+}
+
+// workloadCost computes the weighted estimated cost of a workload under a
+// configuration, also checking the per-query no-regression gate against
+// the initial plans. ok is false when some query is predicted to regress.
+func (t *Tuner) workloadCost(qs []*query.Query, initPlans []*plan.Plan, cfg *catalog.Configuration) (float64, bool, error) {
+	var total float64
+	for i, q := range qs {
+		pH, err := t.WhatIf.Plan(q, cfg)
+		if err != nil {
+			return 0, false, err
+		}
+		if !t.acceptNoRegression(initPlans[i], pH) {
+			return 0, false, nil
+		}
+		w := q.Weight
+		if w <= 0 {
+			w = 1
+		}
+		total += w * pH.EstTotalCost
+	}
+	return total, true, nil
+}
+
+// TuneWorkload runs the two-phase search of §5: query-level search derives
+// the candidate index pool; a greedy enumeration assembles the workload
+// configuration under the constraints.
+func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*WorkloadRecommendation, error) {
+	if c0 == nil {
+		c0 = catalog.NewConfiguration()
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("tuner: empty workload")
+	}
+	initPlans := make([]*plan.Plan, len(qs))
+	for i, q := range qs {
+		p, err := t.WhatIf.Plan(q, c0)
+		if err != nil {
+			return nil, err
+		}
+		initPlans[i] = p
+	}
+	// Phase (a): per-query bests form the candidate pool.
+	poolSet := map[string]*catalog.Index{}
+	var pool []*catalog.Index
+	for _, q := range qs {
+		rec, err := t.TuneQuery(q, c0)
+		if err != nil {
+			return nil, err
+		}
+		for _, ix := range rec.NewIndexes {
+			if _, ok := poolSet[ix.ID()]; !ok {
+				poolSet[ix.ID()] = ix
+				pool = append(pool, ix)
+			}
+		}
+	}
+	// Phase (b): greedy assembly.
+	cur := c0
+	curCost, ok, err := t.workloadCost(qs, initPlans, c0)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("tuner: initial configuration rejected by its own gate")
+	}
+	for len(cur.Diff(c0)) < t.Opts.MaxNewIndexes {
+		var stepCfg *catalog.Configuration
+		stepCost := curCost
+		for _, ix := range pool {
+			if cur.Has(ix) {
+				continue
+			}
+			cfg := cur.Clone().Add(ix)
+			if !t.allowedByBudget(c0, cfg) {
+				continue
+			}
+			cost, ok, err := t.workloadCost(qs, initPlans, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if ok && cost < stepCost {
+				stepCfg, stepCost = cfg, cost
+			}
+		}
+		if stepCfg == nil {
+			break
+		}
+		cur, curCost = stepCfg, stepCost
+	}
+	if t.Opts.MinEstImprovement > 0 {
+		base := math.Max(1e-9, mustCost(t, qs, initPlans, c0))
+		if 1-curCost/base < t.Opts.MinEstImprovement {
+			cur, curCost = c0, base
+		}
+	}
+	return &WorkloadRecommendation{Config: cur, NewIndexes: cur.Diff(c0), EstCost: curCost}, nil
+}
+
+func mustCost(t *Tuner, qs []*query.Query, initPlans []*plan.Plan, cfg *catalog.Configuration) float64 {
+	c, _, err := t.workloadCost(qs, initPlans, cfg)
+	if err != nil {
+		return 0
+	}
+	return c
+}

@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/data"
+	"repro/internal/engine/query"
+	"repro/internal/util"
+)
+
+// Customer builds a synthetic "real customer" workload: a randomized
+// star/snowflake schema with mixed distributions, correlations, and a query
+// mix whose join depth grows with the complexity level (1..4). Level 4
+// corresponds to the paper's Customer6 — many tables and queries with the
+// deepest join chains. scale rescales row counts like the suite option.
+func Customer(name string, seed int64, complexity int, scale float64) *Workload {
+	if complexity < 1 {
+		complexity = 1
+	}
+	if complexity > 4 {
+		complexity = 4
+	}
+	rng := util.NewRNG(seed)
+	s := catalog.NewSchema(name)
+	db := data.NewDatabase(s)
+
+	nDims := 2 + complexity*2 + rng.Intn(2) // 4..11 dimensions
+	nFacts := 1 + complexity/2              // 1..3 facts
+	factRows := scaleRows(4000+3000*complexity, scale)
+
+	// Dimensions: dim0..dimN with a key, 2-5 attribute columns, and for
+	// snowflaking, later dimensions may reference earlier ones.
+	type dimInfo struct {
+		table *catalog.Table
+		keys  []int64
+		attrs []string // filterable attribute columns
+		snow  string   // column referencing a parent dim ("" if none)
+		snowP int      // parent dim ordinal
+	}
+	dims := make([]dimInfo, nDims)
+	for i := 0; i < nDims; i++ {
+		tn := fmt.Sprintf("dim%d", i)
+		key := fmt.Sprintf("d%d_id", i)
+		cols := []catalog.Column{intCol(key)}
+		nAttrs := 2 + rng.Intn(4)
+		var attrs []string
+		for a := 0; a < nAttrs; a++ {
+			an := fmt.Sprintf("d%d_a%d", i, a)
+			cols = append(cols, intCol(an))
+			attrs = append(attrs, an)
+		}
+		snow := ""
+		snowP := -1
+		if i > 1 && rng.Bool(0.35) {
+			snowP = rng.Intn(i)
+			snow = fmt.Sprintf("d%d_fk%d", i, snowP)
+			cols = append(cols, intCol(snow))
+		}
+		t := &catalog.Table{Name: tn, Columns: cols}
+		s.AddTable(t)
+		rows := 50 + rng.Intn(400*complexity)
+		specs := []data.ColumnSpec{{Name: key, Gen: data.SequentialGen{}}}
+		for a, an := range attrs {
+			var g data.Generator
+			switch a % 3 {
+			case 0:
+				g = data.ZipfGen{S: 0.7 + rng.Float64()*0.8, N: int64(5 + rng.Intn(50)), Base: -1}
+			case 1:
+				g = data.UniformGen{Lo: 0, Hi: int64(10 + rng.Intn(1000))}
+			default:
+				g = data.NormalGen{Mean: 500, Std: 200, Lo: 0, Hi: 1000}
+			}
+			specs = append(specs, data.ColumnSpec{Name: an, Gen: g})
+		}
+		if snow != "" {
+			specs = append(specs, data.ColumnSpec{Name: snow, Gen: data.FKGen{ParentKeys: dims[snowP].keys, Skew: 0.8}})
+		}
+		dt := buildTable(db, t, rng.Split(tn), rows, specs)
+		dims[i] = dimInfo{table: t, keys: dt.Column(key), attrs: attrs, snow: snow, snowP: snowP}
+	}
+
+	// Facts: fk columns into a random subset of dimensions plus measures.
+	type factInfo struct {
+		table *catalog.Table
+		fks   map[int]string // dim ordinal -> fk column
+		meas  []string
+	}
+	facts := make([]factInfo, nFacts)
+	for f := 0; f < nFacts; f++ {
+		tn := fmt.Sprintf("fact%d", f)
+		nFKs := 3 + rng.Intn(nDims-2)
+		if nFKs > nDims {
+			nFKs = nDims
+		}
+		fkDims := rng.SampleWithoutReplacement(nDims, nFKs)
+		cols := []catalog.Column{intCol(fmt.Sprintf("f%d_id", f))}
+		fks := map[int]string{}
+		for _, di := range fkDims {
+			cn := fmt.Sprintf("f%d_fk%d", f, di)
+			cols = append(cols, intCol(cn))
+			fks[di] = cn
+		}
+		nMeas := 2 + rng.Intn(3)
+		var meas []string
+		for m := 0; m < nMeas; m++ {
+			cn := fmt.Sprintf("f%d_m%d", f, m)
+			cols = append(cols, intCol(cn))
+			meas = append(meas, cn)
+		}
+		t := &catalog.Table{Name: tn, Columns: cols}
+		s.AddTable(t)
+		rows := factRows / (f + 1)
+		specs := []data.ColumnSpec{{Name: fmt.Sprintf("f%d_id", f), Gen: data.SequentialGen{}}}
+		// Iterate dimensions in ordinal order for deterministic generation.
+		for di := 0; di < nDims; di++ {
+			cn, ok := fks[di]
+			if !ok {
+				continue
+			}
+			specs = append(specs, data.ColumnSpec{Name: cn, Gen: data.FKGen{ParentKeys: dims[di].keys, Skew: 0.5 + rng.Float64()}})
+		}
+		var firstMeas []int64
+		for m, cn := range meas {
+			if m == 0 {
+				g := data.ZipfGen{S: 0.8 + rng.Float64()*0.6, N: int64(100 + rng.Intn(10000))}
+				firstMeas = g.Generate(rng.Split(tn+cn), rows)
+				specs = append(specs, data.ColumnSpec{Name: cn, Gen: preGenerated{firstMeas}})
+			} else if rng.Bool(0.5) {
+				// Correlated with the first measure.
+				specs = append(specs, data.ColumnSpec{Name: cn, Gen: data.CorrelatedGen{Source: firstMeas, Scale: 1 + rng.Float64()*3, Jitter: int64(1 + rng.Intn(500))}})
+			} else {
+				specs = append(specs, data.ColumnSpec{Name: cn, Gen: data.UniformGen{Lo: 0, Hi: int64(100 + rng.Intn(10000))}})
+			}
+		}
+		buildTable(db, t, rng.Split(tn), rows, specs)
+		facts[f] = factInfo{table: t, fks: fks, meas: meas}
+	}
+
+	// Queries: star joins of varying depth, with snowflake extensions at
+	// higher complexity. Each customer workload has its own "style" — how
+	// aggregation-heavy, top-k-heavy, or filter-heavy its queries are —
+	// so different databases occupy different plan-feature regions (part
+	// of the cross-database diversity of §4.2).
+	style := struct {
+		agg, groupBy, dimPred, factPred, orderLimit float64
+	}{
+		agg:        0.35 + rng.Float64()*0.6,
+		groupBy:    0.3 + rng.Float64()*0.65,
+		dimPred:    0.25 + rng.Float64()*0.65,
+		factPred:   0.3 + rng.Float64()*0.65,
+		orderLimit: 0.2 + rng.Float64()*0.7,
+	}
+	nQueries := 12 + complexity*4 + rng.Intn(5)
+	var qs []*query.Query
+	for qi := 0; qi < nQueries; qi++ {
+		f := facts[rng.Intn(nFacts)]
+		ft := f.table.Name
+		// Pick 0..depth dims to join.
+		maxDepth := 1 + complexity*2
+		var joinable []int
+		for di := range dims {
+			if _, ok := f.fks[di]; ok {
+				joinable = append(joinable, di)
+			}
+		}
+		depth := rng.Intn(minInt(maxDepth, len(joinable)) + 1)
+		q := &query.Query{
+			Name:   fmt.Sprintf("q%d", qi+1),
+			Tables: []string{ft},
+			Weight: 1,
+		}
+		chosen := rng.SampleWithoutReplacement(len(joinable), depth)
+		joined := map[string]bool{ft: true}
+		for _, ji := range chosen {
+			di := joinable[ji]
+			dt := dims[di].table.Name
+			if joined[dt] {
+				continue
+			}
+			q.Tables = append(q.Tables, dt)
+			joined[dt] = true
+			q.Joins = append(q.Joins, query.Join{
+				LeftTable: ft, LeftColumn: f.fks[di],
+				RightTable: dt, RightColumn: fmt.Sprintf("d%d_id", di),
+			})
+			// Snowflake extension: follow the dim's parent link sometimes.
+			d := dims[di]
+			for d.snow != "" && rng.Bool(0.5) {
+				pt := dims[d.snowP].table.Name
+				if joined[pt] {
+					break
+				}
+				q.Tables = append(q.Tables, pt)
+				joined[pt] = true
+				q.Joins = append(q.Joins, query.Join{
+					LeftTable: d.table.Name, LeftColumn: d.snow,
+					RightTable: pt, RightColumn: fmt.Sprintf("d%d_id", d.snowP),
+				})
+				d = dims[d.snowP]
+			}
+			// Predicate on a dim attribute with some probability.
+			if rng.Bool(style.dimPred) && len(dims[di].attrs) > 0 {
+				a := dims[di].attrs[rng.Intn(len(dims[di].attrs))]
+				lo := rng.Int64Range(0, 400)
+				q.Preds = append(q.Preds, query.Pred{Table: dt, Column: a, Lo: lo, Hi: lo + rng.Int64Range(0, 200)})
+			}
+		}
+		// Fact measure predicate.
+		if rng.Bool(style.factPred) {
+			m := f.meas[rng.Intn(len(f.meas))]
+			lo := rng.Int64Range(0, 2000)
+			q.Preds = append(q.Preds, query.Pred{Table: ft, Column: m, Lo: lo, Hi: lo + rng.Int64Range(10, 3000)})
+		}
+		// Output: aggregate or plain select, with style-dependent odds.
+		if rng.Bool(style.agg) {
+			if len(q.Tables) > 1 && rng.Bool(style.groupBy) {
+				gt := q.Tables[1]
+				gdi := -1
+				for di := range dims {
+					if dims[di].table.Name == gt {
+						gdi = di
+						break
+					}
+				}
+				if gdi >= 0 && len(dims[gdi].attrs) > 0 {
+					q.GroupBy = []query.ColRef{col(gt, dims[gdi].attrs[0])}
+				}
+			}
+			q.Aggs = []query.Agg{
+				{Func: query.Sum, Col: col(ft, f.meas[0])},
+				{Func: query.Count},
+			}
+		} else {
+			q.Select = []query.ColRef{col(ft, f.meas[0])}
+			if rng.Bool(style.orderLimit) {
+				q.OrderBy = []query.ColRef{col(ft, f.meas[0])}
+				q.Desc = rng.Bool(0.5)
+				q.Limit = 10 + rng.Intn(90)
+			}
+		}
+		qs = append(qs, q)
+	}
+
+	return &Workload{Name: name, Schema: s, DB: db, Queries: qs}
+}
+
+// preGenerated wraps an already-generated column as a Generator.
+type preGenerated struct{ vals []int64 }
+
+// Generate implements data.Generator.
+func (p preGenerated) Generate(_ *util.RNG, n int) []int64 {
+	if n != len(p.vals) {
+		panic(fmt.Sprintf("workload: pregenerated column has %d rows, want %d", len(p.vals), n))
+	}
+	return p.vals
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,534 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/data"
+	"repro/internal/engine/query"
+	"repro/internal/util"
+)
+
+// TPCDS builds a TPC-DS-like workload: a 20-table retail snowflake with
+// three sales channels (store/catalog/web), returns tables, inventory, and
+// rich dimensions. Queries are drawn from structural families — channel
+// roll-ups, dimension-filtered star joins, returns analysis, cross-channel
+// shapes — mirroring the breadth of the TPC-DS query set.
+// storeSalesRows sets the largest fact table's size.
+func TPCDS(name string, storeSalesRows int, seed int64) *Workload {
+	rng := util.NewRNG(seed)
+	s := catalog.NewSchema(name)
+
+	dims := map[string]*catalog.Table{
+		"date_dim": {Name: "date_dim", Columns: []catalog.Column{
+			intCol("d_id"), intCol("d_year"), intCol("d_month"), intCol("d_qoy"), intCol("d_dow"),
+		}},
+		"time_dim": {Name: "time_dim", Columns: []catalog.Column{
+			intCol("t_id"), intCol("t_hour"), intCol("t_shift"),
+		}},
+		"item": {Name: "item", Columns: []catalog.Column{
+			intCol("i_id"), intCol("i_category"), intCol("i_brand"), intCol("i_class"), intCol("i_price"), strCol("i_name"),
+		}},
+		"customer": {Name: "customer", Columns: []catalog.Column{
+			intCol("c_id"), intCol("c_addr"), intCol("c_demo"), intCol("c_birth_year"), strCol("c_name"),
+		}},
+		"customer_address": {Name: "customer_address", Columns: []catalog.Column{
+			intCol("ca_id"), intCol("ca_state"), intCol("ca_zip"), intCol("ca_gmt"),
+		}},
+		"customer_demographics": {Name: "customer_demographics", Columns: []catalog.Column{
+			intCol("cd_id"), intCol("cd_gender"), intCol("cd_education"), intCol("cd_credit"),
+		}},
+		"household_demographics": {Name: "household_demographics", Columns: []catalog.Column{
+			intCol("hd_id"), intCol("hd_income"), intCol("hd_vehicles"),
+		}},
+		"store": {Name: "store", Columns: []catalog.Column{
+			intCol("st_id"), intCol("st_state"), intCol("st_size"), strCol("st_name"),
+		}},
+		"warehouse": {Name: "warehouse", Columns: []catalog.Column{
+			intCol("w_id"), intCol("w_state"), intCol("w_sqft"),
+		}},
+		"promotion": {Name: "promotion", Columns: []catalog.Column{
+			intCol("pr_id"), intCol("pr_channel"), intCol("pr_cost"),
+		}},
+		"web_site": {Name: "web_site", Columns: []catalog.Column{
+			intCol("ws_id"), intCol("ws_class"),
+		}},
+		"catalog_page": {Name: "catalog_page", Columns: []catalog.Column{
+			intCol("cp_id"), intCol("cp_catalog"), intCol("cp_type"),
+		}},
+	}
+	facts := map[string]*catalog.Table{
+		"store_sales": {Name: "store_sales", Columns: []catalog.Column{
+			intCol("ss_id"), intCol("ss_item"), intCol("ss_customer"), intCol("ss_store"),
+			intCol("ss_date"), intCol("ss_promo"), intCol("ss_quantity"), intCol("ss_price"), intCol("ss_profit"),
+		}},
+		"store_returns": {Name: "store_returns", Columns: []catalog.Column{
+			intCol("sr_id"), intCol("sr_item"), intCol("sr_customer"), intCol("sr_date"), intCol("sr_amount"), intCol("sr_reason"),
+		}},
+		"catalog_sales": {Name: "catalog_sales", Columns: []catalog.Column{
+			intCol("cs_id"), intCol("cs_item"), intCol("cs_customer"), intCol("cs_page"),
+			intCol("cs_date"), intCol("cs_ship_date"), intCol("cs_quantity"), intCol("cs_price"),
+		}},
+		"catalog_returns": {Name: "catalog_returns", Columns: []catalog.Column{
+			intCol("cr_id"), intCol("cr_item"), intCol("cr_date"), intCol("cr_amount"),
+		}},
+		"web_sales": {Name: "web_sales", Columns: []catalog.Column{
+			intCol("wsl_id"), intCol("wsl_item"), intCol("wsl_customer"), intCol("wsl_site"),
+			intCol("wsl_date"), intCol("wsl_time"), intCol("wsl_quantity"), intCol("wsl_price"),
+		}},
+		"web_returns": {Name: "web_returns", Columns: []catalog.Column{
+			intCol("wr_id"), intCol("wr_item"), intCol("wr_date"), intCol("wr_amount"),
+		}},
+		"inventory": {Name: "inventory", Columns: []catalog.Column{
+			intCol("inv_id"), intCol("inv_item"), intCol("inv_warehouse"), intCol("inv_date"), intCol("inv_qty"),
+		}},
+		"web_page": {Name: "web_page", Columns: []catalog.Column{
+			intCol("wp_id"), intCol("wp_type"), intCol("wp_link"),
+		}},
+	}
+	order := []string{
+		"date_dim", "time_dim", "item", "customer", "customer_address",
+		"customer_demographics", "household_demographics", "store", "warehouse",
+		"promotion", "web_site", "catalog_page",
+		"store_sales", "store_returns", "catalog_sales", "catalog_returns",
+		"web_sales", "web_returns", "inventory", "web_page",
+	}
+	for _, n := range order {
+		if t, ok := dims[n]; ok {
+			s.AddTable(t)
+		} else {
+			s.AddTable(facts[n])
+		}
+	}
+
+	db := data.NewDatabase(s)
+	ss := storeSalesRows
+	nDates := 1826 // 5 years
+	nItems := maxInt(ss/20, 50)
+	nCust := maxInt(ss/15, 50)
+	nAddr := maxInt(nCust/2, 25)
+	nDemo := maxInt(nCust/3, 20)
+	nStores := 20
+	nWh := 8
+	nPromo := 50
+
+	buildTable(db, dims["date_dim"], rng.Split("date_dim"), nDates, []data.ColumnSpec{
+		{Name: "d_id", Gen: data.SequentialGen{}},
+		{Name: "d_year", Gen: yearGen{}},
+		{Name: "d_month", Gen: monthGen{}},
+		{Name: "d_qoy", Gen: qoyGen{}},
+		{Name: "d_dow", Gen: dowGen{}},
+	})
+	buildTable(db, dims["time_dim"], rng.Split("time_dim"), 24, []data.ColumnSpec{
+		{Name: "t_id", Gen: data.SequentialGen{}},
+		{Name: "t_hour", Gen: data.SequentialGen{}},
+		{Name: "t_shift", Gen: data.UniformGen{Lo: 0, Hi: 2}},
+	})
+	itemT := buildTable(db, dims["item"], rng.Split("item"), nItems, []data.ColumnSpec{
+		{Name: "i_id", Gen: data.SequentialGen{}},
+		{Name: "i_category", Gen: data.ZipfGen{S: 0.8, N: 10, Base: -1}},
+		{Name: "i_brand", Gen: data.ZipfGen{S: 1.0, N: 100, Base: -1}},
+		{Name: "i_class", Gen: data.UniformGen{Lo: 0, Hi: 49}},
+		{Name: "i_price", Gen: data.NormalGen{Mean: 4000, Std: 2500, Lo: 100, Hi: 20000}},
+		{Name: "i_name", Gen: data.UniformGen{Lo: 0, Hi: 1 << 20}},
+	})
+	addrT := buildTable(db, dims["customer_address"], rng.Split("addr"), nAddr, []data.ColumnSpec{
+		{Name: "ca_id", Gen: data.SequentialGen{}},
+		{Name: "ca_state", Gen: data.ZipfGen{S: 1.0, N: 50, Base: -1}},
+		{Name: "ca_zip", Gen: data.UniformGen{Lo: 10000, Hi: 99999}},
+		{Name: "ca_gmt", Gen: data.UniformGen{Lo: -8, Hi: -5}},
+	})
+	demoT := buildTable(db, dims["customer_demographics"], rng.Split("demo"), nDemo, []data.ColumnSpec{
+		{Name: "cd_id", Gen: data.SequentialGen{}},
+		{Name: "cd_gender", Gen: data.UniformGen{Lo: 0, Hi: 1}},
+		{Name: "cd_education", Gen: data.UniformGen{Lo: 0, Hi: 6}},
+		{Name: "cd_credit", Gen: data.ZipfGen{S: 0.7, N: 4, Base: -1}},
+	})
+	buildTable(db, dims["household_demographics"], rng.Split("hd"), nDemo, []data.ColumnSpec{
+		{Name: "hd_id", Gen: data.SequentialGen{}},
+		{Name: "hd_income", Gen: data.ZipfGen{S: 0.9, N: 20, Base: -1}},
+		{Name: "hd_vehicles", Gen: data.UniformGen{Lo: 0, Hi: 4}},
+	})
+	custT := buildTable(db, dims["customer"], rng.Split("cust"), nCust, []data.ColumnSpec{
+		{Name: "c_id", Gen: data.SequentialGen{}},
+		{Name: "c_addr", Gen: data.FKGen{ParentKeys: addrT.Column("ca_id"), Skew: 0.9}},
+		{Name: "c_demo", Gen: data.FKGen{ParentKeys: demoT.Column("cd_id")}},
+		{Name: "c_birth_year", Gen: data.UniformGen{Lo: 1930, Hi: 2005}},
+		{Name: "c_name", Gen: data.UniformGen{Lo: 0, Hi: 1 << 20}},
+	})
+	storeT := buildTable(db, dims["store"], rng.Split("store"), nStores, []data.ColumnSpec{
+		{Name: "st_id", Gen: data.SequentialGen{}},
+		{Name: "st_state", Gen: data.UniformGen{Lo: 0, Hi: 49}},
+		{Name: "st_size", Gen: data.UniformGen{Lo: 1000, Hi: 90000}},
+		{Name: "st_name", Gen: data.UniformGen{Lo: 0, Hi: 1 << 20}},
+	})
+	whT := buildTable(db, dims["warehouse"], rng.Split("wh"), nWh, []data.ColumnSpec{
+		{Name: "w_id", Gen: data.SequentialGen{}},
+		{Name: "w_state", Gen: data.UniformGen{Lo: 0, Hi: 49}},
+		{Name: "w_sqft", Gen: data.UniformGen{Lo: 10000, Hi: 900000}},
+	})
+	promoT := buildTable(db, dims["promotion"], rng.Split("promo"), nPromo, []data.ColumnSpec{
+		{Name: "pr_id", Gen: data.SequentialGen{}},
+		{Name: "pr_channel", Gen: data.UniformGen{Lo: 0, Hi: 3}},
+		{Name: "pr_cost", Gen: data.UniformGen{Lo: 100, Hi: 100000}},
+	})
+	siteT := buildTable(db, dims["web_site"], rng.Split("site"), 12, []data.ColumnSpec{
+		{Name: "ws_id", Gen: data.SequentialGen{}},
+		{Name: "ws_class", Gen: data.UniformGen{Lo: 0, Hi: 4}},
+	})
+	pageT := buildTable(db, dims["catalog_page"], rng.Split("cpage"), 60, []data.ColumnSpec{
+		{Name: "cp_id", Gen: data.SequentialGen{}},
+		{Name: "cp_catalog", Gen: data.UniformGen{Lo: 0, Hi: 9}},
+		{Name: "cp_type", Gen: data.UniformGen{Lo: 0, Hi: 2}},
+	})
+
+	dates := make([]int64, nDates)
+	for i := range dates {
+		dates[i] = int64(i)
+	}
+
+	// store_sales: the largest fact table, skewed on item and customer,
+	// with profit correlated to price.
+	ssRng := rng.Split("store_sales")
+	ssPrices := data.ZipfGen{S: 0.9, N: 20000, Base: 99}.Generate(ssRng.Split("price"), ss)
+	buildTableCols(db, facts["store_sales"], ss, map[string][]int64{
+		"ss_id":       data.SequentialGen{}.Generate(ssRng, ss),
+		"ss_item":     data.FKGen{ParentKeys: itemT.Column("i_id"), Skew: 1.1}.Generate(ssRng.Split("item"), ss),
+		"ss_customer": data.FKGen{ParentKeys: custT.Column("c_id"), Skew: 1.0}.Generate(ssRng.Split("cust"), ss),
+		"ss_store":    data.FKGen{ParentKeys: storeT.Column("st_id"), Skew: 0.8}.Generate(ssRng.Split("store"), ss),
+		"ss_date":     data.FKGen{ParentKeys: dates, Skew: 0.4}.Generate(ssRng.Split("date"), ss),
+		"ss_promo":    data.FKGen{ParentKeys: promoT.Column("pr_id"), Skew: 1.2}.Generate(ssRng.Split("promo"), ss),
+		"ss_quantity": data.ZipfGen{S: 1.0, N: 100}.Generate(ssRng.Split("qty"), ss),
+		"ss_price":    ssPrices,
+		"ss_profit":   data.CorrelatedGen{Source: ssPrices, Scale: 0.3, Jitter: 500}.Generate(ssRng.Split("profit"), ss),
+	})
+
+	sr := maxInt(ss/10, 30)
+	srRng := rng.Split("store_returns")
+	buildTableCols(db, facts["store_returns"], sr, map[string][]int64{
+		"sr_id":       data.SequentialGen{}.Generate(srRng, sr),
+		"sr_item":     data.FKGen{ParentKeys: itemT.Column("i_id"), Skew: 1.3}.Generate(srRng.Split("item"), sr),
+		"sr_customer": data.FKGen{ParentKeys: custT.Column("c_id"), Skew: 1.1}.Generate(srRng.Split("cust"), sr),
+		"sr_date":     data.FKGen{ParentKeys: dates, Skew: 0.3}.Generate(srRng.Split("date"), sr),
+		"sr_amount":   data.ZipfGen{S: 0.8, N: 20000, Base: 99}.Generate(srRng.Split("amt"), sr),
+		"sr_reason":   data.ZipfGen{S: 1.0, N: 10, Base: -1}.Generate(srRng.Split("reason"), sr),
+	})
+
+	cs := maxInt(ss/2, 40)
+	csRng := rng.Split("catalog_sales")
+	csDates := data.FKGen{ParentKeys: dates, Skew: 0.4}.Generate(csRng.Split("date"), cs)
+	buildTableCols(db, facts["catalog_sales"], cs, map[string][]int64{
+		"cs_id":        data.SequentialGen{}.Generate(csRng, cs),
+		"cs_item":      data.FKGen{ParentKeys: itemT.Column("i_id"), Skew: 1.0}.Generate(csRng.Split("item"), cs),
+		"cs_customer":  data.FKGen{ParentKeys: custT.Column("c_id"), Skew: 0.9}.Generate(csRng.Split("cust"), cs),
+		"cs_page":      data.FKGen{ParentKeys: pageT.Column("cp_id"), Skew: 0.7}.Generate(csRng.Split("page"), cs),
+		"cs_date":      csDates,
+		"cs_ship_date": data.CorrelatedGen{Source: csDates, Scale: 1, Jitter: 14}.Generate(csRng.Split("ship"), cs),
+		"cs_quantity":  data.ZipfGen{S: 1.1, N: 100}.Generate(csRng.Split("qty"), cs),
+		"cs_price":     data.ZipfGen{S: 0.9, N: 20000, Base: 99}.Generate(csRng.Split("price"), cs),
+	})
+
+	cr := maxInt(cs/10, 25)
+	crRng := rng.Split("catalog_returns")
+	buildTableCols(db, facts["catalog_returns"], cr, map[string][]int64{
+		"cr_id":     data.SequentialGen{}.Generate(crRng, cr),
+		"cr_item":   data.FKGen{ParentKeys: itemT.Column("i_id"), Skew: 1.2}.Generate(crRng.Split("item"), cr),
+		"cr_date":   data.FKGen{ParentKeys: dates, Skew: 0.3}.Generate(crRng.Split("date"), cr),
+		"cr_amount": data.ZipfGen{S: 0.8, N: 20000, Base: 99}.Generate(crRng.Split("amt"), cr),
+	})
+
+	wsl := maxInt(ss/3, 40)
+	wslRng := rng.Split("web_sales")
+	buildTableCols(db, facts["web_sales"], wsl, map[string][]int64{
+		"wsl_id":       data.SequentialGen{}.Generate(wslRng, wsl),
+		"wsl_item":     data.FKGen{ParentKeys: itemT.Column("i_id"), Skew: 1.2}.Generate(wslRng.Split("item"), wsl),
+		"wsl_customer": data.FKGen{ParentKeys: custT.Column("c_id"), Skew: 1.1}.Generate(wslRng.Split("cust"), wsl),
+		"wsl_site":     data.FKGen{ParentKeys: siteT.Column("ws_id"), Skew: 0.8}.Generate(wslRng.Split("site"), wsl),
+		"wsl_date":     data.FKGen{ParentKeys: dates, Skew: 0.5}.Generate(wslRng.Split("date"), wsl),
+		"wsl_time":     data.UniformGen{Lo: 0, Hi: 23}.Generate(wslRng.Split("time"), wsl),
+		"wsl_quantity": data.ZipfGen{S: 1.0, N: 100}.Generate(wslRng.Split("qty"), wsl),
+		"wsl_price":    data.ZipfGen{S: 1.0, N: 20000, Base: 99}.Generate(wslRng.Split("price"), wsl),
+	})
+
+	wr := maxInt(wsl/10, 20)
+	wrRng := rng.Split("web_returns")
+	buildTableCols(db, facts["web_returns"], wr, map[string][]int64{
+		"wr_id":     data.SequentialGen{}.Generate(wrRng, wr),
+		"wr_item":   data.FKGen{ParentKeys: itemT.Column("i_id"), Skew: 1.4}.Generate(wrRng.Split("item"), wr),
+		"wr_date":   data.FKGen{ParentKeys: dates, Skew: 0.3}.Generate(wrRng.Split("date"), wr),
+		"wr_amount": data.ZipfGen{S: 0.9, N: 20000, Base: 99}.Generate(wrRng.Split("amt"), wr),
+	})
+
+	inv := maxInt(ss/4, 40)
+	invRng := rng.Split("inventory")
+	buildTableCols(db, facts["inventory"], inv, map[string][]int64{
+		"inv_id":        data.SequentialGen{}.Generate(invRng, inv),
+		"inv_item":      data.FKGen{ParentKeys: itemT.Column("i_id")}.Generate(invRng.Split("item"), inv),
+		"inv_warehouse": data.FKGen{ParentKeys: whT.Column("w_id")}.Generate(invRng.Split("wh"), inv),
+		"inv_date":      data.FKGen{ParentKeys: dates}.Generate(invRng.Split("date"), inv),
+		"inv_qty":       data.UniformGen{Lo: 0, Hi: 1000}.Generate(invRng.Split("qty"), inv),
+	})
+
+	wpRng := rng.Split("web_page")
+	buildTableCols(db, facts["web_page"], 40, map[string][]int64{
+		"wp_id":   data.SequentialGen{}.Generate(wpRng, 40),
+		"wp_type": data.UniformGen{Lo: 0, Hi: 4}.Generate(wpRng.Split("type"), 40),
+		"wp_link": data.UniformGen{Lo: 0, Hi: 39}.Generate(wpRng.Split("link"), 40),
+	})
+
+	w := &Workload{Name: name, Schema: s, DB: db, Queries: tpcdsQueries(rng.Split("queries"))}
+	return w
+}
+
+// buildTableCols materializes a table from a column map (order derived from
+// the table metadata).
+func buildTableCols(db *data.Database, meta *catalog.Table, n int, cols map[string][]int64) {
+	t := data.NewTable(meta)
+	for _, c := range meta.Columns {
+		v, ok := cols[c.Name]
+		if !ok {
+			panic(fmt.Sprintf("workload: missing generated column %s.%s", meta.Name, c.Name))
+		}
+		if len(v) != n {
+			panic(fmt.Sprintf("workload: column %s.%s has %d rows, want %d", meta.Name, c.Name, len(v), n))
+		}
+		t.SetColumn(c.Name, v)
+	}
+	db.AddTable(t)
+}
+
+// Calendar-derived generators for the date dimension.
+type yearGen struct{}
+
+func (yearGen) Generate(_ *util.RNG, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = 2019 + int64(i)/365
+	}
+	return out
+}
+
+type monthGen struct{}
+
+func (monthGen) Generate(_ *util.RNG, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i) % 365 / 31
+	}
+	return out
+}
+
+type qoyGen struct{}
+
+func (qoyGen) Generate(_ *util.RNG, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i) % 365 / 92
+	}
+	return out
+}
+
+type dowGen struct{}
+
+func (dowGen) Generate(_ *util.RNG, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i) % 7
+	}
+	return out
+}
+
+// tpcdsQueries generates the query set from structural families.
+func tpcdsQueries(rng *util.RNG) []*query.Query {
+	type channel struct {
+		fact, item, cust, date, qty, price string
+		extraDim, extraFK, extraDimKey     string
+	}
+	channels := []channel{
+		{fact: "store_sales", item: "ss_item", cust: "ss_customer", date: "ss_date", qty: "ss_quantity", price: "ss_price",
+			extraDim: "store", extraFK: "ss_store", extraDimKey: "st_id"},
+		{fact: "catalog_sales", item: "cs_item", cust: "cs_customer", date: "cs_date", qty: "cs_quantity", price: "cs_price",
+			extraDim: "catalog_page", extraFK: "cs_page", extraDimKey: "cp_id"},
+		{fact: "web_sales", item: "wsl_item", cust: "wsl_customer", date: "wsl_date", qty: "wsl_quantity", price: "wsl_price",
+			extraDim: "web_site", extraFK: "wsl_site", extraDimKey: "ws_id"},
+	}
+	var qs []*query.Query
+	id := 0
+	add := func(q *query.Query) {
+		id++
+		q.Name = fmt.Sprintf("q%d", id)
+		q.Weight = 1
+		qs = append(qs, q)
+	}
+	dateBand := func(width int64) (int64, int64) {
+		lo := rng.Int64Range(0, 1825-width)
+		return lo, lo + width
+	}
+
+	for _, ch := range channels {
+		// Family A: category roll-up with a date band (item join).
+		for v := 0; v < 3; v++ {
+			lo, hi := dateBand(60 + 60*int64(v))
+			cat := rng.Int64Range(0, 6)
+			add(&query.Query{
+				Tables: []string{ch.fact, "item"},
+				Preds: []query.Pred{
+					{Table: ch.fact, Column: ch.date, Lo: lo, Hi: hi},
+					{Table: "item", Column: "i_category", Lo: cat, Hi: cat + 2},
+				},
+				Joins:   []query.Join{{LeftTable: ch.fact, LeftColumn: ch.item, RightTable: "item", RightColumn: "i_id"}},
+				GroupBy: []query.ColRef{col("item", "i_brand")},
+				Aggs: []query.Agg{
+					{Func: query.Sum, Col: col(ch.fact, ch.price)},
+					{Func: query.Count},
+				},
+				OrderBy: []query.ColRef{col("item", "i_brand")},
+				Limit:   25,
+			})
+		}
+
+		// Family B: customer-geography star (customer + address joins).
+		for v := 0; v < 2; v++ {
+			st := rng.Int64Range(0, 40)
+			add(&query.Query{
+				Tables: []string{ch.fact, "customer", "customer_address"},
+				Preds: []query.Pred{
+					{Table: "customer_address", Column: "ca_state", Lo: st, Hi: st + 4},
+					{Table: ch.fact, Column: ch.qty, Lo: 1, Hi: 40 + 10*int64(v)},
+				},
+				Joins: []query.Join{
+					{LeftTable: ch.fact, LeftColumn: ch.cust, RightTable: "customer", RightColumn: "c_id"},
+					{LeftTable: "customer", LeftColumn: "c_addr", RightTable: "customer_address", RightColumn: "ca_id"},
+				},
+				GroupBy: []query.ColRef{col("customer_address", "ca_state")},
+				Aggs:    []query.Agg{{Func: query.Sum, Col: col(ch.fact, ch.price)}, {Func: query.Avg, Col: col(ch.fact, ch.qty)}},
+			})
+		}
+
+		// Family C: channel-dimension slice (store/page/site) with date_dim.
+		for v := 0; v < 2; v++ {
+			lo, hi := dateBand(120)
+			add(&query.Query{
+				Tables: []string{ch.fact, ch.extraDim, "date_dim"},
+				Preds: []query.Pred{
+					{Table: "date_dim", Column: "d_id", Lo: lo, Hi: hi},
+					{Table: ch.fact, Column: ch.price, Lo: int64(500 * (v + 1)), Hi: 20000},
+				},
+				Joins: []query.Join{
+					{LeftTable: ch.fact, LeftColumn: ch.extraFK, RightTable: ch.extraDim, RightColumn: ch.extraDimKey},
+					{LeftTable: ch.fact, LeftColumn: ch.date, RightTable: "date_dim", RightColumn: "d_id"},
+				},
+				GroupBy: []query.ColRef{col("date_dim", "d_month")},
+				Aggs:    []query.Agg{{Func: query.Sum, Col: col(ch.fact, ch.price)}, {Func: query.Count}},
+			})
+		}
+
+		// Family D: 5-way star: item + customer + demographics.
+		lo, hi := dateBand(180)
+		add(&query.Query{
+			Tables: []string{ch.fact, "item", "customer", "customer_demographics"},
+			Preds: []query.Pred{
+				{Table: ch.fact, Column: ch.date, Lo: lo, Hi: hi},
+				{Table: "customer_demographics", Column: "cd_education", Lo: 3, Hi: 6},
+				{Table: "item", Column: "i_category", Lo: 0, Hi: 3},
+			},
+			Joins: []query.Join{
+				{LeftTable: ch.fact, LeftColumn: ch.item, RightTable: "item", RightColumn: "i_id"},
+				{LeftTable: ch.fact, LeftColumn: ch.cust, RightTable: "customer", RightColumn: "c_id"},
+				{LeftTable: "customer", LeftColumn: "c_demo", RightTable: "customer_demographics", RightColumn: "cd_id"},
+			},
+			GroupBy: []query.ColRef{col("item", "i_category"), col("customer_demographics", "cd_gender")},
+			Aggs:    []query.Agg{{Func: query.Sum, Col: col(ch.fact, ch.price)}, {Func: query.Count}},
+		})
+
+		// Family E: plain fact slice, no joins.
+		lo2, hi2 := dateBand(30)
+		add(&query.Query{
+			Tables: []string{ch.fact},
+			Preds: []query.Pred{
+				{Table: ch.fact, Column: ch.date, Lo: lo2, Hi: hi2},
+				{Table: ch.fact, Column: ch.qty, Lo: 1, Hi: 10},
+			},
+			Aggs: []query.Agg{{Func: query.Sum, Col: col(ch.fact, ch.price)}, {Func: query.Count}},
+		})
+	}
+
+	// Family F: returns analysis per channel.
+	returns := []struct{ fact, item, date, amt string }{
+		{"store_returns", "sr_item", "sr_date", "sr_amount"},
+		{"catalog_returns", "cr_item", "cr_date", "cr_amount"},
+		{"web_returns", "wr_item", "wr_date", "wr_amount"},
+	}
+	for _, r := range returns {
+		lo, hi := dateBand(365)
+		add(&query.Query{
+			Tables:  []string{r.fact, "item"},
+			Preds:   []query.Pred{{Table: r.fact, Column: r.date, Lo: lo, Hi: hi}},
+			Joins:   []query.Join{{LeftTable: r.fact, LeftColumn: r.item, RightTable: "item", RightColumn: "i_id"}},
+			GroupBy: []query.ColRef{col("item", "i_category")},
+			Aggs:    []query.Agg{{Func: query.Sum, Col: col(r.fact, r.amt)}, {Func: query.Count}},
+			OrderBy: []query.ColRef{col("item", "i_category")},
+		})
+	}
+
+	// Family G: sales joined with returns on item (cross-fact).
+	add(&query.Query{
+		Tables: []string{"store_sales", "store_returns", "item"},
+		Preds: []query.Pred{
+			{Table: "item", Column: "i_category", Lo: 0, Hi: 2},
+			{Table: "store_returns", Column: "sr_reason", Lo: 0, Hi: 1},
+		},
+		Joins: []query.Join{
+			{LeftTable: "store_sales", LeftColumn: "ss_item", RightTable: "item", RightColumn: "i_id"},
+			{LeftTable: "store_returns", LeftColumn: "sr_item", RightTable: "item", RightColumn: "i_id"},
+		},
+		GroupBy: []query.ColRef{col("item", "i_brand")},
+		Aggs:    []query.Agg{{Func: query.Count}},
+		Limit:   50,
+		OrderBy: []query.ColRef{col("item", "i_brand")},
+	})
+
+	// Family H: inventory position.
+	for v := 0; v < 2; v++ {
+		lo, hi := dateBand(90)
+		add(&query.Query{
+			Tables: []string{"inventory", "item", "warehouse"},
+			Preds: []query.Pred{
+				{Table: "inventory", Column: "inv_date", Lo: lo, Hi: hi},
+				{Table: "item", Column: "i_price", Lo: int64(1000 * (v + 1)), Hi: 20000},
+			},
+			Joins: []query.Join{
+				{LeftTable: "inventory", LeftColumn: "inv_item", RightTable: "item", RightColumn: "i_id"},
+				{LeftTable: "inventory", LeftColumn: "inv_warehouse", RightTable: "warehouse", RightColumn: "w_id"},
+			},
+			GroupBy: []query.ColRef{col("warehouse", "w_state")},
+			Aggs:    []query.Agg{{Func: query.Sum, Col: col("inventory", "inv_qty")}},
+		})
+	}
+
+	// Family I: promotion effectiveness.
+	add(&query.Query{
+		Tables: []string{"store_sales", "promotion", "item"},
+		Preds: []query.Pred{
+			{Table: "promotion", Column: "pr_channel", Lo: 0, Hi: 1},
+			{Table: "item", Column: "i_category", Lo: 2, Hi: 6},
+		},
+		Joins: []query.Join{
+			{LeftTable: "store_sales", LeftColumn: "ss_promo", RightTable: "promotion", RightColumn: "pr_id"},
+			{LeftTable: "store_sales", LeftColumn: "ss_item", RightTable: "item", RightColumn: "i_id"},
+		},
+		GroupBy: []query.ColRef{col("promotion", "pr_channel")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("store_sales", "ss_profit")}, {Func: query.Count}},
+	})
+
+	// Family J: time-of-day web traffic.
+	add(&query.Query{
+		Tables:  []string{"web_sales", "time_dim"},
+		Preds:   []query.Pred{{Table: "time_dim", Column: "t_shift", Lo: 1, Hi: 1}},
+		Joins:   []query.Join{{LeftTable: "web_sales", LeftColumn: "wsl_time", RightTable: "time_dim", RightColumn: "t_id"}},
+		GroupBy: []query.ColRef{col("time_dim", "t_hour")},
+		Aggs:    []query.Agg{{Func: query.Count}, {Func: query.Sum, Col: col("web_sales", "wsl_price")}},
+	})
+
+	return qs
+}

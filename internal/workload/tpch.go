@@ -1,0 +1,479 @@
+package workload
+
+import (
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/data"
+	"repro/internal/engine/query"
+	"repro/internal/util"
+)
+
+// TPCH builds a TPC-H-like workload: the classic 8-table order/lineitem
+// schema with Zipf-skewed foreign keys and correlated date columns (the
+// paper uses a skewed TPC-H generator precisely because skew makes cost
+// estimation harder), and 22 analytical queries echoing the TPC-H query
+// set's shapes. lineitemRows sets the fact-table size; other tables scale
+// proportionally.
+func TPCH(name string, lineitemRows int, seed int64) *Workload {
+	rng := util.NewRNG(seed)
+	s := catalog.NewSchema(name)
+
+	region := &catalog.Table{Name: "region", Columns: []catalog.Column{
+		intCol("r_id"), strCol("r_name"),
+	}}
+	nation := &catalog.Table{Name: "nation", Columns: []catalog.Column{
+		intCol("n_id"), intCol("n_region"), strCol("n_name"),
+	}}
+	supplier := &catalog.Table{Name: "supplier", Columns: []catalog.Column{
+		intCol("s_id"), intCol("s_nation"), intCol("s_acctbal"), strCol("s_name"),
+	}}
+	customer := &catalog.Table{Name: "customer", Columns: []catalog.Column{
+		intCol("c_id"), intCol("c_nation"), intCol("c_acctbal"), intCol("c_mktsegment"), strCol("c_name"),
+	}}
+	part := &catalog.Table{Name: "part", Columns: []catalog.Column{
+		intCol("p_id"), intCol("p_brand"), intCol("p_type"), intCol("p_size"), intCol("p_retailprice"),
+	}}
+	partsupp := &catalog.Table{Name: "partsupp", Columns: []catalog.Column{
+		intCol("ps_part"), intCol("ps_supp"), intCol("ps_supplycost"), intCol("ps_availqty"),
+	}}
+	orders := &catalog.Table{Name: "orders", Columns: []catalog.Column{
+		intCol("o_id"), intCol("o_cust"), dateCol("o_date"), intCol("o_totalprice"), intCol("o_priority"),
+	}}
+	lineitem := &catalog.Table{Name: "lineitem", Columns: []catalog.Column{
+		intCol("l_id"), intCol("l_order"), intCol("l_part"), intCol("l_supp"),
+		intCol("l_quantity"), intCol("l_price"), intCol("l_discount"),
+		dateCol("l_shipdate"), intCol("l_returnflag"),
+	}}
+	for _, t := range []*catalog.Table{region, nation, supplier, customer, part, partsupp, orders, lineitem} {
+		s.AddTable(t)
+	}
+
+	db := data.NewDatabase(s)
+	li := lineitemRows
+	nOrders := maxInt(li/4, 50)
+	nCust := maxInt(li/10, 40)
+	nPart := maxInt(li/5, 40)
+	nSupp := maxInt(li/100, 10)
+	nPS := nPart * 2
+
+	buildTable(db, region, rng.Split("region"), 5, []data.ColumnSpec{
+		{Name: "r_id", Gen: data.SequentialGen{}},
+		{Name: "r_name", Gen: data.UniformGen{Lo: 0, Hi: 4}},
+	})
+	buildTable(db, nation, rng.Split("nation"), 25, []data.ColumnSpec{
+		{Name: "n_id", Gen: data.SequentialGen{}},
+		{Name: "n_region", Gen: data.UniformGen{Lo: 0, Hi: 4}},
+		{Name: "n_name", Gen: data.UniformGen{Lo: 0, Hi: 24}},
+	})
+	suppT := buildTable(db, supplier, rng.Split("supplier"), nSupp, []data.ColumnSpec{
+		{Name: "s_id", Gen: data.SequentialGen{}},
+		{Name: "s_nation", Gen: data.UniformGen{Lo: 0, Hi: 24}},
+		{Name: "s_acctbal", Gen: data.NormalGen{Mean: 5000, Std: 3000, Lo: -999, Hi: 9999}},
+		{Name: "s_name", Gen: data.UniformGen{Lo: 0, Hi: 1 << 20}},
+	})
+	custT := buildTable(db, customer, rng.Split("customer"), nCust, []data.ColumnSpec{
+		{Name: "c_id", Gen: data.SequentialGen{}},
+		{Name: "c_nation", Gen: data.ZipfGen{S: 0.8, N: 25, Base: -1}}, // skewed nations
+		{Name: "c_acctbal", Gen: data.NormalGen{Mean: 5000, Std: 3000, Lo: -999, Hi: 9999}},
+		{Name: "c_mktsegment", Gen: data.ZipfGen{S: 0.7, N: 5, Base: -1}},
+		{Name: "c_name", Gen: data.UniformGen{Lo: 0, Hi: 1 << 20}},
+	})
+	partT := buildTable(db, part, rng.Split("part"), nPart, []data.ColumnSpec{
+		{Name: "p_id", Gen: data.SequentialGen{}},
+		{Name: "p_brand", Gen: data.ZipfGen{S: 0.9, N: 25, Base: -1}},
+		{Name: "p_type", Gen: data.UniformGen{Lo: 0, Hi: 149}},
+		{Name: "p_size", Gen: data.UniformGen{Lo: 1, Hi: 50}},
+		{Name: "p_retailprice", Gen: data.NormalGen{Mean: 1500, Std: 500, Lo: 900, Hi: 2100}},
+	})
+	buildTable(db, partsupp, rng.Split("partsupp"), nPS, []data.ColumnSpec{
+		{Name: "ps_part", Gen: data.FKGen{ParentKeys: partT.Column("p_id")}},
+		{Name: "ps_supp", Gen: data.FKGen{ParentKeys: suppT.Column("s_id"), Skew: 0.6}},
+		{Name: "ps_supplycost", Gen: data.UniformGen{Lo: 100, Hi: 1000}},
+		{Name: "ps_availqty", Gen: data.UniformGen{Lo: 1, Hi: 9999}},
+	})
+	ordRng := rng.Split("orders")
+	ordDates := data.UniformGen{Lo: 0, Hi: 2555}.Generate(ordRng.Split("dates"), nOrders)
+	ordT := data.NewTable(orders)
+	ordT.SetColumn("o_id", data.SequentialGen{}.Generate(ordRng, nOrders))
+	ordT.SetColumn("o_cust", data.FKGen{ParentKeys: custT.Column("c_id"), Skew: 1.05}.Generate(ordRng.Split("cust"), nOrders))
+	ordT.SetColumn("o_date", ordDates)
+	// Total price correlates with date (prices inflate over time) — an
+	// inter-column correlation the optimizer cannot see.
+	ordT.SetColumn("o_totalprice", data.CorrelatedGen{Source: ordDates, Scale: 40, Jitter: 20000}.Generate(ordRng.Split("price"), nOrders))
+	ordT.SetColumn("o_priority", data.ZipfGen{S: 0.9, N: 5, Base: -1}.Generate(ordRng.Split("prio"), nOrders))
+	db.AddTable(ordT)
+
+	liRng := rng.Split("lineitem")
+	liOrder := data.FKGen{ParentKeys: ordT.Column("o_id"), Skew: 0.85}.Generate(liRng.Split("ord"), li)
+	// Ship date = order date + small lag: strongly correlated across the join.
+	shipDates := make([]int64, li)
+	oDateByID := ordDates // o_id is sequential, so o_id indexes ordDates
+	lag := liRng.Split("lag")
+	for i, oid := range liOrder {
+		shipDates[i] = oDateByID[oid] + lag.Int64Range(1, 90)
+	}
+	quantities := data.ZipfGen{S: 1.05, N: 50}.Generate(liRng.Split("qty"), li)
+	liT := data.NewTable(lineitem)
+	liT.SetColumn("l_id", data.SequentialGen{}.Generate(liRng, li))
+	liT.SetColumn("l_order", liOrder)
+	liT.SetColumn("l_part", data.FKGen{ParentKeys: partT.Column("p_id"), Skew: 1.1}.Generate(liRng.Split("part"), li))
+	liT.SetColumn("l_supp", data.FKGen{ParentKeys: suppT.Column("s_id"), Skew: 0.7}.Generate(liRng.Split("supp"), li))
+	liT.SetColumn("l_quantity", quantities)
+	// Price correlates with quantity.
+	liT.SetColumn("l_price", data.CorrelatedGen{Source: quantities, Scale: 1000, Jitter: 5000}.Generate(liRng.Split("price"), li))
+	liT.SetColumn("l_discount", data.ZipfGen{S: 0.8, N: 11, Base: -1}.Generate(liRng.Split("disc"), li))
+	liT.SetColumn("l_shipdate", shipDates)
+	liT.SetColumn("l_returnflag", data.ZipfGen{S: 0.6, N: 3, Base: -1}.Generate(liRng.Split("rf"), li))
+	db.AddTable(liT)
+
+	w := &Workload{Name: name, Schema: s, DB: db, Queries: tpchQueries(rng.Split("queries"))}
+	return w
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// col is shorthand for a query column reference.
+func col(t, c string) query.ColRef { return query.ColRef{Table: t, Column: c} }
+
+// tpchQueries builds 22 analytical queries shaped after the TPC-H set, with
+// rng-drawn parameters.
+func tpchQueries(rng *util.RNG) []*query.Query {
+	d := func(width int64) (int64, int64) {
+		start := rng.Int64Range(0, 2555-width)
+		return start, start + width
+	}
+	// band draws a random [lo, lo+width] band inside [min, max].
+	band := func(min, max, width int64) (int64, int64) {
+		lo := rng.Int64Range(min, max-width)
+		return lo, lo + width
+	}
+	qs := make([]*query.Query, 0, 22)
+	add := func(q *query.Query) {
+		q.Weight = 1
+		qs = append(qs, q)
+	}
+
+	// q1: pricing summary over a shipdate range.
+	lo, hi := d(1800)
+	add(&query.Query{
+		Name: "q1", Tables: []string{"lineitem"},
+		Preds:   []query.Pred{{Table: "lineitem", Column: "l_shipdate", Lo: lo, Hi: hi}},
+		GroupBy: []query.ColRef{col("lineitem", "l_returnflag")},
+		Aggs: []query.Agg{
+			{Func: query.Sum, Col: col("lineitem", "l_quantity")},
+			{Func: query.Sum, Col: col("lineitem", "l_price")},
+			{Func: query.Avg, Col: col("lineitem", "l_discount")},
+			{Func: query.Count},
+		},
+		OrderBy: []query.ColRef{col("lineitem", "l_returnflag")},
+	})
+
+	// q2: min-cost supplier for parts of a size/type.
+	add(&query.Query{
+		Name: "q2", Tables: []string{"part", "partsupp", "supplier", "nation"},
+		Preds: []query.Pred{
+			{Table: "part", Column: "p_size", Lo: rng.Int64Range(1, 40), Hi: rng.Int64Range(41, 50)},
+			{Table: "part", Column: "p_type", Lo: 10, Hi: 40},
+		},
+		Joins: []query.Join{
+			{LeftTable: "partsupp", LeftColumn: "ps_part", RightTable: "part", RightColumn: "p_id"},
+			{LeftTable: "partsupp", LeftColumn: "ps_supp", RightTable: "supplier", RightColumn: "s_id"},
+			{LeftTable: "supplier", LeftColumn: "s_nation", RightTable: "nation", RightColumn: "n_id"},
+		},
+		GroupBy: []query.ColRef{col("nation", "n_id")},
+		Aggs:    []query.Agg{{Func: query.Min, Col: col("partsupp", "ps_supplycost")}},
+	})
+
+	// q3: shipping priority: top unshipped orders for a segment.
+	lo, hi = d(200)
+	segLo, segHi := band(0, 4, 1)
+	add(&query.Query{
+		Name: "q3", Tables: []string{"customer", "orders", "lineitem"},
+		Preds: []query.Pred{
+			{Table: "customer", Column: "c_mktsegment", Lo: segLo, Hi: segHi},
+			{Table: "orders", Column: "o_date", Lo: lo, Hi: hi},
+		},
+		Joins: []query.Join{
+			{LeftTable: "orders", LeftColumn: "o_cust", RightTable: "customer", RightColumn: "c_id"},
+			{LeftTable: "lineitem", LeftColumn: "l_order", RightTable: "orders", RightColumn: "o_id"},
+		},
+		GroupBy: []query.ColRef{col("orders", "o_priority")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+		OrderBy: []query.ColRef{col("orders", "o_priority")},
+	})
+
+	// q4: order counts by priority in a quarter.
+	lo, hi = d(90)
+	add(&query.Query{
+		Name: "q4", Tables: []string{"orders", "lineitem"},
+		Preds:   []query.Pred{{Table: "orders", Column: "o_date", Lo: lo, Hi: hi}},
+		Joins:   []query.Join{{LeftTable: "lineitem", LeftColumn: "l_order", RightTable: "orders", RightColumn: "o_id"}},
+		GroupBy: []query.ColRef{col("orders", "o_priority")},
+		Aggs:    []query.Agg{{Func: query.Count}},
+		OrderBy: []query.ColRef{col("orders", "o_priority")},
+	})
+
+	// q5: local supplier volume: 6-way join grouped by nation.
+	lo, hi = d(365)
+	regLo, regHi := band(0, 4, 2)
+	add(&query.Query{
+		Name: "q5", Tables: []string{"region", "nation", "customer", "orders", "lineitem", "supplier"},
+		Preds: []query.Pred{
+			{Table: "region", Column: "r_id", Lo: regLo, Hi: regHi},
+			{Table: "orders", Column: "o_date", Lo: lo, Hi: hi},
+		},
+		Joins: []query.Join{
+			{LeftTable: "nation", LeftColumn: "n_region", RightTable: "region", RightColumn: "r_id"},
+			{LeftTable: "customer", LeftColumn: "c_nation", RightTable: "nation", RightColumn: "n_id"},
+			{LeftTable: "orders", LeftColumn: "o_cust", RightTable: "customer", RightColumn: "c_id"},
+			{LeftTable: "lineitem", LeftColumn: "l_order", RightTable: "orders", RightColumn: "o_id"},
+			{LeftTable: "lineitem", LeftColumn: "l_supp", RightTable: "supplier", RightColumn: "s_id"},
+		},
+		GroupBy: []query.ColRef{col("nation", "n_name")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+	})
+
+	// q6: forecasting revenue change: tight multi-predicate scan.
+	lo, hi = d(365)
+	add(&query.Query{
+		Name: "q6", Tables: []string{"lineitem"},
+		Preds: []query.Pred{
+			{Table: "lineitem", Column: "l_shipdate", Lo: lo, Hi: hi},
+			{Table: "lineitem", Column: "l_discount", Lo: 2, Hi: 4},
+			{Table: "lineitem", Column: "l_quantity", Lo: 1, Hi: 24},
+		},
+		Aggs: []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+	})
+
+	// q7: volume shipping between two nations.
+	natLo7, natHi7 := band(0, 24, 1)
+	add(&query.Query{
+		Name: "q7", Tables: []string{"supplier", "lineitem", "orders", "customer"},
+		Preds: []query.Pred{
+			{Table: "supplier", Column: "s_nation", Lo: natLo7, Hi: natHi7},
+			{Table: "lineitem", Column: "l_shipdate", Lo: 365, Hi: 1095},
+		},
+		Joins: []query.Join{
+			{LeftTable: "lineitem", LeftColumn: "l_supp", RightTable: "supplier", RightColumn: "s_id"},
+			{LeftTable: "lineitem", LeftColumn: "l_order", RightTable: "orders", RightColumn: "o_id"},
+			{LeftTable: "orders", LeftColumn: "o_cust", RightTable: "customer", RightColumn: "c_id"},
+		},
+		GroupBy: []query.ColRef{col("customer", "c_nation")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+	})
+
+	// q8: market share of a brand within a region.
+	brLo8, brHi8 := band(0, 24, 2)
+	add(&query.Query{
+		Name: "q8", Tables: []string{"part", "lineitem", "orders", "customer", "nation", "region"},
+		Preds: []query.Pred{
+			{Table: "part", Column: "p_brand", Lo: brLo8, Hi: brHi8},
+			{Table: "orders", Column: "o_date", Lo: 365, Hi: 1095},
+		},
+		Joins: []query.Join{
+			{LeftTable: "lineitem", LeftColumn: "l_part", RightTable: "part", RightColumn: "p_id"},
+			{LeftTable: "lineitem", LeftColumn: "l_order", RightTable: "orders", RightColumn: "o_id"},
+			{LeftTable: "orders", LeftColumn: "o_cust", RightTable: "customer", RightColumn: "c_id"},
+			{LeftTable: "customer", LeftColumn: "c_nation", RightTable: "nation", RightColumn: "n_id"},
+			{LeftTable: "nation", LeftColumn: "n_region", RightTable: "region", RightColumn: "r_id"},
+		},
+		GroupBy: []query.ColRef{col("region", "r_name")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}, {Func: query.Count}},
+	})
+
+	// q9: product type profit by nation.
+	add(&query.Query{
+		Name: "q9", Tables: []string{"part", "lineitem", "supplier", "nation", "partsupp"},
+		Preds: []query.Pred{{Table: "part", Column: "p_type", Lo: 50, Hi: 99}},
+		Joins: []query.Join{
+			{LeftTable: "lineitem", LeftColumn: "l_part", RightTable: "part", RightColumn: "p_id"},
+			{LeftTable: "lineitem", LeftColumn: "l_supp", RightTable: "supplier", RightColumn: "s_id"},
+			{LeftTable: "supplier", LeftColumn: "s_nation", RightTable: "nation", RightColumn: "n_id"},
+			{LeftTable: "partsupp", LeftColumn: "ps_part", RightTable: "part", RightColumn: "p_id"},
+		},
+		GroupBy: []query.ColRef{col("nation", "n_name")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+	})
+
+	// q10: returned item reporting, top customers.
+	lo, hi = d(90)
+	add(&query.Query{
+		Name: "q10", Tables: []string{"customer", "orders", "lineitem", "nation"},
+		Preds: []query.Pred{
+			{Table: "orders", Column: "o_date", Lo: lo, Hi: hi},
+			{Table: "lineitem", Column: "l_returnflag", Lo: 2, Hi: 2},
+		},
+		Joins: []query.Join{
+			{LeftTable: "orders", LeftColumn: "o_cust", RightTable: "customer", RightColumn: "c_id"},
+			{LeftTable: "lineitem", LeftColumn: "l_order", RightTable: "orders", RightColumn: "o_id"},
+			{LeftTable: "customer", LeftColumn: "c_nation", RightTable: "nation", RightColumn: "n_id"},
+		},
+		GroupBy: []query.ColRef{col("customer", "c_nation")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+		OrderBy: []query.ColRef{col("customer", "c_nation")},
+		Limit:   20,
+	})
+
+	// q11: important stock identification.
+	natLo11, natHi11 := band(0, 24, 3)
+	add(&query.Query{
+		Name: "q11", Tables: []string{"partsupp", "supplier", "nation"},
+		Preds: []query.Pred{{Table: "nation", Column: "n_id", Lo: natLo11, Hi: natHi11}},
+		Joins: []query.Join{
+			{LeftTable: "partsupp", LeftColumn: "ps_supp", RightTable: "supplier", RightColumn: "s_id"},
+			{LeftTable: "supplier", LeftColumn: "s_nation", RightTable: "nation", RightColumn: "n_id"},
+		},
+		GroupBy: []query.ColRef{col("partsupp", "ps_part")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("partsupp", "ps_availqty")}},
+		Limit:   50,
+		OrderBy: []query.ColRef{col("partsupp", "ps_part")},
+	})
+
+	// q12: shipping modes and order priority.
+	lo, hi = d(365)
+	add(&query.Query{
+		Name: "q12", Tables: []string{"orders", "lineitem"},
+		Preds: []query.Pred{
+			{Table: "lineitem", Column: "l_shipdate", Lo: lo, Hi: hi},
+			{Table: "lineitem", Column: "l_quantity", Lo: 25, Hi: 50},
+		},
+		Joins:   []query.Join{{LeftTable: "lineitem", LeftColumn: "l_order", RightTable: "orders", RightColumn: "o_id"}},
+		GroupBy: []query.ColRef{col("orders", "o_priority")},
+		Aggs:    []query.Agg{{Func: query.Count}},
+	})
+
+	// q13: customer order distribution.
+	add(&query.Query{
+		Name: "q13", Tables: []string{"customer", "orders"},
+		Preds:   []query.Pred{{Table: "orders", Column: "o_priority", Lo: 0, Hi: 2}},
+		Joins:   []query.Join{{LeftTable: "orders", LeftColumn: "o_cust", RightTable: "customer", RightColumn: "c_id"}},
+		GroupBy: []query.ColRef{col("customer", "c_nation")},
+		Aggs:    []query.Agg{{Func: query.Count}},
+	})
+
+	// q14: promotion effect in a month.
+	lo, hi = d(30)
+	add(&query.Query{
+		Name: "q14", Tables: []string{"lineitem", "part"},
+		Preds:   []query.Pred{{Table: "lineitem", Column: "l_shipdate", Lo: lo, Hi: hi}},
+		Joins:   []query.Join{{LeftTable: "lineitem", LeftColumn: "l_part", RightTable: "part", RightColumn: "p_id"}},
+		GroupBy: []query.ColRef{col("part", "p_brand")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+	})
+
+	// q15: top supplier by revenue in a quarter.
+	lo, hi = d(90)
+	add(&query.Query{
+		Name: "q15", Tables: []string{"lineitem", "supplier"},
+		Preds:   []query.Pred{{Table: "lineitem", Column: "l_shipdate", Lo: lo, Hi: hi}},
+		Joins:   []query.Join{{LeftTable: "lineitem", LeftColumn: "l_supp", RightTable: "supplier", RightColumn: "s_id"}},
+		GroupBy: []query.ColRef{col("supplier", "s_id")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+		OrderBy: []query.ColRef{col("supplier", "s_id")},
+		Limit:   10,
+	})
+
+	// q16: parts/supplier relationship counts.
+	add(&query.Query{
+		Name: "q16", Tables: []string{"partsupp", "part"},
+		Preds: []query.Pred{
+			{Table: "part", Column: "p_brand", Lo: 5, Hi: 24},
+			{Table: "part", Column: "p_size", Lo: 10, Hi: 30},
+		},
+		Joins:   []query.Join{{LeftTable: "partsupp", LeftColumn: "ps_part", RightTable: "part", RightColumn: "p_id"}},
+		GroupBy: []query.ColRef{col("part", "p_brand")},
+		Aggs:    []query.Agg{{Func: query.Count}},
+	})
+
+	// q17: small-quantity-order revenue for a brand.
+	brLo17, brHi17 := band(0, 24, 1)
+	add(&query.Query{
+		Name: "q17", Tables: []string{"lineitem", "part"},
+		Preds: []query.Pred{
+			{Table: "part", Column: "p_brand", Lo: brLo17, Hi: brHi17},
+			{Table: "lineitem", Column: "l_quantity", Lo: 1, Hi: 5},
+		},
+		Joins: []query.Join{{LeftTable: "lineitem", LeftColumn: "l_part", RightTable: "part", RightColumn: "p_id"}},
+		Aggs:  []query.Agg{{Func: query.Avg, Col: col("lineitem", "l_price")}, {Func: query.Count}},
+	})
+
+	// q18: large volume customers.
+	add(&query.Query{
+		Name: "q18", Tables: []string{"customer", "orders", "lineitem"},
+		Preds: []query.Pred{{Table: "lineitem", Column: "l_quantity", Lo: 40, Hi: 50}},
+		Joins: []query.Join{
+			{LeftTable: "orders", LeftColumn: "o_cust", RightTable: "customer", RightColumn: "c_id"},
+			{LeftTable: "lineitem", LeftColumn: "l_order", RightTable: "orders", RightColumn: "o_id"},
+		},
+		GroupBy: []query.ColRef{col("customer", "c_id")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_quantity")}},
+		OrderBy: []query.ColRef{col("customer", "c_id")},
+		Limit:   100,
+	})
+
+	// q19: discounted revenue for brand/quantity bands.
+	add(&query.Query{
+		Name: "q19", Tables: []string{"lineitem", "part"},
+		Preds: []query.Pred{
+			{Table: "part", Column: "p_brand", Lo: 0, Hi: 8},
+			{Table: "part", Column: "p_size", Lo: 1, Hi: 15},
+			{Table: "lineitem", Column: "l_quantity", Lo: 10, Hi: 30},
+			{Table: "lineitem", Column: "l_discount", Lo: 1, Hi: 6},
+		},
+		Joins: []query.Join{{LeftTable: "lineitem", LeftColumn: "l_part", RightTable: "part", RightColumn: "p_id"}},
+		Aggs:  []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+	})
+
+	// q20: potential part promotion: suppliers with stock.
+	add(&query.Query{
+		Name: "q20", Tables: []string{"supplier", "partsupp", "part", "nation"},
+		Preds: []query.Pred{
+			{Table: "part", Column: "p_type", Lo: 100, Hi: 120},
+			{Table: "partsupp", Column: "ps_availqty", Lo: 5000, Hi: 9999},
+		},
+		Joins: []query.Join{
+			{LeftTable: "partsupp", LeftColumn: "ps_supp", RightTable: "supplier", RightColumn: "s_id"},
+			{LeftTable: "partsupp", LeftColumn: "ps_part", RightTable: "part", RightColumn: "p_id"},
+			{LeftTable: "supplier", LeftColumn: "s_nation", RightTable: "nation", RightColumn: "n_id"},
+		},
+		GroupBy: []query.ColRef{col("nation", "n_name")},
+		Aggs:    []query.Agg{{Func: query.Count}},
+	})
+
+	// q21: suppliers with late shipments for a nation.
+	natLo21, natHi21 := band(0, 24, 1)
+	add(&query.Query{
+		Name: "q21", Tables: []string{"supplier", "lineitem", "orders", "nation"},
+		Preds: []query.Pred{
+			{Table: "nation", Column: "n_id", Lo: natLo21, Hi: natHi21},
+			{Table: "orders", Column: "o_priority", Lo: 0, Hi: 0},
+		},
+		Joins: []query.Join{
+			{LeftTable: "lineitem", LeftColumn: "l_supp", RightTable: "supplier", RightColumn: "s_id"},
+			{LeftTable: "lineitem", LeftColumn: "l_order", RightTable: "orders", RightColumn: "o_id"},
+			{LeftTable: "supplier", LeftColumn: "s_nation", RightTable: "nation", RightColumn: "n_id"},
+		},
+		GroupBy: []query.ColRef{col("supplier", "s_id")},
+		Aggs:    []query.Agg{{Func: query.Count}},
+		OrderBy: []query.ColRef{col("supplier", "s_id")},
+		Limit:   25,
+	})
+
+	// q22: global sales opportunity: high-balance customers by nation.
+	add(&query.Query{
+		Name: "q22", Tables: []string{"customer", "orders"},
+		Preds: []query.Pred{
+			{Table: "customer", Column: "c_acctbal", Lo: 6000, Hi: 9999},
+			{Table: "orders", Column: "o_totalprice", Lo: 0, Hi: 50000},
+		},
+		Joins:   []query.Join{{LeftTable: "orders", LeftColumn: "o_cust", RightTable: "customer", RightColumn: "c_id"}},
+		GroupBy: []query.ColRef{col("customer", "c_nation")},
+		Aggs:    []query.Agg{{Func: query.Count}, {Func: query.Sum, Col: col("customer", "c_acctbal")}},
+	})
+
+	return qs
+}
