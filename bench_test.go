@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/feat"
 	"repro/internal/models"
+	"repro/internal/tuner"
 	"repro/internal/util"
 	"repro/internal/workload"
 )
@@ -215,6 +216,30 @@ func BenchmarkTuneQuery(b *testing.B) {
 		}
 	}
 }
+
+// benchTuneWorkload measures a full workload-level search at a given
+// what-if parallelism. The what-if cache is rebuilt per iteration so every
+// iteration pays for its probes (a warm cache would hide the fan-out).
+//
+// Probing is CPU-bound in the planner, so the Parallel4/Serial ratio
+// tracks physical cores: ~parity on a single-core host (the pool adds no
+// overhead), approaching 4x with >= 4 cores.
+func benchTuneWorkload(b *testing.B, parallelism int) {
+	w := workload.TPCH("bench-tunew", 5000, 7)
+	ds := stats.BuildDatabaseStats(w.DB, util.NewRNG(4), stats.DefaultSampleSize, stats.DefaultBuckets)
+	o := opt.New(w.Schema, ds)
+	qs := w.Queries[:12]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn := tuner.New(w.Schema, opt.NewWhatIf(o), nil, tuner.Options{Parallelism: parallelism})
+		if _, err := tn.TuneWorkload(qs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTuneWorkloadSerial(b *testing.B)    { benchTuneWorkload(b, 1) }
+func BenchmarkTuneWorkloadParallel4(b *testing.B) { benchTuneWorkload(b, 4) }
 
 func BenchmarkCollectExecutionData(b *testing.B) {
 	w := workload.TPCH("bench-collect", 2000, 7)

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	aimai list
-//	aimai run [-scale 0.25] [-seed N] [-quick] [-dbs a,b,c] [-out file] <experiment|all>
-//	aimai tune [-db tpch10] [-scale 0.1] [-query q6] [-model rf|none] [-iters 5]
+//	aimai run [-scale 0.25] [-seed N] [-quick] [-parallel N] [-dbs a,b,c] [-out file] <experiment|all>
+//	aimai tune [-db tpch10] [-scale 0.1] [-query q6] [-model rf|none] [-iters 5] [-parallel N]
 //	aimai sql [-db tpch10] [-scale 0.1] [-explain] [-limit 20] "SELECT ..."
 //	aimai workloads [-scale 0.25] [-sql]
 package main
@@ -83,6 +83,7 @@ func cmdRun(args []string) error {
 	quick := fs.Bool("quick", false, "reduced repeats and model sizes")
 	dbs := fs.String("dbs", "", "comma-separated database subset (default all 15)")
 	out := fs.String("out", "", "also write results to this file")
+	parallel := fs.Int("parallel", 0, "tuner what-if worker pool (0 = GOMAXPROCS, 1 = serial; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -99,7 +100,7 @@ func cmdRun(args []string) error {
 	} else {
 		return fmt.Errorf("unknown experiment %q (see 'aimai list')", target)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Quick: *quick, Parallelism: *parallel}
 	if *dbs != "" {
 		cfg.Databases = strings.Split(*dbs, ",")
 	}
@@ -141,6 +142,7 @@ func cmdTune(args []string) error {
 	model := fs.String("model", "rf", "comparator: rf (classifier) or none (estimate-only)")
 	iters := fs.Int("iters", 5, "continuous tuning iterations")
 	seed := fs.Int64("seed", 1, "seed")
+	parallel := fs.Int("parallel", 0, "tuner what-if worker pool (0 = GOMAXPROCS, 1 = serial; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -170,7 +172,7 @@ func cmdTune(args []string) error {
 		}
 		cmp = clf
 	}
-	tn := sys.NewTuner(cmp, aimai.TunerOptions{})
+	tn := sys.NewTuner(cmp, aimai.TunerOptions{Parallelism: *parallel})
 	cont := sys.NewContinuousTuner(tn, aimai.ContinuousOptions{Iterations: *iters, StopOnRegression: cmp == nil})
 
 	var qs []string

@@ -44,7 +44,9 @@ func main() {
 	adaptive := models.NewUncertainty(offline, local)
 
 	run := func(name string, cmp aimai.Comparator, stopOnRegression bool, onData func(*expdata.Dataset)) {
-		tn := sys.NewTuner(cmp, aimai.TunerOptions{MaxNewIndexes: 3})
+		// Probes and per-iteration measurements fan out across GOMAXPROCS
+		// workers; every run below is deterministic regardless.
+		tn := sys.NewTuner(cmp, aimai.TunerOptions{MaxNewIndexes: 3, Parallelism: 0})
 		cont := sys.NewContinuousTuner(tn, aimai.ContinuousOptions{
 			Iterations:       5,
 			StopOnRegression: stopOnRegression,

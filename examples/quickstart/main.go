@@ -50,7 +50,9 @@ func main() {
 		aimai.EvaluateF1(clf, pairs), aimai.EvaluateF1(aimai.OptimizerBaseline(), pairs))
 
 	// 5. Tune the query with the classifier gating regressions (§5).
-	tn := sys.NewTuner(clf, aimai.TunerOptions{})
+	// Parallelism 0 fans what-if probes across GOMAXPROCS workers; the
+	// recommendation is identical to a serial (Parallelism 1) search.
+	tn := sys.NewTuner(clf, aimai.TunerOptions{Parallelism: 0})
 	rec, err := tn.TuneQuery(q, nil)
 	if err != nil {
 		log.Fatal(err)

@@ -12,6 +12,7 @@ package exec
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/engine/btree"
 	"repro/internal/engine/catalog"
@@ -34,7 +35,9 @@ const columnstoreCompression = 4.0
 // catastrophically bad plans.
 const MaxIntermediateRows = 4_000_000
 
-// Executor runs plans against one database.
+// Executor runs plans against one database. Execute is safe for concurrent
+// use: per-execution state lives in the run, and the lazily built physical
+// index cache is guarded by a mutex.
 type Executor struct {
 	DB    *data.Database
 	Model *cost.Model
@@ -42,6 +45,7 @@ type Executor struct {
 	// log-normal measurement noise applied per operator.
 	NoiseSigma float64
 
+	mu      sync.Mutex
 	indexes map[string]*btree.Tree
 }
 
@@ -146,8 +150,11 @@ func clonePlan(p *plan.Plan) *plan.Plan {
 }
 
 // Index returns (building and caching on demand) the physical B+ tree for
-// an index id on a table.
+// an index id on a table. The build runs under the cache lock so concurrent
+// executions requesting the same index construct it exactly once.
 func (e *Executor) Index(ix *catalog.Index) (*btree.Tree, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	id := ix.ID()
 	if t, ok := e.indexes[id]; ok {
 		return t, nil
@@ -178,7 +185,11 @@ func (e *Executor) Index(ix *catalog.Index) (*btree.Tree, error) {
 }
 
 // DropIndex evicts a cached physical index (after configuration changes).
-func (e *Executor) DropIndex(ix *catalog.Index) { delete(e.indexes, ix.ID()) }
+func (e *Executor) DropIndex(ix *catalog.Index) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.indexes, ix.ID())
+}
 
 // charge computes an operator's true cost, applies noise, and annotates the
 // node with actuals.

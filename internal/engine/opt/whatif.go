@@ -1,77 +1,215 @@
 package opt
 
 import (
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/plan"
 	"repro/internal/engine/query"
 )
 
-// WhatIf wraps an Optimizer with a plan cache keyed by (query, configuration
-// fingerprint). Index tuners probe the same hypothetical configurations for
-// many queries and the same query under many configurations; caching keeps
-// the search cheap, mirroring the optimizer-call caching of production
-// tuners.
+// whatIfShards is the number of cache shards. Sharding keeps lock hold
+// times short when a parallel tuner issues many concurrent probes.
+const whatIfShards = 16
+
+// WhatIf wraps an Optimizer with a plan cache keyed by (query fingerprint,
+// configuration fingerprint). Index tuners probe the same hypothetical
+// configurations for many queries and the same query under many
+// configurations; caching keeps the search cheap, mirroring the
+// optimizer-call caching of production tuners.
+//
+// The cache key includes the query's full fingerprint (constants included):
+// two distinct queries that merely share a Name never receive each other's
+// plans. It is safe for concurrent use: the cache is sharded to cut lock
+// contention, and concurrent misses on the same key are deduplicated
+// singleflight-style so Optimize runs once per key, not once per caller.
 type WhatIf struct {
 	Opt *Optimizer
 
-	mu    sync.Mutex
-	cache map[whatIfKey]*plan.Plan
-	calls int
-	hits  int
+	// MaxEntries optionally bounds the number of cached plans (0 = no
+	// bound). When the bound is exceeded, the oldest completed entries are
+	// evicted first. Continuous tuners that run indefinitely should set a
+	// bound so the cache cannot grow without limit. Set before first use.
+	MaxEntries int
+
+	shards [whatIfShards]whatIfShard
+	calls  atomic.Int64
+	hits   atomic.Int64
+
+	// qfp memoizes query fingerprints by query identity: fingerprints are
+	// pure functions of the (immutable) query, so they survive Reset.
+	qfp sync.Map // *query.Query -> string
+}
+
+type whatIfShard struct {
+	mu      sync.Mutex
+	entries map[whatIfKey]*whatIfEntry
+	// order records insertion order for FIFO eviction; it may hold stale
+	// keys (evicted or error-removed), which eviction skips.
+	order []whatIfKey
 }
 
 type whatIfKey struct {
-	queryName string
-	configFP  string
+	queryFP  string
+	configFP string
+}
+
+// whatIfEntry is one cache slot. done is closed when the owning call's
+// Optimize completes; p/err must only be read after done is closed.
+type whatIfEntry struct {
+	done chan struct{}
+	p    *plan.Plan
+	err  error
 }
 
 // NewWhatIf returns a caching what-if facade over the optimizer.
 func NewWhatIf(o *Optimizer) *WhatIf {
-	return &WhatIf{Opt: o, cache: map[whatIfKey]*plan.Plan{}}
+	w := &WhatIf{Opt: o}
+	for i := range w.shards {
+		w.shards[i].entries = map[whatIfKey]*whatIfEntry{}
+	}
+	return w
+}
+
+// NewWhatIfBounded returns a caching facade holding at most maxEntries
+// plans, evicting oldest-first beyond the bound.
+func NewWhatIfBounded(o *Optimizer, maxEntries int) *WhatIf {
+	w := NewWhatIf(o)
+	w.MaxEntries = maxEntries
+	return w
+}
+
+// queryFingerprint returns q's full fingerprint, memoized by pointer so hot
+// cache hits do not re-render the SQL.
+func (w *WhatIf) queryFingerprint(q *query.Query) string {
+	if fp, ok := w.qfp.Load(q); ok {
+		return fp.(string)
+	}
+	fp := q.Fingerprint()
+	w.qfp.Store(q, fp)
+	return fp
+}
+
+func (w *WhatIf) shardFor(key whatIfKey) *whatIfShard {
+	h := fnv.New32a()
+	h.Write([]byte(key.queryFP))
+	h.Write([]byte{0})
+	h.Write([]byte(key.configFP))
+	return &w.shards[h.Sum32()%whatIfShards]
 }
 
 // Plan returns the optimizer's plan for q under the (possibly hypothetical)
 // configuration cfg. Results are cached; callers must not mutate the
 // returned plan's estimate annotations. (The executor clones plans before
-// filling actuals.)
+// filling actuals.) Plan is safe to call from many goroutines.
 func (w *WhatIf) Plan(q *query.Query, cfg *catalog.Configuration) (*plan.Plan, error) {
 	fp := ""
 	if cfg != nil {
 		fp = cfg.Fingerprint()
 	}
-	key := whatIfKey{queryName: q.Name, configFP: fp}
-	w.mu.Lock()
-	w.calls++
-	if p, ok := w.cache[key]; ok {
-		w.hits++
-		w.mu.Unlock()
-		return p, nil
+	key := whatIfKey{queryFP: w.queryFingerprint(q), configFP: fp}
+	sh := w.shardFor(key)
+	w.calls.Add(1)
+
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			// The owning call failed and removed the entry; surface the
+			// same error rather than retrying under this call.
+			return nil, e.err
+		}
+		w.hits.Add(1)
+		return e.p, nil
 	}
-	w.mu.Unlock()
+	e := &whatIfEntry{done: make(chan struct{})}
+	sh.entries[key] = e
+	sh.order = append(sh.order, key)
+	sh.evictLocked(w.MaxEntries)
+	sh.mu.Unlock()
+
 	p, err := w.Opt.Optimize(q, cfg)
 	if err != nil {
+		// Do not cache failures: remove the slot so later calls retry.
+		sh.mu.Lock()
+		if sh.entries[key] == e {
+			delete(sh.entries, key)
+		}
+		sh.mu.Unlock()
+		e.err = err
+		close(e.done)
 		return nil, err
 	}
-	w.mu.Lock()
-	w.cache[key] = p
-	w.mu.Unlock()
+	e.p = p
+	close(e.done)
 	return p, nil
 }
 
-// Stats reports cache calls and hits, for tuner overhead accounting.
+// evictLocked drops the oldest completed entries until the shard is within
+// its share of the bound. In-flight entries are never evicted.
+func (sh *whatIfShard) evictLocked(maxEntries int) {
+	if maxEntries <= 0 {
+		return
+	}
+	perShard := maxEntries / whatIfShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	for len(sh.entries) > perShard && len(sh.order) > 0 {
+		evicted := false
+		for i, k := range sh.order {
+			e, ok := sh.entries[k]
+			if !ok {
+				continue // stale: already evicted or removed on error
+			}
+			select {
+			case <-e.done:
+			default:
+				continue // in flight: a caller still depends on the slot
+			}
+			delete(sh.entries, k)
+			sh.order = append(sh.order[:i:i], sh.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything left is in flight
+		}
+	}
+	if len(sh.entries) <= perShard {
+		// Compact fully-stale prefixes so order cannot grow unboundedly.
+		i := 0
+		for i < len(sh.order) {
+			if _, ok := sh.entries[sh.order[i]]; ok {
+				break
+			}
+			i++
+		}
+		sh.order = sh.order[i:]
+	}
+}
+
+// Stats reports cache calls and hits, for tuner overhead accounting. A call
+// that joins another caller's in-flight optimization counts as a hit: it
+// did not pay for an Optimize.
 func (w *WhatIf) Stats() (calls, hits int) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.calls, w.hits
+	return int(w.calls.Load()), int(w.hits.Load())
 }
 
 // Reset clears the cache (used between tuning iterations when statistics
-// change).
+// change). In-flight optimizations complete and are delivered to their
+// waiters but are not re-inserted.
 func (w *WhatIf) Reset() {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.cache = map[whatIfKey]*plan.Plan{}
-	w.calls, w.hits = 0, 0
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.Lock()
+		sh.entries = map[whatIfKey]*whatIfEntry{}
+		sh.order = nil
+		sh.mu.Unlock()
+	}
+	w.calls.Store(0)
+	w.hits.Store(0)
 }

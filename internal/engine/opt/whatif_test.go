@@ -1,0 +1,177 @@
+package opt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/query"
+)
+
+// TestWhatIfKeyIncludesPredicates is the regression test for the cache-key
+// bug: the cache used to key plans by q.Name alone, so two distinct queries
+// sharing a name silently received each other's plans.
+func TestWhatIfKeyIncludesPredicates(t *testing.T) {
+	s, _, ds := buildEnv(t)
+	w := NewWhatIf(New(s, ds))
+	cfg := catalog.NewConfiguration(&catalog.Index{Table: "fact", KeyColumns: []string{"f_date"}})
+
+	// Same name, different predicates: a selective point lookup vs a wide
+	// range scan. The optimizer picks different plans (seek vs scan) and
+	// certainly different estimates.
+	narrow := &query.Query{
+		Name:   "q",
+		Tables: []string{"fact"},
+		Preds:  []query.Pred{{Table: "fact", Column: "f_date", Lo: 100, Hi: 100}},
+		Select: []query.ColRef{{Table: "fact", Column: "f_val"}},
+	}
+	wide := &query.Query{
+		Name:   "q",
+		Tables: []string{"fact"},
+		Preds:  []query.Pred{{Table: "fact", Column: "f_date", Lo: 0, Hi: 3650}},
+		Select: []query.ColRef{{Table: "fact", Column: "f_val"}},
+	}
+
+	pNarrow, err := w.Plan(narrow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pWide, err := w.Plan(wide, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNarrow == pWide {
+		t.Fatal("same-named queries with different predicates shared a cached plan")
+	}
+	if pNarrow.EstTotalCost == pWide.EstTotalCost {
+		t.Fatal("distinct parameterizations should cost differently")
+	}
+	// Each query must still hit its own entry.
+	again, _ := w.Plan(narrow, cfg)
+	if again != pNarrow {
+		t.Fatal("narrow query lost its cache entry")
+	}
+	calls, hits := w.Stats()
+	if calls != 3 || hits != 1 {
+		t.Fatalf("calls=%d hits=%d, want 3/1", calls, hits)
+	}
+}
+
+// TestWhatIfSingleflight checks that concurrent misses on one key run
+// Optimize once: every other caller joins the in-flight computation and
+// counts as a hit.
+func TestWhatIfSingleflight(t *testing.T) {
+	s, _, ds := buildEnv(t)
+	w := NewWhatIf(New(s, ds))
+	q := pointQuery()
+	cfg := catalog.NewConfiguration(&catalog.Index{Table: "fact", KeyColumns: []string{"f_date"}})
+
+	const n = 32
+	plans := make([]interface{}, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := w.Plan(q, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("concurrent callers got different plan objects for one key")
+		}
+	}
+	calls, hits := w.Stats()
+	if calls != n {
+		t.Fatalf("calls=%d, want %d", calls, n)
+	}
+	if hits != n-1 {
+		t.Fatalf("hits=%d, want %d (one Optimize, everyone else joins or hits)", hits, n-1)
+	}
+}
+
+// TestWhatIfEntryBound checks that a bounded cache evicts rather than
+// growing without limit, and keeps answering correctly after eviction.
+func TestWhatIfEntryBound(t *testing.T) {
+	s, _, ds := buildEnv(t)
+	const bound = 32
+	w := NewWhatIfBounded(New(s, ds), bound)
+	q := pointQuery()
+	for i := 0; i < 10*bound; i++ {
+		cfg := catalog.NewConfiguration(&catalog.Index{
+			Table:      "fact",
+			KeyColumns: []string{"f_date"},
+			// Vary the included column set so every configuration has a
+			// distinct fingerprint.
+			IncludedColumns: []string{fmt.Sprintf("c%d", i)},
+		})
+		if _, err := w.Plan(q, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var entries int
+	for i := range w.shards {
+		w.shards[i].mu.Lock()
+		entries += len(w.shards[i].entries)
+		w.shards[i].mu.Unlock()
+	}
+	if entries > bound {
+		t.Fatalf("cache holds %d entries, bound %d", entries, bound)
+	}
+	// A fresh probe after heavy eviction still plans correctly.
+	p, err := w.Plan(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EstTotalCost <= 0 {
+		t.Fatal("post-eviction plan has no cost")
+	}
+}
+
+// TestWhatIfConcurrentHammer drives Plan, Stats, and Reset from many
+// goroutines; the race detector (CI runs go test -race) verifies the
+// sharded cache and singleflight machinery are data-race free.
+func TestWhatIfConcurrentHammer(t *testing.T) {
+	s, _, ds := buildEnv(t)
+	w := NewWhatIfBounded(New(s, ds), 64)
+	queries := []*query.Query{pointQuery(), joinQuery()}
+	configs := []*catalog.Configuration{
+		nil,
+		catalog.NewConfiguration(&catalog.Index{Table: "fact", KeyColumns: []string{"f_date"}}),
+		catalog.NewConfiguration(&catalog.Index{Table: "fact", KeyColumns: []string{"f_dim"}}),
+		catalog.NewConfiguration(
+			&catalog.Index{Table: "fact", KeyColumns: []string{"f_date"}, IncludedColumns: []string{"f_val"}},
+			&catalog.Index{Table: "dim", KeyColumns: []string{"d_id"}},
+		),
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := queries[(g+i)%len(queries)]
+				cfg := configs[(g*7+i)%len(configs)]
+				if _, err := w.Plan(q, cfg); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%17 == 0 {
+					w.Stats()
+				}
+				if g == 0 && i%50 == 25 {
+					w.Reset()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -408,6 +408,16 @@ func (q *Query) SQL() string {
 	return b.String()
 }
 
+// Fingerprint returns a canonical string identifying the query *including*
+// predicate constants: two queries share a fingerprint only when they are
+// the same named query with an identical query tree. Unlike TemplateHash
+// (which strips constants to group parameterizations of one template), the
+// fingerprint distinguishes parameterizations — plan caches must key on it,
+// because different constants select different plans.
+func (q *Query) Fingerprint() string {
+	return q.Name + "\x00" + q.SQL()
+}
+
 // TemplateHash returns a hash of the query with predicate constants
 // stripped: two parameterizations of the same template share a hash. This
 // mirrors the AST-derived query hash of Azure SQL Database (§2.3).

@@ -33,6 +33,9 @@ type Config struct {
 	Quick bool
 	// Databases optionally restricts the corpus (nil = all fifteen).
 	Databases []string
+	// Parallelism bounds the tuner's what-if worker pool
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical at any setting.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {

@@ -167,7 +167,7 @@ func (e *Env) tuningRuns() (*fig11Results, error) {
 			if err != nil {
 				return nil, err
 			}
-			opts := tuner.Options{MaxNewIndexes: 5}
+			opts := tuner.Options{MaxNewIndexes: 5, Parallelism: e.Cfg.Parallelism}
 			if tname == "OptTr" {
 				opts.MinEstImprovement = 0.2
 			}
@@ -373,7 +373,7 @@ func Table4(e *Env) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				opts := tuner.Options{MaxNewIndexes: 5}
+				opts := tuner.Options{MaxNewIndexes: 5, Parallelism: e.Cfg.Parallelism}
 				if tname == "OptTr" {
 					opts.MinEstImprovement = 0.2
 				}

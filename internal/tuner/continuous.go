@@ -69,6 +69,20 @@ func NewContinuous(t *Tuner, ex *exec.Executor, opts ContinuousOpts) *Continuous
 // measure plans and executes a query under a configuration, records the
 // executed plan into the collected dataset, and returns it.
 func (c *Continuous) measure(q *query.Query, cfg *catalog.Configuration, rng *util.RNG) (*expdata.ExecutedPlan, error) {
+	ep, err := c.measureOne(q, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	c.Collected.Add(ep)
+	return ep, nil
+}
+
+// measureOne plans and executes a query under a configuration and returns
+// the executed plan WITHOUT recording it. It is safe to call concurrently;
+// callers add results to the collected dataset serially so the dataset
+// order (which seeds pair sampling and model retraining) stays
+// deterministic.
+func (c *Continuous) measureOne(q *query.Query, cfg *catalog.Configuration, rng *util.RNG) (*expdata.ExecutedPlan, error) {
 	p, err := c.Tuner.WhatIf.Plan(q, cfg)
 	if err != nil {
 		return nil, err
@@ -93,7 +107,6 @@ func (c *Continuous) measure(q *query.Query, cfg *catalog.Configuration, rng *ut
 		Cost:     util.Median(costs),
 		Configs:  []string{cfg.Fingerprint()},
 	}
-	c.Collected.Add(ep)
 	return ep, nil
 }
 
@@ -196,21 +209,29 @@ func (tr *WorkloadTrace) Improvement() float64 {
 }
 
 // measureWorkload measures every query under cfg and returns per-query
-// costs and the weighted total.
+// costs and the weighted total. Measurements fan out over the tuner's
+// worker pool; each query draws noise from its own named RNG stream and
+// the executed plans are recorded in query order, so costs and collected
+// data are identical at any Parallelism.
 func (c *Continuous) measureWorkload(qs []*query.Query, cfg *catalog.Configuration, rng *util.RNG) ([]float64, float64, error) {
+	eps := make([]*expdata.ExecutedPlan, len(qs))
+	errs := make([]error, len(qs))
+	c.Tuner.parallelFor(len(qs), func(i int) {
+		eps[i], errs[i] = c.measureOne(qs[i], cfg, rng.Split("q:"+qs[i].Name))
+	})
 	costs := make([]float64, len(qs))
 	var total float64
 	for i, q := range qs {
-		ep, err := c.measure(q, cfg, rng.Split("q:"+q.Name))
-		if err != nil {
-			return nil, 0, err
+		if errs[i] != nil {
+			return nil, 0, errs[i]
 		}
-		costs[i] = ep.Cost
+		c.Collected.Add(eps[i])
+		costs[i] = eps[i].Cost
 		w := q.Weight
 		if w <= 0 {
 			w = 1
 		}
-		total += w * ep.Cost
+		total += w * eps[i].Cost
 	}
 	return costs, total, nil
 }

@@ -1,0 +1,157 @@
+package tuner
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/engine/exec"
+	"repro/internal/engine/opt"
+	"repro/internal/engine/stats"
+	"repro/internal/util"
+	"repro/internal/workload"
+)
+
+// parallelEnv builds a workload with two independent what-if facades so the
+// serial and parallel tuners cannot share cached plans.
+func parallelEnv(t testing.TB, build func() *workload.Workload) (*workload.Workload, *opt.WhatIf, *opt.WhatIf) {
+	t.Helper()
+	w := build()
+	ds := stats.BuildDatabaseStats(w.DB, util.NewRNG(4), 512, 32)
+	return w, opt.NewWhatIf(opt.New(w.Schema, ds)), opt.NewWhatIf(opt.New(w.Schema, ds))
+}
+
+// assertSameQueryRec compares two query-level recommendations field by
+// field; the parallel search must be byte-identical to the serial one.
+func assertSameQueryRec(t *testing.T, name string, serial, par *Recommendation) {
+	t.Helper()
+	if serial.Config.Fingerprint() != par.Config.Fingerprint() {
+		t.Fatalf("%s: config differs\nserial: %s\nparallel: %s",
+			name, serial.Config.Fingerprint(), par.Config.Fingerprint())
+	}
+	if serial.Plan.EstTotalCost != par.Plan.EstTotalCost {
+		t.Fatalf("%s: plan cost differs: %v vs %v", name, serial.Plan.EstTotalCost, par.Plan.EstTotalCost)
+	}
+	if serial.EstImprovement != par.EstImprovement {
+		t.Fatalf("%s: improvement differs: %v vs %v", name, serial.EstImprovement, par.EstImprovement)
+	}
+	if len(serial.NewIndexes) != len(par.NewIndexes) {
+		t.Fatalf("%s: index count differs: %d vs %d", name, len(serial.NewIndexes), len(par.NewIndexes))
+	}
+	for i := range serial.NewIndexes {
+		if serial.NewIndexes[i].ID() != par.NewIndexes[i].ID() {
+			t.Fatalf("%s: index %d differs: %s vs %s",
+				name, i, serial.NewIndexes[i].ID(), par.NewIndexes[i].ID())
+		}
+	}
+}
+
+// testParallelDeterminism tunes every query and one workload of w at
+// Parallelism 1 and 8 and requires identical results.
+func testParallelDeterminism(t *testing.T, build func() *workload.Workload) {
+	w, wiSerial, wiPar := parallelEnv(t, build)
+	serial := New(w.Schema, wiSerial, nil, Options{Parallelism: 1})
+	par := New(w.Schema, wiPar, nil, Options{Parallelism: 8})
+
+	for _, q := range w.Queries {
+		rs, err := serial.TuneQuery(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := par.TuneQuery(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameQueryRec(t, q.Name, rs, rp)
+	}
+
+	qs := w.Queries
+	if len(qs) > 10 {
+		qs = qs[:10]
+	}
+	ws, err := serial.TuneWorkload(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wp, err := par.TuneWorkload(qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.Config.Fingerprint() != wp.Config.Fingerprint() {
+		t.Fatalf("workload config differs\nserial: %s\nparallel: %s",
+			ws.Config.Fingerprint(), wp.Config.Fingerprint())
+	}
+	if ws.EstCost != wp.EstCost {
+		t.Fatalf("workload cost differs: %v vs %v", ws.EstCost, wp.EstCost)
+	}
+}
+
+func TestParallelDeterminismTPCH(t *testing.T) {
+	testParallelDeterminism(t, func() *workload.Workload {
+		return workload.TPCH("tpch-par", 2000, 9)
+	})
+}
+
+func TestParallelDeterminismTPCDS(t *testing.T) {
+	testParallelDeterminism(t, func() *workload.Workload {
+		return workload.TPCDS("tpcds-par", 2000, 9)
+	})
+}
+
+// TestParallelContinuousDeterminism checks the continuous workload loop —
+// measurements, revert decisions, and the collected dataset — is identical
+// at Parallelism 1 and 8.
+func TestParallelContinuousDeterminism(t *testing.T) {
+	run := func(parallelism int) (*WorkloadTrace, []float64) {
+		w := workload.TPCH("tpch-cont-par", 2000, 9)
+		ds := stats.BuildDatabaseStats(w.DB, util.NewRNG(4), 512, 32)
+		wi := opt.NewWhatIf(opt.New(w.Schema, ds))
+		tn := New(w.Schema, wi, nil, Options{MaxNewIndexes: 3, Parallelism: parallelism})
+		cont := NewContinuous(tn, exec.New(w.DB), ContinuousOpts{Iterations: 3, StopOnRegression: true, Seed: 17})
+		tr, err := cont.TuneWorkloadContinuously(w.Queries[:5], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := make([]float64, 0, len(cont.Collected.Plans))
+		for _, p := range cont.Collected.Plans {
+			costs = append(costs, p.Cost)
+		}
+		return tr, costs
+	}
+	trS, costsS := run(1)
+	trP, costsP := run(8)
+	if trS.FinalConfig.Fingerprint() != trP.FinalConfig.Fingerprint() {
+		t.Fatalf("final config differs: %s vs %s",
+			trS.FinalConfig.Fingerprint(), trP.FinalConfig.Fingerprint())
+	}
+	if trS.InitialCost != trP.InitialCost || trS.FinalCost != trP.FinalCost {
+		t.Fatalf("measured costs differ: %v/%v vs %v/%v",
+			trS.InitialCost, trS.FinalCost, trP.InitialCost, trP.FinalCost)
+	}
+	if len(costsS) != len(costsP) {
+		t.Fatalf("collected dataset size differs: %d vs %d", len(costsS), len(costsP))
+	}
+	for i := range costsS {
+		if costsS[i] != costsP[i] {
+			t.Fatalf("collected plan %d cost differs: %v vs %v", i, costsS[i], costsP[i])
+		}
+	}
+}
+
+// TestParallelTunerRace exercises concurrent tuner invocations sharing one
+// what-if facade (the continuous driver's shape) under the race detector.
+func TestParallelTunerRace(t *testing.T) {
+	e := newEnv(t)
+	tn := New(e.w.Schema, e.whatIf, nil, Options{Parallelism: 4})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := e.w.Queries[g%len(e.w.Queries)]
+			if _, err := tn.TuneQuery(q, nil); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -10,11 +10,20 @@
 // — the paper's classifier — can gate the search: configurations predicted
 // to regress are rejected, and improvements are accepted by prediction
 // rather than by estimated cost alone.
+//
+// What-if probes dominate tuning time, so the search fans them out across a
+// bounded worker pool (Options.Parallelism). Results are deterministic:
+// probes are collected per step and the winner is selected by a fixed rule
+// over candidate order, never by goroutine completion order, so any
+// Parallelism produces byte-identical recommendations.
 package tuner
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/candidates"
 	"repro/internal/engine/catalog"
@@ -43,6 +52,10 @@ type Options struct {
 	// predicted improvements (with optimizer-estimate tie-breaks on
 	// unsure), per §5.
 	RequireImprovement bool
+	// Parallelism bounds the worker pool fanning out what-if probes
+	// (0 = runtime.GOMAXPROCS(0); 1 = serial). Recommendations are
+	// identical at every setting; only wall-clock time changes.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -51,6 +64,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Alpha <= 0 {
 		o.Alpha = expdata.DefaultAlpha
+	}
+	if o.Parallelism == 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
 	}
 	return o
 }
@@ -63,11 +82,64 @@ type Tuner struct {
 	// the classic estimate-only tuner.
 	Cmp  models.Comparator
 	Opts Options
+
+	// workers is a counting semaphore bounding the extra goroutines spawned
+	// across all (possibly nested) fan-outs; nil means fully serial.
+	workers chan struct{}
 }
 
 // New creates a tuner over a schema and what-if facade. cmp may be nil.
 func New(schema *catalog.Schema, whatIf *opt.WhatIf, cmp models.Comparator, opts Options) *Tuner {
-	return &Tuner{Schema: schema, WhatIf: whatIf, Cmp: cmp, Opts: opts.withDefaults()}
+	t := &Tuner{Schema: schema, WhatIf: whatIf, Cmp: cmp, Opts: opts.withDefaults()}
+	if t.Opts.Parallelism > 1 {
+		t.workers = make(chan struct{}, t.Opts.Parallelism-1)
+	}
+	return t
+}
+
+// parallelFor runs fn(i) for every i in [0, n). With Parallelism P the
+// tuner keeps at most P goroutines busy globally: the caller always
+// participates, and extra workers are spawned only while pool tokens are
+// free, so nested fan-outs (workload search inside query search inside
+// continuous tuning) degrade to inline execution instead of deadlocking.
+// fn must communicate through per-index slots; parallelFor imposes no
+// ordering between iterations.
+func (t *Tuner) parallelFor(n int, fn func(i int)) {
+	if n <= 1 || t.workers == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	run := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case t.workers <- struct{}{}:
+		default:
+			spawned = n // no token free: the caller picks up the rest
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				<-t.workers
+				wg.Done()
+			}()
+			run()
+		}()
+	}
+	run()
+	wg.Wait()
 }
 
 // Recommendation is the outcome of a query-level search.
@@ -104,6 +176,14 @@ func (t *Tuner) acceptNoRegression(p0, pH *plan.Plan) bool {
 // better decides whether candidate pH improves on the incumbent pBest,
 // using the comparator when present (optimizer estimates break unsure
 // ties, §5), otherwise estimated cost.
+//
+// Invariant: within one greedy step every candidate is gated against the
+// same incumbent — the best plan of the previous step — never against the
+// running step leader. A comparator is not necessarily transitive (A can
+// beat B and B beat C while C beats A), so chaining comparisons through a
+// moving leader would make the chosen index depend on candidate iteration
+// order. Survivors of the fixed gate are instead ranked by one
+// deterministic rule: lowest estimated cost, earliest candidate on ties.
 func (t *Tuner) better(pBest, pH *plan.Plan) bool {
 	if t.Cmp != nil {
 		switch t.Cmp.Compare(pBest, pH) {
@@ -121,9 +201,20 @@ func (t *Tuner) better(pBest, pH *plan.Plan) bool {
 	return pH.EstTotalCost < pBest.EstTotalCost
 }
 
+// queryProbe is one candidate probe of a greedy step: the candidate index,
+// the hypothetical configuration including it, and the optimizer's answer.
+type queryProbe struct {
+	ix  *catalog.Index
+	cfg *catalog.Configuration
+	p   *plan.Plan
+	err error
+}
+
 // TuneQuery searches the best configuration for one query starting from
 // c0: greedy addition of candidate indexes, gated by the no-regression
-// constraint and the improvement rule.
+// constraint and the improvement rule. Each greedy step fans its what-if
+// probes out over the worker pool and then selects the winner serially in
+// candidate order, so results are identical at any Parallelism.
 func (t *Tuner) TuneQuery(q *query.Query, c0 *catalog.Configuration) (*Recommendation, error) {
 	if c0 == nil {
 		c0 = catalog.NewConfiguration()
@@ -137,9 +228,8 @@ func (t *Tuner) TuneQuery(q *query.Query, c0 *catalog.Configuration) (*Recommend
 	used := map[string]bool{}
 
 	for len(bestCfg.Diff(c0)) < t.Opts.MaxNewIndexes {
-		var stepCfg *catalog.Configuration
-		var stepPlan *plan.Plan
-		var stepIx *catalog.Index
+		// Collect this step's eligible candidates in candidate order.
+		probes := make([]*queryProbe, 0, len(cands))
 		for _, ix := range cands {
 			if used[ix.ID()] || bestCfg.Has(ix) {
 				continue
@@ -148,28 +238,35 @@ func (t *Tuner) TuneQuery(q *query.Query, c0 *catalog.Configuration) (*Recommend
 			if !t.allowedByBudget(c0, cfg) {
 				continue
 			}
-			pH, err := t.WhatIf.Plan(q, cfg)
-			if err != nil {
-				return nil, err
+			probes = append(probes, &queryProbe{ix: ix, cfg: cfg})
+		}
+		t.parallelFor(len(probes), func(i int) {
+			pr := probes[i]
+			pr.p, pr.err = t.WhatIf.Plan(q, pr.cfg)
+		})
+		// Serial selection over the probe results, in candidate order:
+		// gate every candidate against the step's fixed incumbent
+		// (bestPlan), then keep the lowest-cost survivor.
+		var step *queryProbe
+		for _, pr := range probes {
+			if pr.err != nil {
+				return nil, pr.err
 			}
-			if !t.acceptNoRegression(p0, pH) {
+			if !t.acceptNoRegression(p0, pr.p) {
 				continue
 			}
-			// The incumbent for the greedy step is the best plan so far;
-			// candidates must also beat the current step leader.
-			ref := bestPlan
-			if stepPlan != nil {
-				ref = stepPlan
+			if !t.better(bestPlan, pr.p) {
+				continue
 			}
-			if t.better(ref, pH) {
-				stepCfg, stepPlan, stepIx = cfg, pH, ix
+			if step == nil || pr.p.EstTotalCost < step.p.EstTotalCost {
+				step = pr
 			}
 		}
-		if stepCfg == nil {
+		if step == nil {
 			break
 		}
-		bestCfg, bestPlan = stepCfg, stepPlan
-		used[stepIx.ID()] = true
+		bestCfg, bestPlan = step.cfg, step.p
+		used[step.ix.ID()] = true
 	}
 
 	rec := &Recommendation{
@@ -201,28 +298,38 @@ type WorkloadRecommendation struct {
 // workloadCost computes the weighted estimated cost of a workload under a
 // configuration, also checking the per-query no-regression gate against
 // the initial plans. ok is false when some query is predicted to regress.
+// The per-query plans are probed in parallel; the gate and the weighted
+// sum run serially in query order, so the result (including float
+// summation order) matches the serial computation exactly.
 func (t *Tuner) workloadCost(qs []*query.Query, initPlans []*plan.Plan, cfg *catalog.Configuration) (float64, bool, error) {
+	plans := make([]*plan.Plan, len(qs))
+	errs := make([]error, len(qs))
+	t.parallelFor(len(qs), func(i int) {
+		plans[i], errs[i] = t.WhatIf.Plan(qs[i], cfg)
+	})
 	var total float64
 	for i, q := range qs {
-		pH, err := t.WhatIf.Plan(q, cfg)
-		if err != nil {
-			return 0, false, err
+		if errs[i] != nil {
+			return 0, false, errs[i]
 		}
-		if !t.acceptNoRegression(initPlans[i], pH) {
+		if !t.acceptNoRegression(initPlans[i], plans[i]) {
 			return 0, false, nil
 		}
 		w := q.Weight
 		if w <= 0 {
 			w = 1
 		}
-		total += w * pH.EstTotalCost
+		total += w * plans[i].EstTotalCost
 	}
 	return total, true, nil
 }
 
 // TuneWorkload runs the two-phase search of §5: query-level search derives
 // the candidate index pool; a greedy enumeration assembles the workload
-// configuration under the constraints.
+// configuration under the constraints. Phase (a) tunes the queries in
+// parallel; phase (b) evaluates the pool candidates of each greedy step in
+// parallel. Both phases pick winners by fixed order-based rules, so the
+// recommendation is identical at any Parallelism.
 func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*WorkloadRecommendation, error) {
 	if c0 == nil {
 		c0 = catalog.NewConfiguration()
@@ -231,22 +338,30 @@ func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*Wor
 		return nil, fmt.Errorf("tuner: empty workload")
 	}
 	initPlans := make([]*plan.Plan, len(qs))
-	for i, q := range qs {
-		p, err := t.WhatIf.Plan(q, c0)
+	initErrs := make([]error, len(qs))
+	t.parallelFor(len(qs), func(i int) {
+		initPlans[i], initErrs[i] = t.WhatIf.Plan(qs[i], c0)
+	})
+	for _, err := range initErrs {
 		if err != nil {
 			return nil, err
 		}
-		initPlans[i] = p
 	}
-	// Phase (a): per-query bests form the candidate pool.
+	// Phase (a): per-query bests form the candidate pool. The pool is
+	// assembled serially in query order from the parallel results, keeping
+	// its order — and therefore phase (b)'s tie-breaks — deterministic.
+	recs := make([]*Recommendation, len(qs))
+	recErrs := make([]error, len(qs))
+	t.parallelFor(len(qs), func(i int) {
+		recs[i], recErrs[i] = t.TuneQuery(qs[i], c0)
+	})
 	poolSet := map[string]*catalog.Index{}
 	var pool []*catalog.Index
-	for _, q := range qs {
-		rec, err := t.TuneQuery(q, c0)
-		if err != nil {
-			return nil, err
+	for i := range qs {
+		if recErrs[i] != nil {
+			return nil, recErrs[i]
 		}
-		for _, ix := range rec.NewIndexes {
+		for _, ix := range recs[i].NewIndexes {
 			if _, ok := poolSet[ix.ID()]; !ok {
 				poolSet[ix.ID()] = ix
 				pool = append(pool, ix)
@@ -262,9 +377,15 @@ func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*Wor
 	if !ok {
 		return nil, fmt.Errorf("tuner: initial configuration rejected by its own gate")
 	}
+	baseCost := curCost
 	for len(cur.Diff(c0)) < t.Opts.MaxNewIndexes {
-		var stepCfg *catalog.Configuration
-		stepCost := curCost
+		type poolProbe struct {
+			cfg  *catalog.Configuration
+			cost float64
+			ok   bool
+			err  error
+		}
+		probes := make([]*poolProbe, 0, len(pool))
 		for _, ix := range pool {
 			if cur.Has(ix) {
 				continue
@@ -273,12 +394,22 @@ func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*Wor
 			if !t.allowedByBudget(c0, cfg) {
 				continue
 			}
-			cost, ok, err := t.workloadCost(qs, initPlans, cfg)
-			if err != nil {
-				return nil, err
+			probes = append(probes, &poolProbe{cfg: cfg})
+		}
+		t.parallelFor(len(probes), func(i int) {
+			pr := probes[i]
+			pr.cost, pr.ok, pr.err = t.workloadCost(qs, initPlans, pr.cfg)
+		})
+		// First candidate at the strictly lowest cost wins, as in the
+		// serial enumeration.
+		var stepCfg *catalog.Configuration
+		stepCost := curCost
+		for _, pr := range probes {
+			if pr.err != nil {
+				return nil, pr.err
 			}
-			if ok && cost < stepCost {
-				stepCfg, stepCost = cfg, cost
+			if pr.ok && pr.cost < stepCost {
+				stepCfg, stepCost = pr.cfg, pr.cost
 			}
 		}
 		if stepCfg == nil {
@@ -287,18 +418,10 @@ func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*Wor
 		cur, curCost = stepCfg, stepCost
 	}
 	if t.Opts.MinEstImprovement > 0 {
-		base := math.Max(1e-9, mustCost(t, qs, initPlans, c0))
+		base := math.Max(1e-9, baseCost)
 		if 1-curCost/base < t.Opts.MinEstImprovement {
-			cur, curCost = c0, base
+			cur, curCost = c0, baseCost
 		}
 	}
 	return &WorkloadRecommendation{Config: cur, NewIndexes: cur.Diff(c0), EstCost: curCost}, nil
-}
-
-func mustCost(t *Tuner, qs []*query.Query, initPlans []*plan.Plan, cfg *catalog.Configuration) float64 {
-	c, _, err := t.workloadCost(qs, initPlans, cfg)
-	if err != nil {
-		return 0
-	}
-	return c
 }
