@@ -25,6 +25,7 @@ import (
 	"repro/internal/expdata"
 	"repro/internal/feat"
 	"repro/internal/models"
+	"repro/internal/obs"
 	sqlparse "repro/internal/sql"
 	"repro/internal/tuner"
 	"repro/internal/util"
@@ -74,6 +75,27 @@ const DefaultAlpha = expdata.DefaultAlpha
 
 // NewRNG returns a deterministic random stream.
 func NewRNG(seed int64) *RNG { return util.NewRNG(seed) }
+
+// MetricsSnapshot is a point-in-time export of the library's metrics.
+type MetricsSnapshot = obs.Snapshot
+
+// EnableMetrics turns on the library's internal metrics collection
+// (counters, latency histograms, step traces across the what-if cache,
+// tuner, executor, and model training). Collection is off by default and
+// never changes results; see DESIGN.md §7.
+func EnableMetrics() { obs.SetEnabled(true) }
+
+// TakeMetricsSnapshot exports the current metrics as a JSON-serializable
+// snapshot.
+func TakeMetricsSnapshot() MetricsSnapshot { return obs.TakeSnapshot() }
+
+// ServeMetrics serves the metrics snapshot as JSON over HTTP on addr
+// (":0" binds an ephemeral port) and returns the bound address. It also
+// enables collection.
+func ServeMetrics(addr string) (string, error) {
+	obs.SetEnabled(true)
+	return obs.Serve(addr)
+}
 
 // TPCH builds the TPC-H-like workload (8 tables, 22 queries, skewed data).
 func TPCH(name string, lineitemRows int, seed int64) *Workload {

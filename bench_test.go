@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/feat"
 	"repro/internal/models"
+	"repro/internal/obs"
 	"repro/internal/tuner"
 	"repro/internal/util"
 	"repro/internal/workload"
@@ -240,6 +241,16 @@ func benchTuneWorkload(b *testing.B, parallelism int) {
 
 func BenchmarkTuneWorkloadSerial(b *testing.B)    { benchTuneWorkload(b, 1) }
 func BenchmarkTuneWorkloadParallel4(b *testing.B) { benchTuneWorkload(b, 4) }
+
+// BenchmarkTuneWorkloadSerialMetricsOn is the metrics-enabled companion of
+// BenchmarkTuneWorkloadSerial: the delta between the two is the live cost
+// of the observability layer (TestObsDisabledOverheadBudget bounds the
+// disabled cost).
+func BenchmarkTuneWorkloadSerialMetricsOn(b *testing.B) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	benchTuneWorkload(b, 1)
+}
 
 func BenchmarkCollectExecutionData(b *testing.B) {
 	w := workload.TPCH("bench-collect", 2000, 7)

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	aimai list
-//	aimai run [-scale 0.25] [-seed N] [-quick] [-parallel N] [-dbs a,b,c] [-out file] <experiment|all>
-//	aimai tune [-db tpch10] [-scale 0.1] [-query q6] [-model rf|none] [-iters 5] [-parallel N]
+//	aimai run [-scale 0.25] [-seed N] [-quick] [-parallel N] [-dbs a,b,c] [-out file] [-metrics-addr :9090] <experiment|all>
+//	aimai tune [-db tpch10] [-scale 0.1] [-query q6] [-model rf|none] [-iters 5] [-parallel N] [-metrics-addr :9090]
 //	aimai sql [-db tpch10] [-scale 0.1] [-explain] [-limit 20] "SELECT ..."
 //	aimai workloads [-scale 0.25] [-sql]
 package main
@@ -21,7 +21,37 @@ import (
 
 	"repro/aimai"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
+
+// startMetrics enables the process-global metrics registry and, when addr is
+// nonempty, serves its JSON snapshot over HTTP (":0" binds an ephemeral
+// port, printed for scraping).
+func startMetrics(addr string) error {
+	obs.SetEnabled(true)
+	if addr == "" {
+		return nil
+	}
+	bound, err := obs.Serve(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metrics: serving JSON snapshot on http://%s/metrics\n", bound)
+	return nil
+}
+
+// printMetricsSummary prints the headline counters of a tuning run.
+func printMetricsSummary() {
+	s := obs.TakeSnapshot()
+	hit, miss, wait := s.Counters["whatif.cache.hit"], s.Counters["whatif.cache.miss"], s.Counters["whatif.cache.wait"]
+	fmt.Printf("\nmetrics: what-if probes %d (cache hits %d, waits %d)", miss, hit, wait)
+	if h, ok := s.Histograms["whatif.probe.latency"]; ok && h.Count > 0 {
+		fmt.Printf("; probe p50 %.3fms p99 %.3fms", 1e3*h.P50, 1e3*h.P99)
+	}
+	fmt.Printf("\nmetrics: gate verdicts regression=%d improvement=%d unsure=%d; continuous accept=%d revert=%d\n",
+		s.Counters["tuner.gate.regression"], s.Counters["tuner.gate.improvement"], s.Counters["tuner.gate.unsure"],
+		s.Counters["tuner.cont.accept"], s.Counters["tuner.cont.revert"])
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -82,10 +112,16 @@ func cmdRun(args []string) error {
 	seed := fs.Int64("seed", 20190630, "root seed")
 	quick := fs.Bool("quick", false, "reduced repeats and model sizes")
 	dbs := fs.String("dbs", "", "comma-separated database subset (default all 15)")
-	out := fs.String("out", "", "also write results to this file")
+	out := fs.String("out", "", "also write results to this file (plus a metrics sidecar)")
 	parallel := fs.Int("parallel", 0, "tuner what-if worker pool (0 = GOMAXPROCS, 1 = serial; results identical)")
+	metricsAddr := fs.String("metrics-addr", "", "serve a JSON metrics snapshot on this address (e.g. :9090 or :0)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsAddr != "" || *out != "" {
+		if err := startMetrics(*metricsAddr); err != nil {
+			return err
+		}
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("run needs exactly one experiment id or 'all'")
@@ -131,6 +167,13 @@ func cmdRun(args []string) error {
 			fmt.Fprintf(sink, "%s\n", text)
 		}
 	}
+	if *out != "" {
+		side, err := experiments.WriteMetricsSidecar(*out)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metrics sidecar written to %s\n", side)
+	}
 	return nil
 }
 
@@ -143,8 +186,14 @@ func cmdTune(args []string) error {
 	iters := fs.Int("iters", 5, "continuous tuning iterations")
 	seed := fs.Int64("seed", 1, "seed")
 	parallel := fs.Int("parallel", 0, "tuner what-if worker pool (0 = GOMAXPROCS, 1 = serial; results identical)")
+	metricsAddr := fs.String("metrics-addr", "", "serve a JSON metrics snapshot on this address (e.g. :9090 or :0)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		if err := startMetrics(*metricsAddr); err != nil {
+			return err
+		}
 	}
 	var w *aimai.Workload
 	for _, cand := range aimai.Suite(*scale, *seed) {
@@ -210,6 +259,9 @@ func cmdTune(args []string) error {
 				fmt.Println("  " + ix.ID())
 			}
 		}
+	}
+	if *metricsAddr != "" {
+		printMetricsSummary()
 	}
 	return nil
 }

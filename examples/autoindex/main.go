@@ -18,6 +18,9 @@ import (
 
 func main() {
 	const seed = 11
+	// Metrics make the two services comparable beyond their final costs:
+	// revert counts, gate verdicts, and cache behaviour are all collected.
+	aimai.EnableMetrics()
 	w := aimai.TPCDS("autoindex", 8000, seed)
 	sys, err := aimai.Open(w, seed)
 	if err != nil {
@@ -84,4 +87,15 @@ func main() {
 			_ = adaptive.Adapt(pairs) // retrain on passively collected data
 		}
 	})
+
+	m := aimai.TakeMetricsSnapshot()
+	fmt.Printf("\nacross both services: %d what-if probes (%d cached), accepted %d / reverted %d iterations\n",
+		m.Counters["whatif.cache.miss"], m.Counters["whatif.cache.hit"],
+		m.Counters["tuner.cont.accept"], m.Counters["tuner.cont.revert"])
+	fmt.Printf("classifier gate verdicts: %d regression, %d improvement, %d unsure\n",
+		m.Counters["tuner.gate.regression"], m.Counters["tuner.gate.improvement"], m.Counters["tuner.gate.unsure"])
+	if h, ok := m.Histograms["tuner.cont.measured_vs_estimated"]; ok && h.Count > 0 {
+		fmt.Printf("measured/estimated cost ratio: p50 %.2f (mean %.2f over %d implemented steps)\n",
+			h.P50, h.Mean, h.Count)
+	}
 }

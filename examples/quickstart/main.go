@@ -11,6 +11,10 @@ import (
 )
 
 func main() {
+	// 0. Turn on internal metrics so step 7 can report what the pipeline
+	// actually did (what-if cache behaviour, gate verdicts, training).
+	aimai.EnableMetrics()
+
 	// 1. A TPC-H-like database with skewed data and 22 analytical queries.
 	w := aimai.TPCH("quickstart", 8000, 42)
 	sys, err := aimai.Open(w, 42)
@@ -70,4 +74,14 @@ func main() {
 	}
 	fmt.Printf("measured cost: %.1f -> %.1f (%.0f%% actual improvement)\n",
 		res.Cost, after.Cost, 100*(1-after.Cost/res.Cost))
+
+	// 7. What did that cost us? The metrics snapshot has the full story.
+	m := aimai.TakeMetricsSnapshot()
+	fmt.Printf("\nunder the hood: %d what-if probes (%d served from cache), %d forest trees trained\n",
+		m.Counters["whatif.cache.miss"], m.Counters["whatif.cache.hit"], m.Counters["train.forest.trees"])
+	if h, ok := m.Histograms["whatif.probe.latency"]; ok && h.Count > 0 {
+		fmt.Printf("what-if probe latency: p50 %.3fms, p99 %.3fms\n", 1e3*h.P50, 1e3*h.P99)
+	}
+	fmt.Printf("classifier gate verdicts: %d regression, %d improvement, %d unsure\n",
+		m.Counters["tuner.gate.regression"], m.Counters["tuner.gate.improvement"], m.Counters["tuner.gate.unsure"])
 }

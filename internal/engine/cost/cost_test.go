@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -117,6 +118,47 @@ func TestCostsNonNegativeProperty(t *testing.T) {
 }
 
 func isNaN(f float64) bool { return f != f }
+
+// TestTrueModelForDeterminism pins the per-database calibration to exact
+// bit patterns. TrueModelFor seeds math/rand from an FNV-64a hash of the
+// database name; the whole experiment pipeline assumes the resulting ground
+// truth is identical across processes and Go releases (FNV is a pure
+// function, and a seeded rand.Source stream is frozen by the Go 1
+// compatibility promise). The golden values below were recorded once and
+// must never change: a mismatch means the calibration drifted and every
+// recorded experiment cost is invalidated.
+func TestTrueModelForDeterminism(t *testing.T) {
+	// Byte-equality of two in-process calls (Model is all-float64, so ==
+	// is exact bit comparison; no field is ever NaN thanks to clamping).
+	a, b := TrueModelFor("tpch-golden"), TrueModelFor("tpch-golden")
+	if *a != *b {
+		t.Fatalf("TrueModelFor not deterministic within a process:\n%+v\n%+v", *a, *b)
+	}
+
+	// Cross-process / cross-version stability: golden bit patterns for the
+	// jittered (non-clamped) coefficients of a fixed database name.
+	golden := map[string]struct {
+		got  float64
+		bits uint64
+	}{
+		"ByteCPU":      {a.ByteCPU, 0x3f889374bc6a7efa},
+		"ProbeCPU":     {a.ProbeCPU, 0x401e86d284b86fee},
+		"HashBuildCPU": {a.HashBuildCPU, 0x40128a49965342ca},
+		"BatchFactor":  {a.BatchFactor, 0x3fd01455b96f8aea},
+		"SortSpillAt":  {a.SortSpillAt, 0x40da92e444f01f39},
+	}
+	for name, g := range golden {
+		if got := math.Float64bits(g.got); got != g.bits {
+			t.Errorf("%s drifted: got %#x (%v), golden %#x (%v)",
+				name, got, g.got, g.bits, math.Float64frombits(g.bits))
+		}
+	}
+
+	// The perturbation must actually differentiate databases.
+	if *TrueModelFor("tpch-a") == *TrueModelFor("tpcds-b") {
+		t.Fatal("distinct databases produced identical calibrations")
+	}
+}
 
 func TestModelsShareFunctionalForms(t *testing.T) {
 	// Same args, both models positive for all ops.

@@ -20,8 +20,22 @@ import (
 	"repro/internal/engine/data"
 	"repro/internal/engine/plan"
 	"repro/internal/engine/query"
+	"repro/internal/obs"
 	"repro/internal/util"
 )
+
+// Per-operator cost histograms, indexed by plan.Op so the hot charge() path
+// does one array load instead of a name lookup. Costs are in the model's
+// work units, not seconds (see DESIGN.md §7).
+var mOpCost = func() [plan.NumOps]*obs.Histogram {
+	var a [plan.NumOps]*obs.Histogram
+	for o := 0; o < plan.NumOps; o++ {
+		a[o] = obs.H("exec.op." + plan.Op(o).String() + ".cost")
+	}
+	return a
+}()
+
+var mExecLat = obs.H("exec.execute.latency")
 
 // ridColumn is the pseudo-column carrying base-table row ids between an
 // index seek and its key lookup.
@@ -105,7 +119,9 @@ func (e *Executor) Execute(p *plan.Plan, rng *util.RNG) (*Result, error) {
 	}
 	cl := clonePlan(p)
 	st := &runState{e: e, q: p.Query, rng: rng}
+	t0 := mExecLat.Start()
 	out, err := st.run(cl.Root)
+	mExecLat.Stop(t0)
 	if err != nil {
 		return nil, err
 	}
@@ -191,6 +207,20 @@ func (e *Executor) DropIndex(ix *catalog.Index) {
 	delete(e.indexes, ix.ID())
 }
 
+// CachedIndexes returns the IDs of the physically built indexes currently
+// held by the executor, sorted. Tests and storage accounting use it to
+// check that reverted configurations do not pin index storage.
+func (e *Executor) CachedIndexes() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]string, 0, len(e.indexes))
+	for id := range e.indexes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 // charge computes an operator's true cost, applies noise, and annotates the
 // node with actuals.
 func (st *runState) charge(n *plan.Node, a cost.Args) {
@@ -203,6 +233,7 @@ func (st *runState) charge(n *plan.Node, a cost.Args) {
 	n.ActualCost = noisy
 	st.work += c
 	st.meas += noisy
+	mOpCost[n.Op].Observe(c)
 }
 
 // run executes the subtree rooted at n.

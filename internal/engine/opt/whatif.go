@@ -8,6 +8,21 @@ import (
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/plan"
 	"repro/internal/engine/query"
+	"repro/internal/obs"
+)
+
+// Pre-resolved metric handles (see DESIGN.md §7). A "hit" found a completed
+// plan; a "wait" joined another caller's in-flight optimization
+// (singleflight); a "miss" paid for an Optimize.
+var (
+	mCacheHit   = obs.C("whatif.cache.hit")
+	mCacheMiss  = obs.C("whatif.cache.miss")
+	mCacheWait  = obs.C("whatif.cache.wait")
+	mCacheEvict = obs.C("whatif.cache.evict")
+	mEntries    = obs.G("whatif.cache.entries")
+	mShardMax   = obs.G("whatif.cache.shard.max")
+	mProbeLat   = obs.H("whatif.probe.latency")
+	mProbeErr   = obs.C("whatif.probe.error")
 )
 
 // whatIfShards is the number of cache shards. Sharding keeps lock hold
@@ -116,7 +131,13 @@ func (w *WhatIf) Plan(q *query.Query, cfg *catalog.Configuration) (*plan.Plan, e
 	sh.mu.Lock()
 	if e, ok := sh.entries[key]; ok {
 		sh.mu.Unlock()
-		<-e.done
+		select {
+		case <-e.done:
+			mCacheHit.Inc()
+		default:
+			mCacheWait.Inc()
+			<-e.done
+		}
 		if e.err != nil {
 			// The owning call failed and removed the entry; surface the
 			// same error rather than retrying under this call.
@@ -128,15 +149,22 @@ func (w *WhatIf) Plan(q *query.Query, cfg *catalog.Configuration) (*plan.Plan, e
 	e := &whatIfEntry{done: make(chan struct{})}
 	sh.entries[key] = e
 	sh.order = append(sh.order, key)
+	mCacheMiss.Inc()
+	mEntries.Add(1)
+	mShardMax.Max(float64(len(sh.entries)))
 	sh.evictLocked(w.MaxEntries)
 	sh.mu.Unlock()
 
+	t0 := mProbeLat.Start()
 	p, err := w.Opt.Optimize(q, cfg)
+	mProbeLat.Stop(t0)
 	if err != nil {
+		mProbeErr.Inc()
 		// Do not cache failures: remove the slot so later calls retry.
 		sh.mu.Lock()
 		if sh.entries[key] == e {
 			delete(sh.entries, key)
+			mEntries.Add(-1)
 		}
 		sh.mu.Unlock()
 		e.err = err
@@ -172,6 +200,8 @@ func (sh *whatIfShard) evictLocked(maxEntries int) {
 			}
 			delete(sh.entries, k)
 			sh.order = append(sh.order[:i:i], sh.order[i+1:]...)
+			mCacheEvict.Inc()
+			mEntries.Add(-1)
 			evicted = true
 			break
 		}
@@ -203,13 +233,16 @@ func (w *WhatIf) Stats() (calls, hits int) {
 // change). In-flight optimizations complete and are delivered to their
 // waiters but are not re-inserted.
 func (w *WhatIf) Reset() {
+	var dropped int
 	for i := range w.shards {
 		sh := &w.shards[i]
 		sh.mu.Lock()
+		dropped += len(sh.entries)
 		sh.entries = map[whatIfKey]*whatIfEntry{}
 		sh.order = nil
 		sh.mu.Unlock()
 	}
+	mEntries.Add(-float64(dropped))
 	w.calls.Store(0)
 	w.hits.Store(0)
 }

@@ -78,19 +78,54 @@ func Split(c *Corpus, mode SplitMode, trainFrac float64, maxPairsPerQuery int, r
 			}
 		}
 	case SplitQuery:
+		// Leakage guard: the same query template frequently appears under
+		// several databases (the suite reuses TPC-H/TPC-DS templates across
+		// scales and skews). Splitting each database independently — the
+		// original implementation — could put a template's pairs in train
+		// under one database and in test under another, leaking the
+		// (query, config-pair) relationship across the fold boundary. Units
+		// of (dataset, query) are therefore grouped by constant-stripped
+		// template hash across ALL datasets, and whole groups land in one
+		// fold. See TestSplitQueryNoCrossDatabaseTemplateLeak.
+		type queryUnit struct {
+			ds *Dataset
+			qn string
+		}
+		groups := map[uint64][]queryUnit{}
+		var order []uint64 // first-seen template order: deterministic
+		nUnits := 0
 		for _, ds := range c.Sets {
-			srng := rng.Split("query:" + ds.DB)
-			qns := ds.QueryNames()
-			perm := srng.Perm(len(qns))
-			nTrain := int(float64(len(qns)) * trainFrac)
-			for i, qi := range perm {
-				pairs := pairsAmong(ds.PlansOf(qns[qi]), maxPairsPerQuery, srng)
-				if i < nTrain {
+			for _, qn := range ds.QueryNames() {
+				plans := ds.PlansOf(qn)
+				if len(plans) == 0 {
+					continue
+				}
+				th := plans[0].Query.TemplateHash()
+				if _, ok := groups[th]; !ok {
+					order = append(order, th)
+				}
+				groups[th] = append(groups[th], queryUnit{ds, qn})
+				nUnits++
+			}
+		}
+		perm := rng.Split("query").Perm(len(order))
+		nTrain := int(float64(nUnits) * trainFrac)
+		assigned := 0
+		for _, gi := range perm {
+			units := groups[order[gi]]
+			toTrain := assigned < nTrain
+			for _, u := range units {
+				// Per-unit named RNG streams keep pair sampling independent
+				// of group iteration order.
+				srng := rng.Split("query:" + u.ds.DB + ":" + u.qn)
+				pairs := pairsAmong(u.ds.PlansOf(u.qn), maxPairsPerQuery, srng)
+				if toTrain {
 					train = append(train, pairs...)
 				} else {
 					test = append(test, pairs...)
 				}
 			}
+			assigned += len(units)
 		}
 	case SplitDatabase:
 		// Hold out one random database; prefer HoldOutDatabase directly.

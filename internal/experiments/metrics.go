@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// MetricsSidecarPath returns the sidecar path for a result file: the result
+// path with ".metrics.json" appended, so the two sort next to each other.
+func MetricsSidecarPath(resultPath string) string {
+	return resultPath + ".metrics.json"
+}
+
+// WriteMetricsSidecar snapshots the process-global obs registry and writes
+// it as indented JSON next to an experiment's result file (see DESIGN.md §7
+// for the snapshot format). Callers enable obs before running experiments;
+// a disabled registry still writes a valid (empty-ish) sidecar, which makes
+// "metrics were off" explicit in the artifact rather than a missing file.
+func WriteMetricsSidecar(resultPath string) (string, error) {
+	path := MetricsSidecarPath(resultPath)
+	data, err := obs.TakeSnapshot().MarshalIndent()
+	if err != nil {
+		return "", fmt.Errorf("experiments: marshal metrics sidecar: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("experiments: write metrics sidecar: %w", err)
+	}
+	return path, nil
+}

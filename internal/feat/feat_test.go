@@ -214,3 +214,54 @@ func TestPlanFeaturesForRegressor(t *testing.T) {
 		t.Fatal("last plan feature must be the total cost")
 	}
 }
+
+// TestPairFromVectorsEdgeCases drives the ratio transforms through raw
+// vectors containing zeros, negatives, and ±Inf (the telemetry path accepts
+// arbitrary shipped vectors, so nothing guarantees well-formed plan sums).
+// Contract: attributes clip symmetrically at ±1e4, a 0-over-0 attribute is
+// 0 (not a clip), and no attribute is ever NaN. The NaN rows fail on the
+// pre-fix SafeDiv.
+func TestPairFromVectorsEdgeCases(t *testing.T) {
+	inf := math.Inf(1)
+	const clip = 1e4
+	for _, tr := range []PairTransform{PairDiffRatio, PairDiffNormalized} {
+		f := &Featurizer{Channels: []Channel{EstNodeCost}, Transform: tr}
+		cases := []struct {
+			name   string
+			v1, v2 []float64
+		}{
+			{"both zero", []float64{0, 0, 0}, []float64{0, 0, 0}},
+			{"zero denom", []float64{0, 0, 0}, []float64{5, -5, 0}},
+			{"negatives", []float64{-2, 4, -8}, []float64{2, -4, 8}},
+			{"huge ratio", []float64{1e-12, 1, 0}, []float64{1e12, 1, -1e12}},
+			{"pos inf", []float64{inf, 1, 0}, []float64{0, inf, inf}},
+			{"neg inf", []float64{-inf, inf, 1}, []float64{inf, -inf, -inf}},
+		}
+		for _, c := range cases {
+			out := f.PairFromVectors([][]float64{c.v1}, [][]float64{c.v2}, 0, 0)
+			for i, v := range out {
+				if math.IsNaN(v) {
+					t.Errorf("%s/%s: attribute %d is NaN", tr, c.name, i)
+				}
+				if v < -clip || v > clip {
+					t.Errorf("%s/%s: attribute %d = %v outside ±%v", tr, c.name, i, v, clip)
+				}
+			}
+		}
+		// 0/0 attributes must read 0, not a clip value.
+		out := f.PairFromVectors([][]float64{{0, 1}}, [][]float64{{0, 2}}, 0, 0)
+		if out[0] != 0 {
+			t.Errorf("%s: 0-over-0 attribute = %v, want 0", tr, out[0])
+		}
+		// Symmetric clipping: swapping the plans flips the clipped sign.
+		hi := f.PairFromVectors([][]float64{{1e-12}}, [][]float64{{1}}, 0, 0)
+		lo := f.PairFromVectors([][]float64{{1}}, [][]float64{{1e-12}}, 0, 0)
+		if hi[0] != clip {
+			t.Errorf("%s: blow-up ratio = %v, want %v", tr, hi[0], clip)
+		}
+		if tr == PairDiffRatio && lo[0] != -1+1e-12 {
+			// -1+eps: (v2-v1)/v1 with v2 ~ 0 is bounded, no clip expected.
+			t.Errorf("%s: shrink ratio = %v, want ~-1", tr, lo[0])
+		}
+	}
+}

@@ -11,8 +11,13 @@ import (
 	"sync"
 
 	"repro/internal/ml/tree"
+	"repro/internal/obs"
 	"repro/internal/util"
 )
+
+// Training metric handle (see DESIGN.md §7). Forests have no epochs; the
+// counter tracks trees fitted, the span the whole Fit.
+var mForestTrees = obs.C("train.forest.trees")
 
 // Config controls forest training.
 type Config struct {
@@ -75,6 +80,8 @@ func (f *Classifier) Fit(X [][]float64, y []int, numClasses int) error {
 	for i := range seeds {
 		seeds[i] = rng.SplitInt(i).Seed()
 	}
+	sp := obs.StartSpan("train.forest")
+	defer sp.End()
 	return parallelFor(f.cfg.Trees, f.cfg.Workers, func(i int) error {
 		trng := util.NewRNG(seeds[i])
 		idx := bootstrap(len(X), trng)
@@ -89,6 +96,7 @@ func (f *Classifier) Fit(X [][]float64, y []int, numClasses int) error {
 			return err
 		}
 		f.trees[i] = t
+		mForestTrees.Inc()
 		return nil
 	})
 }

@@ -7,10 +7,18 @@ package gbt
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/ml"
 	"repro/internal/ml/tree"
+	"repro/internal/obs"
 	"repro/internal/util"
+)
+
+// Training metric handles (see DESIGN.md §7).
+var (
+	mGBTRounds    = obs.C("train.gbt.rounds")
+	mGBTRoundLoss = obs.G("train.gbt.round.loss")
 )
 
 // Config controls boosting.
@@ -75,6 +83,8 @@ func (g *Classifier) Fit(X [][]float64, y []int, numClasses int) error {
 	for i := range F {
 		F[i] = make([]float64, numClasses)
 	}
+	sp := obs.StartSpan("train.gbt")
+	defer sp.End()
 	rng := util.NewRNG(g.cfg.Seed)
 	resid := make([]float64, n)
 	for round := 0; round < g.cfg.Rounds; round++ {
@@ -108,6 +118,18 @@ func (g *Classifier) Fit(X [][]float64, y []int, numClasses int) error {
 			}
 		}
 		g.trees = append(g.trees, roundTrees)
+		mGBTRounds.Inc()
+		if obs.Enabled() {
+			// Mean cross-entropy over the updated scores. Not a byproduct of
+			// boosting (residuals use pre-update probabilities), so the O(n·k)
+			// pass runs only when metrics are on.
+			var loss float64
+			for i := 0; i < n; i++ {
+				p := ml.Softmax(F[i])
+				loss += -math.Log(math.Max(p[y[i]], 1e-12))
+			}
+			mGBTRoundLoss.Set(loss / float64(n))
+		}
 	}
 	return nil
 }

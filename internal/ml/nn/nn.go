@@ -12,7 +12,17 @@ import (
 	"math"
 
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/util"
+)
+
+// Training metric handles (see DESIGN.md §7). The epoch-loss gauge tracks
+// the latest mean cross-entropy; epochLoss itself is already computed for
+// the plateau logic, so recording it is free.
+var (
+	mEpochs    = obs.C("train.nn.epochs")
+	mEpochLoss = obs.G("train.nn.epoch.loss")
+	mLRHalved  = obs.C("train.nn.lr.halved")
 )
 
 // Activation selects a nonlinearity.
@@ -450,6 +460,8 @@ func (n *Net) FreezeAllButLast(k int) {
 }
 
 func (n *Net) train(X [][]float64, y []int, epochs int) error {
+	sp := obs.StartSpan("train.nn")
+	defer sp.End()
 	Xs := n.std.TransformAll(X)
 	nrows := len(Xs)
 	order := seqIdx(nrows)
@@ -511,6 +523,8 @@ func (n *Net) train(X [][]float64, y []int, epochs int) error {
 			n.applyGrads(gW, gB, float64(len(batch)))
 		}
 		epochLoss /= float64(nrows)
+		mEpochs.Inc()
+		mEpochLoss.Set(epochLoss)
 		if n.cfg.AdaptLR {
 			if epochLoss < bestLoss-1e-4 {
 				bestLoss = epochLoss
@@ -519,6 +533,7 @@ func (n *Net) train(X [][]float64, y []int, epochs int) error {
 				plateau++
 				if plateau >= 3 && adapts < 10 {
 					n.lr /= 2
+					mLRHalved.Inc()
 					adapts++
 					plateau = 0
 				}

@@ -1,0 +1,538 @@
+// Package obs is the repository's lightweight metrics and tracing layer:
+// counters, gauges, latency histograms with fixed log-scale buckets, and
+// span-style step traces, collected in a process-global Registry and
+// exported as a JSON snapshot (and optionally over HTTP / expvar).
+//
+// Design constraints, in order:
+//
+//  1. Branch-cheap when disabled. Every hot-path operation loads one
+//     atomic bool and returns; no clock reads, no map lookups, no
+//     allocation. Instrumented call sites pre-resolve their metric
+//     handles into package-level vars so the per-event work is a method
+//     call on a pointer.
+//  2. Safe under the tuner's parallel probe pool. All mutation paths are
+//     atomics (counters, gauges, histogram buckets); only span traces
+//     take a (short, bounded) mutex.
+//  3. Deterministic-results neutral. Metrics observe the computation but
+//     never feed back into it, so enabling them cannot change a
+//     recommendation, a model, or an experiment table.
+//
+// Naming follows a dotted scheme, lowest-level subsystem first:
+// "whatif.cache.hit", "tuner.gate.regression", "train.nn.epoch.loss".
+// See DESIGN.md §7 for the full inventory.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	on *atomic.Bool
+	v  atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. It is a no-op when the owning registry is disabled.
+func (c *Counter) Add(n int64) {
+	if c == nil || !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 when nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value metric (occupancy, loss, pool depth).
+type Gauge struct {
+	on *atomic.Bool
+	v  atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge (CAS loop; deltas from concurrent writers
+// never lose updates).
+func (g *Gauge) Add(delta float64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	for {
+		old := g.v.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.v.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Max raises the gauge to v when v exceeds the current value (high-water
+// marks such as peak shard occupancy).
+func (g *Gauge) Max(v float64) {
+	if g == nil || !g.on.Load() {
+		return
+	}
+	for {
+		old := g.v.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if g.v.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 when nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
+// Histogram bucket layout: fixed log-scale (base-2) buckets. Bucket i
+// counts values in [2^(histMinExp+i), 2^(histMinExp+i+1)); values below
+// the first lower bound (including zero and negatives) land in the
+// underflow bucket, values beyond the last bound in the overflow bucket.
+// 2^-27 ≈ 7.5ns keeps sub-microsecond probe latencies resolvable when
+// observed in seconds; 2^30 ≈ 1e9 covers cost-unit observations.
+const (
+	histMinExp    = -27
+	histNumBucket = 57 // last finite lower bound 2^29
+)
+
+// Histogram records a value distribution on fixed log-scale buckets.
+// Observation is lock-free: one atomic add on the bucket plus atomic
+// count/sum maintenance.
+type Histogram struct {
+	on      *atomic.Bool
+	count   atomic.Int64
+	sum     atomic.Uint64 // float64 bits, CAS-accumulated
+	under   atomic.Int64
+	over    atomic.Int64
+	buckets [histNumBucket]atomic.Int64
+}
+
+// bucketIdx maps a positive value to its bucket, or -1 for underflow and
+// histNumBucket for overflow.
+func bucketIdx(v float64) int {
+	if v <= 0 || math.IsNaN(v) {
+		return -1
+	}
+	// floor(log2 v) via Frexp: v = frac * 2^exp with frac in [0.5, 1).
+	_, exp := math.Frexp(v)
+	i := exp - 1 - histMinExp
+	if i < 0 {
+		return -1
+	}
+	if i >= histNumBucket {
+		return histNumBucket
+	}
+	return i
+}
+
+// BucketLowerBound returns the lower bound of bucket i.
+func BucketLowerBound(i int) float64 {
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.on.Load() {
+		return
+	}
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			break
+		}
+	}
+	switch i := bucketIdx(v); {
+	case i < 0:
+		h.under.Add(1)
+	case i >= histNumBucket:
+		h.over.Add(1)
+	default:
+		h.buckets[i].Add(1)
+	}
+}
+
+// Start returns a timestamp for Stop, or the zero time when the registry
+// is disabled (so the disabled path never reads the clock).
+func (h *Histogram) Start() time.Time {
+	if h == nil || !h.on.Load() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Stop observes the elapsed seconds since start (a Start() result). A zero
+// start — metrics were disabled at Start time — is ignored.
+func (h *Histogram) Stop(start time.Time) {
+	if h == nil || start.IsZero() || !h.on.Load() {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Quantile estimates the q-th quantile (0..1) from the bucket counts,
+// attributing each bucket's mass to its lower bound. Returns 0 with no
+// observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 0 {
+		target = 0
+	}
+	seen := h.under.Load()
+	if seen > target {
+		return 0
+	}
+	for i := 0; i < histNumBucket; i++ {
+		seen += h.buckets[i].Load()
+		if seen > target {
+			return BucketLowerBound(i)
+		}
+	}
+	return BucketLowerBound(histNumBucket)
+}
+
+// Bucket is one nonzero histogram bucket in a snapshot: Lo is the bucket's
+// lower bound (0 for the underflow bucket), Count its observation count.
+type Bucket struct {
+	Lo    float64 `json:"lo"`
+	Count int64   `json:"count"`
+}
+
+// HistogramSnapshot is the exported state of one histogram.
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     float64  `json:"sum"`
+	Mean    float64  `json:"mean"`
+	P50     float64  `json:"p50"`
+	P99     float64  `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.Sum()}
+	if s.Count > 0 {
+		s.Mean = s.Sum / float64(s.Count)
+		s.P50 = h.Quantile(0.50)
+		s.P99 = h.Quantile(0.99)
+	}
+	if n := h.under.Load(); n > 0 {
+		s.Buckets = append(s.Buckets, Bucket{Lo: 0, Count: n})
+	}
+	for i := 0; i < histNumBucket; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Lo: BucketLowerBound(i), Count: n})
+		}
+	}
+	if n := h.over.Load(); n > 0 {
+		s.Buckets = append(s.Buckets, Bucket{Lo: BucketLowerBound(histNumBucket), Count: n})
+	}
+	return s
+}
+
+// SpanEvent is one completed span in the trace ring.
+type SpanEvent struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// Seconds is the span duration.
+	Seconds float64 `json:"seconds"`
+}
+
+// Span is an in-flight step trace. End records its duration into the
+// "span.<name>" histogram and the registry's bounded trace ring.
+type Span struct {
+	r     *Registry
+	name  string
+	start time.Time
+}
+
+// End completes the span. Safe on the zero Span (disabled registry).
+func (s Span) End() time.Duration {
+	if s.r == nil || s.start.IsZero() {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.r.Histogram("span." + s.name).Observe(d.Seconds())
+	s.r.traceMu.Lock()
+	s.r.trace[s.r.traceNext%len(s.r.trace)] = SpanEvent{Name: s.name, Start: s.start, Seconds: d.Seconds()}
+	s.r.traceNext++
+	s.r.traceMu.Unlock()
+	return d
+}
+
+// traceRingSize bounds the retained span events.
+const traceRingSize = 256
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry (or use the process-global Default).
+type Registry struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex // guards lazy metric creation only
+	counters sync.Map   // string -> *Counter
+	gauges   sync.Map   // string -> *Gauge
+	hists    sync.Map   // string -> *Histogram
+
+	traceMu   sync.Mutex
+	trace     []SpanEvent
+	traceNext int
+}
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry() *Registry {
+	return &Registry{trace: make([]SpanEvent, traceRingSize)}
+}
+
+// SetEnabled turns collection on or off. Metric handles stay valid either
+// way; writes while disabled are dropped.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether collection is on. Call sites with non-trivial
+// measurement cost (e.g. computing a training loss only for reporting)
+// should gate on this.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// Counter returns (lazily creating) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	c := &Counter{on: &r.enabled}
+	r.counters.Store(name, c)
+	return c
+}
+
+// Gauge returns (lazily creating) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	g := &Gauge{on: &r.enabled}
+	r.gauges.Store(name, g)
+	return g
+}
+
+// Histogram returns (lazily creating) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.hists.Load(name); ok {
+		return v.(*Histogram)
+	}
+	h := &Histogram{on: &r.enabled}
+	r.hists.Store(name, h)
+	return h
+}
+
+// StartSpan begins a step trace. Returns the zero Span (End is a no-op)
+// when the registry is disabled.
+func (r *Registry) StartSpan(name string) Span {
+	if !r.enabled.Load() {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: time.Now()}
+}
+
+// Reset zeroes every metric and the trace ring. Handles remain valid.
+func (r *Registry) Reset() {
+	r.counters.Range(func(_, v any) bool {
+		v.(*Counter).v.Store(0)
+		return true
+	})
+	r.gauges.Range(func(_, v any) bool {
+		v.(*Gauge).v.Store(0)
+		return true
+	})
+	r.hists.Range(func(_, v any) bool {
+		h := v.(*Histogram)
+		h.count.Store(0)
+		h.sum.Store(0)
+		h.under.Store(0)
+		h.over.Store(0)
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		return true
+	})
+	r.traceMu.Lock()
+	for i := range r.trace {
+		r.trace[i] = SpanEvent{}
+	}
+	r.traceNext = 0
+	r.traceMu.Unlock()
+}
+
+// Snapshot is a point-in-time JSON-serializable export of a registry.
+// Concurrent writers may land between map reads; each individual metric
+// value is read atomically.
+type Snapshot struct {
+	Enabled    bool                         `json:"enabled"`
+	TakenAt    time.Time                    `json:"taken_at"`
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Spans      []SpanEvent                  `json:"spans,omitempty"`
+}
+
+// Snapshot exports the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Enabled:    r.Enabled(),
+		TakenAt:    time.Now(),
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*Counter).Value()
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		s.Gauges[k.(string)] = v.(*Gauge).Value()
+		return true
+	})
+	r.hists.Range(func(k, v any) bool {
+		s.Histograms[k.(string)] = v.(*Histogram).snapshot()
+		return true
+	})
+	r.traceMu.Lock()
+	n := r.traceNext
+	if n > len(r.trace) {
+		n = len(r.trace)
+	}
+	for i := 0; i < n; i++ {
+		s.Spans = append(s.Spans, r.trace[i])
+	}
+	r.traceMu.Unlock()
+	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Start.Before(s.Spans[j].Start) })
+	return s
+}
+
+// MarshalJSON renders the snapshot with deterministic key order (Go maps
+// already marshal sorted; this alias only exists to keep the contract
+// explicit for the sidecar format).
+func (s Snapshot) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ServeHTTP writes the registry snapshot as JSON (any path, GET only).
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r.Snapshot())
+}
+
+// Serve binds addr (e.g. ":9090" or ":0"), serves the registry snapshot
+// over HTTP on every path, and returns the bound address. The server runs
+// until the process exits; the returned listener address supports ":0"
+// ephemeral-port tests and CLI use.
+func (r *Registry) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// def is the process-global registry instrumented code binds to.
+var def = NewRegistry()
+
+// Default returns the process-global registry.
+func Default() *Registry { return def }
+
+// SetEnabled toggles the default registry.
+func SetEnabled(on bool) { def.SetEnabled(on) }
+
+// Enabled reports whether the default registry is collecting.
+func Enabled() bool { return def.Enabled() }
+
+// C returns a counter on the default registry (pre-resolve into a var at
+// the call site: `var hits = obs.C("whatif.cache.hit")`).
+func C(name string) *Counter { return def.Counter(name) }
+
+// G returns a gauge on the default registry.
+func G(name string) *Gauge { return def.Gauge(name) }
+
+// H returns a histogram on the default registry.
+func H(name string) *Histogram { return def.Histogram(name) }
+
+// StartSpan begins a span on the default registry.
+func StartSpan(name string) Span { return def.StartSpan(name) }
+
+// TakeSnapshot exports the default registry.
+func TakeSnapshot() Snapshot { return def.Snapshot() }
+
+// Serve serves the default registry's snapshot on addr.
+func Serve(addr string) (string, error) { return def.Serve(addr) }

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+
+	// Disabled: writes dropped.
+	c.Inc()
+	g.Set(5)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatalf("disabled registry recorded: c=%d g=%v", c.Value(), g.Value())
+	}
+
+	r.SetEnabled(true)
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g.Set(2.5)
+	g.Add(-1)
+	if g.Value() != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", g.Value())
+	}
+	g.Max(10)
+	g.Max(3)
+	if g.Value() != 10 {
+		t.Fatalf("gauge after Max = %v, want 10", g.Value())
+	}
+
+	// Same name returns the same handle.
+	if r.Counter("c") != c || r.Gauge("g") != g {
+		t.Fatal("registry did not memoize handles")
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	g.Set(1)
+	g.Add(1)
+	g.Max(1)
+	h.Observe(1)
+	h.Stop(h.Start())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	(Span{}).End() // zero span is a no-op
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("h")
+	vals := []float64{0, -3, 1e-12, 0.001, 0.5, 1, 2, 1000, 1e12, math.NaN()}
+	for _, v := range vals {
+		h.Observe(v)
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+	}
+	s := h.snapshot()
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != int64(len(vals)) {
+		t.Fatalf("bucket counts sum to %d, want %d", total, len(vals))
+	}
+	// 0, -3, 1e-12 (below 2^-27) and NaN are underflow.
+	if s.Buckets[0].Lo != 0 || s.Buckets[0].Count != 4 {
+		t.Fatalf("underflow bucket = %+v, want Lo=0 Count=4", s.Buckets[0])
+	}
+	// Bucket lower bounds must be monotone log-scale.
+	for i := 1; i < len(s.Buckets); i++ {
+		if s.Buckets[i].Lo <= s.Buckets[i-1].Lo {
+			t.Fatalf("bucket bounds not increasing: %v", s.Buckets)
+		}
+	}
+}
+
+func TestHistogramBucketIdxExactBounds(t *testing.T) {
+	// A value equal to a bucket's lower bound must land in that bucket.
+	for i := 0; i < histNumBucket; i++ {
+		lo := BucketLowerBound(i)
+		if got := bucketIdx(lo); got != i {
+			t.Fatalf("bucketIdx(%g) = %d, want %d", lo, got, i)
+		}
+		// Just below the bound belongs to the previous bucket.
+		below := math.Nextafter(lo, 0)
+		if got := bucketIdx(below); got != i-1 {
+			t.Fatalf("bucketIdx(%g) = %d, want %d", below, got, i-1)
+		}
+	}
+	if bucketIdx(BucketLowerBound(histNumBucket)) != histNumBucket {
+		t.Fatal("overflow bound misclassified")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("q")
+	for i := 0; i < 100; i++ {
+		h.Observe(1) // bucket [1, 2)
+	}
+	h.Observe(1024) // one outlier
+	if p50 := h.Quantile(0.5); p50 != 1 {
+		t.Fatalf("p50 = %v, want 1", p50)
+	}
+	if p999 := h.Quantile(0.999); p999 != 1024 {
+		t.Fatalf("p99.9 = %v, want 1024", p999)
+	}
+}
+
+func TestSpanAndTrace(t *testing.T) {
+	r := NewRegistry()
+	// Disabled: zero span, no clock commitments.
+	if sp := r.StartSpan("x"); sp.End() != 0 {
+		t.Fatal("disabled span must be zero")
+	}
+	r.SetEnabled(true)
+	sp := r.StartSpan("step")
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d <= 0 {
+		t.Fatalf("span duration = %v", d)
+	}
+	s := r.Snapshot()
+	if s.Histograms["span.step"].Count != 1 {
+		t.Fatalf("span histogram missing: %+v", s.Histograms)
+	}
+	if len(s.Spans) != 1 || s.Spans[0].Name != "step" || s.Spans[0].Seconds <= 0 {
+		t.Fatalf("trace ring = %+v", s.Spans)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("whatif.cache.hit").Add(3)
+	r.Gauge("tuner.pool.busy").Set(2)
+	r.Histogram("whatif.probe.latency").Observe(0.004)
+	data, err := r.Snapshot().MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["whatif.cache.hit"] != 3 {
+		t.Fatalf("round trip lost counter: %s", data)
+	}
+	if back.Histograms["whatif.probe.latency"].Count != 1 {
+		t.Fatalf("round trip lost histogram: %s", data)
+	}
+}
+
+func TestResetZeroesMetricsAndKeepsHandles(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	c.Inc()
+	h.Observe(1)
+	r.StartSpan("s").End()
+	r.Reset()
+	if c.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("Reset did not zero metrics")
+	}
+	if len(r.Snapshot().Spans) != 0 {
+		t.Fatal("Reset did not clear trace ring")
+	}
+	c.Inc()
+	if r.Counter("c").Value() != 1 {
+		t.Fatal("handle invalid after Reset")
+	}
+}
+
+func TestServeHTTPSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("whatif.cache.hit").Add(7)
+	addr, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("endpoint did not return JSON: %v\n%s", err, body)
+	}
+	if s.Counters["whatif.cache.hit"] != 7 {
+		t.Fatalf("endpoint snapshot = %s", body)
+	}
+}
+
+// TestConcurrentWrites exercises every mutation path from many goroutines
+// (run under -race in CI): counters, gauges, histograms, spans, snapshots,
+// and lazy handle creation all racing.
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			g := r.Gauge("shared.gauge")
+			h := r.Histogram("shared.hist")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Max(float64(i))
+				h.Observe(float64(i%7) + 0.5)
+				if i%100 == 0 {
+					r.StartSpan(fmt.Sprintf("w%d", w)).End()
+					_ = r.Snapshot()
+					// Lazy creation racing with reads.
+					r.Counter(fmt.Sprintf("lazy.%d", i)).Inc()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("shared.counter").Value(); got != workers*perWorker {
+		t.Fatalf("lost counter updates: %d != %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != workers*perWorker {
+		t.Fatalf("lost gauge adds: %v != %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != workers*perWorker {
+		t.Fatalf("lost histogram observations: %d != %d", got, workers*perWorker)
+	}
+}
+
+// Benchmarks for the disabled fast path: the contract is one atomic load
+// and a branch per event (no clock read, no allocation).
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1.5)
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	h := r.Histogram("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1.5)
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	r := NewRegistry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("bench").End()
+	}
+}

@@ -7,7 +7,18 @@ import (
 	"repro/internal/engine/exec"
 	"repro/internal/engine/query"
 	"repro/internal/expdata"
+	"repro/internal/obs"
 	"repro/internal/util"
+)
+
+// Continuous-tuning metric handles (see DESIGN.md §7). The
+// measured-vs-estimated histogram records the ratio of measured cost to the
+// optimizer's estimate for each implemented recommendation — the drift the
+// paper's classifier exists to absorb.
+var (
+	mContRevert  = obs.C("tuner.cont.revert")
+	mContAccept  = obs.C("tuner.cont.accept")
+	mContMeasEst = obs.H("tuner.cont.measured_vs_estimated")
 )
 
 // ContinuousOpts configure the continuous-tuning driver (§2.1 problem 2,
@@ -54,6 +65,11 @@ type Continuous struct {
 	// OnData, when set, is invoked after each measurement round with the
 	// accumulated dataset; adaptive comparators retrain here.
 	OnData func(d *expdata.Dataset)
+	// OnIter, when set, is invoked after every tuning iteration with the
+	// iteration record and the configuration in effect once the iteration
+	// settled (the pre-step configuration when the step was reverted).
+	// Tests use it to assert revert exactness mid-run.
+	OnIter func(r IterRecord, cfg *catalog.Configuration)
 }
 
 // NewContinuous wires a continuous driver.
@@ -169,22 +185,37 @@ func (c *Continuous) TuneQueryContinuously(q *query.Query, c0 *catalog.Configura
 			return nil, err
 		}
 		r := IterRecord{Iter: iter, NewIndexes: len(rec.NewIndexes), CostBefore: curCost, CostAfter: ep.Cost}
+		if rec.Plan != nil && rec.Plan.EstTotalCost > 0 {
+			mContMeasEst.Observe(ep.Cost / rec.Plan.EstTotalCost)
+		}
 		if ep.Cost > (1+c.Opts.Lambda)*curCost {
-			// Measured regression: revert the indexes.
+			// Measured regression: revert the indexes. The configuration
+			// revert is simply keeping `cur`: Configurations are immutable
+			// here (the tuner clones before every Add), so `cur` still equals
+			// the pre-step snapshot byte for byte — see
+			// TestContinuousRevertRestoresPriorConfig. What does need undoing
+			// is physical: measuring rec.Config made the executor build the
+			// new indexes, and without a drop they would linger in its index
+			// cache after the revert.
+			mContRevert.Inc()
 			r.Reverted = true
 			trace.RegressedFinal = true
 			trace.Iterations = append(trace.Iterations, r)
+			c.dropReverted(cur, rec.NewIndexes)
 			c.notify()
+			c.notifyIter(r, cur)
 			if c.Opts.StopOnRegression {
 				trace.Stopped = true
 				break
 			}
 			continue
 		}
+		mContAccept.Inc()
 		trace.RegressedFinal = false
 		cur, curCost = rec.Config, ep.Cost
 		trace.Iterations = append(trace.Iterations, r)
 		c.notify()
+		c.notifyIter(r, cur)
 	}
 	trace.FinalCost = curCost
 	trace.FinalConfig = cur
@@ -265,6 +296,9 @@ func (c *Continuous) TuneWorkloadContinuously(qs []*query.Query, c0 *catalog.Con
 			return nil, err
 		}
 		r := IterRecord{Iter: iter, NewIndexes: len(rec.NewIndexes), CostBefore: curTotal, CostAfter: newTotal}
+		if rec.EstCost > 0 {
+			mContMeasEst.Observe(newTotal / rec.EstCost)
+		}
 		regressed := false
 		for i := range qs {
 			if newCosts[i] > (1+c.Opts.Lambda)*curCosts[i] {
@@ -273,18 +307,23 @@ func (c *Continuous) TuneWorkloadContinuously(qs []*query.Query, c0 *catalog.Con
 			}
 		}
 		if regressed {
+			mContRevert.Inc()
 			r.Reverted = true
 			trace.Iterations = append(trace.Iterations, r)
+			c.dropReverted(cur, rec.NewIndexes)
 			c.notify()
+			c.notifyIter(r, cur)
 			if c.Opts.StopOnRegression {
 				trace.Stopped = true
 				break
 			}
 			continue
 		}
+		mContAccept.Inc()
 		cur, curCosts, curTotal = rec.Config, newCosts, newTotal
 		trace.Iterations = append(trace.Iterations, r)
 		c.notify()
+		c.notifyIter(r, cur)
 	}
 	trace.FinalCost = curTotal
 	trace.FinalConfig = cur
@@ -294,5 +333,27 @@ func (c *Continuous) TuneWorkloadContinuously(qs []*query.Query, c0 *catalog.Con
 func (c *Continuous) notify() {
 	if c.OnData != nil {
 		c.OnData(c.Collected)
+	}
+}
+
+func (c *Continuous) notifyIter(r IterRecord, cfg *catalog.Configuration) {
+	if c.OnIter != nil {
+		c.OnIter(r, cfg)
+	}
+}
+
+// dropReverted evicts the physical indexes a reverted step had built, except
+// any that the retained configuration still uses (the step's "new" indexes
+// are new relative to cur, so overlap cannot happen today; the guard keeps
+// the invariant local). Dropping is hygiene, not correctness: a later step
+// re-requesting the index rebuilds it deterministically via BulkLoad, so
+// measured costs are unchanged either way — but without the drop a
+// long-running continuous tuner pins the storage of every configuration it
+// ever tried and rejected.
+func (c *Continuous) dropReverted(cur *catalog.Configuration, newIndexes []*catalog.Index) {
+	for _, ix := range newIndexes {
+		if !cur.Has(ix) {
+			c.Exec.DropIndex(ix)
+		}
 	}
 }

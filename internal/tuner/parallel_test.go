@@ -7,6 +7,7 @@ import (
 	"repro/internal/engine/exec"
 	"repro/internal/engine/opt"
 	"repro/internal/engine/stats"
+	"repro/internal/obs"
 	"repro/internal/util"
 	"repro/internal/workload"
 )
@@ -134,6 +135,59 @@ func TestParallelContinuousDeterminism(t *testing.T) {
 		if costsS[i] != costsP[i] {
 			t.Fatalf("collected plan %d cost differs: %v vs %v", i, costsS[i], costsP[i])
 		}
+	}
+}
+
+// TestParallelMetricsRace exercises concurrent metric writes from the
+// parallel probe pool under the race detector: several tuner invocations
+// share one what-if facade at Parallelism 8 with metrics enabled, so pool
+// workers hammer the shared counters, gauges, and latency histograms while
+// another goroutine repeatedly snapshots the registry (racing reads against
+// writes). Meaningful only under -race, but cheap enough to always run.
+func TestParallelMetricsRace(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	e := newEnv(t)
+	tn := New(e.w.Schema, e.whatIf, nil, Options{Parallelism: 8})
+
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = obs.TakeSnapshot()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			q := e.w.Queries[g%len(e.w.Queries)]
+			if _, err := tn.TuneQuery(q, nil); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	// The probes above must actually have been observed — otherwise this
+	// test races nothing.
+	s := obs.TakeSnapshot()
+	if s.Counters["whatif.cache.miss"] == 0 {
+		t.Fatal("no what-if probes recorded: metric instrumentation is not wired")
+	}
+	if h, ok := s.Histograms["whatif.probe.latency"]; !ok || h.Count == 0 {
+		t.Fatal("no probe latencies recorded")
 	}
 }
 

@@ -32,6 +32,23 @@ import (
 	"repro/internal/engine/query"
 	"repro/internal/expdata"
 	"repro/internal/models"
+	"repro/internal/obs"
+)
+
+// Pre-resolved metric handles (see DESIGN.md §7). Gate counters tally the
+// comparator's verdicts at the no-regression gate; pool metrics expose how
+// often fan-outs actually got extra workers versus degrading to the caller.
+var (
+	mGateRegression = obs.C("tuner.gate.regression")
+	mGateImprove    = obs.C("tuner.gate.improvement")
+	mGateUnsure     = obs.C("tuner.gate.unsure")
+	mStepCands      = obs.H("tuner.step.candidates")
+	mWStepCands     = obs.H("tuner.workload.step.candidates")
+	mWinnerMargin   = obs.H("tuner.winner.margin")
+	mPoolSpawned    = obs.C("tuner.pool.spawned")
+	mPoolInline     = obs.C("tuner.pool.inline")
+	mPoolBusy       = obs.G("tuner.pool.busy")
+	mPoolBusyMax    = obs.G("tuner.pool.busy.max")
 )
 
 // Options bound the tuner's search.
@@ -122,6 +139,7 @@ func (t *Tuner) parallelFor(n int, fn func(i int)) {
 		}
 	}
 	var wg sync.WaitGroup
+	var spawnedAny bool
 	for spawned := 0; spawned < n-1; spawned++ {
 		select {
 		case t.workers <- struct{}{}:
@@ -129,14 +147,24 @@ func (t *Tuner) parallelFor(n int, fn func(i int)) {
 			spawned = n // no token free: the caller picks up the rest
 			continue
 		}
+		spawnedAny = true
+		mPoolSpawned.Inc()
+		mPoolBusy.Add(1)
+		mPoolBusyMax.Max(mPoolBusy.Value())
 		wg.Add(1)
 		go func() {
 			defer func() {
 				<-t.workers
+				mPoolBusy.Add(-1)
 				wg.Done()
 			}()
 			run()
 		}()
+	}
+	if !spawnedAny {
+		// The pool was saturated (nested fan-out): this fan-out degraded to
+		// inline execution by the caller.
+		mPoolInline.Inc()
 	}
 	run()
 	wg.Wait()
@@ -170,7 +198,18 @@ func (t *Tuner) acceptNoRegression(p0, pH *plan.Plan) bool {
 	if t.Cmp == nil {
 		return true // the classic tuner trusts estimates
 	}
-	return !models.IsRegression(t.Cmp, p0, pH)
+	// One Compare call per gate, counted by verdict. Semantically identical
+	// to !models.IsRegression(t.Cmp, p0, pH).
+	switch t.Cmp.Compare(p0, pH) {
+	case expdata.Regression:
+		mGateRegression.Inc()
+		return false
+	case expdata.Improvement:
+		mGateImprove.Inc()
+	default:
+		mGateUnsure.Inc()
+	}
+	return true
 }
 
 // better decides whether candidate pH improves on the incumbent pBest,
@@ -216,6 +255,8 @@ type queryProbe struct {
 // probes out over the worker pool and then selects the winner serially in
 // candidate order, so results are identical at any Parallelism.
 func (t *Tuner) TuneQuery(q *query.Query, c0 *catalog.Configuration) (*Recommendation, error) {
+	sp := obs.StartSpan("tuner.query")
+	defer sp.End()
 	if c0 == nil {
 		c0 = catalog.NewConfiguration()
 	}
@@ -240,6 +281,7 @@ func (t *Tuner) TuneQuery(q *query.Query, c0 *catalog.Configuration) (*Recommend
 			}
 			probes = append(probes, &queryProbe{ix: ix, cfg: cfg})
 		}
+		mStepCands.Observe(float64(len(probes)))
 		t.parallelFor(len(probes), func(i int) {
 			pr := probes[i]
 			pr.p, pr.err = t.WhatIf.Plan(q, pr.cfg)
@@ -264,6 +306,9 @@ func (t *Tuner) TuneQuery(q *query.Query, c0 *catalog.Configuration) (*Recommend
 		}
 		if step == nil {
 			break
+		}
+		if bestPlan.EstTotalCost > 0 {
+			mWinnerMargin.Observe(1 - step.p.EstTotalCost/bestPlan.EstTotalCost)
 		}
 		bestCfg, bestPlan = step.cfg, step.p
 		used[step.ix.ID()] = true
@@ -331,6 +376,8 @@ func (t *Tuner) workloadCost(qs []*query.Query, initPlans []*plan.Plan, cfg *cat
 // parallel. Both phases pick winners by fixed order-based rules, so the
 // recommendation is identical at any Parallelism.
 func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*WorkloadRecommendation, error) {
+	sp := obs.StartSpan("tuner.workload")
+	defer sp.End()
 	if c0 == nil {
 		c0 = catalog.NewConfiguration()
 	}
@@ -396,6 +443,7 @@ func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*Wor
 			}
 			probes = append(probes, &poolProbe{cfg: cfg})
 		}
+		mWStepCands.Observe(float64(len(probes)))
 		t.parallelFor(len(probes), func(i int) {
 			pr := probes[i]
 			pr.cost, pr.ok, pr.err = t.workloadCost(qs, initPlans, pr.cfg)

@@ -147,16 +147,27 @@ func Log10Clipped(x, lo, hi float64) float64 {
 	return math.Log10(Clip(x, lo, hi))
 }
 
-// SafeDiv divides a by b, returning clip when b is zero (sign-matched to a).
+// SafeDiv divides a by b, clipping the quotient symmetrically into
+// [-clip, clip]. Division by zero maps to ±clip with the sign of the a/b
+// limit (so a negative-zero denominator flips it), 0/0 maps to 0 — a "no
+// change over nothing" feature, not an extreme — and any NaN (NaN inputs,
+// or Inf/Inf) maps to 0 so feature vectors never carry NaN into training.
 func SafeDiv(a, b, clip float64) float64 {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return 0
+	}
 	if b == 0 {
 		if a == 0 {
 			return 0
 		}
-		if a < 0 {
+		if (a < 0) != math.Signbit(b) {
 			return -clip
 		}
 		return clip
 	}
-	return Clip(a/b, -clip, clip)
+	q := a / b
+	if math.IsNaN(q) { // Inf/Inf
+		return 0
+	}
+	return Clip(q, -clip, clip)
 }

@@ -247,3 +247,61 @@ func TestMinMaxInt64(t *testing.T) {
 		t.Fatal("min/max wrong")
 	}
 }
+
+// TestSafeDivEdgeCases pins the contract on the inputs featurization can
+// produce: NaN never escapes, 0/0 is 0 (not a clip), the b == 0 limit is
+// sign-correct including negative zero, and clipping is symmetric. The NaN
+// and negative-zero cases fail on the pre-fix SafeDiv, which clipped the
+// raw quotient and keyed the zero-denominator sign off a alone.
+func TestSafeDivEdgeCases(t *testing.T) {
+	const clip = 1e4
+	inf := math.Inf(1)
+	cases := []struct {
+		a, b, want float64
+	}{
+		{0, 0, 0}, // both zero: no signal, not an extreme
+		{0, math.Copysign(0, -1), 0},
+		{1, 0, clip}, // limits of a/b as b -> 0
+		{-1, 0, -clip},
+		{1, math.Copysign(0, -1), -clip}, // b -> 0 from below
+		{-1, math.Copysign(0, -1), clip},
+		{inf, 0, clip},
+		{-inf, 0, -clip},
+		{inf, 2, clip}, // Inf/finite clips
+		{-inf, 2, -clip},
+		{3, inf, 0},   // finite/Inf underflows to 0
+		{inf, inf, 0}, // NaN quotient maps to 0
+		{-inf, inf, 0},
+		{math.NaN(), 1, 0}, // NaN inputs map to 0
+		{1, math.NaN(), 0},
+		{math.NaN(), math.NaN(), 0},
+		{2e9, 1, clip}, // overflow clips high
+		{-2e9, 1, -clip},
+		{10, 2, 5}, // plain division untouched
+		{-10, 2, -5},
+	}
+	for _, c := range cases {
+		got := SafeDiv(c.a, c.b, clip)
+		if math.IsNaN(got) || got != c.want {
+			t.Errorf("SafeDiv(%v, %v, %v) = %v, want %v", c.a, c.b, clip, got, c.want)
+		}
+	}
+}
+
+// TestSafeDivProperties quick-checks the invariants over arbitrary floats:
+// the result is always finite, within ±clip, and antisymmetric in a.
+func TestSafeDivProperties(t *testing.T) {
+	const clip = 1e4
+	f := func(a, b float64) bool {
+		got := SafeDiv(a, b, clip)
+		if math.IsNaN(got) || got < -clip || got > clip {
+			return false
+		}
+		// Antisymmetry: negating a negates the result (0 stays 0). NaN
+		// inputs are exempt (-NaN is still NaN -> 0 = -0 works out).
+		return SafeDiv(-a, b, clip) == -got || (got == 0 && SafeDiv(-a, b, clip) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

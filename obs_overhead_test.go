@@ -1,0 +1,90 @@
+package repro_test
+
+// Overhead guard for the observability layer (DESIGN.md §7): with metrics
+// disabled, every instrumented call site must cost one atomic load and a
+// branch. The un-instrumented code no longer exists to diff against, so the
+// test bounds the overhead from first principles on the same machine:
+//
+//	(metric ops per TuneWorkload) x (disabled per-op cost) < 2% x wall time
+//
+// The op count is taken from a metrics-enabled run of the same workload
+// search (counters count themselves; histograms expose Count), padded 4x to
+// cover gauge writes and span starts the snapshot cannot count exactly.
+
+import (
+	"testing"
+
+	"repro/internal/engine/opt"
+	"repro/internal/engine/stats"
+	"repro/internal/obs"
+	"repro/internal/tuner"
+	"repro/internal/util"
+	"repro/internal/workload"
+)
+
+func TestObsDisabledOverheadBudget(t *testing.T) {
+	w := workload.TPCH("bench-obs-ovh", 5000, 7)
+	ds := stats.BuildDatabaseStats(w.DB, util.NewRNG(4), stats.DefaultSampleSize, stats.DefaultBuckets)
+	o := opt.New(w.Schema, ds)
+	qs := w.Queries[:12]
+	tune := func() {
+		tn := tuner.New(w.Schema, opt.NewWhatIf(o), nil, tuner.Options{Parallelism: 1})
+		if _, err := tn.TuneWorkload(qs, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Count the metric ops one workload search performs.
+	obs.Default().Reset()
+	obs.SetEnabled(true)
+	tune()
+	obs.SetEnabled(false)
+	snap := obs.TakeSnapshot()
+	var ops int64
+	for _, v := range snap.Counters {
+		ops += v
+	}
+	for _, h := range snap.Histograms {
+		ops += h.Count
+	}
+	if ops == 0 {
+		t.Fatal("instrumentation recorded nothing; op count is meaningless")
+	}
+	ops *= 4 // headroom for gauge writes, span starts, histogram Start/Stop pairs
+
+	// Disabled per-op cost: the slowest of the three fast paths.
+	c := obs.C("overhead.test.counter")
+	g := obs.G("overhead.test.gauge")
+	h := obs.H("overhead.test.hist")
+	perOp := func(f func()) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	perOpNs := perOp(func() { c.Inc() })
+	if v := perOp(func() { g.Add(1) }); v > perOpNs {
+		perOpNs = v
+	}
+	if v := perOp(func() { h.Observe(1) }); v > perOpNs {
+		perOpNs = v
+	}
+
+	// Wall time of the same search with metrics disabled.
+	wall := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tune()
+		}
+	})
+	wallNs := float64(wall.T.Nanoseconds()) / float64(wall.N)
+
+	overheadNs := float64(ops) * perOpNs
+	frac := overheadNs / wallNs
+	t.Logf("%d metric ops (4x padded) x %.2f ns disabled per-op = %.0f ns over %.0f ns wall: %.4f%%",
+		ops, perOpNs, overheadNs, wallNs, 100*frac)
+	if frac >= 0.02 {
+		t.Fatalf("disabled instrumentation overhead %.2f%% exceeds the 2%% budget", 100*frac)
+	}
+}
