@@ -10,7 +10,7 @@
 //	data, _ := sys.CollectExecutionData(aimai.CollectOptions{})
 //	clf, _ := aimai.TrainClassifier(data.Pairs(60, rng), aimai.ClassifierOptions{})
 //	tn := sys.NewTuner(clf, aimai.TunerOptions{})
-//	rec, _ := tn.TuneQuery(w.Queries[0], nil)
+//	rec, _ := tn.TuneQuery(ctx, w.Queries[0], nil)
 package aimai
 
 import (
@@ -79,6 +79,10 @@ func NewRNG(seed int64) *RNG { return util.NewRNG(seed) }
 // MetricsSnapshot is a point-in-time export of the library's metrics.
 type MetricsSnapshot = obs.Snapshot
 
+// MetricsServer is a running metrics HTTP endpoint; call Shutdown or Close
+// to stop it and release its port.
+type MetricsServer = obs.HTTPServer
+
 // EnableMetrics turns on the library's internal metrics collection
 // (counters, latency histograms, step traces across the what-if cache,
 // tuner, executor, and model training). Collection is off by default and
@@ -90,9 +94,9 @@ func EnableMetrics() { obs.SetEnabled(true) }
 func TakeMetricsSnapshot() MetricsSnapshot { return obs.TakeSnapshot() }
 
 // ServeMetrics serves the metrics snapshot as JSON over HTTP on addr
-// (":0" binds an ephemeral port) and returns the bound address. It also
-// enables collection.
-func ServeMetrics(addr string) (string, error) {
+// (":0" binds an ephemeral port) and returns a server handle exposing the
+// bound address; stop it with Shutdown/Close. It also enables collection.
+func ServeMetrics(addr string) (*MetricsServer, error) {
 	obs.SetEnabled(true)
 	return obs.Serve(addr)
 }

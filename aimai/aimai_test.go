@@ -2,6 +2,7 @@ package aimai
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -50,7 +51,7 @@ func TestEndToEndFacade(t *testing.T) {
 
 	// Tune a query with the classifier gate.
 	tn := sys.NewTuner(clf, TunerOptions{})
-	rec, err := tn.TuneQuery(q, nil)
+	rec, err := tn.TuneQuery(context.Background(), q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestEndToEndFacade(t *testing.T) {
 
 	// Continuous tuning round-trip.
 	cont := sys.NewContinuousTuner(tn, ContinuousOptions{Iterations: 2})
-	trace, err := cont.TuneQueryContinuously(q, nil)
+	trace, err := cont.TuneQueryContinuously(context.Background(), q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestTelemetryAndSerializationFacade(t *testing.T) {
 	}
 	// The loaded model plugs straight into a tuner.
 	tn := sys.NewTuner(loaded, TunerOptions{})
-	if _, err := tn.TuneQuery(w.Queries[0], nil); err != nil {
+	if _, err := tn.TuneQuery(context.Background(), w.Queries[0], nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -13,6 +13,7 @@ package repro_test
 // is the benchmark result.
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"sync"
@@ -212,7 +213,7 @@ func BenchmarkTuneQuery(b *testing.B) {
 	q := w.Query("q3")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tn.TuneQuery(q, nil); err != nil {
+		if _, err := tn.TuneQuery(context.Background(), q, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -233,7 +234,7 @@ func benchTuneWorkload(b *testing.B, parallelism int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tn := tuner.New(w.Schema, opt.NewWhatIf(o), nil, tuner.Options{Parallelism: parallelism})
-		if _, err := tn.TuneWorkload(qs, nil); err != nil {
+		if _, err := tn.TuneWorkload(context.Background(), qs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -7,11 +7,13 @@
 //	aimai list
 //	aimai run [-scale 0.25] [-seed N] [-quick] [-parallel N] [-dbs a,b,c] [-out file] [-metrics-addr :9090] <experiment|all>
 //	aimai tune [-db tpch10] [-scale 0.1] [-query q6] [-model rf|none] [-iters 5] [-parallel N] [-metrics-addr :9090]
+//	aimai serve [-addr :8080] [-db tpch10] [-scale 0.1] [-models-dir dir] [-telemetry file] [-workers N] [-queue N]
 //	aimai sql [-db tpch10] [-scale 0.1] [-explain] [-limit 20] "SELECT ..."
 //	aimai workloads [-scale 0.25] [-sql]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,18 +28,19 @@ import (
 
 // startMetrics enables the process-global metrics registry and, when addr is
 // nonempty, serves its JSON snapshot over HTTP (":0" binds an ephemeral
-// port, printed for scraping).
-func startMetrics(addr string) error {
+// port, printed for scraping). The returned server (nil when addr is empty)
+// should be shut down before exit to release the port.
+func startMetrics(addr string) (*obs.HTTPServer, error) {
 	obs.SetEnabled(true)
 	if addr == "" {
-		return nil
+		return nil, nil
 	}
-	bound, err := obs.Serve(addr)
+	srv, err := obs.Serve(addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("metrics: serving JSON snapshot on http://%s/metrics\n", bound)
-	return nil
+	fmt.Printf("metrics: serving JSON snapshot on http://%s/metrics\n", srv.Addr())
+	return srv, nil
 }
 
 // printMetricsSummary prints the headline counters of a tuning run.
@@ -66,6 +69,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "tune":
 		err = cmdTune(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "workloads":
 		err = cmdWorkloads(os.Args[2:])
 	case "sql":
@@ -90,6 +95,7 @@ commands:
   list        list the reproducible experiments (paper tables/figures)
   run         regenerate one experiment or "all"
   tune        tune a query of a suite database with/without the classifier
+  serve       run the tuning service daemon (JSON HTTP API, async jobs)
   sql         run an ad-hoc SQL query against a suite database
   workloads   print workload statistics (and optionally query SQL)`)
 }
@@ -119,8 +125,12 @@ func cmdRun(args []string) error {
 		return err
 	}
 	if *metricsAddr != "" || *out != "" {
-		if err := startMetrics(*metricsAddr); err != nil {
+		msrv, err := startMetrics(*metricsAddr)
+		if err != nil {
 			return err
+		}
+		if msrv != nil {
+			defer msrv.Close()
 		}
 	}
 	if fs.NArg() != 1 {
@@ -191,9 +201,11 @@ func cmdTune(args []string) error {
 		return err
 	}
 	if *metricsAddr != "" {
-		if err := startMetrics(*metricsAddr); err != nil {
+		msrv, err := startMetrics(*metricsAddr)
+		if err != nil {
 			return err
 		}
+		defer msrv.Close()
 	}
 	var w *aimai.Workload
 	for _, cand := range aimai.Suite(*scale, *seed) {
@@ -239,7 +251,7 @@ func cmdTune(args []string) error {
 		if q == nil {
 			return fmt.Errorf("unknown query %q", name)
 		}
-		trace, err := cont.TuneQueryContinuously(q, nil)
+		trace, err := cont.TuneQueryContinuously(context.Background(), q, nil)
 		if err != nil {
 			return err
 		}

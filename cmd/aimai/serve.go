@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/aimai"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/tuner"
+)
+
+// cmdServe runs the tuning service daemon: a JSON HTTP API over one opened
+// suite database, with asynchronous tuning jobs, a versioned model
+// registry, and a telemetry ingest path. SIGINT/SIGTERM trigger a graceful
+// shutdown: the listener closes, queued jobs drain (or are cancelled when
+// the drain timeout expires), and telemetry flushes to disk.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address (\":0\" binds an ephemeral port)")
+	db := fs.String("db", "tpch10", "suite database name")
+	scale := fs.Float64("scale", 0.1, "workload scale factor")
+	seed := fs.Int64("seed", 1, "seed")
+	parallel := fs.Int("parallel", 0, "per-job what-if worker pool (0 = GOMAXPROCS)")
+	modelDir := fs.String("models-dir", "", "versioned model registry directory (empty = in-memory)")
+	telemetry := fs.String("telemetry", "", "append ingested telemetry to this JSONL file (empty = in-memory)")
+	workers := fs.Int("workers", 1, "tuning-job workers")
+	queue := fs.Int("queue", 8, "tuning-job queue capacity (full queue answers 429)")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "synchronous request timeout")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var w *aimai.Workload
+	for _, cand := range aimai.Suite(*scale, *seed) {
+		if cand.Name == *db {
+			w = cand
+		}
+	}
+	if w == nil {
+		return fmt.Errorf("unknown database %q", *db)
+	}
+	fmt.Printf("opening %s (scale=%.2f)...\n", *db, *scale)
+	sys, err := aimai.Open(w, *seed)
+	if err != nil {
+		return err
+	}
+	obs.SetEnabled(true) // /metrics is part of the serving API
+	srv, err := server.New(server.Config{
+		Workload:       sys.Workload,
+		WhatIf:         sys.WhatIf,
+		Exec:           sys.Exec,
+		TunerOpts:      tuner.Options{Parallelism: *parallel},
+		ModelDir:       *modelDir,
+		TelemetryPath:  *telemetry,
+		Workers:        *workers,
+		QueueSize:      *queue,
+		RequestTimeout: *reqTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving on http://%s (db=%s, queries=%d)\n", bound, *db, len(w.Queries))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default signal handling: a second signal kills hard
+
+	fmt.Println("shutting down: draining jobs and flushing telemetry...")
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	fmt.Println("bye")
+	return nil
+}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,7 +59,7 @@ func main() {
 		improved, regressed := 0, 0
 		var totalBefore, totalAfter float64
 		for _, q := range w.Queries[:12] {
-			trace, err := cont.TuneQueryContinuously(q, nil)
+			trace, err := cont.TuneQueryContinuously(context.Background(), q, nil)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,7 @@ func main() {
 	// Parallelism 0 fans what-if probes across GOMAXPROCS workers; the
 	// recommendation is identical to a serial (Parallelism 1) search.
 	tn := sys.NewTuner(clf, aimai.TunerOptions{Parallelism: 0})
-	rec, err := tn.TuneQuery(q, nil)
+	rec, err := tn.TuneQuery(context.Background(), q, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

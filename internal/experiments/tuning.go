@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -182,7 +183,7 @@ func (e *Env) tuningRuns() (*fig11Results, error) {
 			cont.OnData = onData
 			run := queryTuningRun{workload: w.Name, tuner: tname}
 			for _, q := range qs {
-				trace, err := cont.TuneQueryContinuously(q, init)
+				trace, err := cont.TuneQueryContinuously(context.Background(), q, init)
 				if err != nil {
 					return nil, fmt.Errorf("tuning %s/%s with %s: %w", w.Name, q.Name, tname, err)
 				}
@@ -387,7 +388,7 @@ func Table4(e *Env) (*Table, error) {
 					Seed:             e.Cfg.Seed + int64(s)*17,
 				})
 				cont.OnData = onData
-				trace, err := cont.TuneWorkloadContinuously(qs, init)
+				trace, err := cont.TuneWorkloadContinuously(context.Background(), qs, init)
 				if err != nil {
 					return nil, err
 				}

@@ -119,6 +119,18 @@ func (f *Classifier) PredictProba(x []float64) []float64 {
 // NumTrees returns the ensemble size.
 func (f *Classifier) NumTrees() int { return len(f.trees) }
 
+// MaxFeature returns the largest feature index any tree splits on, or -1
+// if every tree is a single leaf.
+func (f *Classifier) MaxFeature() int {
+	best := -1
+	for _, t := range f.trees {
+		if m := t.MaxFeature(); m > best {
+			best = m
+		}
+	}
+	return best
+}
+
 // Regressor is a random-forest regressor (mean of tree predictions).
 type Regressor struct {
 	cfg   Config

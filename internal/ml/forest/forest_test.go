@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/ml/tree"
 	"repro/internal/util"
 )
 
@@ -77,6 +78,27 @@ func TestLoadGarbageFails(t *testing.T) {
 	}
 	if _, err := FromDump(&Dump{}); err == nil {
 		t.Fatal("empty dump should not load")
+	}
+}
+
+func TestFromDumpRejectsInconsistentDumps(t *testing.T) {
+	leaf := &tree.Dump{
+		Feature: []int32{-1}, Thresh: []float64{0}, Left: []int32{0}, Right: []int32{0},
+		Value: []float64{0}, NumClasses: 2, Proba: []float64{0.5, 0.5},
+	}
+	if _, err := FromDump(&Dump{Trees: []*tree.Dump{leaf}, NumClasses: 0}); err == nil {
+		t.Fatal("class count below 2 should fail")
+	}
+	if _, err := FromDump(&Dump{Trees: []*tree.Dump{leaf}, NumClasses: -3}); err == nil {
+		t.Fatal("negative class count should fail")
+	}
+	if _, err := FromDump(&Dump{Trees: []*tree.Dump{nil}, NumClasses: 2}); err == nil {
+		t.Fatal("nil tree dump should fail")
+	}
+	// A tree voting with fewer classes than the forest would index past its
+	// proba vector during the soft vote.
+	if _, err := FromDump(&Dump{Trees: []*tree.Dump{leaf}, NumClasses: 3}); err == nil {
+		t.Fatal("class count mismatch should fail")
 	}
 }
 

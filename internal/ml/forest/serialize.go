@@ -29,16 +29,27 @@ func (f *Classifier) EncodeDump() (*Dump, error) {
 
 // FromDump rebuilds a classifier from its serialized form.
 func FromDump(d *Dump) (*Classifier, error) {
+	if len(d.Trees) == 0 {
+		return nil, fmt.Errorf("forest: model has no trees")
+	}
+	if d.NumClasses < 2 {
+		return nil, fmt.Errorf("forest: bad class count %d", d.NumClasses)
+	}
 	f := &Classifier{cfg: d.Config, numClasses: d.NumClasses}
 	for i, td := range d.Trees {
+		if td == nil {
+			return nil, fmt.Errorf("forest: tree %d: missing dump", i)
+		}
+		// Every tree must vote with the forest's class count, or soft
+		// voting would index past a shorter proba vector.
+		if td.NumClasses != d.NumClasses {
+			return nil, fmt.Errorf("forest: tree %d has %d classes, forest has %d", i, td.NumClasses, d.NumClasses)
+		}
 		t, err := tree.Decode(td)
 		if err != nil {
 			return nil, fmt.Errorf("forest: tree %d: %w", i, err)
 		}
 		f.trees = append(f.trees, t)
-	}
-	if len(f.trees) == 0 {
-		return nil, fmt.Errorf("forest: model has no trees")
 	}
 	return f, nil
 }

@@ -51,6 +51,9 @@ func Decode(d *Dump) (*Tree, error) {
 	if len(d.Thresh) != n || len(d.Left) != n || len(d.Right) != n || len(d.Value) != n {
 		return nil, fmt.Errorf("tree: inconsistent dump arrays")
 	}
+	if d.NumClasses < 0 {
+		return nil, fmt.Errorf("tree: negative class count %d", d.NumClasses)
+	}
 	if d.NumClasses > 0 && len(d.Proba) != n*d.NumClasses {
 		return nil, fmt.Errorf("tree: proba array length %d != %d", len(d.Proba), n*d.NumClasses)
 	}
@@ -65,16 +68,29 @@ func Decode(d *Dump) (*Tree, error) {
 			nodes[i].proba = d.Proba[i*d.NumClasses : (i+1)*d.NumClasses]
 		}
 	}
+	refs := make([]int, n)
 	for i := 0; i < n; i++ {
 		if d.Feature[i] < 0 {
 			continue
 		}
 		l, r := d.Left[i], d.Right[i]
-		if l <= 0 || r <= 0 || int(l) >= n || int(r) >= n {
+		// Pre-order layout: children always come after their parent, so any
+		// backward (or self) reference would introduce a cycle and hang
+		// prediction. Reject it along with out-of-range ids.
+		if l <= int32(i) || r <= int32(i) || int(l) >= n || int(r) >= n {
 			return nil, fmt.Errorf("tree: bad child ids at node %d", i)
 		}
+		refs[l]++
+		refs[r]++
 		nodes[i].left = &nodes[l]
 		nodes[i].right = &nodes[r]
+	}
+	// Forward-only edges plus exactly one parent per non-root node make the
+	// node array a single tree rooted at 0 — no sharing, no orphans.
+	for i := 1; i < n; i++ {
+		if refs[i] != 1 {
+			return nil, fmt.Errorf("tree: node %d has %d parents", i, refs[i])
+		}
 	}
 	return &Tree{root: &nodes[0], numClasses: d.NumClasses, nodes: n}, nil
 }

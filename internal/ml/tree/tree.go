@@ -320,6 +320,26 @@ func (t *Tree) descend(x []float64) *node {
 	return n
 }
 
+// MaxFeature returns the largest feature index any split reads, or -1 for
+// a leaf-only tree. Callers use it to check a deserialized tree against
+// the dimensionality of the vectors it will score.
+func (t *Tree) MaxFeature() int {
+	best := -1
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil || n.isLeaf() {
+			return
+		}
+		if n.feature > best {
+			best = n.feature
+		}
+		walk(n.left)
+		walk(n.right)
+	}
+	walk(t.root)
+	return best
+}
+
 // PredictProba returns the class distribution of x's leaf.
 func (t *Tree) PredictProba(x []float64) []float64 {
 	return t.descend(x).proba

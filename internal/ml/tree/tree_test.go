@@ -140,6 +140,29 @@ func TestDecodeRejectsMalformedDumps(t *testing.T) {
 	}); err == nil {
 		t.Fatal("short proba array should fail")
 	}
+	// A backward child reference would build a cyclic "tree" and hang
+	// prediction forever: node 1 points back at node 0.
+	if _, err := Decode(&Dump{
+		Feature: []int32{0, 1, -1}, Thresh: []float64{1, 2, 0},
+		Left: []int32{1, 0, 0}, Right: []int32{2, 2, 0},
+		Value: []float64{0, 0, 0},
+	}); err == nil {
+		t.Fatal("backward child reference should fail")
+	}
+	// Self reference is the degenerate cycle.
+	if _, err := Decode(&Dump{
+		Feature: []int32{0, -1}, Thresh: []float64{1, 0},
+		Left: []int32{1, 0}, Right: []int32{1, 0},
+		Value: []float64{0, 0},
+	}); err == nil {
+		t.Fatal("shared child ids should fail")
+	}
+	if _, err := Decode(&Dump{
+		Feature: []int32{-1}, Thresh: []float64{0}, Left: []int32{0}, Right: []int32{0},
+		Value: []float64{1}, NumClasses: -2,
+	}); err == nil {
+		t.Fatal("negative class count should fail")
+	}
 }
 
 func TestPropertyPredictionsWithinTrainingRange(t *testing.T) {

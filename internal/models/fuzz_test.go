@@ -1,0 +1,71 @@
+package models
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/feat"
+)
+
+// validBlob serializes a tiny trained classifier — the fuzz seed that lets
+// the mutator explore the interesting interior of the gob encoding instead
+// of bouncing off the stream header.
+func validBlob(t testing.TB) []byte {
+	t.Helper()
+	clf := NewClassifier(feat.Default(), RF(2, 1), 0.2)
+	const n, dim = 24, 4
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = float64((i*5+j*11)%13) / 13
+		}
+		X[i] = v
+		y[i] = i % 3
+	}
+	if err := clf.TrainVectors(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveClassifier(clf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzLoadClassifier asserts the load path is total: arbitrary bytes either
+// produce a usable classifier or an error — never a panic or a hang. This
+// is the trust boundary of the serving API's model-upload endpoint.
+func FuzzLoadClassifier(f *testing.F) {
+	blob := validBlob(f)
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(blob[:len(blob)/2])
+	// A bit-flipped blob: valid framing, corrupted payload.
+	flipped := append([]byte(nil), blob...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clf, err := LoadClassifier(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if clf == nil || !clf.Trained() {
+			t.Fatal("nil error but unusable classifier")
+		}
+		// A successfully loaded model must predict without panicking: the
+		// decoder guarantees structural soundness (acyclic trees, matching
+		// class counts, feature indices within the featurization's output
+		// dimension), so scoring a pair-sized vector must terminate.
+		x := make([]float64, clf.Feat.PairDim())
+		for i := range x {
+			x[i] = float64(i%7) - 3
+		}
+		p := clf.Model.PredictProba(x)
+		if len(p) == 0 {
+			t.Fatal("loaded model predicts empty distribution")
+		}
+	})
+}

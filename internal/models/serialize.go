@@ -75,6 +75,13 @@ func LoadClassifier(r io.Reader) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A model splitting on features the featurizer never emits would panic
+	// at inference; reject the blob at the trust boundary instead. (Models
+	// trained on narrower synthetic vectors still pass: their splits only
+	// reference low indices.)
+	if mf := rf.MaxFeature(); mf >= f.PairDim() {
+		return nil, fmt.Errorf("models: model splits on feature %d but featurization emits %d attributes", mf, f.PairDim())
+	}
 	clf := NewClassifier(f, rf, hdr.Alpha)
 	clf.trained = true
 	return clf, nil

@@ -23,6 +23,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -492,18 +493,38 @@ func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	_ = enc.Encode(r.Snapshot())
 }
 
+// HTTPServer is a running metrics endpoint: a handle to the listener and
+// server backing Registry.Serve, so callers can stop it instead of leaking
+// the socket for the life of the process.
+type HTTPServer struct {
+	addr string
+	srv  *http.Server
+}
+
+// Addr returns the bound listener address (useful with ":0").
+func (s *HTTPServer) Addr() string { return s.addr }
+
+// Shutdown gracefully stops the server: in-flight snapshot requests finish,
+// then the listener closes. After Shutdown returns the port is released.
+func (s *HTTPServer) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// Close immediately closes the listener and any active connections.
+func (s *HTTPServer) Close() error { return s.srv.Close() }
+
 // Serve binds addr (e.g. ":9090" or ":0"), serves the registry snapshot
-// over HTTP on every path, and returns the bound address. The server runs
-// until the process exits; the returned listener address supports ":0"
-// ephemeral-port tests and CLI use.
-func (r *Registry) Serve(addr string) (string, error) {
+// over HTTP on every path, and returns a handle exposing the bound address
+// (supporting ":0" ephemeral-port tests and CLI use) and a way to stop the
+// server and release the port.
+func (r *Registry) Serve(addr string) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: r}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	return &HTTPServer{addr: ln.Addr().String(), srv: srv}, nil
 }
 
 // def is the process-global registry instrumented code binds to.
@@ -534,5 +555,6 @@ func StartSpan(name string) Span { return def.StartSpan(name) }
 // TakeSnapshot exports the default registry.
 func TakeSnapshot() Snapshot { return def.Snapshot() }
 
-// Serve serves the default registry's snapshot on addr.
-func Serve(addr string) (string, error) { return def.Serve(addr) }
+// Serve serves the default registry's snapshot on addr. Stop the returned
+// server to release the port.
+func Serve(addr string) (*HTTPServer, error) { return def.Serve(addr) }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -195,11 +196,12 @@ func TestServeHTTPSnapshot(t *testing.T) {
 	r := NewRegistry()
 	r.SetEnabled(true)
 	r.Counter("whatif.cache.hit").Add(7)
-	addr, err := r.Serve("127.0.0.1:0")
+	srv, err := r.Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Get("http://" + addr + "/metrics")
+	defer srv.Close()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,6 +216,34 @@ func TestServeHTTPSnapshot(t *testing.T) {
 	}
 	if s.Counters["whatif.cache.hit"] != 7 {
 		t.Fatalf("endpoint snapshot = %s", body)
+	}
+}
+
+// TestServeShutdownReleasesPort proves the Serve handle actually stops the
+// server: after Shutdown the exact address can be re-bound, and requests to
+// the old server fail.
+func TestServeShutdownReleasesPort(t *testing.T) {
+	r := NewRegistry()
+	srv, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("request succeeded after Shutdown")
+	}
+	// The port must be free again: rebinding the same address succeeds.
+	srv2, err := r.Serve(addr)
+	if err != nil {
+		t.Fatalf("rebinding %s after Shutdown: %v", addr, err)
+	}
+	if err := srv2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
 	}
 }
 

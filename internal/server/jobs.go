@@ -1,0 +1,294 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Job-manager metric handles (see DESIGN.md §7/§8).
+var (
+	mJobsSubmitted  = obs.C("server.jobs.submitted")
+	mJobsRejected   = obs.C("server.jobs.rejected")
+	mJobsDone       = obs.C("server.jobs.done")
+	mJobsFailed     = obs.C("server.jobs.failed")
+	mJobsCancelled  = obs.C("server.jobs.cancelled")
+	mJobsQueueDepth = obs.G("server.jobs.queue.depth")
+	mJobLatency     = obs.H("server.jobs.latency")
+)
+
+// JobState is a tuning job's lifecycle state. Transitions:
+//
+//	queued → running → done | failed | cancelled
+//	queued → cancelled                      (cancelled before a worker picked it up)
+//
+// Terminal states never change again.
+type JobState string
+
+// Job states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCancelled
+}
+
+// ErrQueueFull is returned by Submit when the bounded job queue is at
+// capacity; HTTP maps it to 429.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrShuttingDown is returned by Submit after Drain began.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// JobStatus is the JSON view of a job.
+type JobStatus struct {
+	ID         string     `json:"id"`
+	State      JobState   `json:"state"`
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	Error      string     `json:"error,omitempty"`
+	Result     any        `json:"result,omitempty"`
+}
+
+// job is one asynchronous unit of work.
+type job struct {
+	id  string
+	run func(ctx context.Context) (any, error)
+
+	// ctx is derived from the manager's base context; cancel aborts the
+	// job whether queued or running.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	result   any
+	err      string
+}
+
+// status snapshots the job under its lock.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{ID: j.id, State: j.state, CreatedAt: j.created, Error: j.err, Result: j.result}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st
+}
+
+// jobs is a bounded queue drained by a fixed worker pool.
+type jobs struct {
+	queue chan *job
+	wg    sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu      sync.Mutex
+	byID    map[string]*job
+	order   []string
+	nextID  int
+	closing bool
+}
+
+// newJobs starts a manager with the given worker count and queue capacity.
+func newJobs(workers, queueCap int) *jobs {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	base, cancel := context.WithCancel(context.Background())
+	m := &jobs{
+		queue:      make(chan *job, queueCap),
+		baseCtx:    base,
+		baseCancel: cancel,
+		byID:       map[string]*job{},
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+func (m *jobs) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		mJobsQueueDepth.Set(float64(len(m.queue)))
+		m.execute(j)
+	}
+}
+
+// execute runs one job to a terminal state. A job cancelled while queued is
+// skipped; a job whose context is cancelled mid-run lands in "cancelled"
+// rather than "failed" so clients can tell aborts from errors.
+func (m *jobs) execute(j *job) {
+	j.mu.Lock()
+	if j.state != JobQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.state = JobRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	result, err := j.run(j.ctx)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	mJobLatency.Observe(j.finished.Sub(j.started).Seconds())
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = result
+		mJobsDone.Inc()
+	case errors.Is(err, context.Canceled) || j.ctx.Err() != nil:
+		j.state = JobCancelled
+		j.err = context.Cause(j.ctx).Error()
+		mJobsCancelled.Inc()
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+		mJobsFailed.Inc()
+	}
+}
+
+// submit enqueues fn. It never blocks: a full queue returns ErrQueueFull
+// immediately (backpressure for the HTTP layer to surface as 429).
+func (m *jobs) submit(fn func(ctx context.Context) (any, error)) (*job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closing {
+		return nil, ErrShuttingDown
+	}
+	m.nextID++
+	ctx, cancel := context.WithCancelCause(m.baseCtx)
+	j := &job{
+		id:      fmt.Sprintf("job-%06d", m.nextID),
+		run:     fn,
+		ctx:     ctx,
+		cancel:  func() { cancel(errors.New("job cancelled")) },
+		state:   JobQueued,
+		created: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		cancel(nil)
+		m.nextID-- // the id was never visible; reuse it
+		mJobsRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	m.byID[j.id] = j
+	m.order = append(m.order, j.id)
+	mJobsSubmitted.Inc()
+	mJobsQueueDepth.Set(float64(len(m.queue)))
+	return j, nil
+}
+
+// get returns a job by id, or nil.
+func (m *jobs) get(id string) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byID[id]
+}
+
+// list snapshots every job's status in submission order.
+func (m *jobs) list() []JobStatus {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	byID := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		byID = append(byID, m.byID[id])
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(byID))
+	for _, j := range byID {
+		out = append(out, j.status())
+	}
+	return out
+}
+
+// cancelJob cancels a job. Queued jobs go terminal immediately; running
+// jobs get their context cancelled and go terminal when the tuner unwinds.
+// Returns false when the job is already terminal.
+func (m *jobs) cancelJob(j *job) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	wasQueued := j.state == JobQueued
+	if wasQueued {
+		j.state = JobCancelled
+		j.finished = time.Now()
+		j.err = "job cancelled"
+		mJobsCancelled.Inc()
+	}
+	j.mu.Unlock()
+	// Cancel the context outside the job lock: a running job's tuner
+	// observes it and returns; execute() then marks the terminal state.
+	j.cancel()
+	return true
+}
+
+// counts tallies jobs by state for /healthz.
+func (m *jobs) counts() map[JobState]int {
+	out := map[JobState]int{}
+	for _, st := range m.list() {
+		out[st.State]++
+	}
+	return out
+}
+
+// drain stops accepting new jobs and waits for in-flight ones. Queued jobs
+// still run (the queue is drained, not dropped) unless ctx expires first, in
+// which case every remaining job is cancelled and drain waits for the
+// workers to unwind before returning ctx's error.
+func (m *jobs) drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closing = true
+	close(m.queue)
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // cancel running jobs and anything still queued
+		<-done
+		return ctx.Err()
+	}
+}

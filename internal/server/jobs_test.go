@@ -1,0 +1,175 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitState polls a job until it reaches a terminal state.
+func waitState(t *testing.T, j *job) JobState {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if st := j.status(); st.State.Terminal() {
+			return st.State
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s did not terminate; state %s", j.id, j.status().State)
+	return ""
+}
+
+func TestJobRunsToDone(t *testing.T) {
+	m := newJobs(1, 4)
+	defer m.drain(context.Background())
+	j, err := m.submit(func(ctx context.Context) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitState(t, j); st != JobDone {
+		t.Fatalf("state = %s", st)
+	}
+	if got := j.status().Result; got != 42 {
+		t.Fatalf("result = %v", got)
+	}
+}
+
+func TestJobFailure(t *testing.T) {
+	m := newJobs(1, 4)
+	defer m.drain(context.Background())
+	j, err := m.submit(func(ctx context.Context) (any, error) { return nil, errors.New("boom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitState(t, j); st != JobFailed {
+		t.Fatalf("state = %s", st)
+	}
+	if j.status().Error != "boom" {
+		t.Fatalf("error = %q", j.status().Error)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	m := newJobs(1, 4)
+	defer m.drain(context.Background())
+	started := make(chan struct{})
+	j, err := m.submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done() // deterministic mid-run block until cancelled
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !m.cancelJob(j) {
+		t.Fatal("cancel of a running job returned false")
+	}
+	if st := waitState(t, j); st != JobCancelled {
+		t.Fatalf("state = %s", st)
+	}
+	// Cancelling a terminal job reports false.
+	if m.cancelJob(j) {
+		t.Fatal("cancel of a finished job returned true")
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	m := newJobs(1, 4)
+	defer m.drain(context.Background())
+	release := make(chan struct{})
+	blocker, err := m.submit(func(ctx context.Context) (any, error) {
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := m.submit(func(ctx context.Context) (any, error) { return "ran", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.cancelJob(queued) {
+		t.Fatal("cancel of a queued job returned false")
+	}
+	if st := queued.status().State; st != JobCancelled {
+		t.Fatalf("queued job state after cancel = %s", st)
+	}
+	close(release)
+	if st := waitState(t, blocker); st != JobDone {
+		t.Fatalf("blocker state = %s", st)
+	}
+	// The worker must skip the cancelled job, not run it.
+	time.Sleep(10 * time.Millisecond)
+	if queued.status().Result != nil {
+		t.Fatal("cancelled queued job still ran")
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	m := newJobs(1, 1)
+	defer m.drain(context.Background())
+	started, release := make(chan struct{}), make(chan struct{})
+	running, err := m.submit(func(ctx context.Context) (any, error) {
+		close(started)
+		<-release
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the worker holds the running job; the queue is empty
+	if _, err := m.submit(func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
+		t.Fatalf("second submit should queue: %v", err)
+	}
+	if _, err := m.submit(func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
+	}
+	close(release)
+	waitState(t, running)
+}
+
+func TestDrainWaitsAndRejectsNewWork(t *testing.T) {
+	m := newJobs(2, 4)
+	slow, err := m.submit(func(ctx context.Context) (any, error) {
+		time.Sleep(50 * time.Millisecond)
+		return "done", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := slow.status().State; st != JobDone {
+		t.Fatalf("drain returned before job finished: %s", st)
+	}
+	if _, err := m.submit(func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	// Draining twice is a no-op.
+	if err := m.drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	m := newJobs(1, 4)
+	j, err := m.submit(func(ctx context.Context) (any, error) {
+		<-ctx.Done() // never finishes on its own
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := m.drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain err = %v", err)
+	}
+	if st := j.status().State; st != JobCancelled {
+		t.Fatalf("straggler state = %s, want cancelled", st)
+	}
+}

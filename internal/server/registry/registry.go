@@ -1,0 +1,248 @@
+// Package registry is the tuning service's versioned model store: uploaded
+// classifier blobs are validated, assigned monotonically increasing version
+// numbers, persisted to a directory (when one is configured), and activated
+// with an atomic hot-swap so concurrent inference never observes a
+// half-loaded model.
+//
+// On-disk layout (all writes go through temp-file + rename, so a crash
+// mid-write never corrupts the store):
+//
+//	<dir>/v0001.clf   classifier blob (models.SaveClassifier format)
+//	<dir>/v0002.clf
+//	<dir>/CURRENT     the active version number in ASCII, e.g. "2\n"
+//
+// Reopening a directory restores every version and the CURRENT pointer, so
+// a restarted server resumes serving the same model.
+package registry
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/models"
+)
+
+// Version is one immutable registry entry: a validated classifier and its
+// provenance.
+type Version struct {
+	// ID is the 1-based version number (v0001.clf has ID 1).
+	ID int
+	// Path is the blob location, empty for memory-only registries.
+	Path string
+	// Size is the blob size in bytes.
+	Size int64
+	// AddedAt is the upload (or load-from-disk) time.
+	AddedAt time.Time
+	// Clf is the deserialized, ready-to-serve classifier.
+	Clf *models.Classifier
+}
+
+// Info is the JSON-friendly view of a Version (without the model itself).
+type Info struct {
+	ID      int       `json:"id"`
+	Size    int64     `json:"size"`
+	AddedAt time.Time `json:"added_at"`
+	Active  bool      `json:"active"`
+}
+
+// Registry is a concurrency-safe versioned model store. Reads of the
+// active model (the inference hot path) are a single atomic pointer load;
+// uploads and activations serialize on a mutex.
+type Registry struct {
+	dir string
+
+	mu       sync.Mutex
+	versions []*Version
+
+	active atomic.Pointer[Version]
+}
+
+// Open opens (creating if needed) a registry rooted at dir. An empty dir
+// yields a memory-only registry: versions live for the process lifetime and
+// nothing is persisted. With a directory, existing versions are loaded and
+// the CURRENT pointer re-activated; a corrupt blob fails Open rather than
+// silently serving a partial store.
+func Open(dir string) (*Registry, error) {
+	r := &Registry{dir: dir}
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("registry: creating %s: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("registry: reading %s: %w", dir, err)
+	}
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "v") || !strings.HasSuffix(name, ".clf") {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "v"), ".clf"))
+		if err != nil || id <= 0 {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		path := r.blobPath(id)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("registry: reading %s: %w", path, err)
+		}
+		clf, err := models.LoadClassifier(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("registry: loading %s: %w", path, err)
+		}
+		info, _ := os.Stat(path)
+		added := time.Now()
+		if info != nil {
+			added = info.ModTime()
+		}
+		r.versions = append(r.versions, &Version{
+			ID: id, Path: path, Size: int64(len(data)), AddedAt: added, Clf: clf,
+		})
+	}
+	cur, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err == nil {
+		id, perr := strconv.Atoi(strings.TrimSpace(string(cur)))
+		if perr != nil {
+			return nil, fmt.Errorf("registry: corrupt CURRENT file: %q", cur)
+		}
+		v := r.find(id)
+		if v == nil {
+			return nil, fmt.Errorf("registry: CURRENT points at missing version %d", id)
+		}
+		r.active.Store(v)
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("registry: reading CURRENT: %w", err)
+	}
+	return r, nil
+}
+
+func (r *Registry) blobPath(id int) string {
+	return filepath.Join(r.dir, fmt.Sprintf("v%04d.clf", id))
+}
+
+// find returns the version with the given id; callers hold r.mu or run
+// during single-threaded Open.
+func (r *Registry) find(id int) *Version {
+	for _, v := range r.versions {
+		if v.ID == id {
+			return v
+		}
+	}
+	return nil
+}
+
+// Add validates a classifier blob and stores it as the next version,
+// without activating it. The blob must round-trip through
+// models.LoadClassifier; anything else is rejected.
+func (r *Registry) Add(data []byte) (*Version, error) {
+	clf, err := models.LoadClassifier(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("registry: invalid model: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := 1
+	if n := len(r.versions); n > 0 {
+		id = r.versions[n-1].ID + 1
+	}
+	v := &Version{ID: id, Size: int64(len(data)), AddedAt: time.Now(), Clf: clf}
+	if r.dir != "" {
+		path := r.blobPath(id)
+		if err := writeFileAtomic(path, data); err != nil {
+			return nil, err
+		}
+		v.Path = path
+	}
+	r.versions = append(r.versions, v)
+	return v, nil
+}
+
+// Activate makes version id the serving model. The swap is atomic: readers
+// see either the previous fully-loaded model or the new one, never a
+// partial state. With a directory, the CURRENT pointer is durably updated
+// (temp file + rename) before the in-memory swap.
+func (r *Registry) Activate(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.find(id)
+	if v == nil {
+		return fmt.Errorf("registry: unknown version %d", id)
+	}
+	if r.dir != "" {
+		if err := writeFileAtomic(filepath.Join(r.dir, "CURRENT"), []byte(fmt.Sprintf("%d\n", id))); err != nil {
+			return err
+		}
+	}
+	r.active.Store(v)
+	return nil
+}
+
+// AddAndActivate stores a blob and immediately makes it the serving model.
+func (r *Registry) AddAndActivate(data []byte) (*Version, error) {
+	v, err := r.Add(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Activate(v.ID); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Active returns the serving version, or nil when no model is activated.
+// This is the inference hot path: one atomic load, no locks.
+func (r *Registry) Active() *Version {
+	return r.active.Load()
+}
+
+// List returns the stored versions in id order, flagging the active one.
+func (r *Registry) List() []Info {
+	act := r.Active()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Info, 0, len(r.versions))
+	for _, v := range r.versions {
+		out = append(out, Info{
+			ID: v.ID, Size: v.Size, AddedAt: v.AddedAt,
+			Active: act != nil && act.ID == v.ID,
+		})
+	}
+	return out
+}
+
+// writeFileAtomic writes data to path via a temp file in the same directory
+// and an atomic rename.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("registry: temp file in %s: %w", dir, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("registry: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("registry: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("registry: renaming into %s: %w", path, err)
+	}
+	return nil
+}

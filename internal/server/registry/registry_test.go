@@ -1,0 +1,215 @@
+package registry
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/feat"
+	"repro/internal/models"
+)
+
+// testBlob builds a small valid classifier blob. Training uses synthetic
+// vectors so the registry tests stay fast and self-contained.
+func testBlob(t testing.TB, seed int64) []byte {
+	t.Helper()
+	clf := models.NewClassifier(feat.Default(), models.RF(5, seed), 0.2)
+	const n, dim = 60, 6
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		v := make([]float64, dim)
+		for j := range v {
+			v[j] = float64((i*7+j*13+int(seed))%19) / 19
+		}
+		X[i] = v
+		y[i] = i % 3
+	}
+	if err := clf.TrainVectors(X, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := models.SaveClassifier(clf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAddActivateList(t *testing.T) {
+	r, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Active() != nil {
+		t.Fatal("fresh registry has an active model")
+	}
+	v1, err := r.Add(testBlob(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.ID != 1 {
+		t.Fatalf("first version id = %d", v1.ID)
+	}
+	// Adding does not activate.
+	if r.Active() != nil {
+		t.Fatal("Add activated implicitly")
+	}
+	if err := r.Activate(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Active(); got == nil || got.ID != 1 || got.Clf == nil {
+		t.Fatalf("active = %+v", got)
+	}
+	v2, err := r.AddAndActivate(testBlob(t, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.ID != 2 || r.Active().ID != 2 {
+		t.Fatalf("hot swap failed: v2=%d active=%d", v2.ID, r.Active().ID)
+	}
+	infos := r.List()
+	if len(infos) != 2 || infos[0].Active || !infos[1].Active {
+		t.Fatalf("list = %+v", infos)
+	}
+	if err := r.Activate(99); err == nil {
+		t.Fatal("activating an unknown version succeeded")
+	}
+}
+
+func TestRejectsInvalidBlob(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add([]byte("garbage")); err == nil {
+		t.Fatal("garbage blob accepted")
+	}
+	blob := testBlob(t, 3)
+	if _, err := r.Add(blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated blob accepted")
+	}
+}
+
+func TestMemoryOnlyRegistry(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.AddAndActivate(testBlob(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Path != "" {
+		t.Fatalf("memory registry wrote %s", v.Path)
+	}
+	if r.Active().ID != v.ID {
+		t.Fatal("activation failed")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddAndActivate(testBlob(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add(testBlob(t, 6)); err != nil {
+		t.Fatal(err)
+	}
+	// On-disk layout: versioned blobs + CURRENT pointer.
+	if _, err := os.Stat(filepath.Join(dir, "v0001.clf")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v0002.clf")); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err != nil || string(cur) != "1\n" {
+		t.Fatalf("CURRENT = %q, err %v", cur, err)
+	}
+
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Active(); got == nil || got.ID != 1 {
+		t.Fatalf("reopen lost the active model: %+v", got)
+	}
+	if n := len(r2.List()); n != 2 {
+		t.Fatalf("reopen found %d versions, want 2", n)
+	}
+	// New versions continue the id sequence.
+	v3, err := r2.Add(testBlob(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3.ID != 3 {
+		t.Fatalf("post-reopen id = %d, want 3", v3.ID)
+	}
+}
+
+func TestOpenRejectsCorruptStore(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "v0001.clf"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt blob did not fail Open")
+	}
+
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, "CURRENT"), []byte("7\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir2); err == nil {
+		t.Fatal("dangling CURRENT did not fail Open")
+	}
+}
+
+// TestConcurrentReadDuringHotSwap exercises the atomic-swap contract under
+// -race: readers continuously load the active model while a writer uploads
+// and activates new versions; every observed model must be fully loaded.
+func TestConcurrentReadDuringHotSwap(t *testing.T) {
+	r, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddAndActivate(testBlob(t, 10)); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := r.Active()
+				if v == nil || v.Clf == nil || !v.Clf.Trained() {
+					panic(fmt.Sprintf("observed half-loaded version %+v", v))
+				}
+			}
+		}()
+	}
+	for i := int64(0); i < 5; i++ {
+		if _, err := r.AddAndActivate(testBlob(t, 20+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := r.Active().ID; got != 6 {
+		t.Fatalf("final active = %d, want 6", got)
+	}
+}

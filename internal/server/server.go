@@ -1,0 +1,615 @@
+// Package server is the tuning service daemon behind `aimai serve`: a JSON
+// HTTP API exposing the reproduction's components as a long-lived process —
+// the operational end state the paper sketches in §5/§7, where index tuning
+// runs continuously against a live workload instead of as one-shot CLI
+// invocations.
+//
+// The API has three planes:
+//
+//   - Synchronous inference: POST /v1/plan (what-if planning under a
+//     hypothetical configuration), POST /v1/classify (plan-pair verdict
+//     from the active classifier), GET /healthz, GET /metrics.
+//   - Asynchronous tuning: POST /v1/jobs/tune enqueues a workload-tuning
+//     job onto a bounded worker pool; GET /v1/jobs/{id} polls status and
+//     result, DELETE /v1/jobs/{id} cancels (threading context.Context into
+//     the tuner's probe loops), and a full queue answers 429.
+//   - Model + telemetry lifecycle: POST /v1/models uploads, validates, and
+//     atomically activates a classifier (see internal/server/registry);
+//     POST /v1/telemetry appends execution records for later retraining,
+//     closing the paper's feedback loop.
+//
+// Graceful shutdown drains the job queue (SIGTERM → stop accepting →
+// finish or cancel jobs → flush telemetry) so a restarting service loses
+// neither running work nor ingested records.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/exec"
+	"repro/internal/engine/opt"
+	"repro/internal/engine/query"
+	"repro/internal/expdata"
+	"repro/internal/models"
+	"repro/internal/obs"
+	"repro/internal/server/registry"
+	sqlparse "repro/internal/sql"
+	"repro/internal/tuner"
+	"repro/internal/workload"
+)
+
+// HTTP-plane metric handles (see DESIGN.md §8).
+var (
+	mHTTPRequests = obs.C("server.http.requests")
+	mHTTPErrors   = obs.C("server.http.errors")
+	mHTTPLatency  = obs.H("server.http.latency")
+	mModelsActive = obs.C("server.models.activated")
+)
+
+// maxBodyBytes bounds every request body; model uploads are the largest
+// legitimate payload (a 100-tree forest serializes to a few MB).
+const maxBodyBytes = 64 << 20
+
+// Config wires a Server to an opened database and bounds its resources.
+type Config struct {
+	// Workload is the served database: schema, data, and named queries.
+	Workload *workload.Workload
+	// WhatIf is the caching what-if planning facade (concurrency-safe).
+	WhatIf *opt.WhatIf
+	// Exec executes plans; used by tuning jobs via the continuous driver.
+	Exec *exec.Executor
+
+	// TunerOpts configure tuning jobs (Parallelism bounds each job's
+	// what-if probe fan-out).
+	TunerOpts tuner.Options
+
+	// ModelDir is the versioned model registry directory; empty keeps
+	// models in memory only.
+	ModelDir string
+	// TelemetryPath appends ingested telemetry as JSON lines; empty keeps
+	// records in memory only.
+	TelemetryPath string
+
+	// Workers is the tuning-job worker pool size (default 1: tuning jobs
+	// are internally parallel already via TunerOpts.Parallelism).
+	Workers int
+	// QueueSize bounds queued tuning jobs; a full queue answers 429
+	// (default 8).
+	QueueSize int
+	// RequestTimeout bounds synchronous request handling (default 30s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 8
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the tuning service. Create with New, serve via Handler (tests)
+// or Start (owns a listener), stop with Shutdown.
+type Server struct {
+	cfg       Config
+	reg       *registry.Registry
+	jobs      *jobs
+	telemetry *telemetrySink
+	handler   http.Handler
+
+	httpSrv *http.Server
+	addr    string
+}
+
+// New validates cfg and assembles the service (registry opened, worker
+// pool started). The server is usable immediately via Handler.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Workload == nil || cfg.WhatIf == nil || cfg.Exec == nil {
+		return nil, fmt.Errorf("server: Config needs Workload, WhatIf, and Exec")
+	}
+	reg, err := registry.Open(cfg.ModelDir)
+	if err != nil {
+		return nil, err
+	}
+	sink, err := openTelemetrySink(cfg.TelemetryPath)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       reg,
+		jobs:      newJobs(cfg.Workers, cfg.QueueSize),
+		telemetry: sink,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", obs.Default())
+	mux.HandleFunc("POST /v1/plan", s.handlePlan)
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("POST /v1/models", s.handleModelUpload)
+	mux.HandleFunc("GET /v1/models", s.handleModelList)
+	mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
+	mux.HandleFunc("POST /v1/jobs/tune", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.handler = s.instrument(http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out"))
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler (for httptest servers).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// instrument wraps the mux with request counting and latency observation.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mHTTPRequests.Inc()
+		start := mHTTPLatency.Start()
+		next.ServeHTTP(w, r)
+		mHTTPLatency.Stop(start)
+	})
+}
+
+// Start binds addr (":0" for an ephemeral port), serves in the background,
+// and returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.httpSrv = &http.Server{Handler: s.handler, ReadHeaderTimeout: 10 * time.Second}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	s.addr = ln.Addr().String()
+	return s.addr, nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() string { return s.addr }
+
+// Shutdown stops the service gracefully: the listener closes, in-flight
+// requests finish, the job queue drains (jobs still running when ctx
+// expires are cancelled and awaited), and telemetry flushes to disk. Safe
+// to call without Start (tests using Handler directly).
+func (s *Server) Shutdown(ctx context.Context) error {
+	var first error
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := s.jobs.drain(ctx); err != nil && first == nil {
+		first = err
+	}
+	if err := s.telemetry.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// ---- request/response types ----
+
+// IndexSpec is the wire form of an index definition.
+type IndexSpec struct {
+	Table string `json:"table"`
+	// Kind is "btree" (default) or "columnstore".
+	Kind string `json:"kind,omitempty"`
+	// Key is the ordered B+ tree key (ignored for columnstore).
+	Key []string `json:"key,omitempty"`
+	// Include lists covering leaf columns (optional).
+	Include []string `json:"include,omitempty"`
+}
+
+// toIndex validates a spec against the schema and builds the index.
+func (s *Server) toIndex(spec IndexSpec) (*catalog.Index, error) {
+	t := s.cfg.Workload.Schema.Table(spec.Table)
+	if t == nil {
+		return nil, fmt.Errorf("unknown table %q", spec.Table)
+	}
+	ix := &catalog.Index{Table: spec.Table}
+	switch strings.ToLower(spec.Kind) {
+	case "", "btree":
+		ix.Kind = catalog.BTree
+		if len(spec.Key) == 0 {
+			return nil, fmt.Errorf("btree index on %q needs at least one key column", spec.Table)
+		}
+	case "columnstore":
+		ix.Kind = catalog.Columnstore
+		return ix, nil
+	default:
+		return nil, fmt.Errorf("unknown index kind %q", spec.Kind)
+	}
+	for _, c := range append(append([]string(nil), spec.Key...), spec.Include...) {
+		if t.Column(c) == nil {
+			return nil, fmt.Errorf("unknown column %s.%s", spec.Table, c)
+		}
+	}
+	ix.KeyColumns = spec.Key
+	ix.IncludedColumns = spec.Include
+	return ix, nil
+}
+
+// toConfig builds a configuration from specs (empty specs = no indexes).
+func (s *Server) toConfig(specs []IndexSpec) (*catalog.Configuration, error) {
+	cfg := catalog.NewConfiguration()
+	for _, spec := range specs {
+		ix, err := s.toIndex(spec)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Add(ix)
+	}
+	return cfg, nil
+}
+
+// resolveQuery resolves either a named workload query or ad-hoc SQL.
+func (s *Server) resolveQuery(name, sql string) (*query.Query, error) {
+	switch {
+	case name != "" && sql != "":
+		return nil, fmt.Errorf("give either query (a workload query name) or sql, not both")
+	case name != "":
+		q := s.cfg.Workload.Query(name)
+		if q == nil {
+			return nil, fmt.Errorf("unknown query %q", name)
+		}
+		return q, nil
+	case sql != "":
+		q, err := sqlparse.Parse(sql, s.cfg.Workload.Schema)
+		if err != nil {
+			return nil, err
+		}
+		q.Name = "adhoc"
+		return q, nil
+	default:
+		return nil, fmt.Errorf("missing query or sql")
+	}
+}
+
+// apiError is the uniform JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	mHTTPErrors.Inc()
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes a JSON body, rejecting unknown fields so client typos
+// fail loudly instead of silently tuning the wrong thing.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// ---- synchronous endpoints ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{
+		"status":         "ok",
+		"db":             s.cfg.Workload.Name,
+		"queries":        len(s.cfg.Workload.Queries),
+		"jobs":           s.jobs.counts(),
+		"telemetry":      s.telemetry.count(),
+		"indexes_cached": len(s.cfg.Exec.CachedIndexes()),
+	}
+	if v := s.reg.Active(); v != nil {
+		resp["model"] = v.ID
+	} else {
+		resp["model"] = nil
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type planRequest struct {
+	// Query names a workload query; SQL gives an ad-hoc statement. Exactly
+	// one must be set.
+	Query   string      `json:"query,omitempty"`
+	SQL     string      `json:"sql,omitempty"`
+	Indexes []IndexSpec `json:"indexes,omitempty"`
+}
+
+type planResponse struct {
+	Query   string   `json:"query"`
+	EstCost float64  `json:"est_cost"`
+	Indexes []string `json:"indexes"`
+	Plan    string   `json:"plan"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	var req planRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	q, err := s.resolveQuery(req.Query, req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg, err := s.toConfig(req.Indexes)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	p, err := s.cfg.WhatIf.Plan(q, cfg)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "planning: %v", err)
+		return
+	}
+	ids := make([]string, 0, cfg.Len())
+	for _, ix := range cfg.Indexes() {
+		ids = append(ids, ix.ID())
+	}
+	writeJSON(w, http.StatusOK, planResponse{
+		Query: q.Name, EstCost: p.EstTotalCost, Indexes: ids, Plan: p.String(),
+	})
+}
+
+type classifyRequest struct {
+	Query    string      `json:"query,omitempty"`
+	SQL      string      `json:"sql,omitempty"`
+	IndexesA []IndexSpec `json:"indexes_a,omitempty"`
+	IndexesB []IndexSpec `json:"indexes_b,omitempty"`
+	// Comparator selects the verdict source: "model" (default; requires an
+	// activated classifier) or "optimizer" (the estimate-only baseline).
+	Comparator string `json:"comparator,omitempty"`
+}
+
+type classifyResponse struct {
+	Query        string  `json:"query"`
+	Verdict      string  `json:"verdict"`
+	Comparator   string  `json:"comparator"`
+	ModelVersion int     `json:"model_version,omitempty"`
+	EstCostA     float64 `json:"est_cost_a"`
+	EstCostB     float64 `json:"est_cost_b"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req classifyRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	q, err := s.resolveQuery(req.Query, req.SQL)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfgA, err := s.toConfig(req.IndexesA)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "indexes_a: %v", err)
+		return
+	}
+	cfgB, err := s.toConfig(req.IndexesB)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "indexes_b: %v", err)
+		return
+	}
+	resp := classifyResponse{Query: q.Name}
+	var cmp models.Comparator
+	switch req.Comparator {
+	case "", "model":
+		v := s.reg.Active()
+		if v == nil {
+			writeErr(w, http.StatusConflict, "no model activated; upload one via POST /v1/models or pass comparator=optimizer")
+			return
+		}
+		cmp = v.Clf
+		resp.Comparator = "model"
+		resp.ModelVersion = v.ID
+	case "optimizer":
+		cmp = models.NewOptimizerBaseline(s.cfg.TunerOpts.Alpha)
+		resp.Comparator = "optimizer"
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown comparator %q", req.Comparator)
+		return
+	}
+	pA, err := s.cfg.WhatIf.Plan(q, cfgA)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "planning under indexes_a: %v", err)
+		return
+	}
+	pB, err := s.cfg.WhatIf.Plan(q, cfgB)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "planning under indexes_b: %v", err)
+		return
+	}
+	resp.Verdict = cmp.Compare(pA, pB).String()
+	resp.EstCostA = pA.EstTotalCost
+	resp.EstCostB = pB.EstTotalCost
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- model registry endpoints ----
+
+func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading model blob: %v", err)
+		return
+	}
+	v, err := s.reg.AddAndActivate(data)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	mModelsActive.Inc()
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"version": v.ID, "activated": true, "size": v.Size,
+	})
+}
+
+func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
+	resp := map[string]any{"versions": s.reg.List()}
+	if v := s.reg.Active(); v != nil {
+		resp["active"] = v.ID
+	} else {
+		resp["active"] = nil
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- telemetry ingest ----
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	recs, err := expdata.ImportTelemetry(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(recs) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty telemetry payload")
+		return
+	}
+	if err := s.telemetry.append(recs); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted": len(recs), "total": s.telemetry.count(),
+	})
+}
+
+// ---- asynchronous tuning jobs ----
+
+type tuneRequest struct {
+	// Queries names workload queries to tune (empty = the whole workload).
+	Queries []string `json:"queries,omitempty"`
+	// MaxNewIndexes / StorageBudget override the server's tuner options
+	// for this job (0 keeps the default).
+	MaxNewIndexes int   `json:"max_new_indexes,omitempty"`
+	StorageBudget int64 `json:"storage_budget,omitempty"`
+	// Comparator gates the search: "model" (default when one is active),
+	// "optimizer", or "none" for the estimate-only classic tuner.
+	Comparator string `json:"comparator,omitempty"`
+}
+
+// tuneResult is the JSON result of a finished tuning job.
+type tuneResult struct {
+	NewIndexes   []string `json:"new_indexes"`
+	EstCost      float64  `json:"est_cost"`
+	Queries      int      `json:"queries"`
+	ModelVersion int      `json:"model_version,omitempty"`
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req tuneRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	qs := s.cfg.Workload.Queries
+	if len(req.Queries) > 0 {
+		qs = make([]*query.Query, 0, len(req.Queries))
+		for _, name := range req.Queries {
+			q := s.cfg.Workload.Query(name)
+			if q == nil {
+				writeErr(w, http.StatusBadRequest, "unknown query %q", name)
+				return
+			}
+			qs = append(qs, q)
+		}
+	}
+	var cmp models.Comparator
+	modelVersion := 0
+	switch req.Comparator {
+	case "", "model":
+		if v := s.reg.Active(); v != nil {
+			cmp = v.Clf
+			modelVersion = v.ID
+		} else if req.Comparator == "model" {
+			writeErr(w, http.StatusConflict, "no model activated")
+			return
+		}
+	case "optimizer":
+		cmp = models.NewOptimizerBaseline(s.cfg.TunerOpts.Alpha)
+	case "none":
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown comparator %q", req.Comparator)
+		return
+	}
+	opts := s.cfg.TunerOpts
+	if req.MaxNewIndexes > 0 {
+		opts.MaxNewIndexes = req.MaxNewIndexes
+	}
+	if req.StorageBudget > 0 {
+		opts.StorageBudget = req.StorageBudget
+	}
+	tn := tuner.New(s.cfg.Workload.Schema, s.cfg.WhatIf, cmp, opts)
+	j, err := s.jobs.submit(func(ctx context.Context) (any, error) {
+		rec, err := tn.TuneWorkload(ctx, qs, nil)
+		if err != nil {
+			return nil, err
+		}
+		res := tuneResult{EstCost: rec.EstCost, Queries: len(qs), ModelVersion: modelVersion, NewIndexes: []string{}}
+		for _, ix := range rec.NewIndexes {
+			res.NewIndexes = append(res.NewIndexes, ix.ID())
+		}
+		return res, nil
+	})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "job queue full (capacity %d)", s.cfg.QueueSize)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !s.jobs.cancelJob(j) {
+		writeErr(w, http.StatusConflict, "job %s already finished (%s)", j.id, j.status().State)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}

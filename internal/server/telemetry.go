@@ -1,0 +1,103 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/expdata"
+	"repro/internal/obs"
+)
+
+var mTelemetryRecords = obs.C("server.telemetry.records")
+
+// telemetrySink accumulates execution telemetry posted to /v1/telemetry —
+// the §7 feedback loop's ingest side. Records are buffered in memory (the
+// retraining working set) and, when a path is configured, appended durably
+// as JSON lines in the ExportTelemetry format so a later
+// TrainClassifierFromTelemetry run can consume the file directly.
+type telemetrySink struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	bw      *bufio.Writer
+	records []expdata.PlanRecord
+	total   int64
+}
+
+// openTelemetrySink opens (appending to) path, or a memory-only sink when
+// path is empty.
+func openTelemetrySink(path string) (*telemetrySink, error) {
+	s := &telemetrySink{path: path}
+	if path == "" {
+		return s, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening telemetry sink %s: %w", path, err)
+	}
+	s.f = f
+	s.bw = bufio.NewWriter(f)
+	return s, nil
+}
+
+// append adds validated records to the sink.
+func (s *telemetrySink) append(recs []expdata.PlanRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bw != nil {
+		enc := json.NewEncoder(s.bw)
+		for i := range recs {
+			if err := enc.Encode(&recs[i]); err != nil {
+				return fmt.Errorf("server: appending telemetry: %w", err)
+			}
+		}
+	}
+	s.records = append(s.records, recs...)
+	s.total += int64(len(recs))
+	mTelemetryRecords.Add(int64(len(recs)))
+	return nil
+}
+
+// snapshot copies the in-memory record buffer (for retraining jobs).
+func (s *telemetrySink) snapshot() []expdata.PlanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]expdata.PlanRecord(nil), s.records...)
+}
+
+// count returns the number of records ingested since startup.
+func (s *telemetrySink) count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// flush forces buffered records to disk (no-op for memory sinks).
+func (s *telemetrySink) flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bw == nil {
+		return nil
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// close flushes and closes the sink.
+func (s *telemetrySink) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.bw == nil {
+		return nil
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

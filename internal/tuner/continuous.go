@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine/catalog"
@@ -157,8 +158,13 @@ func (tr *QueryTrace) Improved(frac float64) bool {
 	return tr.FinalCost < (1-frac)*tr.InitialCost
 }
 
-// TuneQueryContinuously runs the per-query continuous loop of §7.9.
-func (c *Continuous) TuneQueryContinuously(q *query.Query, c0 *catalog.Configuration) (*QueryTrace, error) {
+// TuneQueryContinuously runs the per-query continuous loop of §7.9. ctx
+// cancels the loop between (and inside) iterations; a cancelled run returns
+// ctx.Err() rather than a partial trace.
+func (c *Continuous) TuneQueryContinuously(ctx context.Context, q *query.Query, c0 *catalog.Configuration) (*QueryTrace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c0 == nil {
 		c0 = catalog.NewConfiguration()
 	}
@@ -172,7 +178,10 @@ func (c *Continuous) TuneQueryContinuously(q *query.Query, c0 *catalog.Configura
 	cur := c0
 	curCost := base.Cost
 	for iter := 1; iter <= c.Opts.Iterations; iter++ {
-		rec, err := c.Tuner.TuneQuery(q, cur)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rec, err := c.Tuner.TuneQuery(ctx, q, cur)
 		if err != nil {
 			return nil, err
 		}
@@ -269,8 +278,12 @@ func (c *Continuous) measureWorkload(qs []*query.Query, cfg *catalog.Configurati
 
 // TuneWorkloadContinuously runs the workload-level continuous loop of §7.9:
 // each iteration recommends up to MaxNewIndexes, implements them, and
-// reverts to the previous configuration when any query regresses.
-func (c *Continuous) TuneWorkloadContinuously(qs []*query.Query, c0 *catalog.Configuration) (*WorkloadTrace, error) {
+// reverts to the previous configuration when any query regresses. ctx
+// cancels the loop between (and inside) iterations.
+func (c *Continuous) TuneWorkloadContinuously(ctx context.Context, qs []*query.Query, c0 *catalog.Configuration) (*WorkloadTrace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c0 == nil {
 		c0 = catalog.NewConfiguration()
 	}
@@ -283,7 +296,10 @@ func (c *Continuous) TuneWorkloadContinuously(qs []*query.Query, c0 *catalog.Con
 	trace := &WorkloadTrace{InitialCost: curTotal, FinalCost: curTotal, FinalConfig: c0}
 	cur := c0
 	for iter := 1; iter <= c.Opts.Iterations; iter++ {
-		rec, err := c.Tuner.TuneWorkload(qs, cur)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		rec, err := c.Tuner.TuneWorkload(ctx, qs, cur)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -82,7 +83,7 @@ func TestContinuousRevertRestoresPriorConfig(t *testing.T) {
 			priorIDs = indexIDs(cfg)
 		}
 
-		trace, err := cont.TuneQueryContinuously(e.w.Query("q6"), c0)
+		trace, err := cont.TuneQueryContinuously(context.Background(), e.w.Query("q6"), c0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -54,11 +55,11 @@ func testParallelDeterminism(t *testing.T, build func() *workload.Workload) {
 	par := New(w.Schema, wiPar, nil, Options{Parallelism: 8})
 
 	for _, q := range w.Queries {
-		rs, err := serial.TuneQuery(q, nil)
+		rs, err := serial.TuneQuery(context.Background(), q, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rp, err := par.TuneQuery(q, nil)
+		rp, err := par.TuneQuery(context.Background(), q, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,11 +70,11 @@ func testParallelDeterminism(t *testing.T, build func() *workload.Workload) {
 	if len(qs) > 10 {
 		qs = qs[:10]
 	}
-	ws, err := serial.TuneWorkload(qs, nil)
+	ws, err := serial.TuneWorkload(context.Background(), qs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wp, err := par.TuneWorkload(qs, nil)
+	wp, err := par.TuneWorkload(context.Background(), qs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestParallelContinuousDeterminism(t *testing.T) {
 		wi := opt.NewWhatIf(opt.New(w.Schema, ds))
 		tn := New(w.Schema, wi, nil, Options{MaxNewIndexes: 3, Parallelism: parallelism})
 		cont := NewContinuous(tn, exec.New(w.DB), ContinuousOpts{Iterations: 3, StopOnRegression: true, Seed: 17})
-		tr, err := cont.TuneWorkloadContinuously(w.Queries[:5], nil)
+		tr, err := cont.TuneWorkloadContinuously(context.Background(), w.Queries[:5], nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -171,7 +172,7 @@ func TestParallelMetricsRace(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			q := e.w.Queries[g%len(e.w.Queries)]
-			if _, err := tn.TuneQuery(q, nil); err != nil {
+			if _, err := tn.TuneQuery(context.Background(), q, nil); err != nil {
 				t.Error(err)
 			}
 		}(g)
@@ -202,7 +203,7 @@ func TestParallelTunerRace(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			q := e.w.Queries[g%len(e.w.Queries)]
-			if _, err := tn.TuneQuery(q, nil); err != nil {
+			if _, err := tn.TuneQuery(context.Background(), q, nil); err != nil {
 				t.Error(err)
 			}
 		}(g)

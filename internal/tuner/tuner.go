@@ -19,6 +19,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -254,9 +255,16 @@ type queryProbe struct {
 // constraint and the improvement rule. Each greedy step fans its what-if
 // probes out over the worker pool and then selects the winner serially in
 // candidate order, so results are identical at any Parallelism.
-func (t *Tuner) TuneQuery(q *query.Query, c0 *catalog.Configuration) (*Recommendation, error) {
+//
+// ctx cancels the search: cancellation is checked before every greedy step
+// and inside every probe, so a cancelled tune returns ctx.Err() within one
+// what-if probe's latency instead of running the full enumeration.
+func (t *Tuner) TuneQuery(ctx context.Context, q *query.Query, c0 *catalog.Configuration) (*Recommendation, error) {
 	sp := obs.StartSpan("tuner.query")
 	defer sp.End()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c0 == nil {
 		c0 = catalog.NewConfiguration()
 	}
@@ -269,6 +277,9 @@ func (t *Tuner) TuneQuery(q *query.Query, c0 *catalog.Configuration) (*Recommend
 	used := map[string]bool{}
 
 	for len(bestCfg.Diff(c0)) < t.Opts.MaxNewIndexes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Collect this step's eligible candidates in candidate order.
 		probes := make([]*queryProbe, 0, len(cands))
 		for _, ix := range cands {
@@ -284,6 +295,9 @@ func (t *Tuner) TuneQuery(q *query.Query, c0 *catalog.Configuration) (*Recommend
 		mStepCands.Observe(float64(len(probes)))
 		t.parallelFor(len(probes), func(i int) {
 			pr := probes[i]
+			if pr.err = ctx.Err(); pr.err != nil {
+				return
+			}
 			pr.p, pr.err = t.WhatIf.Plan(q, pr.cfg)
 		})
 		// Serial selection over the probe results, in candidate order:
@@ -346,10 +360,13 @@ type WorkloadRecommendation struct {
 // The per-query plans are probed in parallel; the gate and the weighted
 // sum run serially in query order, so the result (including float
 // summation order) matches the serial computation exactly.
-func (t *Tuner) workloadCost(qs []*query.Query, initPlans []*plan.Plan, cfg *catalog.Configuration) (float64, bool, error) {
+func (t *Tuner) workloadCost(ctx context.Context, qs []*query.Query, initPlans []*plan.Plan, cfg *catalog.Configuration) (float64, bool, error) {
 	plans := make([]*plan.Plan, len(qs))
 	errs := make([]error, len(qs))
 	t.parallelFor(len(qs), func(i int) {
+		if errs[i] = ctx.Err(); errs[i] != nil {
+			return
+		}
 		plans[i], errs[i] = t.WhatIf.Plan(qs[i], cfg)
 	})
 	var total float64
@@ -374,10 +391,13 @@ func (t *Tuner) workloadCost(qs []*query.Query, initPlans []*plan.Plan, cfg *cat
 // configuration under the constraints. Phase (a) tunes the queries in
 // parallel; phase (b) evaluates the pool candidates of each greedy step in
 // parallel. Both phases pick winners by fixed order-based rules, so the
-// recommendation is identical at any Parallelism.
-func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*WorkloadRecommendation, error) {
+// recommendation is identical at any Parallelism. ctx cancels both phases.
+func (t *Tuner) TuneWorkload(ctx context.Context, qs []*query.Query, c0 *catalog.Configuration) (*WorkloadRecommendation, error) {
 	sp := obs.StartSpan("tuner.workload")
 	defer sp.End()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if c0 == nil {
 		c0 = catalog.NewConfiguration()
 	}
@@ -387,6 +407,9 @@ func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*Wor
 	initPlans := make([]*plan.Plan, len(qs))
 	initErrs := make([]error, len(qs))
 	t.parallelFor(len(qs), func(i int) {
+		if initErrs[i] = ctx.Err(); initErrs[i] != nil {
+			return
+		}
 		initPlans[i], initErrs[i] = t.WhatIf.Plan(qs[i], c0)
 	})
 	for _, err := range initErrs {
@@ -400,7 +423,7 @@ func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*Wor
 	recs := make([]*Recommendation, len(qs))
 	recErrs := make([]error, len(qs))
 	t.parallelFor(len(qs), func(i int) {
-		recs[i], recErrs[i] = t.TuneQuery(qs[i], c0)
+		recs[i], recErrs[i] = t.TuneQuery(ctx, qs[i], c0)
 	})
 	poolSet := map[string]*catalog.Index{}
 	var pool []*catalog.Index
@@ -417,7 +440,7 @@ func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*Wor
 	}
 	// Phase (b): greedy assembly.
 	cur := c0
-	curCost, ok, err := t.workloadCost(qs, initPlans, c0)
+	curCost, ok, err := t.workloadCost(ctx, qs, initPlans, c0)
 	if err != nil {
 		return nil, err
 	}
@@ -426,6 +449,9 @@ func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*Wor
 	}
 	baseCost := curCost
 	for len(cur.Diff(c0)) < t.Opts.MaxNewIndexes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		type poolProbe struct {
 			cfg  *catalog.Configuration
 			cost float64
@@ -446,7 +472,7 @@ func (t *Tuner) TuneWorkload(qs []*query.Query, c0 *catalog.Configuration) (*Wor
 		mWStepCands.Observe(float64(len(probes)))
 		t.parallelFor(len(probes), func(i int) {
 			pr := probes[i]
-			pr.cost, pr.ok, pr.err = t.workloadCost(qs, initPlans, pr.cfg)
+			pr.cost, pr.ok, pr.err = t.workloadCost(ctx, qs, initPlans, pr.cfg)
 		})
 		// First candidate at the strictly lowest cost wins, as in the
 		// serial enumeration.

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/candidates"
@@ -72,7 +73,7 @@ func TestTuneQueryImprovesEstimatedCost(t *testing.T) {
 	e := newEnv(t)
 	tn := New(e.w.Schema, e.whatIf, nil, Options{})
 	q := e.w.Query("q6")
-	rec, err := tn.TuneQuery(q, nil)
+	rec, err := tn.TuneQuery(context.Background(), q, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestTuneQueryImprovesEstimatedCost(t *testing.T) {
 func TestTuneQueryRespectsIndexLimit(t *testing.T) {
 	e := newEnv(t)
 	tn := New(e.w.Schema, e.whatIf, nil, Options{MaxNewIndexes: 1})
-	rec, err := tn.TuneQuery(e.w.Query("q3"), nil)
+	rec, err := tn.TuneQuery(context.Background(), e.w.Query("q3"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestTuneQueryRespectsStorageBudget(t *testing.T) {
 	e := newEnv(t)
 	// A tiny budget admits no index on lineitem.
 	tn := New(e.w.Schema, e.whatIf, nil, Options{StorageBudget: 10})
-	rec, err := tn.TuneQuery(e.w.Query("q6"), nil)
+	rec, err := tn.TuneQuery(context.Background(), e.w.Query("q6"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestOptTrThresholdBlocksWeakRecommendations(t *testing.T) {
 	e := newEnv(t)
 	// An absurd 99.9% improvement requirement returns the initial config.
 	tn := New(e.w.Schema, e.whatIf, nil, Options{MinEstImprovement: 0.999})
-	rec, err := tn.TuneQuery(e.w.Query("q6"), nil)
+	rec, err := tn.TuneQuery(context.Background(), e.w.Query("q6"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestComparatorGatesSearch(t *testing.T) {
 	// A comparator that calls everything a regression must freeze tuning.
 	veto := comparatorFunc(func() expdata.Label { return expdata.Regression })
 	tn := New(e.w.Schema, e.whatIf, veto, Options{})
-	rec, err := tn.TuneQuery(e.w.Query("q6"), nil)
+	rec, err := tn.TuneQuery(context.Background(), e.w.Query("q6"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestComparatorGatesSearch(t *testing.T) {
 	// advance freely.
 	accept := comparatorFunc(func() expdata.Label { return expdata.Improvement })
 	tn2 := New(e.w.Schema, e.whatIf, accept, Options{})
-	rec2, err := tn2.TuneQuery(e.w.Query("q6"), nil)
+	rec2, err := tn2.TuneQuery(context.Background(), e.w.Query("q6"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestTuneWorkload(t *testing.T) {
 	e := newEnv(t)
 	tn := New(e.w.Schema, e.whatIf, nil, Options{MaxNewIndexes: 4})
 	qs := e.w.Queries[:6]
-	rec, err := tn.TuneWorkload(qs, nil)
+	rec, err := tn.TuneWorkload(context.Background(), qs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestTuneWorkload(t *testing.T) {
 	if rec.EstCost <= 0 {
 		t.Fatal("estimated cost must be positive")
 	}
-	if _, err := tn.TuneWorkload(nil, nil); err == nil {
+	if _, err := tn.TuneWorkload(context.Background(), nil, nil); err == nil {
 		t.Fatal("empty workload should fail")
 	}
 }
@@ -188,7 +189,7 @@ func TestContinuousQueryTuning(t *testing.T) {
 			t.Fatal("dataset db label wrong")
 		}
 	}
-	trace, err := cont.TuneQueryContinuously(e.w.Query("q6"), nil)
+	trace, err := cont.TuneQueryContinuously(context.Background(), e.w.Query("q6"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestContinuousWithClassifier(t *testing.T) {
 	}
 	tn := New(e.w.Schema, e.whatIf, clf, Options{})
 	cont := NewContinuous(tn, e.ex, ContinuousOpts{Iterations: 3, Seed: 15})
-	trace, err := cont.TuneQueryContinuously(e.w.Query("q1"), nil)
+	trace, err := cont.TuneQueryContinuously(context.Background(), e.w.Query("q1"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestContinuousWorkloadTuning(t *testing.T) {
 	tn := New(e.w.Schema, e.whatIf, nil, Options{MaxNewIndexes: 3})
 	cont := NewContinuous(tn, e.ex, ContinuousOpts{Iterations: 3, StopOnRegression: true, Seed: 17})
 	qs := e.w.Queries[:5]
-	trace, err := cont.TuneWorkloadContinuously(qs, nil)
+	trace, err := cont.TuneWorkloadContinuously(context.Background(), qs, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

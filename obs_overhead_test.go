@@ -12,6 +12,7 @@ package repro_test
 // cover gauge writes and span starts the snapshot cannot count exactly.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/engine/opt"
@@ -29,7 +30,7 @@ func TestObsDisabledOverheadBudget(t *testing.T) {
 	qs := w.Queries[:12]
 	tune := func() {
 		tn := tuner.New(w.Schema, opt.NewWhatIf(o), nil, tuner.Options{Parallelism: 1})
-		if _, err := tn.TuneWorkload(qs, nil); err != nil {
+		if _, err := tn.TuneWorkload(context.Background(), qs, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Black-box smoke test of the serving daemon: build the binary, start it on
+# an ephemeral port, drive the API with curl, then check that SIGTERM shuts
+# it down gracefully (exit 0). CI runs this after the unit tests; it is
+# also handy locally:
+#
+#   ./scripts/smoke_serve.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir="$(mktemp -d)"
+logfile="$workdir/serve.log"
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/aimai" ./cmd/aimai
+
+"$workdir/aimai" serve -addr 127.0.0.1:0 -db tpch10 -scale 0.05 \
+    -models-dir "$workdir/models" -telemetry "$workdir/telemetry.jsonl" \
+    >"$logfile" 2>&1 &
+pid=$!
+
+# The daemon prints "serving on http://ADDR (...)" once the listener is up.
+addr=""
+for _ in $(seq 1 120); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve exited early:" >&2
+        cat "$logfile" >&2
+        exit 1
+    fi
+    addr="$(sed -n 's#^serving on http://\([^ ]*\).*#\1#p' "$logfile")"
+    [ -n "$addr" ] && break
+    sleep 0.5
+done
+if [ -z "$addr" ]; then
+    echo "serve never became ready:" >&2
+    cat "$logfile" >&2
+    exit 1
+fi
+echo "daemon ready on $addr"
+
+fail() {
+    echo "FAIL: $*" >&2
+    cat "$logfile" >&2
+    exit 1
+}
+
+# Liveness.
+health="$(curl -sf "http://$addr/healthz")" || fail "healthz unreachable"
+echo "healthz: $health"
+case "$health" in
+*'"status"'*'"ok"'*) ;;
+*) fail "unexpected healthz body: $health" ;;
+esac
+
+# Synchronous classify with the optimizer baseline (no model uploaded).
+classify="$(curl -sf "http://$addr/v1/classify" -d '{
+    "query": "q6",
+    "comparator": "optimizer",
+    "indexes_b": [{"table":"lineitem","key":["l_shipdate"]}]
+}')" || fail "classify failed"
+echo "classify: $classify"
+case "$classify" in
+*'"verdict"'*) ;;
+*) fail "classify returned no verdict: $classify" ;;
+esac
+
+# A malformed request must 400, not crash the daemon.
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/classify" -d '{"query":"no-such-query"}')"
+[ "$code" = "400" ] || fail "bad classify request answered $code, want 400"
+
+# Metrics are served from the same process.
+curl -sf "http://$addr/metrics" | head -c 200 >/dev/null || fail "metrics unreachable"
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$pid"
+status=0
+wait "$pid" || status=$?
+[ "$status" = "0" ] || fail "serve exited $status after SIGTERM"
+grep -q "bye" "$logfile" || fail "graceful-shutdown banner missing"
+
+echo "smoke test passed"
