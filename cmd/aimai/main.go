@@ -5,8 +5,8 @@
 // Usage:
 //
 //	aimai list
-//	aimai run [-scale 0.25] [-seed N] [-quick] [-parallel N] [-dbs a,b,c] [-out file] [-metrics-addr :9090] <experiment|all>
-//	aimai tune [-db tpch10] [-scale 0.1] [-query q6] [-model rf|none] [-iters 5] [-parallel N] [-metrics-addr :9090]
+//	aimai run [-scale 0.25] [-seed N] [-quick] [-parallel N] [-dbs a,b,c] [-out file] [-metrics-addr :9090] [-pprof] <experiment|all>
+//	aimai tune [-db tpch10] [-scale 0.1] [-query q6] [-model rf|none] [-iters 5] [-parallel N] [-metrics-addr :9090] [-pprof]
 //	aimai serve [-addr :8080] [-db tpch10] [-scale 0.1] [-models-dir dir] [-telemetry file] [-workers N] [-queue N]
 //	aimai sql [-db tpch10] [-scale 0.1] [-explain] [-limit 20] "SELECT ..."
 //	aimai workloads [-scale 0.25] [-sql]
@@ -30,16 +30,19 @@ import (
 // nonempty, serves its JSON snapshot over HTTP (":0" binds an ephemeral
 // port, printed for scraping). The returned server (nil when addr is empty)
 // should be shut down before exit to release the port.
-func startMetrics(addr string) (*obs.HTTPServer, error) {
+func startMetrics(addr string, withPprof bool) (*obs.HTTPServer, error) {
 	obs.SetEnabled(true)
 	if addr == "" {
 		return nil, nil
 	}
-	srv, err := obs.Serve(addr)
+	srv, err := obs.ServeWith(addr, obs.ServeOptions{Pprof: withPprof})
 	if err != nil {
 		return nil, err
 	}
 	fmt.Printf("metrics: serving JSON snapshot on http://%s/metrics\n", srv.Addr())
+	if withPprof {
+		fmt.Printf("metrics: pprof profiles on http://%s/debug/pprof/\n", srv.Addr())
+	}
 	return srv, nil
 }
 
@@ -50,6 +53,10 @@ func printMetricsSummary() {
 	fmt.Printf("\nmetrics: what-if probes %d (cache hits %d, waits %d)", miss, hit, wait)
 	if h, ok := s.Histograms["whatif.probe.latency"]; ok && h.Count > 0 {
 		fmt.Printf("; probe p50 %.3fms p99 %.3fms", 1e3*h.P50, 1e3*h.P99)
+	}
+	if mh, mm := s.Counters["opt.memo.hit"], s.Counters["opt.memo.miss"]; mh+mm > 0 {
+		fmt.Printf("\nmetrics: access-path memo hits %d misses %d (entries %.0f)",
+			mh, mm, s.Gauges["opt.memo.entries"])
 	}
 	fmt.Printf("\nmetrics: gate verdicts regression=%d improvement=%d unsure=%d; continuous accept=%d revert=%d\n",
 		s.Counters["tuner.gate.regression"], s.Counters["tuner.gate.improvement"], s.Counters["tuner.gate.unsure"],
@@ -121,11 +128,12 @@ func cmdRun(args []string) error {
 	out := fs.String("out", "", "also write results to this file (plus a metrics sidecar)")
 	parallel := fs.Int("parallel", 0, "tuner what-if worker pool (0 = GOMAXPROCS, 1 = serial; results identical)")
 	metricsAddr := fs.String("metrics-addr", "", "serve a JSON metrics snapshot on this address (e.g. :9090 or :0)")
+	withPprof := fs.Bool("pprof", false, "also mount net/http/pprof on the -metrics-addr listener")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *metricsAddr != "" || *out != "" {
-		msrv, err := startMetrics(*metricsAddr)
+		msrv, err := startMetrics(*metricsAddr, *withPprof)
 		if err != nil {
 			return err
 		}
@@ -197,11 +205,12 @@ func cmdTune(args []string) error {
 	seed := fs.Int64("seed", 1, "seed")
 	parallel := fs.Int("parallel", 0, "tuner what-if worker pool (0 = GOMAXPROCS, 1 = serial; results identical)")
 	metricsAddr := fs.String("metrics-addr", "", "serve a JSON metrics snapshot on this address (e.g. :9090 or :0)")
+	withPprof := fs.Bool("pprof", false, "also mount net/http/pprof on the -metrics-addr listener")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *metricsAddr != "" {
-		msrv, err := startMetrics(*metricsAddr)
+		msrv, err := startMetrics(*metricsAddr, *withPprof)
 		if err != nil {
 			return err
 		}

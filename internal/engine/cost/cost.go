@@ -22,6 +22,13 @@ import (
 	"repro/internal/engine/plan"
 )
 
+// ColumnstoreCompression is the modeled scan-byte reduction of columnstore
+// (column-major, compressed) storage relative to row storage. It is the
+// single source of truth for both layers: the optimizer prices hypothetical
+// columnstore scans with it and the executor charges actual columnstore
+// scans with it, so the two cannot drift apart.
+const ColumnstoreCompression = 4.0
+
 // Args carries the per-operator quantities a cost function consumes. The
 // optimizer fills them with estimates; the executor with actuals.
 type Args struct {

@@ -1,0 +1,46 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/engine/query"
+	"repro/internal/race"
+	"repro/internal/util"
+)
+
+// TestExecuteAllocBudget pins the vectorized executor's steady-state
+// allocation count on a small scan plan. The columnar engine carves
+// vectors out of a pooled arena and materializes the result rows with two
+// allocations, so the whole execution should stay in the low tens of
+// allocations (the row-at-a-time engine took hundreds). The budget is
+// deliberately loose (~2× current) to avoid flaking on compiler changes
+// while still catching a regression to per-row allocation.
+func TestExecuteAllocBudget(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc counts are not stable under -race (sync.Pool drops Puts)")
+	}
+	e := newEnv(t)
+	q := &query.Query{
+		Name:   "alloc",
+		Tables: []string{"fact"},
+		Preds:  []query.Pred{{Table: "fact", Column: "f_date", Lo: 10, Hi: 60}},
+		Select: []query.ColRef{{Table: "fact", Column: "f_id"}, {Table: "fact", Column: "f_val"}},
+	}
+	p, err := e.opt.Optimize(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := util.NewRNG(1)
+	if _, err := e.exec.Execute(p, rng); err != nil {
+		t.Fatal(err) // warm the arena pool and the executor's column maps
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := e.exec.Execute(p, rng); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 60
+	if allocs > budget {
+		t.Fatalf("Execute allocated %.1f times per run, budget %d", allocs, budget)
+	}
+}

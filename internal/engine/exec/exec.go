@@ -7,6 +7,16 @@
 // plan's estimated and executed cost is exactly the phenomenon the paper's
 // classifier learns. Labels use the median cost over several executions, as
 // in §2.2 of the paper.
+//
+// Execution is vectorized: operators exchange columnar batches (one []int64
+// vector per column) instead of [][]int64 rows. Scans and filters compute a
+// selection vector of qualifying row ids, then gather the surviving rows
+// column by column into fresh vectors; joins build (left, right) pair lists
+// and gather both sides. Vectors come from a sync.Pool-backed chunk arena
+// scoped to one Execute call, so steady-state execution does not allocate
+// per row. Cost accounting (charge order, cost.Args, and noise draws) is
+// identical to the row-at-a-time engine preserved in ref_exec_test.go; the
+// property tests there pin WorkCost and MeasuredCost bit-for-bit.
 package exec
 
 import (
@@ -41,17 +51,59 @@ var mExecLat = obs.H("exec.execute.latency")
 // index seek and its key lookup.
 const ridColumn = "#rid"
 
-// columnstoreCompression mirrors the optimizer's assumed scan-byte
-// reduction; the executor grants the same compression on columnstore scans.
-const columnstoreCompression = 4.0
-
 // MaxIntermediateRows guards against runaway intermediate results from
 // catastrophically bad plans.
 const MaxIntermediateRows = 4_000_000
 
+// arenaChunk is the pooled vector chunk size in int64s (128 KiB). Requests
+// larger than a chunk fall through to the garbage collector.
+const arenaChunk = 16384
+
+var chunkPool = sync.Pool{
+	New: func() any {
+		b := make([]int64, arenaChunk)
+		return &b
+	},
+}
+
+// arena hands out []int64 vectors carved from pooled chunks. All vectors are
+// released together at the end of one execution; their contents are stale
+// until written, so kernels must fully populate what they allocate. The zero
+// value is ready to use.
+type arena struct {
+	chunks []*[]int64
+	cur    []int64
+}
+
+func (a *arena) alloc(n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	if n > arenaChunk {
+		return make([]int64, n)
+	}
+	if len(a.cur) < n {
+		c := chunkPool.Get().(*[]int64)
+		a.chunks = append(a.chunks, c)
+		a.cur = *c
+	}
+	v := a.cur[:n:n]
+	a.cur = a.cur[n:]
+	return v
+}
+
+func (a *arena) release() {
+	for _, c := range a.chunks {
+		chunkPool.Put(c)
+	}
+	a.chunks = nil
+	a.cur = nil
+}
+
 // Executor runs plans against one database. Execute is safe for concurrent
 // use: per-execution state lives in the run, and the lazily built physical
-// index cache is guarded by a mutex.
+// index cache (plus the per-table and per-index column metadata caches) is
+// guarded by a mutex.
 type Executor struct {
 	DB    *data.Database
 	Model *cost.Model
@@ -61,6 +113,8 @@ type Executor struct {
 
 	mu      sync.Mutex
 	indexes map[string]*btree.Tree
+	tcols   map[string]*tableCols
+	ixcols  map[string]*ixMeta
 }
 
 // New returns an executor over db with the database's ground-truth cost
@@ -87,19 +141,122 @@ type Result struct {
 	Annotated *plan.Plan
 }
 
-// rel is an intermediate relation during execution.
-type rel struct {
-	cols []query.ColRef
-	rows [][]int64
+// tableCols is the precomputed column metadata for one base table: the
+// ColRef list, the column vectors aligned with it, and a name→position map
+// replacing per-access linear scans. Built once per table per executor.
+type tableCols struct {
+	tb     *data.Table
+	refs   []query.ColRef
+	data   [][]int64
+	byName map[string]int
 }
 
-func (r *rel) colIdx(table, column string) int {
-	for i, c := range r.cols {
+// ixMeta is the precomputed output shape of one index: its output ColRefs
+// (keys, sorted includes, rid), the base-table vectors backing them, and the
+// index row width used for byte accounting.
+type ixMeta struct {
+	cols  []query.ColRef
+	data  [][]int64 // aligned with cols[:len(cols)-1]
+	width float64
+}
+
+// tableCols returns (building and caching on demand) the column metadata
+// for a table.
+func (e *Executor) tableCols(table string) (*tableCols, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if tc, ok := e.tcols[table]; ok {
+		return tc, nil
+	}
+	tb := e.DB.Table(table)
+	if tb == nil {
+		return nil, fmt.Errorf("exec: no data for table %q", table)
+	}
+	tc := &tableCols{
+		tb:     tb,
+		refs:   make([]query.ColRef, len(tb.Meta.Columns)),
+		data:   make([][]int64, len(tb.Meta.Columns)),
+		byName: make(map[string]int, len(tb.Meta.Columns)),
+	}
+	for i, c := range tb.Meta.Columns {
+		tc.refs[i] = query.ColRef{Table: table, Column: c.Name}
+		tc.data[i] = tb.Column(c.Name)
+		tc.byName[c.Name] = i
+	}
+	if e.tcols == nil {
+		e.tcols = map[string]*tableCols{}
+	}
+	e.tcols[table] = tc
+	return tc, nil
+}
+
+// ixMeta returns (building and caching on demand) the output shape of an
+// index over its base table.
+func (e *Executor) ixMeta(ix *catalog.Index, tc *tableCols) *ixMeta {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := ix.ID()
+	if im, ok := e.ixcols[id]; ok {
+		return im
+	}
+	cols := indexOutputCols(ix, ix.Table)
+	im := &ixMeta{
+		cols:  cols,
+		data:  make([][]int64, len(cols)-1),
+		width: indexRowWidth(ix, tc.tb.Meta),
+	}
+	for i := 0; i < len(cols)-1; i++ {
+		im.data[i] = tc.tb.Column(cols[i].Column)
+	}
+	if e.ixcols == nil {
+		e.ixcols = map[string]*ixMeta{}
+	}
+	e.ixcols[id] = im
+	return im
+}
+
+// batch is a columnar intermediate relation: one vector per column, all of
+// length n. Vectors are immutable once produced — downstream operators
+// gather into fresh vectors rather than writing in place, which lets scans
+// without predicates alias the base table columns directly.
+type batch struct {
+	cols []query.ColRef
+	vecs [][]int64
+	n    int
+}
+
+func (b *batch) colIdx(table, column string) int {
+	for i, c := range b.cols {
 		if c.Table == table && c.Column == column {
 			return i
 		}
 	}
 	return -1
+}
+
+func batchBytes(b *batch) float64 {
+	return float64(b.n) * float64(len(b.cols)) * 8
+}
+
+// materializeRows converts a columnar batch into freshly allocated
+// row-major rows (two allocations total), so results never alias arena or
+// base-table memory.
+func materializeRows(b *batch) [][]int64 {
+	rows := make([][]int64, b.n)
+	nc := len(b.vecs)
+	if b.n == 0 || nc == 0 {
+		return rows
+	}
+	flat := make([]int64, b.n*nc)
+	for j, v := range b.vecs {
+		for i := 0; i < b.n; i++ {
+			flat[i*nc+j] = v[i]
+		}
+	}
+	for i := 0; i < b.n; i++ {
+		rows[i] = flat[i*nc : (i+1)*nc : (i+1)*nc]
+	}
+	return rows
 }
 
 // runState carries per-execution state.
@@ -109,6 +266,7 @@ type runState struct {
 	rng  *util.RNG
 	work float64
 	meas float64
+	a    arena
 }
 
 // Execute runs the plan once. rng drives measurement noise only; the result
@@ -123,15 +281,18 @@ func (e *Executor) Execute(p *plan.Plan, rng *util.RNG) (*Result, error) {
 	out, err := st.run(cl.Root)
 	mExecLat.Stop(t0)
 	if err != nil {
+		st.a.release()
 		return nil, err
 	}
-	return &Result{
-		Cols:         out.cols,
-		Rows:         out.rows,
+	res := &Result{
+		Cols:         append([]query.ColRef(nil), out.cols...),
+		Rows:         materializeRows(out),
 		WorkCost:     st.work,
 		MeasuredCost: st.meas,
 		Annotated:    cl,
-	}, nil
+	}
+	st.a.release()
+	return res, nil
 }
 
 // MedianCost executes the plan k times and returns the median measured
@@ -196,6 +357,9 @@ func (e *Executor) Index(ix *catalog.Index) (*btree.Tree, error) {
 		entries[r] = btree.Entry{Key: k, Row: int32(r)}
 	}
 	t := btree.BulkLoad(entries)
+	if e.indexes == nil {
+		e.indexes = map[string]*btree.Tree{}
+	}
 	e.indexes[id] = t
 	return t, nil
 }
@@ -205,6 +369,7 @@ func (e *Executor) DropIndex(ix *catalog.Index) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	delete(e.indexes, ix.ID())
+	delete(e.ixcols, ix.ID())
 }
 
 // CachedIndexes returns the IDs of the physically built indexes currently
@@ -237,7 +402,7 @@ func (st *runState) charge(n *plan.Node, a cost.Args) {
 }
 
 // run executes the subtree rooted at n.
-func (st *runState) run(n *plan.Node) (*rel, error) {
+func (st *runState) run(n *plan.Node) (*batch, error) {
 	switch n.Op {
 	case plan.TableScan:
 		return st.tableScan(n)
@@ -268,94 +433,144 @@ func (st *runState) run(n *plan.Node) (*rel, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.charge(n, cost.Args{RowsIn: float64(len(out.rows)), RowsOut: float64(len(out.rows))})
+		st.charge(n, cost.Args{RowsIn: float64(out.n), RowsOut: float64(out.n)})
 		return out, nil
 	default:
 		return nil, fmt.Errorf("exec: unsupported operator %v", n.Op)
 	}
 }
 
-// allCols returns the full column list of a table as ColRefs.
-func (st *runState) allCols(table string) ([]query.ColRef, *data.Table, error) {
-	tb := st.e.DB.Table(table)
-	if tb == nil {
-		return nil, nil, fmt.Errorf("exec: no data for table %q", table)
-	}
-	cols := make([]query.ColRef, len(tb.Meta.Columns))
-	for i, c := range tb.Meta.Columns {
-		cols[i] = query.ColRef{Table: table, Column: c.Name}
-	}
-	return cols, tb, nil
+// boundPred is a predicate resolved to its column vector once per operator,
+// replacing the per-row name lookups of the row engine.
+type boundPred struct {
+	p    query.Pred
+	data []int64
 }
 
-// matchAll evaluates a conjunction against a table row.
-func matchAll(preds []query.Pred, tb *data.Table, row int) bool {
-	for _, p := range preds {
-		if !p.Matches(tb.Column(p.Column)[row]) {
+func bindPreds(preds []query.Pred, tc *tableCols) []boundPred {
+	if len(preds) == 0 {
+		return nil
+	}
+	bps := make([]boundPred, len(preds))
+	for i, p := range preds {
+		bps[i] = boundPred{p: p, data: tc.data[tc.byName[p.Column]]}
+	}
+	return bps
+}
+
+func matchBound(bps []boundPred, rid int32) bool {
+	for i := range bps {
+		if !bps[i].p.Matches(bps[i].data[rid]) {
 			return false
 		}
 	}
 	return true
 }
 
-func (st *runState) tableScan(n *plan.Node) (*rel, error) {
-	cols, tb, err := st.allCols(n.Table)
+// gatherTable gathers the selected base-table rows into fresh column
+// vectors. The output aliases the table's shared ColRef list.
+func (st *runState) gatherTable(tc *tableCols, sel []int64) *batch {
+	vecs := make([][]int64, len(tc.data))
+	for j, col := range tc.data {
+		v := st.a.alloc(len(sel))
+		for i, r := range sel {
+			v[i] = col[r]
+		}
+		vecs[j] = v
+	}
+	return &batch{cols: tc.refs, vecs: vecs, n: len(sel)}
+}
+
+// gatherIndex gathers index-covered columns for the given rids; the rid
+// vector itself becomes the trailing #rid column.
+func (st *runState) gatherIndex(im *ixMeta, rids []int64) *batch {
+	nc := len(im.cols)
+	vecs := make([][]int64, nc)
+	for j := 0; j < nc-1; j++ {
+		col := im.data[j]
+		v := st.a.alloc(len(rids))
+		for i, r := range rids {
+			v[i] = col[r]
+		}
+		vecs[j] = v
+	}
+	vecs[nc-1] = rids
+	return &batch{cols: im.cols, vecs: vecs, n: len(rids)}
+}
+
+// gatherBatch gathers the selected rows of an intermediate batch into fresh
+// vectors, preserving the input's column list.
+func (st *runState) gatherBatch(in *batch, sel []int64) *batch {
+	vecs := make([][]int64, len(in.vecs))
+	for j, col := range in.vecs {
+		v := st.a.alloc(len(sel))
+		for i, r := range sel {
+			v[i] = col[r]
+		}
+		vecs[j] = v
+	}
+	return &batch{cols: in.cols, vecs: vecs, n: len(sel)}
+}
+
+// scanFiltered evaluates the scan's residual conjunction as tight per-
+// predicate selection loops and gathers the survivors. With no predicates
+// the batch aliases the base columns outright — zero copying.
+func (st *runState) scanFiltered(tc *tableCols, preds []query.Pred) *batch {
+	nr := tc.tb.NumRows()
+	if len(preds) == 0 {
+		return &batch{cols: tc.refs, vecs: tc.data, n: nr}
+	}
+	bps := bindPreds(preds, tc)
+	sel := st.a.alloc(nr)
+	cnt := 0
+	p0, d0 := bps[0].p, bps[0].data
+	for r := 0; r < nr; r++ {
+		if p0.Matches(d0[r]) {
+			sel[cnt] = int64(r)
+			cnt++
+		}
+	}
+	for _, bp := range bps[1:] {
+		k := 0
+		for i := 0; i < cnt; i++ {
+			r := sel[i]
+			if bp.p.Matches(bp.data[r]) {
+				sel[k] = r
+				k++
+			}
+		}
+		cnt = k
+	}
+	return st.gatherTable(tc, sel[:cnt])
+}
+
+func (st *runState) tableScan(n *plan.Node) (*batch, error) {
+	tc, err := st.e.tableCols(n.Table)
 	if err != nil {
 		return nil, err
 	}
-	nr := tb.NumRows()
-	out := &rel{cols: cols}
-	colData := make([][]int64, len(cols))
-	for i, c := range cols {
-		colData[i] = tb.Column(c.Column)
-	}
-	for r := 0; r < nr; r++ {
-		if matchAll(n.ResidualPreds, tb, r) {
-			row := make([]int64, len(cols))
-			for i := range cols {
-				row[i] = colData[i][r]
-			}
-			out.rows = append(out.rows, row)
-		}
-	}
+	nr := tc.tb.NumRows()
+	out := st.scanFiltered(tc, n.ResidualPreds)
 	st.charge(n, cost.Args{
 		RowsIn:  float64(nr),
-		RowsOut: float64(len(out.rows)),
-		Bytes:   float64(nr) * float64(tb.Meta.RowWidth()),
+		RowsOut: float64(out.n),
+		Bytes:   float64(nr) * float64(tc.tb.Meta.RowWidth()),
 	})
 	return out, nil
 }
 
-func (st *runState) columnstoreScan(n *plan.Node) (*rel, error) {
-	out, err := st.tableScanBody(n)
+func (st *runState) columnstoreScan(n *plan.Node) (*batch, error) {
+	tc, err := st.e.tableCols(n.Table)
 	if err != nil {
 		return nil, err
 	}
-	tb := st.e.DB.Table(n.Table)
+	nr := tc.tb.NumRows()
+	out := st.scanFiltered(tc, n.ResidualPreds)
 	st.charge(n, cost.Args{
-		RowsIn:  float64(tb.NumRows()),
-		RowsOut: float64(len(out.rows)),
-		Bytes:   float64(tb.NumRows()) * float64(tb.Meta.RowWidth()) / columnstoreCompression,
+		RowsIn:  float64(nr),
+		RowsOut: float64(out.n),
+		Bytes:   float64(nr) * float64(tc.tb.Meta.RowWidth()) / cost.ColumnstoreCompression,
 	})
-	return out, nil
-}
-
-// tableScanBody produces the filtered rows without charging cost.
-func (st *runState) tableScanBody(n *plan.Node) (*rel, error) {
-	cols, tb, err := st.allCols(n.Table)
-	if err != nil {
-		return nil, err
-	}
-	out := &rel{cols: cols}
-	for r := 0; r < tb.NumRows(); r++ {
-		if matchAll(n.ResidualPreds, tb, r) {
-			row := make([]int64, len(cols))
-			for i, c := range cols {
-				row[i] = tb.Column(c.Column)[r]
-			}
-			out.rows = append(out.rows, row)
-		}
-	}
 	return out, nil
 }
 
@@ -370,24 +585,48 @@ func indexMetaFromNode(n *plan.Node, db *data.Database) (*catalog.Index, error) 
 	return n.IndexDef, nil
 }
 
-func (st *runState) indexScan(n *plan.Node) (*rel, error) {
+// ridsInRange walks the tree in [lo,hi], applies residual predicates on
+// covered columns, and returns qualifying row ids. fetched counts rows
+// touched before residual filtering.
+func (st *runState) ridsInRange(ix *catalog.Index, tc *tableCols, lo, hi btree.Key, residual []query.Pred) ([]int64, int, error) {
+	tree, err := st.e.Index(ix)
+	if err != nil {
+		return nil, 0, err
+	}
+	bps := bindPreds(residual, tc)
+	var rids []int64
+	fetched := 0
+	tree.Range(lo, hi, func(_ btree.Key, rid int32) bool {
+		fetched++
+		if !matchBound(bps, rid) {
+			return true
+		}
+		rids = append(rids, int64(rid))
+		return true
+	})
+	return rids, fetched, nil
+}
+
+func (st *runState) indexScan(n *plan.Node) (*batch, error) {
 	ix, err := indexMetaFromNode(n, st.e.DB)
 	if err != nil {
 		return nil, err
 	}
-	tb := st.e.DB.Table(n.Table)
-	out, cols, fetched, err := st.scanIndexRange(ix, tb, nil, nil, n.ResidualPreds)
+	tc, err := st.e.tableCols(n.Table)
 	if err != nil {
 		return nil, err
 	}
-	idxW := indexRowWidth(ix, tb.Meta)
+	im := st.e.ixMeta(ix, tc)
+	rids, _, err := st.ridsInRange(ix, tc, nil, nil, n.ResidualPreds)
+	if err != nil {
+		return nil, err
+	}
 	st.charge(n, cost.Args{
-		RowsIn:  float64(tb.NumRows()),
-		RowsOut: float64(len(out)),
-		Bytes:   float64(tb.NumRows()) * idxW,
+		RowsIn:  float64(tc.tb.NumRows()),
+		RowsOut: float64(len(rids)),
+		Bytes:   float64(tc.tb.NumRows()) * im.width,
 	})
-	_ = fetched
-	return &rel{cols: cols, rows: out}, nil
+	return st.gatherIndex(im, rids), nil
 }
 
 // seekBounds derives the B+ tree probe range from the seek predicates.
@@ -432,37 +671,6 @@ func indexOutputCols(ix *catalog.Index, table string) []query.ColRef {
 	return cols
 }
 
-// scanIndexRange walks the tree in [lo,hi], applies residual predicates on
-// covered columns, and returns materialized index rows. fetched counts rows
-// touched before residual filtering.
-func (st *runState) scanIndexRange(ix *catalog.Index, tb *data.Table, lo, hi btree.Key, residual []query.Pred) ([][]int64, []query.ColRef, int, error) {
-	tree, err := st.e.Index(ix)
-	if err != nil {
-		return nil, nil, 0, err
-	}
-	cols := indexOutputCols(ix, ix.Table)
-	colData := make([][]int64, len(cols)-1)
-	for i := 0; i < len(cols)-1; i++ {
-		colData[i] = tb.Column(cols[i].Column)
-	}
-	var rows [][]int64
-	fetched := 0
-	tree.Range(lo, hi, func(_ btree.Key, rid int32) bool {
-		fetched++
-		if !matchAll(residual, tb, int(rid)) {
-			return true
-		}
-		row := make([]int64, len(cols))
-		for i := range colData {
-			row[i] = colData[i][rid]
-		}
-		row[len(cols)-1] = int64(rid)
-		rows = append(rows, row)
-		return true
-	})
-	return rows, cols, fetched, nil
-}
-
 func indexRowWidth(ix *catalog.Index, meta *catalog.Table) float64 {
 	var w float64 = 8
 	for _, c := range ix.KeyColumns {
@@ -478,14 +686,18 @@ func indexRowWidth(ix *catalog.Index, meta *catalog.Table) float64 {
 	return w
 }
 
-func (st *runState) indexSeek(n *plan.Node) (*rel, error) {
+func (st *runState) indexSeek(n *plan.Node) (*batch, error) {
 	ix, err := indexMetaFromNode(n, st.e.DB)
 	if err != nil {
 		return nil, err
 	}
-	tb := st.e.DB.Table(n.Table)
+	tc, err := st.e.tableCols(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	im := st.e.ixMeta(ix, tc)
 	lo, hi := seekBounds(ix, n.SeekPreds)
-	rows, cols, fetched, err := st.scanIndexRange(ix, tb, lo, hi, n.ResidualPreds)
+	rids, fetched, err := st.ridsInRange(ix, tc, lo, hi, n.ResidualPreds)
 	if err != nil {
 		return nil, err
 	}
@@ -493,13 +705,13 @@ func (st *runState) indexSeek(n *plan.Node) (*rel, error) {
 	st.charge(n, cost.Args{
 		Probes:  1,
 		Height:  float64(tree.Height()),
-		RowsOut: float64(len(rows)),
-		Bytes:   float64(fetched) * indexRowWidth(ix, tb.Meta),
+		RowsOut: float64(len(rids)),
+		Bytes:   float64(fetched) * im.width,
 	})
-	return &rel{cols: cols, rows: rows}, nil
+	return st.gatherIndex(im, rids), nil
 }
 
-func (st *runState) keyLookup(n *plan.Node) (*rel, error) {
+func (st *runState) keyLookup(n *plan.Node) (*batch, error) {
 	in, err := st.run(n.Children[0])
 	if err != nil {
 		return nil, err
@@ -508,71 +720,91 @@ func (st *runState) keyLookup(n *plan.Node) (*rel, error) {
 	if ridIdx < 0 {
 		return nil, fmt.Errorf("exec: key lookup without rid column from child")
 	}
-	cols, tb, err := st.allCols(n.Table)
+	tc, err := st.e.tableCols(n.Table)
 	if err != nil {
 		return nil, err
 	}
-	out := &rel{cols: cols}
-	for _, r := range in.rows {
-		rid := int(r[ridIdx])
-		row := make([]int64, len(cols))
-		for i, c := range cols {
-			row[i] = tb.Column(c.Column)[rid]
-		}
-		out.rows = append(out.rows, row)
+	var rids []int64
+	if in.n > 0 {
+		rids = in.vecs[ridIdx][:in.n]
 	}
+	out := st.gatherTable(tc, rids)
 	st.charge(n, cost.Args{
-		RowsIn:  float64(len(in.rows)),
-		RowsOut: float64(len(out.rows)),
-		Bytes:   float64(len(in.rows)) * float64(tb.Meta.RowWidth()),
+		RowsIn:  float64(in.n),
+		RowsOut: float64(out.n),
+		Bytes:   float64(in.n) * float64(tc.tb.Meta.RowWidth()),
 	})
 	return out, nil
 }
 
-// evalPreds evaluates predicates against a relation row.
-func evalPreds(preds []query.Pred, r *rel, row []int64) (bool, error) {
-	for _, p := range preds {
-		i := r.colIdx(p.Table, p.Column)
-		if i < 0 {
-			return false, fmt.Errorf("exec: filter references missing column %s.%s", p.Table, p.Column)
-		}
-		if !p.Matches(row[i]) {
-			return false, nil
-		}
-	}
-	return true, nil
-}
-
-func (st *runState) filter(n *plan.Node) (*rel, error) {
+func (st *runState) filter(n *plan.Node) (*batch, error) {
 	in, err := st.run(n.Children[0])
 	if err != nil {
 		return nil, err
 	}
-	out := &rel{cols: in.cols}
-	for _, row := range in.rows {
-		ok, err := evalPreds(n.ResidualPreds, in, row)
-		if err != nil {
-			return nil, err
+	if len(n.ResidualPreds) == 0 {
+		st.charge(n, cost.Args{RowsIn: float64(in.n), RowsOut: float64(in.n)})
+		return in, nil
+	}
+	// Resolve each predicate's column against the batch once, up front.
+	pvecs := make([][]int64, len(n.ResidualPreds))
+	for i, p := range n.ResidualPreds {
+		ci := in.colIdx(p.Table, p.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("exec: filter references missing column %s.%s", p.Table, p.Column)
 		}
-		if ok {
-			out.rows = append(out.rows, row)
+		pvecs[i] = in.vecs[ci]
+	}
+	sel := st.a.alloc(in.n)
+	cnt := 0
+	p0, d0 := n.ResidualPreds[0], pvecs[0]
+	for r := 0; r < in.n; r++ {
+		if p0.Matches(d0[r]) {
+			sel[cnt] = int64(r)
+			cnt++
 		}
 	}
-	st.charge(n, cost.Args{RowsIn: float64(len(in.rows)), RowsOut: float64(len(out.rows))})
+	for i := 1; i < len(n.ResidualPreds); i++ {
+		p, d := n.ResidualPreds[i], pvecs[i]
+		k := 0
+		for j := 0; j < cnt; j++ {
+			r := sel[j]
+			if p.Matches(d[r]) {
+				sel[k] = r
+				k++
+			}
+		}
+		cnt = k
+	}
+	out := st.gatherBatch(in, sel[:cnt])
+	st.charge(n, cost.Args{RowsIn: float64(in.n), RowsOut: float64(out.n)})
 	return out, nil
 }
 
-func concatRow(a, b []int64) []int64 {
-	out := make([]int64, 0, len(a)+len(b))
-	out = append(out, a...)
-	return append(out, b...)
+// joinGather materializes a join's (left, right) pair lists into the output
+// batch: left columns gathered by li, right columns by ri.
+func (st *runState) joinGather(left, right *batch, li, ri []int64) *batch {
+	cols := append(append([]query.ColRef{}, left.cols...), right.cols...)
+	vecs := make([][]int64, len(left.vecs)+len(right.vecs))
+	for j, col := range left.vecs {
+		v := st.a.alloc(len(li))
+		for i, r := range li {
+			v[i] = col[r]
+		}
+		vecs[j] = v
+	}
+	off := len(left.vecs)
+	for j, col := range right.vecs {
+		v := st.a.alloc(len(ri))
+		for i, r := range ri {
+			v[i] = col[r]
+		}
+		vecs[off+j] = v
+	}
+	return &batch{cols: cols, vecs: vecs, n: len(li)}
 }
 
-func relBytes(r *rel) float64 {
-	return float64(len(r.rows)) * float64(len(r.cols)) * 8
-}
-
-func (st *runState) hashJoin(n *plan.Node) (*rel, error) {
+func (st *runState) hashJoin(n *plan.Node) (*batch, error) {
 	probe, err := st.run(n.Children[0])
 	if err != nil {
 		return nil, err
@@ -591,27 +823,36 @@ func (st *runState) hashJoin(n *plan.Node) (*rel, error) {
 	if pIdx < 0 || bIdx < 0 {
 		return nil, fmt.Errorf("exec: hash join columns not found for %s", j)
 	}
-	ht := make(map[int64][][]int64, len(build.rows))
-	for _, row := range build.rows {
-		ht[row[bIdx]] = append(ht[row[bIdx]], row)
+	pk, bk := probe.vecs[pIdx], build.vecs[bIdx]
+	// Chained hash table over the build side: head holds 1-based first
+	// entry per key, next links entries. Building back to front makes each
+	// chain iterate in build order, matching the row engine's bucket order.
+	head := make(map[int64]int64, build.n)
+	next := st.a.alloc(build.n)
+	for i := build.n - 1; i >= 0; i-- {
+		k := bk[i]
+		next[i] = head[k]
+		head[k] = int64(i) + 1
 	}
-	out := &rel{cols: append(append([]query.ColRef{}, probe.cols...), build.cols...)}
-	for _, prow := range probe.rows {
-		for _, brow := range ht[prow[pIdx]] {
-			out.rows = append(out.rows, concatRow(prow, brow))
-			if len(out.rows) > MaxIntermediateRows {
+	var pi, bi []int64
+	for i := 0; i < probe.n; i++ {
+		for e := head[pk[i]]; e != 0; e = next[e-1] {
+			pi = append(pi, int64(i))
+			bi = append(bi, e-1)
+			if len(pi) > MaxIntermediateRows {
 				return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
 			}
 		}
 	}
+	out := st.joinGather(probe, build, pi, bi)
 	st.charge(n, cost.Args{
-		RowsIn: float64(len(probe.rows)), RowsIn2: float64(len(build.rows)),
-		RowsOut: float64(len(out.rows)), Bytes: relBytes(probe) + relBytes(build),
+		RowsIn: float64(probe.n), RowsIn2: float64(build.n),
+		RowsOut: float64(out.n), Bytes: batchBytes(probe) + batchBytes(build),
 	})
 	return out, nil
 }
 
-func (st *runState) mergeJoin(n *plan.Node) (*rel, error) {
+func (st *runState) mergeJoin(n *plan.Node) (*batch, error) {
 	left, err := st.run(n.Children[0])
 	if err != nil {
 		return nil, err
@@ -630,39 +871,42 @@ func (st *runState) mergeJoin(n *plan.Node) (*rel, error) {
 	if lIdx < 0 || rIdx < 0 {
 		return nil, fmt.Errorf("exec: merge join columns not found for %s", j)
 	}
-	out := &rel{cols: append(append([]query.ColRef{}, left.cols...), right.cols...)}
-	li, ri := 0, 0
-	for li < len(left.rows) && ri < len(right.rows) {
-		lv, rv := left.rows[li][lIdx], right.rows[ri][rIdx]
+	lk, rk := left.vecs[lIdx], right.vecs[rIdx]
+	var li, ri []int64
+	a, b := 0, 0
+	for a < left.n && b < right.n {
+		lv, rv := lk[a], rk[b]
 		switch {
 		case lv < rv:
-			li++
+			a++
 		case lv > rv:
-			ri++
+			b++
 		default:
 			// Match runs on both sides.
-			le := li
-			for le < len(left.rows) && left.rows[le][lIdx] == lv {
-				le++
+			ae := a
+			for ae < left.n && lk[ae] == lv {
+				ae++
 			}
-			re := ri
-			for re < len(right.rows) && right.rows[re][rIdx] == rv {
-				re++
+			be := b
+			for be < right.n && rk[be] == rv {
+				be++
 			}
-			for a := li; a < le; a++ {
-				for b := ri; b < re; b++ {
-					out.rows = append(out.rows, concatRow(left.rows[a], right.rows[b]))
-					if len(out.rows) > MaxIntermediateRows {
+			for x := a; x < ae; x++ {
+				for y := b; y < be; y++ {
+					li = append(li, int64(x))
+					ri = append(ri, int64(y))
+					if len(li) > MaxIntermediateRows {
 						return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
 					}
 				}
 			}
-			li, ri = le, re
+			a, b = ae, be
 		}
 	}
+	out := st.joinGather(left, right, li, ri)
 	st.charge(n, cost.Args{
-		RowsIn: float64(len(left.rows)), RowsIn2: float64(len(right.rows)),
-		RowsOut: float64(len(out.rows)), Bytes: relBytes(left) + relBytes(right),
+		RowsIn: float64(left.n), RowsIn2: float64(right.n),
+		RowsOut: float64(out.n), Bytes: batchBytes(left) + batchBytes(right),
 	})
 	return out, nil
 }
@@ -687,7 +931,7 @@ func findInnerSeek(n *plan.Node) []*plan.Node {
 	return nil
 }
 
-func (st *runState) nestedLoopJoin(n *plan.Node) (*rel, error) {
+func (st *runState) nestedLoopJoin(n *plan.Node) (*batch, error) {
 	outer, err := st.run(n.Children[0])
 	if err != nil {
 		return nil, err
@@ -711,20 +955,24 @@ func (st *runState) nestedLoopJoin(n *plan.Node) (*rel, error) {
 	if oIdx < 0 || iIdx < 0 {
 		return nil, fmt.Errorf("exec: NLJ columns not found for %s", j)
 	}
-	out := &rel{cols: append(append([]query.ColRef{}, outer.cols...), inner.cols...)}
-	for _, orow := range outer.rows {
-		for _, irow := range inner.rows {
-			if orow[oIdx] == irow[iIdx] {
-				out.rows = append(out.rows, concatRow(orow, irow))
-				if len(out.rows) > MaxIntermediateRows {
+	ok, ik := outer.vecs[oIdx], inner.vecs[iIdx]
+	var oi, ii []int64
+	for x := 0; x < outer.n; x++ {
+		v := ok[x]
+		for y := 0; y < inner.n; y++ {
+			if v == ik[y] {
+				oi = append(oi, int64(x))
+				ii = append(ii, int64(y))
+				if len(oi) > MaxIntermediateRows {
 					return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
 				}
 			}
 		}
 	}
+	out := st.joinGather(outer, inner, oi, ii)
 	st.charge(n, cost.Args{
-		RowsIn: float64(len(outer.rows)), RowsIn2: float64(len(inner.rows)),
-		RowsOut: float64(len(out.rows)), Bytes: relBytes(inner),
+		RowsIn: float64(outer.n), RowsIn2: float64(inner.n),
+		RowsOut: float64(out.n), Bytes: batchBytes(inner),
 	})
 	return out, nil
 }
@@ -732,13 +980,16 @@ func (st *runState) nestedLoopJoin(n *plan.Node) (*rel, error) {
 // indexNLJ drives per-outer-row probes into the inner index, accounting
 // work on the inner seek/lookup/filter nodes as production executors do
 // (per-execution actuals summed across probes).
-func (st *runState) indexNLJ(n *plan.Node, outer *rel, innerPath []*plan.Node) (*rel, error) {
+func (st *runState) indexNLJ(n *plan.Node, outer *batch, innerPath []*plan.Node) (*batch, error) {
 	seekNode := innerPath[len(innerPath)-1]
 	ix, err := indexMetaFromNode(seekNode, st.e.DB)
 	if err != nil {
 		return nil, err
 	}
-	tb := st.e.DB.Table(seekNode.Table)
+	tc, err := st.e.tableCols(seekNode.Table)
+	if err != nil {
+		return nil, err
+	}
 	tree, err := st.e.Index(ix)
 	if err != nil {
 		return nil, err
@@ -770,106 +1021,105 @@ func (st *runState) indexNLJ(n *plan.Node, outer *rel, innerPath []*plan.Node) (
 		}
 	}
 
-	idxCols := indexOutputCols(ix, seekNode.Table)
-	colData := make([][]int64, len(idxCols)-1)
-	for i := 0; i < len(idxCols)-1; i++ {
-		colData[i] = tb.Column(idxCols[i].Column)
+	im := st.e.ixMeta(ix, tc)
+	seekPreds := bindPreds(seekNode.ResidualPreds, tc)
+	var filtPreds []boundPred
+	if filterNode != nil {
+		filtPreds = bindPreds(filterNode.ResidualPreds, tc)
 	}
-	var innerCols []query.ColRef
-	var fullCols []query.ColRef
-	if lookupNode != nil {
-		fullCols, _, _ = st.allCols(seekNode.Table)
-		innerCols = fullCols
-	} else {
-		innerCols = idxCols
-	}
-	out := &rel{cols: append(append([]query.ColRef{}, outer.cols...), innerCols...)}
 
+	okey := outer.vecs[oIdx]
+	var oi, rids []int64
 	probes, fetched, seekOut, lookups, filtOut := 0, 0, 0, 0, 0
-	for _, orow := range outer.rows {
-		key := btree.Key{orow[oIdx]}
+	for i := 0; i < outer.n; i++ {
+		key := btree.Key{okey[i]}
 		probes++
-		var matches [][]int64
 		tree.Range(key, key, func(_ btree.Key, rid int32) bool {
 			fetched++
-			if !matchAll(seekNode.ResidualPreds, tb, int(rid)) {
+			if !matchBound(seekPreds, rid) {
 				return true
 			}
 			seekOut++
-			var irow []int64
 			if lookupNode != nil {
 				lookups++
-				if filterNode != nil && !matchAll(filterNode.ResidualPreds, tb, int(rid)) {
+				if filterNode != nil && !matchBound(filtPreds, rid) {
 					return true
 				}
 				filtOut++
-				irow = make([]int64, len(fullCols))
-				for i, c := range fullCols {
-					irow[i] = tb.Column(c.Column)[rid]
-				}
-			} else {
-				irow = make([]int64, len(idxCols))
-				for i := range colData {
-					irow[i] = colData[i][rid]
-				}
-				irow[len(idxCols)-1] = int64(rid)
 			}
-			matches = append(matches, irow)
+			oi = append(oi, int64(i))
+			rids = append(rids, int64(rid))
 			return true
 		})
-		for _, irow := range matches {
-			out.rows = append(out.rows, concatRow(orow, irow))
-			if len(out.rows) > MaxIntermediateRows {
-				return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
-			}
+		if len(oi) > MaxIntermediateRows {
+			return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
 		}
+	}
+
+	var inner *batch
+	if lookupNode != nil {
+		inner = st.gatherTable(tc, rids)
+	} else {
+		inner = st.gatherIndex(im, rids)
+	}
+	outerSel := st.gatherBatch(outer, oi)
+	out := &batch{
+		cols: append(append([]query.ColRef{}, outer.cols...), inner.cols...),
+		vecs: append(append(make([][]int64, 0, len(outerSel.vecs)+len(inner.vecs)), outerSel.vecs...), inner.vecs...),
+		n:    len(oi),
 	}
 
 	// Charge the inner chain with summed per-probe work.
 	st.charge(seekNode, cost.Args{
 		Probes: float64(probes), Height: float64(tree.Height()),
-		RowsOut: float64(seekOut), Bytes: float64(fetched) * indexRowWidth(ix, tb.Meta),
+		RowsOut: float64(seekOut), Bytes: float64(fetched) * im.width,
 	})
 	if lookupNode != nil {
 		st.charge(lookupNode, cost.Args{
 			RowsIn: float64(lookups), RowsOut: float64(lookups),
-			Bytes: float64(lookups) * float64(tb.Meta.RowWidth()),
+			Bytes: float64(lookups) * float64(tc.tb.Meta.RowWidth()),
 		})
 	}
 	if filterNode != nil {
 		st.charge(filterNode, cost.Args{RowsIn: float64(lookups), RowsOut: float64(filtOut)})
 	}
-	st.charge(n, cost.Args{RowsIn: float64(len(outer.rows)), RowsOut: float64(len(out.rows))})
+	st.charge(n, cost.Args{RowsIn: float64(outer.n), RowsOut: float64(out.n)})
 	return out, nil
 }
 
-func (st *runState) sortOp(n *plan.Node) (*rel, error) {
+func (st *runState) sortOp(n *plan.Node) (*batch, error) {
 	in, err := st.run(n.Children[0])
 	if err != nil {
 		return nil, err
 	}
-	idxs := make([]int, len(n.SortCols))
+	keys := make([][]int64, len(n.SortCols))
 	for i, c := range n.SortCols {
-		idxs[i] = in.colIdx(c.Table, c.Column)
-		if idxs[i] < 0 {
+		ci := in.colIdx(c.Table, c.Column)
+		if ci < 0 {
 			return nil, fmt.Errorf("exec: sort column %s not found", c)
 		}
+		keys[i] = in.vecs[ci]
 	}
 	desc := st.q != nil && st.q.Desc && sameColRefs(n.SortCols, st.q.OrderBy)
-	rows := append([][]int64(nil), in.rows...)
-	sort.SliceStable(rows, func(a, b int) bool {
-		for _, i := range idxs {
-			if rows[a][i] != rows[b][i] {
+	perm := st.a.alloc(in.n)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		pa, pb := perm[a], perm[b]
+		for _, kv := range keys {
+			if kv[pa] != kv[pb] {
 				if desc {
-					return rows[a][i] > rows[b][i]
+					return kv[pa] > kv[pb]
 				}
-				return rows[a][i] < rows[b][i]
+				return kv[pa] < kv[pb]
 			}
 		}
 		return false
 	})
-	st.charge(n, cost.Args{RowsIn: float64(len(rows)), RowsOut: float64(len(rows)), Bytes: relBytes(in)})
-	return &rel{cols: in.cols, rows: rows}, nil
+	out := st.gatherBatch(in, perm)
+	st.charge(n, cost.Args{RowsIn: float64(in.n), RowsOut: float64(out.n), Bytes: batchBytes(in)})
+	return out, nil
 }
 
 func sameColRefs(a, b []query.ColRef) bool {
@@ -884,126 +1134,140 @@ func sameColRefs(a, b []query.ColRef) bool {
 	return true
 }
 
-func (st *runState) topOp(n *plan.Node) (*rel, error) {
+func (st *runState) topOp(n *plan.Node) (*batch, error) {
 	in, err := st.run(n.Children[0])
 	if err != nil {
 		return nil, err
 	}
-	rows := in.rows
-	if n.TopN > 0 && len(rows) > n.TopN {
-		rows = rows[:n.TopN]
+	outN := in.n
+	if n.TopN > 0 && outN > n.TopN {
+		outN = n.TopN
 	}
-	st.charge(n, cost.Args{RowsIn: float64(len(in.rows)), RowsOut: float64(len(rows))})
-	return &rel{cols: in.cols, rows: rows}, nil
+	vecs := make([][]int64, len(in.vecs))
+	for j, v := range in.vecs {
+		vecs[j] = v[:outN]
+	}
+	st.charge(n, cost.Args{RowsIn: float64(in.n), RowsOut: float64(outN)})
+	return &batch{cols: in.cols, vecs: vecs, n: outN}, nil
 }
 
-// aggregate evaluates the query's group-by and aggregate list.
-func (st *runState) aggregate(n *plan.Node) (*rel, error) {
+// aggregate evaluates the query's group-by and aggregate list. Group state
+// is dense: a map from encoded key to group ordinal (looked up with the
+// alloc-free string(keyBuf) idiom) plus flat accumulator arrays indexed by
+// ordinal, in first-seen order.
+func (st *runState) aggregate(n *plan.Node) (*batch, error) {
 	in, err := st.run(n.Children[0])
 	if err != nil {
 		return nil, err
 	}
 	q := st.q
-	gIdxs := make([]int, len(n.GroupCols))
+	gvs := make([][]int64, len(n.GroupCols))
 	for i, c := range n.GroupCols {
-		gIdxs[i] = in.colIdx(c.Table, c.Column)
-		if gIdxs[i] < 0 {
+		ci := in.colIdx(c.Table, c.Column)
+		if ci < 0 {
 			return nil, fmt.Errorf("exec: group column %s not found", c)
 		}
+		gvs[i] = in.vecs[ci]
 	}
-	aIdxs := make([]int, len(q.Aggs))
+	nAggs := len(q.Aggs)
+	avs := make([][]int64, nAggs)
 	for i, a := range q.Aggs {
 		if a.Func == query.Count {
-			aIdxs[i] = -1
 			continue
 		}
-		aIdxs[i] = in.colIdx(a.Col.Table, a.Col.Column)
-		if aIdxs[i] < 0 {
+		ci := in.colIdx(a.Col.Table, a.Col.Column)
+		if ci < 0 {
 			return nil, fmt.Errorf("exec: aggregate column %s not found", a.Col)
 		}
+		avs[i] = in.vecs[ci]
 	}
 
-	type aggState struct {
-		key   []int64
-		count int64
-		sums  []int64
-		mins  []int64
-		maxs  []int64
-		seen  bool
-	}
-	groups := map[string]*aggState{}
-	var order []string
+	nGroupCols := len(gvs)
+	groups := make(map[string]int)
+	var gkeys []int64            // nGroups × nGroupCols, insertion order
+	var counts []int64           // per group
+	var sums, mins, maxs []int64 // nGroups × nAggs, flattened
 	keyBuf := make([]byte, 0, 64)
-	for _, row := range in.rows {
+	for r := 0; r < in.n; r++ {
 		keyBuf = keyBuf[:0]
-		for _, gi := range gIdxs {
-			v := row[gi]
+		for _, gv := range gvs {
+			v := gv[r]
 			for s := 0; s < 64; s += 8 {
 				keyBuf = append(keyBuf, byte(v>>uint(s)))
 			}
 		}
-		k := string(keyBuf)
-		g, ok := groups[k]
+		gi, ok := groups[string(keyBuf)]
 		if !ok {
-			g = &aggState{
-				sums: make([]int64, len(q.Aggs)),
-				mins: make([]int64, len(q.Aggs)),
-				maxs: make([]int64, len(q.Aggs)),
+			gi = len(counts)
+			groups[string(keyBuf)] = gi
+			for _, gv := range gvs {
+				gkeys = append(gkeys, gv[r])
 			}
-			g.key = make([]int64, len(gIdxs))
-			for i, gi := range gIdxs {
-				g.key[i] = row[gi]
+			counts = append(counts, 0)
+			for a := 0; a < nAggs; a++ {
+				sums = append(sums, 0)
+				mins = append(mins, 0)
+				maxs = append(maxs, 0)
 			}
-			groups[k] = g
-			order = append(order, k)
 		}
-		g.count++
-		for i, ai := range aIdxs {
-			if ai < 0 {
+		first := counts[gi] == 0
+		counts[gi]++
+		base := gi * nAggs
+		for a := 0; a < nAggs; a++ {
+			if avs[a] == nil {
 				continue
 			}
-			v := row[ai]
-			g.sums[i] += v
-			if !g.seen || v < g.mins[i] {
-				g.mins[i] = v
+			v := avs[a][r]
+			sums[base+a] += v
+			if first || v < mins[base+a] {
+				mins[base+a] = v
 			}
-			if !g.seen || v > g.maxs[i] {
-				g.maxs[i] = v
+			if first || v > maxs[base+a] {
+				maxs[base+a] = v
 			}
 		}
-		g.seen = true
 	}
 
 	cols := append([]query.ColRef{}, n.GroupCols...)
 	for i, a := range q.Aggs {
 		cols = append(cols, query.ColRef{Table: "", Column: fmt.Sprintf("#agg%d:%s", i, a.String())})
 	}
-	out := &rel{cols: cols}
-	if len(gIdxs) == 0 && len(in.rows) == 0 {
+	nGroups := len(counts)
+	outN := nGroups
+	scalarEmpty := nGroupCols == 0 && in.n == 0
+	if scalarEmpty {
 		// Scalar aggregate over empty input yields a single zero row.
-		row := make([]int64, len(cols))
-		out.rows = append(out.rows, row)
+		outN = 1
 	}
-	for _, k := range order {
-		g := groups[k]
-		row := make([]int64, 0, len(cols))
-		row = append(row, g.key...)
-		for i, a := range q.Aggs {
-			switch a.Func {
-			case query.Count:
-				row = append(row, g.count)
-			case query.Sum:
-				row = append(row, g.sums[i])
-			case query.Min:
-				row = append(row, g.mins[i])
-			case query.Max:
-				row = append(row, g.maxs[i])
-			case query.Avg:
-				row = append(row, g.sums[i]/g.count)
-			}
+	vecs := make([][]int64, len(cols))
+	for j := range vecs {
+		vecs[j] = st.a.alloc(outN)
+		if scalarEmpty {
+			vecs[j][0] = 0
 		}
-		out.rows = append(out.rows, row)
 	}
-	st.charge(n, cost.Args{RowsIn: float64(len(in.rows)), RowsOut: float64(len(out.rows)), Bytes: relBytes(in)})
-	return out, nil
+	for g := 0; g < nGroups; g++ {
+		for k := 0; k < nGroupCols; k++ {
+			vecs[k][g] = gkeys[g*nGroupCols+k]
+		}
+		base := g * nAggs
+		for a, ag := range q.Aggs {
+			var v int64
+			switch ag.Func {
+			case query.Count:
+				v = counts[g]
+			case query.Sum:
+				v = sums[base+a]
+			case query.Min:
+				v = mins[base+a]
+			case query.Max:
+				v = maxs[base+a]
+			case query.Avg:
+				v = sums[base+a] / counts[g]
+			}
+			vecs[nGroupCols+a][g] = v
+		}
+	}
+	st.charge(n, cost.Args{RowsIn: float64(in.n), RowsOut: float64(outN), Bytes: batchBytes(in)})
+	return &batch{cols: cols, vecs: vecs, n: outN}, nil
 }

@@ -1,0 +1,191 @@
+package opt
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/cost"
+	"repro/internal/engine/plan"
+	"repro/internal/engine/query"
+	"repro/internal/engine/stats"
+	"repro/internal/obs"
+)
+
+// Access-path memo metrics (see DESIGN.md §7 for the conventions).
+var (
+	mMemoHit     = obs.C("opt.memo.hit")
+	mMemoMiss    = obs.C("opt.memo.miss")
+	mMemoEvict   = obs.C("opt.memo.evict")
+	mMemoEntries = obs.G("opt.memo.entries")
+)
+
+// maxPathMemoEntries bounds the per-optimizer access-path memo. Entries are
+// small (a handful of plan nodes), so the bound is generous; FIFO eviction
+// keeps the steady state hot during a tuning run, where the same (table,
+// predicate, index-set) triples recur across thousands of candidate
+// configurations.
+const maxPathMemoEntries = 8192
+
+// memoEntry is one memoized bestAccessPath result: the winning subPlan plus
+// the cost.Args of every node in its subtree (preorder), so a hit can
+// re-register the args a later parallelize/cloneRecost pass needs.
+type memoEntry struct {
+	sp   subPlan
+	args []cost.Args // preorder over sp.node's subtree
+}
+
+// pathMemo caches bestAccessPath results per optimizer. Everything an
+// access path depends on is either in the key (table, ordered predicate
+// signature with constants, columns used, IDs of the indexes on the table)
+// or guarded by the generation pointers (statistics and cost model): when
+// o.Stats or o.Model is swapped the whole memo is invalidated. The zero
+// value is ready to use.
+type pathMemo struct {
+	mu      sync.Mutex
+	entries map[string]*memoEntry
+	order   []string // FIFO eviction order
+	stats   *stats.DatabaseStats
+	model   *cost.Model
+	hits    uint64
+	misses  uint64
+}
+
+// lookup returns the entry for key, or nil. It flushes the memo when the
+// optimizer's statistics or model object changed since the last call.
+func (m *pathMemo) lookup(key string, st *stats.DatabaseStats, model *cost.Model) *memoEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stats != st || m.model != model {
+		m.entries = nil
+		m.order = m.order[:0]
+		m.stats = st
+		m.model = model
+		mMemoEntries.Set(0)
+	}
+	e := m.entries[key]
+	if e == nil {
+		m.misses++
+		mMemoMiss.Inc()
+		return nil
+	}
+	m.hits++
+	mMemoHit.Inc()
+	return e
+}
+
+// store inserts an entry, evicting the oldest when full. A racing store for
+// the same key overwrites harmlessly (entries for equal keys are
+// interchangeable).
+func (m *pathMemo) store(key string, e *memoEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries == nil {
+		m.entries = make(map[string]*memoEntry)
+	}
+	if _, ok := m.entries[key]; !ok {
+		for len(m.order) >= maxPathMemoEntries {
+			oldest := m.order[0]
+			m.order = m.order[1:]
+			delete(m.entries, oldest)
+			mMemoEvict.Inc()
+		}
+		m.order = append(m.order, key)
+	}
+	m.entries[key] = e
+	mMemoEntries.Set(float64(len(m.entries)))
+}
+
+func (m *pathMemo) reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = nil
+	m.order = nil
+	m.stats = nil
+	m.model = nil
+	mMemoEntries.Set(0)
+}
+
+// InvalidatePathMemo drops all memoized access paths. Swapping o.Stats or
+// o.Model already invalidates implicitly (generation pointers); this is for
+// callers that mutate either in place.
+func (o *Optimizer) InvalidatePathMemo() { o.memo.reset() }
+
+// PathMemoStats returns lifetime hit/miss counts and the current entry
+// count of the access-path memo.
+func (o *Optimizer) PathMemoStats() (hits, misses uint64, entries int) {
+	m := &o.memo
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, len(m.entries)
+}
+
+// pathMemoKey renders the inputs bestAccessPath consumes into a compact
+// string key. Predicate order is preserved (selectivities multiply in
+// predicate order, so order is semantically significant for float
+// reproducibility); columns and index IDs arrive pre-sorted from
+// ColumnsUsed/IndexesOn.
+func pathMemoKey(table string, preds []query.Pred, need []string, ixs []*catalog.Index) string {
+	b := make([]byte, 0, 96)
+	b = append(b, table...)
+	for _, pr := range preds {
+		b = append(b, 0x1f)
+		b = append(b, pr.Column...)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, pr.Lo, 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, pr.Hi, 10)
+	}
+	b = append(b, 0x1e)
+	for _, c := range need {
+		b = append(b, c...)
+		b = append(b, ',')
+	}
+	b = append(b, 0x1e)
+	for _, ix := range ixs {
+		b = append(b, ix.ID()...)
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+// newMemoEntry snapshots a freshly built access path: the subPlan and the
+// preorder (node, args) pairs from the planner's args map.
+func newMemoEntry(sp *subPlan, args map[*plan.Node]cost.Args) *memoEntry {
+	e := &memoEntry{sp: *sp}
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		e.args = append(e.args, args[n])
+		for _, ch := range n.Children {
+			walk(ch)
+		}
+	}
+	walk(sp.node)
+	return e
+}
+
+// instantiate turns a memo entry into a fresh subPlan for the current
+// planner: the node tree is cloned (plans must not share mutable structure
+// with the memo) and each clone's args are registered so parallelize can
+// recost it; the table bitmask is recomputed for this query's table order.
+func (p *planner) instantiate(e *memoEntry, mask uint64) *subPlan {
+	i := 0
+	var walk func(n *plan.Node) *plan.Node
+	walk = func(n *plan.Node) *plan.Node {
+		c := *n
+		p.args[&c] = e.args[i]
+		i++
+		if len(n.Children) > 0 {
+			c.Children = make([]*plan.Node, len(n.Children))
+			for j, ch := range n.Children {
+				c.Children[j] = walk(ch)
+			}
+		}
+		return &c
+	}
+	root := walk(e.sp.node)
+	sp := e.sp
+	sp.node = root
+	sp.tables = mask
+	return &sp
+}

@@ -25,10 +25,6 @@ import (
 	"repro/internal/engine/stats"
 )
 
-// columnstoreCompression is the scan-bytes reduction the optimizer assumes
-// for columnstore segments.
-const columnstoreCompression = 4.0
-
 // btreeFanout approximates the effective fanout used to estimate index
 // height at planning time.
 const btreeFanout = 48.0
@@ -45,6 +41,11 @@ type Optimizer struct {
 	// DPTableLimit is the largest table count planned with exact dynamic
 	// programming; larger queries use greedy join ordering.
 	DPTableLimit int
+
+	// memo caches bestAccessPath results across Optimize calls (see
+	// memo.go). The zero value is ready; swapping Stats or Model
+	// invalidates it automatically.
+	memo pathMemo
 }
 
 // New returns an optimizer with the default believed cost model.
@@ -200,16 +201,22 @@ func estHeight(rows float64) float64 {
 // table: heap scan, columnstore scan, covering index scan, or index seek
 // (with key lookup when not covering).
 func (p *planner) bestAccessPath(table string) *subPlan {
-	meta := p.o.Schema.Table(table)
-	rows := float64(p.o.Stats.RowCount(table))
 	preds := p.q.PredsOn(table)
 	need := p.q.ColumnsUsed(table)
+	mask := uint64(1) << p.tableIdx[table]
+	ixs := p.cfg.IndexesOn(table)
+	key := pathMemoKey(table, preds, need, ixs)
+	if e := p.o.memo.lookup(key, p.o.Stats, p.o.Model); e != nil {
+		return p.instantiate(e, mask)
+	}
+
+	meta := p.o.Schema.Table(table)
+	rows := float64(p.o.Stats.RowCount(table))
 	needW := p.widthOf(table, need)
 	outRows := rows * p.selAll(preds)
-	mask := uint64(1) << p.tableIdx[table]
 
 	candidates := []*subPlan{p.tableScanPath(table, meta, rows, preds, outRows, needW, mask)}
-	for _, ix := range p.cfg.IndexesOn(table) {
+	for _, ix := range ixs {
 		if ix.Kind == catalog.Columnstore {
 			candidates = append(candidates, p.columnstorePath(table, ix, rows, preds, outRows, needW, mask))
 			continue
@@ -224,6 +231,7 @@ func (p *planner) bestAccessPath(table string) *subPlan {
 			best = c
 		}
 	}
+	p.o.memo.store(key, newMemoEntry(best, p.args))
 	return best
 }
 
@@ -238,7 +246,7 @@ func (p *planner) tableScanPath(table string, meta *catalog.Table, rows float64,
 func (p *planner) columnstorePath(table string, ix *catalog.Index, rows float64, preds []query.Pred, outRows, needW float64, mask uint64) *subPlan {
 	n := &plan.Node{Op: plan.ColumnstoreScan, Mode: plan.Batch, Table: table, Index: ix.ID(), IndexDef: ix, ResidualPreds: preds}
 	c := p.annotate(n, cost.Args{
-		RowsIn: rows, RowsOut: outRows, Bytes: rows * needW / columnstoreCompression,
+		RowsIn: rows, RowsOut: outRows, Bytes: rows * needW / cost.ColumnstoreCompression,
 	}, needW)
 	return &subPlan{node: n, tables: mask, rows: outRows, width: needW, cost: c, hasCS: true}
 }

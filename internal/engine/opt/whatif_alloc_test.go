@@ -1,0 +1,38 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/race"
+)
+
+// TestWhatIfCacheHitAllocBudget pins the hot path of the tuner's probe
+// loop: a repeated what-if probe must resolve from the plan cache with a
+// handful of allocations (fingerprint rendering and the shard hash), never
+// by re-planning.
+func TestWhatIfCacheHitAllocBudget(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc counts are not stable under -race (sync.Pool drops Puts)")
+	}
+	s, _, ds := buildEnv(t)
+	w := NewWhatIf(New(s, ds))
+	q := pointQuery()
+	cfg := catalog.NewConfiguration(&catalog.Index{Table: "fact", KeyColumns: []string{"f_date"}})
+	if _, err := w.Plan(q, cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := w.Plan(q, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 8
+	if allocs > budget {
+		t.Fatalf("cache-hit Plan allocated %.1f times per run, budget %d", allocs, budget)
+	}
+	calls, hits := w.Stats()
+	if hits < calls-1 {
+		t.Fatalf("expected all repeat probes to hit: calls=%d hits=%d", calls, hits)
+	}
+}

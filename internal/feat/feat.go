@@ -11,6 +11,7 @@ package feat
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/engine/plan"
 	"repro/internal/util"
@@ -62,7 +63,20 @@ func DefaultChannels() []Channel {
 // PlanVector computes one channel's vector for a plan: one attribute per
 // operator key, summing the weights of operators sharing a key.
 func PlanVector(p *plan.Plan, c Channel) []float64 {
-	v := make([]float64, plan.NumKeys)
+	return PlanVectorInto(p, c, make([]float64, plan.NumKeys))
+}
+
+// PlanVectorInto computes one channel's vector into v, reusing its
+// backing array when the capacity suffices (the vector is re-zeroed
+// first). Bit-identical to PlanVector.
+func PlanVectorInto(p *plan.Plan, c Channel, v []float64) []float64 {
+	if cap(v) < plan.NumKeys {
+		v = make([]float64, plan.NumKeys)
+	}
+	v = v[:plan.NumKeys]
+	for i := range v {
+		v[i] = 0
+	}
 	switch c {
 	case LeafWeightEstRowsWeightedSum:
 		leafWeighted(p.Root, v, func(n *plan.Node) float64 { return n.EstRows })
@@ -231,13 +245,53 @@ func (f *Featurizer) Plan(p *plan.Plan) []float64 {
 
 // Pair featurizes a plan pair (P1, P2) with the configured transform.
 func (f *Featurizer) Pair(p1, p2 *plan.Plan) []float64 {
-	v1s := make([][]float64, len(f.Channels))
-	v2s := make([][]float64, len(f.Channels))
-	for i, c := range f.Channels {
-		v1s[i] = PlanVector(p1, c)
-		v2s[i] = PlanVector(p2, c)
+	return f.PairInto(p1, p2, make([]float64, 0, f.PairDim()))
+}
+
+// pairScratch pools the per-channel plan vectors PairInto works from.
+type pairScratch struct{ v1, v2 []float64 }
+
+var pairPool = sync.Pool{New: func() any { return new(pairScratch) }}
+
+// PairInto featurizes a plan pair into out, truncating it first and
+// reusing its capacity. Channel vectors live in pooled scratch, so a warm
+// out buffer makes featurization allocation-free. Bit-identical to Pair.
+func (f *Featurizer) PairInto(p1, p2 *plan.Plan, out []float64) []float64 {
+	s := pairPool.Get().(*pairScratch)
+	out = out[:0]
+	for _, c := range f.Channels {
+		s.v1 = PlanVectorInto(p1, c, s.v1)
+		s.v2 = PlanVectorInto(p2, c, s.v2)
+		out = f.appendPair(out, s.v1, s.v2)
 	}
-	return f.PairFromVectors(v1s, v2s, p1.EstTotalCost, p2.EstTotalCost)
+	pairPool.Put(s)
+	if f.IncludeTotalCost {
+		out = append(out, p1.EstTotalCost, p2.EstTotalCost)
+	}
+	return out
+}
+
+// appendPair appends one channel's transformed pair attributes to out.
+func (f *Featurizer) appendPair(out, v1, v2 []float64) []float64 {
+	switch f.Transform {
+	case Concat:
+		out = append(out, v1...)
+		out = append(out, v2...)
+	case PairDiff:
+		for i := range v1 {
+			out = append(out, v2[i]-v1[i])
+		}
+	case PairDiffRatio:
+		for i := range v1 {
+			out = append(out, util.SafeDiv(v2[i]-v1[i], v1[i], ratioClip))
+		}
+	case PairDiffNormalized:
+		denom := util.Sum(v1)
+		for i := range v1 {
+			out = append(out, util.SafeDiv(v2[i]-v1[i], denom, ratioClip))
+		}
+	}
+	return out
 }
 
 // PairFromVectors combines pre-computed per-channel plan vectors into a
@@ -247,25 +301,7 @@ func (f *Featurizer) Pair(p1, p2 *plan.Plan) []float64 {
 func (f *Featurizer) PairFromVectors(v1s, v2s [][]float64, estCost1, estCost2 float64) []float64 {
 	out := make([]float64, 0, f.PairDim())
 	for ci := range v1s {
-		v1, v2 := v1s[ci], v2s[ci]
-		switch f.Transform {
-		case Concat:
-			out = append(out, v1...)
-			out = append(out, v2...)
-		case PairDiff:
-			for i := range v1 {
-				out = append(out, v2[i]-v1[i])
-			}
-		case PairDiffRatio:
-			for i := range v1 {
-				out = append(out, util.SafeDiv(v2[i]-v1[i], v1[i], ratioClip))
-			}
-		case PairDiffNormalized:
-			denom := util.Sum(v1)
-			for i := range v1 {
-				out = append(out, util.SafeDiv(v2[i]-v1[i], denom, ratioClip))
-			}
-		}
+		out = f.appendPair(out, v1s[ci], v2s[ci])
 	}
 	if f.IncludeTotalCost {
 		out = append(out, estCost1, estCost2)

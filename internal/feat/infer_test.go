@@ -1,0 +1,80 @@
+package feat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine/plan"
+	"repro/internal/race"
+)
+
+// refPair is the pre-optimization featurization: fresh channel vectors
+// combined by PairFromVectors. PairInto must match it bit for bit.
+func refPair(f *Featurizer, p1, p2 *plan.Plan) []float64 {
+	v1s := make([][]float64, len(f.Channels))
+	v2s := make([][]float64, len(f.Channels))
+	for i, c := range f.Channels {
+		v1s[i] = PlanVector(p1, c)
+		v2s[i] = PlanVector(p2, c)
+	}
+	return f.PairFromVectors(v1s, v2s, p1.EstTotalCost, p2.EstTotalCost)
+}
+
+func TestPairIntoMatchesReferenceAcrossTransforms(t *testing.T) {
+	p1 := twoJoinPlan(1000, 100)
+	p2 := twoJoinPlan(400, 900)
+	for tr := 0; tr < NumTransforms; tr++ {
+		for _, inc := range []bool{true, false} {
+			f := &Featurizer{Channels: DefaultChannels(), Transform: PairTransform(tr), IncludeTotalCost: inc}
+			want := refPair(f, p1, p2)
+			got := f.PairInto(p1, p2, nil)
+			alloc := f.Pair(p1, p2)
+			if len(got) != len(want) || len(alloc) != len(want) {
+				t.Fatalf("%v: dim %d/%d vs %d", f.Transform, len(got), len(alloc), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) ||
+					math.Float64bits(alloc[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%v inc=%v attr %d: into=%v alloc=%v ref=%v", f.Transform, inc, i, got[i], alloc[i], want[i])
+				}
+			}
+			// Reusing the buffer must reproduce the same vector.
+			again := f.PairInto(p1, p2, got)
+			for i := range want {
+				if math.Float64bits(again[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%v: reused buffer attr %d differs", f.Transform, i)
+				}
+			}
+		}
+	}
+}
+
+func TestPlanVectorIntoMatchesPlanVector(t *testing.T) {
+	p := twoJoinPlan(1000, 100)
+	buf := make([]float64, 0)
+	for c := Channel(0); c < Channel(NumChannels); c++ {
+		want := PlanVector(p, c)
+		buf = PlanVectorInto(p, c, buf)
+		for i := range want {
+			if math.Float64bits(buf[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("channel %v attr %d: %v vs %v", c, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPairIntoDoesNotAllocate(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc counts are not stable under -race (sync.Pool drops Puts)")
+	}
+	p1 := twoJoinPlan(1000, 100)
+	p2 := twoJoinPlan(400, 900)
+	f := Default()
+	buf := f.PairInto(p1, p2, nil) // warm the buffer and scratch pool
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = f.PairInto(p1, p2, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("PairInto allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/ml"
 	"repro/internal/ml/tree"
 	"repro/internal/obs"
 	"repro/internal/util"
@@ -103,15 +104,51 @@ func (f *Classifier) Fit(X [][]float64, y []int, numClasses int) error {
 
 // PredictProba implements ml.Classifier: the soft vote over trees.
 func (f *Classifier) PredictProba(x []float64) []float64 {
-	out := make([]float64, f.numClasses)
+	return f.PredictProbaInto(x, make([]float64, f.numClasses))
+}
+
+// PredictProbaInto implements ml.ProbaInto: each tree's stored leaf
+// distribution is accumulated directly into out, so a warm buffer makes
+// inference allocation-free. Bit-identical to the allocating path (same
+// per-tree accumulation order, same final division).
+func (f *Classifier) PredictProbaInto(x, out []float64) []float64 {
+	out = ml.Grow(out, f.numClasses)
+	for c := range out {
+		out[c] = 0
+	}
 	for _, t := range f.trees {
-		p := t.PredictProba(x)
-		for c := range out {
-			out[c] += p[c]
-		}
+		t.AccumProba(x, out)
 	}
 	for c := range out {
 		out[c] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// PredictProbaBatch implements ml.BatchProba with the tree-outer loop
+// order: each tree is descended for every row before moving on, so a
+// tree's nodes stay cache-hot across the whole batch. The per-row result
+// is bit-identical to PredictProba (float addition is commutative and
+// associative only per accumulator; each out[i][c] still receives the
+// trees' contributions in tree order).
+func (f *Classifier) PredictProbaBatch(X, out [][]float64) [][]float64 {
+	out = ml.GrowRows(out, len(X))
+	for i := range X {
+		out[i] = ml.Grow(out[i], f.numClasses)
+		for c := range out[i] {
+			out[i][c] = 0
+		}
+	}
+	for _, t := range f.trees {
+		for i, x := range X {
+			t.AccumProba(x, out[i])
+		}
+	}
+	n := float64(len(f.trees))
+	for i := range out {
+		for c := range out[i] {
+			out[i][c] /= n
+		}
 	}
 	return out
 }

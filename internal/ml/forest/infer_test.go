@@ -1,0 +1,98 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/util"
+)
+
+// trainedForest fits a small forest on a noisy two-class problem.
+func trainedForest(t *testing.T) (*Classifier, [][]float64) {
+	t.Helper()
+	rng := util.NewRNG(42)
+	X := make([][]float64, 200)
+	y := make([]int, len(X))
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if X[i][0]+0.3*X[i][1] > 0 {
+			y[i] = 1
+		}
+	}
+	f := NewClassifier(Config{Trees: 15, Seed: 1})
+	if err := f.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	return f, X
+}
+
+// refProba is the pre-optimization soft vote: per-tree allocating
+// PredictProba accumulated then divided. The Into path must match it bit
+// for bit.
+func refProba(f *Classifier, x []float64) []float64 {
+	out := make([]float64, f.numClasses)
+	for _, tr := range f.trees {
+		p := tr.PredictProba(x)
+		for c := range out {
+			out[c] += p[c]
+		}
+	}
+	for c := range out {
+		out[c] /= float64(len(f.trees))
+	}
+	return out
+}
+
+func TestPredictProbaIntoMatchesReference(t *testing.T) {
+	f, X := trainedForest(t)
+	buf := make([]float64, 2)
+	for _, x := range X {
+		want := refProba(f, x)
+		got := f.PredictProbaInto(x, buf)
+		alloc := f.PredictProba(x)
+		for c := range want {
+			if math.Float64bits(got[c]) != math.Float64bits(want[c]) ||
+				math.Float64bits(alloc[c]) != math.Float64bits(want[c]) {
+				t.Fatalf("proba mismatch at class %d: into=%v alloc=%v ref=%v", c, got[c], alloc[c], want[c])
+			}
+		}
+	}
+}
+
+func TestPredictProbaBatchMatchesSingle(t *testing.T) {
+	f, X := trainedForest(t)
+	batch := f.PredictProbaBatch(X, nil)
+	for i, x := range X {
+		want := refProba(f, x)
+		for c := range want {
+			if math.Float64bits(batch[i][c]) != math.Float64bits(want[c]) {
+				t.Fatalf("row %d class %d: batch=%v ref=%v", i, c, batch[i][c], want[c])
+			}
+		}
+	}
+	// Reusing the output rows must give the same answer.
+	again := f.PredictProbaBatch(X[:50], batch)
+	for i := 0; i < 50; i++ {
+		want := refProba(f, X[i])
+		for c := range want {
+			if math.Float64bits(again[i][c]) != math.Float64bits(want[c]) {
+				t.Fatalf("reused row %d class %d differs", i, c)
+			}
+		}
+	}
+}
+
+func TestPredictProbaIntoDoesNotAllocate(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc counts are not stable under -race (sync.Pool drops Puts)")
+	}
+	f, X := trainedForest(t)
+	buf := make([]float64, 2)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = f.PredictProbaInto(X[0], buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictProbaInto allocated %.1f times per run, want 0", allocs)
+	}
+}

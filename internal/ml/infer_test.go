@@ -1,0 +1,110 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/util"
+)
+
+func bitsEqual(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("%s[%d]: %v vs %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestSoftmaxIntoMatchesSoftmax(t *testing.T) {
+	rng := util.NewRNG(7)
+	for it := 0; it < 50; it++ {
+		logits := make([]float64, 3+rng.Intn(5))
+		for i := range logits {
+			logits[i] = rng.NormFloat64() * 10
+		}
+		want := Softmax(logits)
+		bitsEqual(t, "fresh", SoftmaxInto(logits, nil), want)
+		buf := make([]float64, len(logits)+4)
+		bitsEqual(t, "reused", SoftmaxInto(logits, buf), want)
+		// In-place: out aliases logits.
+		bitsEqual(t, "inplace", SoftmaxInto(logits, logits), want)
+	}
+}
+
+func TestTransformIntoMatchesTransform(t *testing.T) {
+	rng := util.NewRNG(8)
+	X := make([][]float64, 30)
+	for i := range X {
+		X[i] = make([]float64, 6)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64() * float64(j+1)
+		}
+	}
+	s := FitStandardizer(X)
+	for _, x := range X {
+		bitsEqual(t, "std", s.TransformInto(x, nil), s.Transform(x))
+	}
+	// The no-op standardizer must copy rather than alias.
+	empty := &Standardizer{}
+	out := empty.TransformInto(X[0], nil)
+	bitsEqual(t, "noop", out, X[0])
+	if &out[0] == &X[0][0] {
+		t.Fatal("TransformInto must not alias its input")
+	}
+}
+
+// probaOnly implements Classifier without the Into/Batch extensions, to
+// exercise the helper fallbacks.
+type probaOnly struct{ p []float64 }
+
+func (c probaOnly) Fit(X [][]float64, y []int, k int) error { return nil }
+func (c probaOnly) PredictProba(x []float64) []float64 {
+	out := make([]float64, len(c.p))
+	copy(out, c.p)
+	for i := range out {
+		out[i] *= x[0]
+	}
+	return out
+}
+
+func TestPredictProbaIntoFallback(t *testing.T) {
+	c := probaOnly{p: []float64{0.2, 0.3, 0.5}}
+	x := []float64{2}
+	want := c.PredictProba(x)
+	bitsEqual(t, "into", PredictProbaInto(c, x, nil), want)
+	buf := make([]float64, 8)
+	bitsEqual(t, "reused", PredictProbaInto(c, x, buf), want)
+
+	X := [][]float64{{1}, {2}, {3}}
+	got := PredictProbaBatch(c, X, nil)
+	for i, x := range X {
+		bitsEqual(t, "batch", got[i], c.PredictProba(x))
+	}
+	// Reused rows keep their backing arrays.
+	again := PredictProbaBatch(c, X, got)
+	for i, x := range X {
+		bitsEqual(t, "batch2", again[i], c.PredictProba(x))
+	}
+}
+
+func TestGrowSemantics(t *testing.T) {
+	b := Grow(nil, 4)
+	if len(b) != 4 {
+		t.Fatalf("len %d", len(b))
+	}
+	b2 := Grow(b, 3)
+	if &b2[0] != &b[0] {
+		t.Fatal("Grow should reuse sufficient capacity")
+	}
+	rows := GrowRows(nil, 2)
+	rows[0] = []float64{1, 2}
+	rows = GrowRows(rows, 1)
+	rows = GrowRows(rows, 2)
+	if rows[0] == nil || cap(rows[0]) < 2 {
+		t.Fatal("GrowRows should preserve retained row buffers")
+	}
+}

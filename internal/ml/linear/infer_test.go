@@ -1,0 +1,67 @@
+package linear
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/race"
+	"repro/internal/util"
+)
+
+func trainedLogistic(t *testing.T) (*Logistic, [][]float64) {
+	t.Helper()
+	rng := util.NewRNG(11)
+	X := make([][]float64, 150)
+	y := make([]int, len(X))
+	for i := range X {
+		X[i] = []float64{rng.NormFloat64(), rng.NormFloat64() * 3}
+		if X[i][0]-X[i][1] > 0 {
+			y[i] = 1
+		}
+	}
+	l := NewLogistic(Config{Epochs: 10, Seed: 3})
+	if err := l.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	return l, X
+}
+
+// refProba is the pre-optimization path: allocate the standardized row,
+// the logits, and the softmax output.
+func refProba(l *Logistic, x []float64) []float64 {
+	if l.std != nil {
+		x = l.std.Transform(x)
+	}
+	return ml.Softmax(l.logits(x))
+}
+
+func TestLogisticPredictProbaIntoMatchesReference(t *testing.T) {
+	l, X := trainedLogistic(t)
+	buf := make([]float64, 2)
+	for _, x := range X {
+		want := refProba(l, x)
+		got := l.PredictProbaInto(x, buf)
+		alloc := l.PredictProba(x)
+		for c := range want {
+			if math.Float64bits(got[c]) != math.Float64bits(want[c]) ||
+				math.Float64bits(alloc[c]) != math.Float64bits(want[c]) {
+				t.Fatalf("class %d: into=%v alloc=%v ref=%v", c, got[c], alloc[c], want[c])
+			}
+		}
+	}
+}
+
+func TestLogisticPredictProbaIntoDoesNotAllocate(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc counts are not stable under -race (sync.Pool drops Puts)")
+	}
+	l, X := trainedLogistic(t)
+	buf := make([]float64, 2)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = l.PredictProbaInto(X[0], buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictProbaInto allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -7,6 +7,7 @@ package linear
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/ml"
 	"repro/internal/util"
@@ -158,7 +159,11 @@ func (l *Logistic) Fit(X [][]float64, y []int, numClasses int) error {
 }
 
 func (l *Logistic) logits(x []float64) []float64 {
-	out := make([]float64, l.k)
+	return l.logitsInto(x, make([]float64, l.k))
+}
+
+func (l *Logistic) logitsInto(x, out []float64) []float64 {
+	out = ml.Grow(out, l.k)
 	for c := 0; c < l.k; c++ {
 		s := l.W[c][l.d]
 		for j := 0; j < l.d; j++ {
@@ -169,12 +174,26 @@ func (l *Logistic) logits(x []float64) []float64 {
 	return out
 }
 
+// stdScratch pools the standardized-input buffer of PredictProbaInto.
+var stdScratch = sync.Pool{New: func() any { return new([]float64) }}
+
 // PredictProba implements ml.Classifier.
 func (l *Logistic) PredictProba(x []float64) []float64 {
+	return l.PredictProbaInto(x, make([]float64, l.k))
+}
+
+// PredictProbaInto implements ml.ProbaInto: logits are computed directly
+// into out and softmaxed in place; standardization uses a pooled scratch
+// row. Bit-identical to the allocating path.
+func (l *Logistic) PredictProbaInto(x, out []float64) []float64 {
 	if l.std != nil {
-		x = l.std.Transform(x)
+		buf := stdScratch.Get().(*[]float64)
+		*buf = l.std.TransformInto(x, *buf)
+		x = *buf
+		defer stdScratch.Put(buf)
 	}
-	return ml.Softmax(l.logits(x))
+	out = l.logitsInto(x, out)
+	return ml.SoftmaxInto(out, out)
 }
 
 // Linear is an ordinary least-squares regressor trained with Adam.

@@ -28,6 +28,68 @@ type Regressor interface {
 	Predict(x []float64) float64
 }
 
+// ProbaInto is an optional Classifier extension: an inference path that
+// writes the class probabilities into a caller-provided buffer instead of
+// allocating one per call. Implementations must return out (grown if its
+// capacity was insufficient) and must produce bit-identical probabilities
+// to PredictProba.
+type ProbaInto interface {
+	PredictProbaInto(x, out []float64) []float64
+}
+
+// BatchProba is an optional Classifier extension: batched inference over
+// many inputs at once, letting implementations choose cache-friendlier
+// loop orders (e.g. a forest iterating trees in the outer loop). out[i]
+// receives row i's probabilities; rows are grown as needed and returned.
+type BatchProba interface {
+	PredictProbaBatch(X [][]float64, out [][]float64) [][]float64
+}
+
+// Grow returns buf with length n, reusing its backing array when the
+// capacity suffices. Contents are unspecified; callers overwrite.
+func Grow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// GrowRows returns rows with length n, preserving the capacity of both the
+// outer slice and each retained row buffer.
+func GrowRows(rows [][]float64, n int) [][]float64 {
+	if cap(rows) < n {
+		grown := make([][]float64, n)
+		copy(grown, rows)
+		return grown
+	}
+	return rows[:n]
+}
+
+// PredictProbaInto predicts into out via the classifier's allocation-free
+// path when it has one, falling back to copying PredictProba's result.
+func PredictProbaInto(c Classifier, x, out []float64) []float64 {
+	if pi, ok := c.(ProbaInto); ok {
+		return pi.PredictProbaInto(x, out)
+	}
+	p := c.PredictProba(x)
+	out = Grow(out, len(p))
+	copy(out, p)
+	return out
+}
+
+// PredictProbaBatch predicts every row of X into out, using the
+// classifier's batched path when it has one.
+func PredictProbaBatch(c Classifier, X [][]float64, out [][]float64) [][]float64 {
+	if bp, ok := c.(BatchProba); ok {
+		return bp.PredictProbaBatch(X, out)
+	}
+	out = GrowRows(out, len(X))
+	for i, x := range X {
+		out[i] = PredictProbaInto(c, x, out[i])
+	}
+	return out
+}
+
 // Predict returns the argmax class of a classifier's probabilities.
 func Predict(c Classifier, x []float64) int {
 	return util.ArgMax(c.PredictProba(x))
@@ -235,6 +297,20 @@ func (s *Standardizer) Transform(x []float64) []float64 {
 	return out
 }
 
+// TransformInto standardizes one row into out. Unlike Transform it copies
+// even for the no-op standardizer, so out never aliases x.
+func (s *Standardizer) TransformInto(x, out []float64) []float64 {
+	out = Grow(out, len(x))
+	if len(s.Mean) == 0 {
+		copy(out, x)
+		return out
+	}
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
 // TransformAll standardizes a matrix.
 func (s *Standardizer) TransformAll(X [][]float64) [][]float64 {
 	out := make([][]float64, len(X))
@@ -247,6 +323,23 @@ func (s *Standardizer) TransformAll(X [][]float64) [][]float64 {
 // Softmax converts logits to probabilities in place-safe fashion.
 func Softmax(logits []float64) []float64 {
 	out := make([]float64, len(logits))
+	max := logits[util.ArgMax(logits)]
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SoftmaxInto converts logits to probabilities in out. out may alias
+// logits (in-place softmax): the max is read first and every element is
+// consumed before it is overwritten. Bit-identical to Softmax.
+func SoftmaxInto(logits, out []float64) []float64 {
+	out = Grow(out, len(logits))
 	max := logits[util.ArgMax(logits)]
 	var sum float64
 	for i, v := range logits {

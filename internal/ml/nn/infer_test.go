@@ -1,0 +1,142 @@
+package nn
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/race"
+	"repro/internal/util"
+)
+
+// trainedNet fits a small network covering every layer kind the inference
+// path must reproduce: partial groups with passthrough inputs, a highway
+// layer, and a dense layer with a skip connection.
+func trainedNet(t *testing.T) (*Net, [][]float64) {
+	t.Helper()
+	rng := util.NewRNG(21)
+	const d = 6
+	groups := []int{0, 0, 1, 1, -1, -1}
+	X := make([][]float64, 120)
+	y := make([]int, len(X))
+	for i := range X {
+		X[i] = make([]float64, d)
+		for j := range X[i] {
+			X[i][j] = rng.NormFloat64()
+		}
+		if X[i][0]+X[i][2]-X[i][4] > 0 {
+			y[i] = 1
+		}
+	}
+	n := New(Config{
+		Hidden: []LayerSpec{
+			{Kind: PartialGroup, Out: 3},
+			{Kind: Dense, Out: 8, Dropout: 0.1},
+			{Kind: Highway},
+			{Kind: Dense, Out: 8, Skip: true},
+		},
+		KeyGroups: groups,
+		Epochs:    3,
+		Seed:      5,
+	})
+	if err := n.Fit(X, y, 2); err != nil {
+		t.Fatal(err)
+	}
+	return n, X
+}
+
+// refProba is the pre-optimization inference path: the cache-mutating
+// training forward pass at train=false, then an allocating softmax.
+func refProba(n *Net, x []float64) []float64 {
+	cur := n.std.Transform(x)
+	for _, l := range n.stack() {
+		cur = l.forward(cur, false, n.rng)
+	}
+	return ml.Softmax(cur)
+}
+
+func refHidden(n *Net, x []float64) []float64 {
+	cur := n.std.Transform(x)
+	for _, l := range n.layers {
+		cur = l.forward(cur, false, n.rng)
+	}
+	return append([]float64(nil), cur...)
+}
+
+func TestPredictProbaIntoMatchesForward(t *testing.T) {
+	n, X := trainedNet(t)
+	buf := make([]float64, 2)
+	for _, x := range X {
+		want := refProba(n, x)
+		got := n.PredictProbaInto(x, buf)
+		alloc := n.PredictProba(x)
+		for c := range want {
+			if math.Float64bits(got[c]) != math.Float64bits(want[c]) ||
+				math.Float64bits(alloc[c]) != math.Float64bits(want[c]) {
+				t.Fatalf("class %d: into=%v alloc=%v ref=%v", c, got[c], alloc[c], want[c])
+			}
+		}
+	}
+}
+
+func TestHiddenMatchesForward(t *testing.T) {
+	n, X := trainedNet(t)
+	for _, x := range X[:20] {
+		want := refHidden(n, x)
+		got := n.Hidden(x)
+		if len(got) != len(want) {
+			t.Fatalf("hidden width %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("hidden[%d]: %v vs %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentInference exercises the race the Into path fixes: the old
+// PredictProba wrote the per-layer training caches, so two goroutines
+// predicting on a shared trained network raced. Run with -race.
+func TestConcurrentInference(t *testing.T) {
+	n, X := trainedNet(t)
+	want := make([][]float64, len(X))
+	for i, x := range X {
+		want[i] = n.PredictProba(x)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]float64, 2)
+			for i, x := range X {
+				buf = n.PredictProbaInto(x, buf)
+				for c := range buf {
+					if math.Float64bits(buf[c]) != math.Float64bits(want[i][c]) {
+						t.Errorf("concurrent proba differs at row %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPredictProbaIntoDoesNotAllocate(t *testing.T) {
+	if race.Enabled {
+		t.Skip("alloc counts are not stable under -race (sync.Pool drops Puts)")
+	}
+	n, X := trainedNet(t)
+	buf := make([]float64, 2)
+	// Warm the scratch pool.
+	buf = n.PredictProbaInto(X[0], buf)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = n.PredictProbaInto(X[0], buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("PredictProbaInto allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -10,6 +10,7 @@ package nn
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/ml"
 	"repro/internal/obs"
@@ -578,23 +579,126 @@ func (n *Net) applyGrads(gW map[*block][][]float64, gB map[*block][]float64, bat
 	step(n.out.blocks[0])
 }
 
+// inferInto computes a layer's inference-time output for one sample into
+// dst, without touching the training caches (forward mutates them, which
+// made concurrent prediction on a shared trained network a data race).
+// src and dst must not alias. Dropout never applies at inference, and the
+// accumulation/activation/blend order matches forward(x, false, ·)
+// exactly, so the output is bit-identical.
+func (l *layer) inferInto(src, dst []float64) []float64 {
+	dst = dst[:l.outDim]
+	pos := 0
+	for _, b := range l.blocks {
+		if b.isPassthrough() {
+			// forward routes passthrough values through the activation too
+			// (they join pre before the activation loop); match it.
+			for _, i := range b.inIdx {
+				dst[pos] = act(l.spec.Act, src[i])
+				pos++
+			}
+			continue
+		}
+		for o := 0; o < b.out; o++ {
+			s := b.B[o]
+			w := b.W[o]
+			for ii, i := range b.inIdx {
+				s += w[ii] * src[i]
+			}
+			dst[pos] = act(l.spec.Act, s)
+			pos++
+		}
+	}
+	if l.spec.Kind == Highway {
+		pos = 0
+		for _, g := range l.gate {
+			for o := 0; o < g.out; o++ {
+				s := g.B[o]
+				for ii, i := range g.inIdx {
+					s += g.W[o][ii] * src[i]
+				}
+				gate := 1 / (1 + math.Exp(-s))
+				dst[pos] = gate*dst[pos] + (1-gate)*src[pos]
+				pos++
+			}
+		}
+	} else if l.spec.Skip && len(src) == len(dst) {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	}
+	return dst
+}
+
+// inferScratch holds the ping-pong activation buffers of the inference
+// path; pooled so steady-state prediction does not allocate.
+type inferScratch struct{ a, b []float64 }
+
+var inferPool = sync.Pool{New: func() any { return new(inferScratch) }}
+
+// maxWidth returns the widest activation the stack produces.
+func (n *Net) maxWidth() int {
+	w := n.inDim
+	for _, l := range n.layers {
+		if l.outDim > w {
+			w = l.outDim
+		}
+	}
+	if n.k > w {
+		w = n.k
+	}
+	return w
+}
+
+// infer runs the non-mutating forward pass (hidden layers, plus the
+// output layer when includeOut), returning the final activations, which
+// alias one of the scratch buffers.
+func (n *Net) infer(x []float64, includeOut bool, s *inferScratch) []float64 {
+	w := n.maxWidth()
+	s.a = ml.Grow(s.a, w)
+	s.b = ml.Grow(s.b, w)
+	cur := n.std.TransformInto(x, s.a[:len(x)])
+	useB := true
+	step := func(l *layer) {
+		dst := s.b
+		if !useB {
+			dst = s.a
+		}
+		cur = l.inferInto(cur, dst)
+		useB = !useB
+	}
+	for _, l := range n.layers {
+		step(l)
+	}
+	if includeOut {
+		step(n.out)
+	}
+	return cur
+}
+
 // PredictProba implements ml.Classifier.
 func (n *Net) PredictProba(x []float64) []float64 {
-	cur := n.std.Transform(x)
-	for _, l := range n.stack() {
-		cur = l.forward(cur, false, n.rng)
-	}
-	return ml.Softmax(cur)
+	return n.PredictProbaInto(x, make([]float64, n.k))
+}
+
+// PredictProbaInto implements ml.ProbaInto: activations ping-pong between
+// two pooled scratch buffers and the softmax lands in out. Safe for
+// concurrent use on a trained network.
+func (n *Net) PredictProbaInto(x, out []float64) []float64 {
+	s := inferPool.Get().(*inferScratch)
+	logits := n.infer(x, true, s)
+	out = ml.SoftmaxInto(logits, ml.Grow(out, n.k))
+	inferPool.Put(s)
+	return out
 }
 
 // Hidden returns the activations of the last hidden layer — the latent
 // representation the Hybrid DNN feeds into a random forest (§6.2.2).
 func (n *Net) Hidden(x []float64) []float64 {
-	cur := n.std.Transform(x)
-	for _, l := range n.layers {
-		cur = l.forward(cur, false, n.rng)
-	}
-	return append([]float64(nil), cur...)
+	s := inferPool.Get().(*inferScratch)
+	cur := n.infer(x, false, s)
+	out := append([]float64(nil), cur...)
+	inferPool.Put(s)
+	return out
 }
 
 // HiddenDim returns the width of the last hidden layer.

@@ -345,6 +345,26 @@ func (t *Tree) PredictProba(x []float64) []float64 {
 	return t.descend(x).proba
 }
 
+// PredictProbaInto implements ml.ProbaInto: the leaf distribution is
+// copied into out without touching the heap.
+func (t *Tree) PredictProbaInto(x, out []float64) []float64 {
+	p := t.descend(x).proba
+	if cap(out) < len(p) {
+		out = make([]float64, len(p))
+	}
+	out = out[:len(p)]
+	copy(out, p)
+	return out
+}
+
+// AccumProba adds x's leaf distribution into acc (length numClasses) —
+// the forest's allocation-free accumulation path.
+func (t *Tree) AccumProba(x, acc []float64) {
+	for c, v := range t.descend(x).proba {
+		acc[c] += v
+	}
+}
+
 // Predict returns the regression value of x's leaf.
 func (t *Tree) Predict(x []float64) float64 {
 	return t.descend(x).value

@@ -7,11 +7,13 @@ package models
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/engine/plan"
 	"repro/internal/expdata"
 	"repro/internal/feat"
 	"repro/internal/ml"
+	"repro/internal/util"
 )
 
 // Comparator predicts the cost relation of a plan pair (P1, P2): whether
@@ -19,6 +21,40 @@ import (
 // tuner consumes (§5).
 type Comparator interface {
 	Compare(p1, p2 *plan.Plan) expdata.Label
+}
+
+// PlanPair is one (P1, P2) pair for batched classification.
+type PlanPair struct {
+	P1, P2 *plan.Plan
+}
+
+// BatchComparator is an optional Comparator extension: classify many plan
+// pairs in one call, letting the model run its batched inference path.
+// Verdict i must equal Compare(pairs[i].P1, pairs[i].P2).
+type BatchComparator interface {
+	Comparator
+	CompareBatch(pairs []PlanPair, out []expdata.Label) []expdata.Label
+}
+
+// CompareAll classifies pairs with cmp, using its batched path when it has
+// one and sequential Compare calls otherwise. out is reused when large
+// enough.
+func CompareAll(cmp Comparator, pairs []PlanPair, out []expdata.Label) []expdata.Label {
+	if bc, ok := cmp.(BatchComparator); ok {
+		return bc.CompareBatch(pairs, out)
+	}
+	out = growLabels(out, len(pairs))
+	for i, p := range pairs {
+		out[i] = cmp.Compare(p.P1, p.P2)
+	}
+	return out
+}
+
+func growLabels(out []expdata.Label, n int) []expdata.Label {
+	if cap(out) < n {
+		return make([]expdata.Label, n)
+	}
+	return out[:n]
 }
 
 // IsRegression reports whether moving from pOld's plan to pNew's plan is
@@ -97,9 +133,51 @@ func (c *Classifier) PredictProba(p1, p2 *plan.Plan) []float64 {
 	return c.Model.PredictProba(c.Feat.Pair(p1, p2))
 }
 
-// Compare implements Comparator.
+// cmpScratch pools the per-Compare buffers: the pair feature vector and
+// the class-probability vector. Compare sits on the tuner's gate hot path
+// (one call per candidate probe), so it must not allocate per call.
+type cmpScratch struct {
+	pair  []float64
+	proba []float64
+}
+
+var cmpPool = sync.Pool{New: func() any { return new(cmpScratch) }}
+
+// Compare implements Comparator. Featurization and inference run through
+// the allocation-free paths with pooled scratch; the verdict is identical
+// to expdata.Label(ml.Predict(c.Model, c.Feat.Pair(p1, p2))).
 func (c *Classifier) Compare(p1, p2 *plan.Plan) expdata.Label {
-	return expdata.Label(ml.Predict(c.Model, c.Feat.Pair(p1, p2)))
+	s := cmpPool.Get().(*cmpScratch)
+	s.pair = c.Feat.PairInto(p1, p2, s.pair)
+	s.proba = ml.PredictProbaInto(c.Model, s.pair, s.proba)
+	v := expdata.Label(util.ArgMax(s.proba))
+	cmpPool.Put(s)
+	return v
+}
+
+// batchScratch pools CompareBatch's feature matrix and probability rows.
+type batchScratch struct {
+	X [][]float64
+	P [][]float64
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// CompareBatch implements BatchComparator: all pairs are featurized into
+// pooled rows and classified with one batched inference call.
+func (c *Classifier) CompareBatch(pairs []PlanPair, out []expdata.Label) []expdata.Label {
+	out = growLabels(out, len(pairs))
+	s := batchPool.Get().(*batchScratch)
+	s.X = ml.GrowRows(s.X, len(pairs))
+	for i, p := range pairs {
+		s.X[i] = c.Feat.PairInto(p.P1, p.P2, s.X[i])
+	}
+	s.P = ml.PredictProbaBatch(c.Model, s.X, s.P)
+	for i := range pairs {
+		out[i] = expdata.Label(util.ArgMax(s.P[i]))
+	}
+	batchPool.Put(s)
+	return out
 }
 
 // Uncertainty returns 1 − max class probability for a pair.
@@ -143,4 +221,14 @@ func NewOptimizerBaseline(alpha float64) *OptimizerBaseline {
 // Compare implements Comparator.
 func (o *OptimizerBaseline) Compare(p1, p2 *plan.Plan) expdata.Label {
 	return expdata.LabelOf(p1.EstTotalCost, p2.EstTotalCost, o.Alpha)
+}
+
+// CompareBatch implements BatchComparator; estimate comparison has no
+// batched inference to exploit, so this is the sequential loop.
+func (o *OptimizerBaseline) CompareBatch(pairs []PlanPair, out []expdata.Label) []expdata.Label {
+	out = growLabels(out, len(pairs))
+	for i, p := range pairs {
+		out[i] = o.Compare(p.P1, p.P2)
+	}
+	return out
 }

@@ -29,6 +29,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -513,16 +514,42 @@ func (s *HTTPServer) Shutdown(ctx context.Context) error {
 // Close immediately closes the listener and any active connections.
 func (s *HTTPServer) Close() error { return s.srv.Close() }
 
+// ServeOptions configures the optional extras mounted next to the metrics
+// snapshot handler.
+type ServeOptions struct {
+	// Pprof additionally mounts the stdlib net/http/pprof handlers under
+	// /debug/pprof/ so CPU, heap, and mutex profiles can be pulled from the
+	// same listener as the metrics snapshot. The snapshot stays the handler
+	// for every other path.
+	Pprof bool
+}
+
 // Serve binds addr (e.g. ":9090" or ":0"), serves the registry snapshot
 // over HTTP on every path, and returns a handle exposing the bound address
 // (supporting ":0" ephemeral-port tests and CLI use) and a way to stop the
 // server and release the port.
 func (r *Registry) Serve(addr string) (*HTTPServer, error) {
+	return r.ServeWith(addr, ServeOptions{})
+}
+
+// ServeWith is Serve with options; see ServeOptions.
+func (r *Registry) ServeWith(addr string, opts ServeOptions) (*HTTPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: r}
+	var h http.Handler = r
+	if opts.Pprof {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", r)
+		h = mux
+	}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return &HTTPServer{addr: ln.Addr().String(), srv: srv}, nil
 }
@@ -558,3 +585,7 @@ func TakeSnapshot() Snapshot { return def.Snapshot() }
 // Serve serves the default registry's snapshot on addr. Stop the returned
 // server to release the port.
 func Serve(addr string) (*HTTPServer, error) { return def.Serve(addr) }
+
+// ServeWith serves the default registry's snapshot on addr with options
+// (e.g. pprof on the same listener).
+func ServeWith(addr string, opts ServeOptions) (*HTTPServer, error) { return def.ServeWith(addr, opts) }

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -335,5 +336,60 @@ func BenchmarkSpanDisabled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.StartSpan("bench").End()
+	}
+}
+
+// TestServeWithPprof checks the opt-in pprof mount: the pprof index is
+// served under /debug/pprof/, and the metrics snapshot still answers on
+// every other path.
+func TestServeWithPprof(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Counter("whatif.cache.hit").Add(3)
+	srv, err := r.ServeWith("127.0.0.1:0", ServeOptions{Pprof: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d body %q", resp.StatusCode, body[:min(len(body), 200)])
+	}
+
+	resp, err = http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var s Snapshot
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("metrics path broke with pprof mounted: %v\n%s", err, body)
+	}
+	if s.Counters["whatif.cache.hit"] != 3 {
+		t.Fatalf("snapshot = %s", body)
+	}
+
+	// Without the option, pprof stays unmounted: the snapshot handler
+	// answers /debug/pprof/ with JSON, not the pprof index.
+	plain, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	resp, err = http.Get("http://" + plain.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &s); err != nil {
+		t.Fatalf("default Serve should keep serving snapshots everywhere: %s", body)
 	}
 }

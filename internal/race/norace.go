@@ -1,0 +1,6 @@
+//go:build !race
+
+package race
+
+// Enabled is true when -race instrumentation is active.
+const Enabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the binary was built with the race
+// detector. Allocation-budget tests consult it: under -race, sync.Pool
+// deliberately drops some Puts (to widen race coverage), so
+// testing.AllocsPerRun counts are not meaningful there.
+package race
+
+// Enabled is true when -race instrumentation is active.
+const Enabled = true

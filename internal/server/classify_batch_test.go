@@ -1,0 +1,81 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestClassifyBatch exercises the batched /v1/classify mode: many
+// configuration pairs for one query, all answered by one batched
+// comparator call, with verdicts matching the single-pair endpoint.
+func TestClassifyBatch(t *testing.T) {
+	s := newTestServer(t, nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	base := "http://" + addr
+
+	var up map[string]any
+	if code := doJSON(t, http.MethodPost, base+"/v1/models", bytes.NewReader(testModelBlob(t, 1)), &up); code != http.StatusCreated {
+		t.Fatalf("model upload: %d (%v)", code, up)
+	}
+
+	const body = `{"query":"q6","pairs":[
+		{"indexes_b":[{"table":"lineitem","key":["l_shipdate"]}]},
+		{"indexes_b":[{"table":"lineitem","key":["l_discount"]}]},
+		{"indexes_a":[{"table":"lineitem","key":["l_shipdate"]}],
+		 "indexes_b":[{"table":"lineitem","key":["l_shipdate"],"include":["l_discount","l_quantity","l_price"]}]}
+	]}`
+	var resp classifyResponse
+	if code := doJSON(t, http.MethodPost, base+"/v1/classify", strings.NewReader(body), &resp); code != http.StatusOK {
+		t.Fatalf("batch classify: %d (%+v)", code, resp)
+	}
+	if resp.Comparator != "model" || resp.ModelVersion != 1 {
+		t.Fatalf("batch response header = %+v", resp)
+	}
+	if len(resp.Verdicts) != 3 {
+		t.Fatalf("want 3 verdicts, got %d", len(resp.Verdicts))
+	}
+	for i, v := range resp.Verdicts {
+		switch v.Verdict {
+		case "improvement", "regression", "unsure":
+		default:
+			t.Fatalf("verdict[%d] = %q", i, v.Verdict)
+		}
+		if v.EstCostA <= 0 || v.EstCostB <= 0 {
+			t.Fatalf("verdict[%d] costs = %+v", i, v)
+		}
+	}
+
+	// Each batched verdict must match the single-pair endpoint.
+	single := `{"query":"q6","indexes_b":[{"table":"lineitem","key":["l_shipdate"]}]}`
+	var one classifyResponse
+	if code := doJSON(t, http.MethodPost, base+"/v1/classify", strings.NewReader(single), &one); code != http.StatusOK {
+		t.Fatalf("single classify: %d", code)
+	}
+	if one.Verdict != resp.Verdicts[0].Verdict {
+		t.Fatalf("batch verdict %q != single verdict %q", resp.Verdicts[0].Verdict, one.Verdict)
+	}
+
+	// pairs and top-level indexes are mutually exclusive.
+	bad := `{"query":"q6","indexes_b":[{"table":"lineitem","key":["l_shipdate"]}],"pairs":[{}]}`
+	var apiErr map[string]any
+	if code := doJSON(t, http.MethodPost, base+"/v1/classify", strings.NewReader(bad), &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("mixed request: %d (%v)", code, apiErr)
+	}
+
+	// The optimizer baseline batches too (no model required).
+	optBody := `{"query":"q6","comparator":"optimizer","pairs":[{"indexes_b":[{"table":"lineitem","key":["l_shipdate"]}]}]}`
+	var ob classifyResponse
+	if code := doJSON(t, http.MethodPost, base+"/v1/classify", strings.NewReader(optBody), &ob); code != http.StatusOK {
+		t.Fatalf("optimizer batch: %d", code)
+	}
+	if ob.Comparator != "optimizer" || len(ob.Verdicts) != 1 {
+		t.Fatalf("optimizer batch = %+v", ob)
+	}
+}

@@ -377,18 +377,35 @@ type classifyRequest struct {
 	SQL      string      `json:"sql,omitempty"`
 	IndexesA []IndexSpec `json:"indexes_a,omitempty"`
 	IndexesB []IndexSpec `json:"indexes_b,omitempty"`
+	// Pairs requests batched classification of many configuration pairs
+	// for the same query: all verdicts come from one batched comparator
+	// call. Mutually exclusive with the top-level indexes_a/indexes_b.
+	Pairs []classifyPairSpec `json:"pairs,omitempty"`
 	// Comparator selects the verdict source: "model" (default; requires an
 	// activated classifier) or "optimizer" (the estimate-only baseline).
 	Comparator string `json:"comparator,omitempty"`
 }
 
+type classifyPairSpec struct {
+	IndexesA []IndexSpec `json:"indexes_a,omitempty"`
+	IndexesB []IndexSpec `json:"indexes_b,omitempty"`
+}
+
+type classifyPairVerdict struct {
+	Verdict  string  `json:"verdict"`
+	EstCostA float64 `json:"est_cost_a"`
+	EstCostB float64 `json:"est_cost_b"`
+}
+
 type classifyResponse struct {
 	Query        string  `json:"query"`
-	Verdict      string  `json:"verdict"`
+	Verdict      string  `json:"verdict,omitempty"`
 	Comparator   string  `json:"comparator"`
 	ModelVersion int     `json:"model_version,omitempty"`
-	EstCostA     float64 `json:"est_cost_a"`
-	EstCostB     float64 `json:"est_cost_b"`
+	EstCostA     float64 `json:"est_cost_a,omitempty"`
+	EstCostB     float64 `json:"est_cost_b,omitempty"`
+	// Verdicts holds the batched results, in request pair order.
+	Verdicts []classifyPairVerdict `json:"verdicts,omitempty"`
 }
 
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -401,14 +418,8 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	cfgA, err := s.toConfig(req.IndexesA)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "indexes_a: %v", err)
-		return
-	}
-	cfgB, err := s.toConfig(req.IndexesB)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "indexes_b: %v", err)
+	if len(req.Pairs) > 0 && (len(req.IndexesA) > 0 || len(req.IndexesB) > 0) {
+		writeErr(w, http.StatusBadRequest, "pairs is mutually exclusive with indexes_a/indexes_b")
 		return
 	}
 	resp := classifyResponse{Query: q.Name}
@@ -428,6 +439,52 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		resp.Comparator = "optimizer"
 	default:
 		writeErr(w, http.StatusBadRequest, "unknown comparator %q", req.Comparator)
+		return
+	}
+	if len(req.Pairs) > 0 {
+		// Batched classification: plan every pair, then produce all
+		// verdicts with one batched comparator call.
+		pairs := make([]models.PlanPair, len(req.Pairs))
+		for i, spec := range req.Pairs {
+			cfgA, err := s.toConfig(spec.IndexesA)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "pairs[%d].indexes_a: %v", i, err)
+				return
+			}
+			cfgB, err := s.toConfig(spec.IndexesB)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "pairs[%d].indexes_b: %v", i, err)
+				return
+			}
+			if pairs[i].P1, err = s.cfg.WhatIf.Plan(q, cfgA); err != nil {
+				writeErr(w, http.StatusInternalServerError, "pairs[%d]: planning under indexes_a: %v", i, err)
+				return
+			}
+			if pairs[i].P2, err = s.cfg.WhatIf.Plan(q, cfgB); err != nil {
+				writeErr(w, http.StatusInternalServerError, "pairs[%d]: planning under indexes_b: %v", i, err)
+				return
+			}
+		}
+		verdicts := models.CompareAll(cmp, pairs, nil)
+		resp.Verdicts = make([]classifyPairVerdict, len(pairs))
+		for i, p := range pairs {
+			resp.Verdicts[i] = classifyPairVerdict{
+				Verdict:  verdicts[i].String(),
+				EstCostA: p.P1.EstTotalCost,
+				EstCostB: p.P2.EstTotalCost,
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	cfgA, err := s.toConfig(req.IndexesA)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "indexes_a: %v", err)
+		return
+	}
+	cfgB, err := s.toConfig(req.IndexesB)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "indexes_b: %v", err)
 		return
 	}
 	pA, err := s.cfg.WhatIf.Plan(q, cfgA)

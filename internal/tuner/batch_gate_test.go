@@ -1,0 +1,51 @@
+package tuner
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine/plan"
+	"repro/internal/expdata"
+	"repro/internal/feat"
+	"repro/internal/models"
+	"repro/internal/util"
+)
+
+// serialOnly hides a comparator's CompareBatch so the tuner takes the
+// serial gate path.
+type serialOnly struct{ c models.Comparator }
+
+func (s serialOnly) Compare(p1, p2 *plan.Plan) expdata.Label { return s.c.Compare(p1, p2) }
+
+// TestBatchedGateMatchesSerial runs the same tune with the classifier's
+// batched gate and with batching hidden; recommendations must be
+// identical, since CompareBatch is defined to equal per-pair Compare.
+func TestBatchedGateMatchesSerial(t *testing.T) {
+	e := newEnv(t)
+	ds, err := expdata.Collect(e.w, expdata.CollectOpts{Seed: 3, MaxConfigsPerQuery: 4, ExecRepeats: 1, StatsSampleSize: 256, StatsBuckets: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := models.NewClassifier(feat.Default(), models.RF(25, 7), expdata.DefaultAlpha)
+	if err := clf.Train(ds.Pairs(20, util.NewRNG(5))); err != nil {
+		t.Fatal(err)
+	}
+
+	qs := e.w.Queries[:4]
+	batched := New(e.w.Schema, e.whatIf, clf, Options{MaxNewIndexes: 3})
+	recB, err := batched.TuneWorkload(context.Background(), qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := New(e.w.Schema, e.whatIf, serialOnly{c: clf}, Options{MaxNewIndexes: 3})
+	recS, err := serial.TuneWorkload(context.Background(), qs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recB.Config.Fingerprint() != recS.Config.Fingerprint() {
+		t.Fatalf("batched gate changed the recommendation:\n%v\nvs\n%v", recB.Config, recS.Config)
+	}
+	if recB.EstCost != recS.EstCost {
+		t.Fatalf("batched gate changed the estimated cost: %v vs %v", recB.EstCost, recS.EstCost)
+	}
+}

@@ -193,15 +193,11 @@ func (t *Tuner) allowedByBudget(c0, c *catalog.Configuration) bool {
 	return added <= t.Opts.StorageBudget
 }
 
-// acceptNoRegression applies the no-regression gate for one query: the
-// comparator must not predict a regression versus the initial plan.
-func (t *Tuner) acceptNoRegression(p0, pH *plan.Plan) bool {
-	if t.Cmp == nil {
-		return true // the classic tuner trusts estimates
-	}
-	// One Compare call per gate, counted by verdict. Semantically identical
-	// to !models.IsRegression(t.Cmp, p0, pH).
-	switch t.Cmp.Compare(p0, pH) {
+// gateVerdict tallies one no-regression verdict and reports acceptance.
+// It is the single accounting point for the gate counters, shared by the
+// serial and batched gate paths, so batching cannot skew the metrics.
+func gateVerdict(v expdata.Label) bool {
+	switch v {
 	case expdata.Regression:
 		mGateRegression.Inc()
 		return false
@@ -211,6 +207,34 @@ func (t *Tuner) acceptNoRegression(p0, pH *plan.Plan) bool {
 		mGateUnsure.Inc()
 	}
 	return true
+}
+
+// acceptNoRegression applies the no-regression gate for one query: the
+// comparator must not predict a regression versus the initial plan.
+func (t *Tuner) acceptNoRegression(p0, pH *plan.Plan) bool {
+	if t.Cmp == nil {
+		return true // the classic tuner trusts estimates
+	}
+	// One Compare call per gate, counted by verdict. Semantically identical
+	// to !models.IsRegression(t.Cmp, p0, pH).
+	return gateVerdict(t.Cmp.Compare(p0, pH))
+}
+
+// gateBatch runs the no-regression comparisons of many candidates against
+// a fixed incumbent in one batched call when the comparator supports it.
+// It returns nil when the caller should gate serially instead. Verdicts
+// are returned untallied: the caller feeds them to gateVerdict in
+// candidate order, so counter semantics match the serial path exactly.
+func (t *Tuner) gateBatch(p0 *plan.Plan, cands []*plan.Plan) []expdata.Label {
+	bc, ok := t.Cmp.(models.BatchComparator)
+	if !ok || len(cands) < 2 {
+		return nil
+	}
+	pairs := make([]models.PlanPair, len(cands))
+	for i, p := range cands {
+		pairs[i] = models.PlanPair{P1: p0, P2: p}
+	}
+	return bc.CompareBatch(pairs, nil)
 }
 
 // better decides whether candidate pH improves on the incumbent pBest,
@@ -239,6 +263,28 @@ func (t *Tuner) better(pBest, pH *plan.Plan) bool {
 		}
 	}
 	return pH.EstTotalCost < pBest.EstTotalCost
+}
+
+// anyErr reports whether any element of errs is non-nil.
+func anyErr(errs []error) bool {
+	for _, err := range errs {
+		if err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// probesOK reports whether every probe of a step succeeded (the batched
+// gate path requires all plans up front; any error falls back to the
+// serial gate, which returns the first error in candidate order).
+func probesOK(probes []*queryProbe) bool {
+	for _, pr := range probes {
+		if pr.err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // queryProbe is one candidate probe of a greedy step: the candidate index,
@@ -302,13 +348,30 @@ func (t *Tuner) TuneQuery(ctx context.Context, q *query.Query, c0 *catalog.Confi
 		})
 		// Serial selection over the probe results, in candidate order:
 		// gate every candidate against the step's fixed incumbent
-		// (bestPlan), then keep the lowest-cost survivor.
+		// (bestPlan), then keep the lowest-cost survivor. When every probe
+		// succeeded and the comparator batches, all gate comparisons run as
+		// one inference batch; the verdicts are then tallied and consumed
+		// in the same candidate order as the serial path.
+		var verdicts []expdata.Label
+		if probesOK(probes) {
+			cand := make([]*plan.Plan, len(probes))
+			for i, pr := range probes {
+				cand[i] = pr.p
+			}
+			verdicts = t.gateBatch(p0, cand)
+		}
 		var step *queryProbe
-		for _, pr := range probes {
+		for i, pr := range probes {
 			if pr.err != nil {
 				return nil, pr.err
 			}
-			if !t.acceptNoRegression(p0, pr.p) {
+			var accepted bool
+			if verdicts != nil {
+				accepted = gateVerdict(verdicts[i])
+			} else {
+				accepted = t.acceptNoRegression(p0, pr.p)
+			}
+			if !accepted {
 				continue
 			}
 			if !t.better(bestPlan, pr.p) {
@@ -369,12 +432,32 @@ func (t *Tuner) workloadCost(ctx context.Context, qs []*query.Query, initPlans [
 		}
 		plans[i], errs[i] = t.WhatIf.Plan(qs[i], cfg)
 	})
+	// With a batching comparator and no probe errors, run all per-query
+	// gate comparisons as one inference batch. Verdicts are tallied in
+	// query order below, stopping at the first regression, so the counters
+	// match the serial path exactly (later verdicts stay untallied).
+	var verdicts []expdata.Label
+	if t.Cmp != nil && !anyErr(errs) {
+		if bc, ok := t.Cmp.(models.BatchComparator); ok && len(qs) >= 2 {
+			pairs := make([]models.PlanPair, len(qs))
+			for i := range qs {
+				pairs[i] = models.PlanPair{P1: initPlans[i], P2: plans[i]}
+			}
+			verdicts = bc.CompareBatch(pairs, nil)
+		}
+	}
 	var total float64
 	for i, q := range qs {
 		if errs[i] != nil {
 			return 0, false, errs[i]
 		}
-		if !t.acceptNoRegression(initPlans[i], plans[i]) {
+		var accepted bool
+		if verdicts != nil {
+			accepted = gateVerdict(verdicts[i])
+		} else {
+			accepted = t.acceptNoRegression(initPlans[i], plans[i])
+		}
+		if !accepted {
 			return 0, false, nil
 		}
 		w := q.Weight
