@@ -24,6 +24,7 @@ import (
 	"repro/internal/engine/stats"
 	"repro/internal/expdata"
 	"repro/internal/feat"
+	"repro/internal/learn"
 	"repro/internal/models"
 	"repro/internal/obs"
 	sqlparse "repro/internal/sql"
@@ -302,4 +303,21 @@ func TrainClassifierFromTelemetry(recs []PlanRecord, o ClassifierOptions) (*Clas
 		return nil, err
 	}
 	return clf, nil
+}
+
+// LearnOptions configure one online-learning cycle; see the learn package
+// for field semantics. The zero value uses conservative defaults.
+type LearnOptions = learn.Options
+
+// LearnReport is the outcome of one learning cycle: compaction stats,
+// shadow-evaluation scores, and the promotion decision.
+type LearnReport = learn.CycleReport
+
+// LearnFromTelemetry runs one offline learning cycle — the serve daemon's
+// compaction → training → shadow-evaluation → promotion-gate pipeline —
+// over telemetry records, against an optional current champion. It returns
+// the cycle report plus the challenger classifier when it passed the
+// promotion gate (nil when the cycle rejected or skipped).
+func LearnFromTelemetry(recs []PlanRecord, champion *Classifier, o LearnOptions) (*LearnReport, *Classifier, error) {
+	return learn.RunOnce(recs, champion, o)
 }

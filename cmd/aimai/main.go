@@ -7,7 +7,8 @@
 //	aimai list
 //	aimai run [-scale 0.25] [-seed N] [-quick] [-parallel N] [-dbs a,b,c] [-out file] [-metrics-addr :9090] [-pprof] <experiment|all>
 //	aimai tune [-db tpch10] [-scale 0.1] [-query q6] [-model rf|none] [-iters 5] [-parallel N] [-metrics-addr :9090] [-pprof]
-//	aimai serve [-addr :8080] [-db tpch10] [-scale 0.1] [-models-dir dir] [-telemetry file] [-workers N] [-queue N]
+//	aimai serve [-addr :8080] [-db tpch10] [-scale 0.1] [-models-dir dir] [-telemetry file] [-learn-interval 30s] [-workers N] [-queue N]
+//	aimai learn [-models-dir dir] [-seed N] [-dry-run] telemetry.jsonl...
 //	aimai sql [-db tpch10] [-scale 0.1] [-explain] [-limit 20] "SELECT ..."
 //	aimai workloads [-scale 0.25] [-sql]
 package main
@@ -78,6 +79,8 @@ func main() {
 		err = cmdTune(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "learn":
+		err = cmdLearn(os.Args[2:])
 	case "workloads":
 		err = cmdWorkloads(os.Args[2:])
 	case "sql":
@@ -103,6 +106,7 @@ commands:
   run         regenerate one experiment or "all"
   tune        tune a query of a suite database with/without the classifier
   serve       run the tuning service daemon (JSON HTTP API, async jobs)
+  learn       run one offline learning cycle over telemetry JSONL files
   sql         run an ad-hoc SQL query against a suite database
   workloads   print workload statistics (and optionally query SQL)`)
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/aimai"
+	"repro/internal/learn"
 	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/tuner"
@@ -28,7 +29,13 @@ func cmdServe(args []string) error {
 	seed := fs.Int64("seed", 1, "seed")
 	parallel := fs.Int("parallel", 0, "per-job what-if worker pool (0 = GOMAXPROCS)")
 	modelDir := fs.String("models-dir", "", "versioned model registry directory (empty = in-memory)")
+	registryKeep := fs.Int("registry-keep", 0, "prune the registry to the newest N versions plus active+predecessor (0 = keep all)")
 	telemetry := fs.String("telemetry", "", "append ingested telemetry to this JSONL file (empty = in-memory)")
+	telemetrySegBytes := fs.Int64("telemetry-segment-bytes", 0, "rotate the telemetry file at this size (0 = 8MiB default)")
+	telemetrySegments := fs.Int("telemetry-segments", 0, "retained telemetry segments after rotation (0 = 4 default)")
+	learnInterval := fs.Duration("learn-interval", 0, "background learning tick period (0 = cycles run only via POST /v1/learn/trigger)")
+	learnRecords := fs.Int("learn-records", 0, "retrain after this many new telemetry records (0 = default 64)")
+	learnSeed := fs.Int64("learn-seed", 0, "learning loop seed (0 = the -seed value)")
 	workers := fs.Int("workers", 1, "tuning-job workers")
 	queue := fs.Int("queue", 8, "tuning-job queue capacity (full queue answers 429)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "synchronous request timeout")
@@ -51,13 +58,24 @@ func cmdServe(args []string) error {
 		return err
 	}
 	obs.SetEnabled(true) // /metrics is part of the serving API
+	if *learnSeed == 0 {
+		*learnSeed = *seed
+	}
 	srv, err := server.New(server.Config{
-		Workload:       sys.Workload,
-		WhatIf:         sys.WhatIf,
-		Exec:           sys.Exec,
-		TunerOpts:      tuner.Options{Parallelism: *parallel},
-		ModelDir:       *modelDir,
-		TelemetryPath:  *telemetry,
+		Workload:              sys.Workload,
+		WhatIf:                sys.WhatIf,
+		Exec:                  sys.Exec,
+		TunerOpts:             tuner.Options{Parallelism: *parallel},
+		ModelDir:              *modelDir,
+		RegistryKeep:          *registryKeep,
+		TelemetryPath:         *telemetry,
+		TelemetrySegmentBytes: *telemetrySegBytes,
+		TelemetrySegments:     *telemetrySegments,
+		Learn: learn.Options{
+			Seed:            *learnSeed,
+			Interval:        *learnInterval,
+			RecordThreshold: *learnRecords,
+		},
 		Workers:        *workers,
 		QueueSize:      *queue,
 		RequestTimeout: *reqTimeout,

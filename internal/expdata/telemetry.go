@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/feat"
 )
@@ -64,6 +65,53 @@ func ImportTelemetry(r io.Reader) ([]PlanRecord, error) {
 		out = append(out, rec)
 	}
 	return out, nil
+}
+
+// CheckCosts validates a record's cost fields: both the measured cost and
+// the optimizer estimate must be finite and non-negative. Telemetry is a
+// trust boundary (records arrive over HTTP from remote databases), so a
+// NaN, infinite, or negative cost is rejected here instead of propagating
+// into labels and feature vectors.
+func (r *PlanRecord) CheckCosts() error {
+	if math.IsNaN(r.Cost) || math.IsInf(r.Cost, 0) || r.Cost < 0 {
+		return fmt.Errorf("expdata: record %s/%s: bad measured cost %v", r.DB, r.Query, r.Cost)
+	}
+	if math.IsNaN(r.EstTotalCost) || math.IsInf(r.EstTotalCost, 0) || r.EstTotalCost < 0 {
+		return fmt.Errorf("expdata: record %s/%s: bad estimated cost %v", r.DB, r.Query, r.EstTotalCost)
+	}
+	return nil
+}
+
+// ChannelVectors extracts the named channel vectors of a record in order,
+// canonicalized to dim attributes. A vector shorter than dim is zero-padded
+// (operator keys a plan never used carry zero mass, so padding preserves
+// featurization semantics); a vector longer than dim, a missing channel, or
+// a non-finite attribute is an error. padded reports whether any vector
+// needed padding.
+func (r *PlanRecord) ChannelVectors(names []string, dim int) (vs [][]float64, padded bool, err error) {
+	vs = make([][]float64, 0, len(names))
+	for _, name := range names {
+		v, ok := r.Channels[name]
+		if !ok {
+			return nil, false, fmt.Errorf("expdata: record %s/%s: missing channel %q", r.DB, r.Query, name)
+		}
+		if len(v) > dim {
+			return nil, false, fmt.Errorf("expdata: record %s/%s: channel %q has %d attributes, featurization emits %d", r.DB, r.Query, name, len(v), dim)
+		}
+		for _, x := range v {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return nil, false, fmt.Errorf("expdata: record %s/%s: channel %q has non-finite attribute", r.DB, r.Query, name)
+			}
+		}
+		if len(v) < dim {
+			padded = true
+			pv := make([]float64, dim)
+			copy(pv, v)
+			v = pv
+		}
+		vs = append(vs, v)
+	}
+	return vs, padded, nil
 }
 
 // TelemetryPairs reconstructs labeled training vectors from telemetry:

@@ -230,6 +230,25 @@ func (f *Featurizer) KeyGroups() []int {
 	return g
 }
 
+// ConfigEqual reports whether two featurizers emit identically laid-out
+// vectors: same channels in the same order, same pair transform, and the
+// same total-cost tail. Models may only be evaluated on vectors produced by
+// a config-equal featurizer.
+func (f *Featurizer) ConfigEqual(g *Featurizer) bool {
+	if g == nil || f.Transform != g.Transform || f.IncludeTotalCost != g.IncludeTotalCost {
+		return false
+	}
+	if len(f.Channels) != len(g.Channels) {
+		return false
+	}
+	for i, c := range f.Channels {
+		if g.Channels[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
 // Plan featurizes a single plan (concatenated channels, plus the total
 // estimated cost when configured). Used by the plan-level regressor.
 func (f *Featurizer) Plan(p *plan.Plan) []float64 {

@@ -1,0 +1,86 @@
+package learn
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+var mDriftScore = obs.G("learn.drift.score")
+
+// ChannelSummary is the per-channel distribution sketch drift detection
+// compares: mean and standard deviation of each record's channel mass (the
+// sum of its vector — total estimated work under that weighting) plus the
+// measured-cost distribution. Cheap to compute, cheap to store alongside a
+// model version, and sensitive to the shifts that matter for a cost model:
+// the workload getting heavier, lighter, or differently shaped.
+type ChannelSummary struct {
+	Count int       `json:"count"`
+	Mean  []float64 `json:"mean"` // per channel, then measured cost (log1p domain)
+	Std   []float64 `json:"std"`
+}
+
+// Summarize sketches the channel-mass distributions of a compacted window.
+// Masses are summarized in log1p domain: workload costs are heavy-tailed,
+// and drift in scale matters as much as drift in location.
+func Summarize(set *LabeledSet, channels int) *ChannelSummary {
+	s := &ChannelSummary{Count: len(set.Records)}
+	dims := channels + 1 // per-channel mass + measured cost
+	sum := make([]float64, dims)
+	sumSq := make([]float64, dims)
+	for _, cr := range set.Records {
+		for ci := 0; ci < channels; ci++ {
+			var mass float64
+			if ci < len(cr.vectors) {
+				for _, x := range cr.vectors[ci] {
+					mass += x
+				}
+			}
+			v := math.Log1p(math.Abs(mass))
+			sum[ci] += v
+			sumSq[ci] += v * v
+		}
+		v := math.Log1p(cr.rec.Cost)
+		sum[channels] += v
+		sumSq[channels] += v * v
+	}
+	s.Mean = make([]float64, dims)
+	s.Std = make([]float64, dims)
+	if s.Count == 0 {
+		return s
+	}
+	n := float64(s.Count)
+	for i := 0; i < dims; i++ {
+		s.Mean[i] = sum[i] / n
+		variance := sumSq[i]/n - s.Mean[i]*s.Mean[i]
+		if variance > 0 {
+			s.Std[i] = math.Sqrt(variance)
+		}
+	}
+	return s
+}
+
+// DriftScore measures how far a recent window has moved from a reference
+// window: the maximum over channels of |Δmean| in reference-std units
+// (a z-score of the window mean, floored at a small std so a near-constant
+// reference cannot make the score explode). 0 means identical; the loop
+// retrains above Options.DriftThreshold.
+func DriftScore(ref, cur *ChannelSummary) float64 {
+	if ref == nil || cur == nil || ref.Count == 0 || cur.Count == 0 {
+		return 0
+	}
+	const minStd = 1e-3
+	score := 0.0
+	for i := 0; i < len(ref.Mean) && i < len(cur.Mean); i++ {
+		std := ref.Std[i]
+		if std < minStd {
+			std = minStd
+		}
+		z := math.Abs(cur.Mean[i]-ref.Mean[i]) / std
+		if z > score {
+			score = z
+		}
+	}
+	mDriftScore.Set(score)
+	return score
+}

@@ -1,0 +1,90 @@
+package learn
+
+import (
+	"fmt"
+
+	"repro/internal/expdata"
+	"repro/internal/ml"
+	"repro/internal/models"
+	"repro/internal/util"
+)
+
+// EvalReport scores one model on one labeled pair set: overall accuracy
+// plus the paper's regression-gate metrics — per-class precision/recall/F1,
+// with the regression class (the class whose errors cost real query
+// latency, §7.1) surfaced as the headline.
+type EvalReport struct {
+	Pairs    int     `json:"pairs"`
+	Accuracy float64 `json:"accuracy"`
+	// RegressionPrecision/Recall/F1 are the regression-class metrics: how
+	// trustworthy the model's "this change will regress" verdicts are.
+	RegressionPrecision float64 `json:"regression_precision"`
+	RegressionRecall    float64 `json:"regression_recall"`
+	RegressionF1        float64 `json:"regression_f1"`
+	// PerClass holds precision/recall/F1/support per label, in
+	// expdata.Label order (improvement, regression, unsure).
+	PerClass [expdata.NumLabels]ml.ClassMetrics `json:"per_class"`
+}
+
+// evalVectors scores a classifier on pair vectors.
+func evalVectors(clf *models.Classifier, X [][]float64, y []int) *EvalReport {
+	conf := models.EvaluateVectors(clf, X, y)
+	r := &EvalReport{Pairs: len(X), Accuracy: conf.Accuracy()}
+	for cl := 0; cl < expdata.NumLabels; cl++ {
+		r.PerClass[cl] = conf.Metrics(cl)
+	}
+	reg := r.PerClass[expdata.Regression]
+	r.RegressionPrecision, r.RegressionRecall, r.RegressionF1 = reg.Precision, reg.Recall, reg.F1
+	return r
+}
+
+// splitByTemplate divides a labeled set into train/eval index lists with
+// whole template groups on one side — expdata.SplitQuery semantics on the
+// telemetry path: a template's pairs never straddle the boundary, so the
+// shadow evaluation measures generalization to unseen templates, not
+// memorization. Groups are shuffled deterministically by rng and assigned
+// to eval until at least evalFrac of the pairs are held out. With fewer
+// than two template groups the split is impossible; the caller must reject
+// the cycle rather than fall back to a leaky pair-level split.
+func splitByTemplate(set *LabeledSet, evalFrac float64, rng *util.RNG) (trainIdx, evalIdx []int, err error) {
+	order := set.templateOrder()
+	if len(order) < 2 {
+		return nil, nil, fmt.Errorf("learn: need at least 2 template groups for a leakage-free eval split, have %d", len(order))
+	}
+	byGroup := map[uint64][]int{}
+	for i, g := range set.Groups {
+		byGroup[g] = append(byGroup[g], i)
+	}
+	perm := rng.Perm(len(order))
+	wantEval := int(float64(len(set.X)) * evalFrac)
+	if wantEval < 1 {
+		wantEval = 1
+	}
+	nEval := 0
+	for _, gi := range perm {
+		idxs := byGroup[order[gi]]
+		// Hold out groups until the eval side is big enough, but never all
+		// of them: the last group always trains.
+		if nEval < wantEval && nEval+len(idxs) < len(set.X) {
+			evalIdx = append(evalIdx, idxs...)
+			nEval += len(idxs)
+		} else {
+			trainIdx = append(trainIdx, idxs...)
+		}
+	}
+	if len(trainIdx) == 0 || len(evalIdx) == 0 {
+		return nil, nil, fmt.Errorf("learn: degenerate template split (train=%d eval=%d)", len(trainIdx), len(evalIdx))
+	}
+	return trainIdx, evalIdx, nil
+}
+
+// subset materializes an index list as (X, y).
+func (s *LabeledSet) subset(idx []int) ([][]float64, []int) {
+	X := make([][]float64, len(idx))
+	y := make([]int, len(idx))
+	for i, j := range idx {
+		X[i] = s.X[j]
+		y[i] = s.Y[j]
+	}
+	return X, y
+}

@@ -1,0 +1,78 @@
+package learn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine/plan"
+	"repro/internal/expdata"
+	"repro/internal/feat"
+)
+
+// FuzzCompact feeds hostile telemetry through compaction: arbitrary costs
+// (NaN/∞/negative via bit patterns), arbitrary channel shapes (missing,
+// oversized, mismatched dims), and duplicates. The invariants: never
+// panic, account for every record, and emit only finite, well-shaped pair
+// vectors with in-range labels.
+func FuzzCompact(f *testing.F) {
+	f.Add("db", "q1", uint64(1), uint64(1), 100.0, 100.0, 50.0, uint(1), false, false)
+	f.Add("", "", uint64(0), uint64(0), math.NaN(), -1.0, math.Inf(1), uint(0), true, true)
+	f.Add("db", "q2", uint64(7), uint64(9), 1e300, 1e-300, -0.0, uint(64), true, false)
+	f.Add("db", "q3", uint64(3), uint64(3), -5.0, math.Inf(-1), 1.5, uint(200), false, true)
+
+	f.Fuzz(func(t *testing.T, db, q string, tmpl, fp uint64, cost, est, attr float64, dims uint, dropChannel, dup bool) {
+		if dims > uint(4*plan.NumKeys) {
+			dims = uint(4 * plan.NumKeys) // bound allocation, still covers oversized
+		}
+		vec := make([]float64, dims)
+		for i := range vec {
+			vec[i] = attr
+		}
+		hostile := expdata.PlanRecord{
+			DB: db, Query: q, TemplateHash: tmpl, Fingerprint: fp,
+			Cost: cost, EstTotalCost: est,
+			Channels: map[string][]float64{
+				"EstNodeCost":                   vec,
+				"LeafWeightEstBytesWeightedSum": vec,
+			},
+		}
+		if dropChannel {
+			delete(hostile.Channels, "EstNodeCost")
+		}
+		g := &gen{}
+		recs := []expdata.PlanRecord{g.rec(0, 100, 100, 100), hostile, g.rec(0, 200, 200, 200)}
+		if dup {
+			recs = append(recs, hostile)
+		}
+		fz := feat.Default()
+		set := Compact(recs, fz, Options{})
+
+		st := set.Stats
+		if st.Total != len(recs) {
+			t.Fatalf("total = %d, want %d", st.Total, len(recs))
+		}
+		if got := st.SkippedCost + st.SkippedChannels + st.Deduped + st.Windowed + st.Used; got != st.Total {
+			t.Fatalf("accounting broken: %d of %d records unexplained (%+v)", st.Total-got, st.Total, st)
+		}
+		if len(set.X) != len(set.Y) || len(set.X) != len(set.Groups) || len(set.X) != st.Pairs {
+			t.Fatalf("parallel slices disagree: X=%d Y=%d Groups=%d Pairs=%d",
+				len(set.X), len(set.Y), len(set.Groups), st.Pairs)
+		}
+		wantDim := fz.PairDim()
+		for _, x := range set.X {
+			if len(x) != wantDim {
+				t.Fatalf("pair vector dim %d, want %d", len(x), wantDim)
+			}
+			for _, v := range x {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite feature %v leaked through validation", v)
+				}
+			}
+		}
+		for _, y := range set.Y {
+			if y < 0 || y >= expdata.NumLabels {
+				t.Fatalf("label %d out of range", y)
+			}
+		}
+	})
+}

@@ -195,6 +195,18 @@ func EvaluateF1(c Comparator, pairs []expdata.Pair, alpha float64, class expdata
 	return conf.Metrics(int(class)).F1
 }
 
+// EvaluateVectors scores a classifier on pre-featurized pair vectors (the
+// telemetry-side shadow-evaluation path: vectors come from compacted
+// PlanRecords, never from plan objects). The vectors must follow the
+// classifier's own featurization layout.
+func EvaluateVectors(c *Classifier, X [][]float64, y []int) *ml.Confusion {
+	conf := ml.NewConfusion(expdata.NumLabels)
+	for i := range X {
+		conf.Add(y[i], ml.Predict(c.Model, X[i]))
+	}
+	return conf
+}
+
 // EvaluateMetrics returns the full confusion matrix of a comparator.
 func EvaluateMetrics(c Comparator, pairs []expdata.Pair, alpha float64) *ml.Confusion {
 	conf := ml.NewConfusion(expdata.NumLabels)

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/learn"
+)
+
+// ---- online learning endpoints ----
+
+// learnTriggerRequest is the optional POST /v1/learn/trigger body.
+type learnTriggerRequest struct {
+	// Reason labels the cycle in status reports (default "manual").
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleLearnStatus reports the learning loop's state: cycle counters,
+// the last cycle's full report, and any promotion awaiting live
+// confirmation.
+func (s *Server) handleLearnStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.loop.Status())
+}
+
+// handleLearnTrigger starts a learning cycle in the background. Cycles are
+// serialized: a trigger while one runs answers 409 and the caller polls
+// GET /v1/learn/status.
+func (s *Server) handleLearnTrigger(w http.ResponseWriter, r *http.Request) {
+	req := learnTriggerRequest{Reason: "manual"}
+	if r.ContentLength != 0 {
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if req.Reason == "" {
+			req.Reason = "manual"
+		}
+	}
+	if err := s.loop.TriggerAsync(req.Reason); err != nil {
+		if errors.Is(err, learn.ErrCycleRunning) {
+			writeErr(w, http.StatusConflict, "%v", err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"triggered": true, "reason": req.Reason,
+	})
+}

@@ -28,6 +28,15 @@ import (
 	"time"
 
 	"repro/internal/models"
+	"repro/internal/obs"
+)
+
+// Registry metric handles: store occupancy (versions and bytes) and the
+// retention policy's activity (see DESIGN.md §11).
+var (
+	mRegVersions = obs.G("server.registry.versions")
+	mRegBytes    = obs.G("server.registry.store_bytes")
+	mRegPruned   = obs.C("server.registry.pruned")
 )
 
 // Version is one immutable registry entry: a validated classifier and its
@@ -128,7 +137,19 @@ func Open(dir string) (*Registry, error) {
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("registry: reading CURRENT: %w", err)
 	}
+	r.updateGauges()
 	return r, nil
+}
+
+// updateGauges publishes the store's occupancy; callers hold r.mu (or run
+// during single-threaded Open).
+func (r *Registry) updateGauges() {
+	var bytes int64
+	for _, v := range r.versions {
+		bytes += v.Size
+	}
+	mRegVersions.Set(float64(len(r.versions)))
+	mRegBytes.Set(float64(bytes))
 }
 
 func (r *Registry) blobPath(id int) string {
@@ -169,7 +190,60 @@ func (r *Registry) Add(data []byte) (*Version, error) {
 		v.Path = path
 	}
 	r.versions = append(r.versions, v)
+	r.updateGauges()
 	return v, nil
+}
+
+// Prune enforces the retention policy: the newest keep versions survive,
+// plus the active version and any pinned ids (the learning loop pins the
+// rollback target), whatever their age. Everything else is dropped from
+// memory and, for persistent registries, deleted from disk. keep <= 0 keeps
+// everything. Returns the removed version ids in ascending order.
+//
+// A blob whose deletion fails stays in the store (and in the returned
+// error) rather than leaving memory and disk disagreeing.
+func (r *Registry) Prune(keep int, pin ...int) ([]int, error) {
+	if keep <= 0 {
+		return nil, nil
+	}
+	act := r.Active()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	protected := map[int]bool{}
+	if act != nil {
+		protected[act.ID] = true
+	}
+	for _, id := range pin {
+		protected[id] = true
+	}
+	for i := len(r.versions) - keep; i < len(r.versions); i++ {
+		if i >= 0 {
+			protected[r.versions[i].ID] = true
+		}
+	}
+	var removed []int
+	var kept []*Version
+	var firstErr error
+	for _, v := range r.versions {
+		if protected[v.ID] {
+			kept = append(kept, v)
+			continue
+		}
+		if v.Path != "" {
+			if err := os.Remove(v.Path); err != nil && !os.IsNotExist(err) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("registry: pruning v%04d: %w", v.ID, err)
+				}
+				kept = append(kept, v)
+				continue
+			}
+		}
+		removed = append(removed, v.ID)
+	}
+	r.versions = kept
+	mRegPruned.Add(int64(len(removed)))
+	r.updateGauges()
+	return removed, firstErr
 }
 
 // Activate makes version id the serving model. The swap is atomic: readers

@@ -213,3 +213,94 @@ func TestConcurrentReadDuringHotSwap(t *testing.T) {
 		t.Fatalf("final active = %d, want 6", got)
 	}
 }
+
+func TestPruneRetention(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := r.Add(testBlob(t, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Activate(3); err != nil {
+		t.Fatal(err)
+	}
+	// keep=2 protects the newest {5,6}, the active v3, and the pinned v2
+	// (a rollback target): only v1 and v4 go.
+	removed, err := r.Prune(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(removed) != "[1 4]" {
+		t.Fatalf("removed = %v, want [1 4]", removed)
+	}
+	var ids []int
+	for _, info := range r.List() {
+		ids = append(ids, info.ID)
+	}
+	if fmt.Sprint(ids) != "[2 3 5 6]" {
+		t.Fatalf("surviving versions = %v, want [2 3 5 6]", ids)
+	}
+	// Blobs really leave the disk; survivors really stay.
+	for _, id := range []int{1, 4} {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("v%04d.clf", id))); !os.IsNotExist(err) {
+			t.Fatalf("pruned blob v%04d still on disk (err=%v)", id, err)
+		}
+	}
+	for _, id := range []int{2, 3, 5, 6} {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("v%04d.clf", id))); err != nil {
+			t.Fatalf("surviving blob v%04d missing: %v", id, err)
+		}
+	}
+	// The active model keeps serving, and pruned registries stay usable.
+	if act := r.Active(); act == nil || act.ID != 3 {
+		t.Fatalf("active after prune = %v, want v3", act)
+	}
+	if err := r.Activate(2); err != nil {
+		t.Fatalf("activating the pinned rollback target: %v", err)
+	}
+}
+
+func TestPruneKeepZeroIsNoop(t *testing.T) {
+	r, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := r.Add(testBlob(t, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := r.Prune(0)
+	if err != nil || removed != nil {
+		t.Fatalf("Prune(0) = (%v, %v), want a no-op", removed, err)
+	}
+	if len(r.List()) != 3 {
+		t.Fatalf("versions = %d, want all 3 kept", len(r.List()))
+	}
+}
+
+func TestPruneMemoryOnly(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := r.Add(testBlob(t, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := r.Prune(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(removed) != "[1 2 3]" {
+		t.Fatalf("removed = %v, want [1 2 3]", removed)
+	}
+	if got := r.List(); len(got) != 1 || got[0].ID != 4 {
+		t.Fatalf("survivors = %v, want just v4", got)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/engine/opt"
 	"repro/internal/engine/query"
 	"repro/internal/expdata"
+	"repro/internal/learn"
 	"repro/internal/models"
 	"repro/internal/obs"
 	"repro/internal/server/registry"
@@ -75,9 +76,22 @@ type Config struct {
 	// ModelDir is the versioned model registry directory; empty keeps
 	// models in memory only.
 	ModelDir string
+	// RegistryKeep bounds the registry after promotions and uploads: the
+	// active version, its predecessor (the rollback target), and the newest
+	// RegistryKeep versions survive pruning. 0 keeps everything.
+	RegistryKeep int
 	// TelemetryPath appends ingested telemetry as JSON lines; empty keeps
 	// records in memory only.
 	TelemetryPath string
+	// TelemetrySegmentBytes / TelemetrySegments bound the on-disk telemetry
+	// window: segments rotate at TelemetrySegmentBytes and at most
+	// TelemetrySegments are retained (0 = defaults).
+	TelemetrySegmentBytes int64
+	TelemetrySegments     int
+
+	// Learn configures the online learning loop (GET /v1/learn/status,
+	// POST /v1/learn/trigger; a background ticker when Learn.Interval > 0).
+	Learn learn.Options
 
 	// Workers is the tuning-job worker pool size (default 1: tuning jobs
 	// are internally parallel already via TunerOpts.Parallelism).
@@ -109,6 +123,7 @@ type Server struct {
 	reg       *registry.Registry
 	jobs      *jobs
 	telemetry *telemetrySink
+	loop      *learn.Loop
 	handler   http.Handler
 
 	httpSrv *http.Server
@@ -126,7 +141,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	sink, err := openTelemetrySink(cfg.TelemetryPath)
+	sink, err := openTelemetrySink(cfg.TelemetryPath, cfg.TelemetrySegmentBytes, cfg.TelemetrySegments)
 	if err != nil {
 		return nil, err
 	}
@@ -136,6 +151,8 @@ func New(cfg Config) (*Server, error) {
 		jobs:      newJobs(cfg.Workers, cfg.QueueSize),
 		telemetry: sink,
 	}
+	s.loop = learn.NewLoop(reg, sink.snapshot, cfg.RegistryKeep, cfg.Learn)
+	s.loop.Start()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", obs.Default())
@@ -144,6 +161,8 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("POST /v1/models", s.handleModelUpload)
 	mux.HandleFunc("GET /v1/models", s.handleModelList)
 	mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /v1/learn/status", s.handleLearnStatus)
+	mux.HandleFunc("POST /v1/learn/trigger", s.handleLearnTrigger)
 	mux.HandleFunc("POST /v1/jobs/tune", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
@@ -195,6 +214,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if err := s.jobs.drain(ctx); err != nil && first == nil {
 		first = err
 	}
+	// The loop reads the telemetry sink: stop it before closing the sink.
+	s.loop.Stop()
 	if err := s.telemetry.close(); err != nil && first == nil {
 		first = err
 	}
@@ -317,7 +338,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"db":             s.cfg.Workload.Name,
 		"queries":        len(s.cfg.Workload.Queries),
 		"jobs":           s.jobs.counts(),
-		"telemetry":      s.telemetry.count(),
+		"telemetry":      s.telemetry.total(),
 		"indexes_cached": len(s.cfg.Exec.CachedIndexes()),
 	}
 	if v := s.reg.Active(); v != nil {
@@ -511,12 +532,20 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "reading model blob: %v", err)
 		return
 	}
+	prior := s.reg.Active()
 	v, err := s.reg.AddAndActivate(data)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
 	mModelsActive.Inc()
+	if s.cfg.RegistryKeep > 0 {
+		pin := []int{}
+		if prior != nil {
+			pin = append(pin, prior.ID)
+		}
+		_, _ = s.reg.Prune(s.cfg.RegistryKeep, pin...)
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"version": v.ID, "activated": true, "size": v.Size,
 	})
@@ -549,7 +578,7 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"accepted": len(recs), "total": s.telemetry.count(),
+		"accepted": len(recs), "total": s.telemetry.total(),
 	})
 }
 

@@ -11,68 +11,248 @@ import (
 	"repro/internal/obs"
 )
 
-var mTelemetryRecords = obs.C("server.telemetry.records")
+var (
+	mTelemetryRecords   = obs.C("server.telemetry.records")
+	mTelemetryRotations = obs.C("server.telemetry.rotations")
+	mTelemetrySkipped   = obs.C("server.telemetry.snapshot_skipped")
+	mTelemetrySegments  = obs.G("server.telemetry.segments")
+	mTelemetryBytes     = obs.G("server.telemetry.segment_bytes")
+)
+
+// Telemetry sink bounds. Segments rotate by size so the JSONL file can no
+// longer grow without limit: the current segment lives at <path>, rotated
+// ones at <path>.1 (newest) .. <path>.N-1 (oldest), and the oldest segment
+// is deleted on rotation. The retained window — what snapshot() hands the
+// learning loop — is therefore at most maxSegments × maxSegmentBytes.
+const (
+	defaultSegmentBytes = 8 << 20
+	defaultMaxSegments  = 4
+	// memRecordCap bounds the in-memory buffer of a path-less sink (tests,
+	// ephemeral servers): the oldest records are dropped past the cap, like
+	// a rotated-away segment.
+	memRecordCap = 100_000
+)
 
 // telemetrySink accumulates execution telemetry posted to /v1/telemetry —
-// the §7 feedback loop's ingest side. Records are buffered in memory (the
-// retraining working set) and, when a path is configured, appended durably
-// as JSON lines in the ExportTelemetry format so a later
-// TrainClassifierFromTelemetry run can consume the file directly.
+// the §7 feedback loop's ingest side. With a path configured, records are
+// appended durably as JSON lines in the ExportTelemetry format, rotated by
+// size across a bounded number of segments; without one they live in a
+// bounded in-memory buffer. snapshot() returns the full retained window
+// (across all segments) for the learning loop, and total() the monotonic
+// record count, so callers can align snapshot records with ingest ordinals.
 type telemetrySink struct {
-	mu      sync.Mutex
-	path    string
-	f       *os.File
-	bw      *bufio.Writer
-	records []expdata.PlanRecord
-	total   int64
+	mu           sync.Mutex
+	path         string
+	segmentBytes int64
+	maxSegments  int
+
+	f        *os.File
+	bw       *bufio.Writer
+	curBytes int64
+
+	records []expdata.PlanRecord // memory-only mode
+	dropped int64                // memory-mode records discarded past the cap
+	count   int64                // records ingested or found on disk at open
 }
 
 // openTelemetrySink opens (appending to) path, or a memory-only sink when
-// path is empty.
-func openTelemetrySink(path string) (*telemetrySink, error) {
-	s := &telemetrySink{path: path}
+// path is empty. Pre-existing segments are counted so total() stays aligned
+// with what snapshot() returns across restarts.
+func openTelemetrySink(path string, segmentBytes int64, maxSegments int) (*telemetrySink, error) {
+	if segmentBytes <= 0 {
+		segmentBytes = defaultSegmentBytes
+	}
+	if maxSegments <= 0 {
+		maxSegments = defaultMaxSegments
+	}
+	s := &telemetrySink{path: path, segmentBytes: segmentBytes, maxSegments: maxSegments}
 	if path == "" {
 		return s, nil
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("server: opening telemetry sink %s: %w", path, err)
+	for _, seg := range s.segmentPaths() {
+		recs, _ := readTelemetrySegment(seg)
+		s.count += int64(len(recs))
 	}
-	s.f = f
-	s.bw = bufio.NewWriter(f)
+	if err := s.openCurrent(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
-// append adds validated records to the sink.
+// segmentPaths lists every possible segment location, oldest first, ending
+// with the current segment.
+func (s *telemetrySink) segmentPaths() []string {
+	out := make([]string, 0, s.maxSegments)
+	for i := s.maxSegments - 1; i >= 1; i-- {
+		out = append(out, fmt.Sprintf("%s.%d", s.path, i))
+	}
+	return append(out, s.path)
+}
+
+// openCurrent opens the live segment for appending; callers hold s.mu (or
+// run during single-threaded construction).
+func (s *telemetrySink) openCurrent() error {
+	f, err := os.OpenFile(s.path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: opening telemetry sink %s: %w", s.path, err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("server: stat telemetry sink %s: %w", s.path, err)
+	}
+	// A crash mid-write can leave a torn line without a trailing newline;
+	// appending directly after it would corrupt the next record too.
+	// Terminate the torn line so only the torn record is lost.
+	if size := info.Size(); size > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], size-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return fmt.Errorf("server: terminating torn telemetry line in %s: %w", s.path, err)
+			}
+		}
+	}
+	s.f = f
+	s.bw = bufio.NewWriter(f)
+	s.curBytes = info.Size()
+	mTelemetryBytes.Set(float64(s.curBytes))
+	return nil
+}
+
+// rotate shifts <path>.i → <path>.i+1 (dropping the oldest), moves the
+// current segment to <path>.1, and opens a fresh current segment. Called
+// with s.mu held and the writer flushed.
+func (s *telemetrySink) rotate() error {
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("server: closing telemetry segment: %w", err)
+	}
+	for i := s.maxSegments - 1; i >= 2; i-- {
+		from := fmt.Sprintf("%s.%d", s.path, i-1)
+		to := fmt.Sprintf("%s.%d", s.path, i)
+		if _, err := os.Stat(from); err == nil {
+			if err := os.Rename(from, to); err != nil {
+				return fmt.Errorf("server: rotating telemetry segment %s: %w", from, err)
+			}
+		}
+	}
+	if s.maxSegments > 1 {
+		if err := os.Rename(s.path, s.path+".1"); err != nil {
+			return fmt.Errorf("server: rotating telemetry segment %s: %w", s.path, err)
+		}
+	} else if err := os.Remove(s.path); err != nil {
+		return fmt.Errorf("server: truncating telemetry sink %s: %w", s.path, err)
+	}
+	mTelemetryRotations.Inc()
+	if err := s.openCurrent(); err != nil {
+		return err
+	}
+	n := 0
+	for _, seg := range s.segmentPaths() {
+		if _, err := os.Stat(seg); err == nil {
+			n++
+		}
+	}
+	mTelemetrySegments.Set(float64(n))
+	return nil
+}
+
+// append adds validated records to the sink, rotating the on-disk segment
+// when it crosses the size threshold.
 func (s *telemetrySink) append(recs []expdata.PlanRecord) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.bw != nil {
-		enc := json.NewEncoder(s.bw)
 		for i := range recs {
-			if err := enc.Encode(&recs[i]); err != nil {
+			line, err := json.Marshal(&recs[i])
+			if err != nil {
 				return fmt.Errorf("server: appending telemetry: %w", err)
 			}
+			line = append(line, '\n')
+			if _, err := s.bw.Write(line); err != nil {
+				return fmt.Errorf("server: appending telemetry: %w", err)
+			}
+			s.curBytes += int64(len(line))
+			if s.curBytes >= s.segmentBytes {
+				if err := s.bw.Flush(); err != nil {
+					return fmt.Errorf("server: flushing telemetry: %w", err)
+				}
+				if err := s.rotate(); err != nil {
+					return err
+				}
+			}
+		}
+		mTelemetryBytes.Set(float64(s.curBytes))
+	} else {
+		s.records = append(s.records, recs...)
+		if over := len(s.records) - memRecordCap; over > 0 {
+			s.records = append(s.records[:0:0], s.records[over:]...)
+			s.dropped += int64(over)
 		}
 	}
-	s.records = append(s.records, recs...)
-	s.total += int64(len(recs))
+	s.count += int64(len(recs))
 	mTelemetryRecords.Add(int64(len(recs)))
 	return nil
 }
 
-// snapshot copies the in-memory record buffer (for retraining jobs).
-func (s *telemetrySink) snapshot() []expdata.PlanRecord {
+// snapshot returns the retained telemetry window (oldest first) and the
+// monotonic total of records ever ingested. The window's last record has
+// ordinal total-1, so a caller holding a total watermark can slice exactly
+// the records ingested after it. Disk-backed sinks read every live segment;
+// unparseable lines (a torn write from a crash) are skipped and counted.
+func (s *telemetrySink) snapshot() ([]expdata.PlanRecord, int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]expdata.PlanRecord(nil), s.records...)
+	if s.bw == nil {
+		return append([]expdata.PlanRecord(nil), s.records...), s.count
+	}
+	if err := s.bw.Flush(); err != nil {
+		mTelemetrySkipped.Inc()
+		return nil, s.count
+	}
+	var out []expdata.PlanRecord
+	for _, seg := range s.segmentPaths() {
+		recs, skipped := readTelemetrySegment(seg)
+		mTelemetrySkipped.Add(int64(skipped))
+		out = append(out, recs...)
+	}
+	return out, s.count
 }
 
-// count returns the number of records ingested since startup.
-func (s *telemetrySink) count() int64 {
+// readTelemetrySegment decodes one JSONL segment line by line, skipping
+// (and counting) lines that do not parse. A missing segment is empty.
+func readTelemetrySegment(path string) (recs []expdata.PlanRecord, skipped int) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec expdata.PlanRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			skipped++
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if sc.Err() != nil {
+		skipped++
+	}
+	return recs, skipped
+}
+
+// total returns the monotonic number of records ingested (including records
+// found on disk when the sink opened).
+func (s *telemetrySink) total() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.total
+	return s.count
 }
 
 // flush forces buffered records to disk (no-op for memory sinks).

@@ -72,6 +72,80 @@ code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/classify" -d '{"
 # Metrics are served from the same process.
 curl -sf "http://$addr/metrics" | head -c 200 >/dev/null || fail "metrics unreachable"
 
+# ---- online learning round trip ----
+# Ingest synthetic telemetry (4 templates × 5 plans, cost tracking the
+# channel mass), trigger a learning cycle, and poll until the loop trains,
+# shadow-evaluates, and promotes a challenger into the registry.
+
+status="$(curl -sf "http://$addr/v1/learn/status")" || fail "learn status unreachable"
+case "$status" in
+*'"cycles": 0'*) ;;
+*) fail "unexpected initial learn status: $status" ;;
+esac
+
+gen_telemetry() {
+    local fp=0 t m
+    for t in 0 1 2 3; do
+        for m in 100 200 400 800 820; do
+            fp=$((fp + 1))
+            printf '{"db":"smoke","query":"q%02d","template_hash":%d,"fingerprint":%d,"cost":%d,"est_total_cost":%d,"channels":{"EstNodeCost":[%d],"LeafWeightEstBytesWeightedSum":[%d]}}\n' \
+                "$t" $((1000 + t)) "$fp" "$m" "$m" "$m" "$m"
+        done
+    done
+}
+
+ingest="$(gen_telemetry | curl -sf "http://$addr/v1/telemetry" --data-binary @-)" || fail "telemetry ingest failed"
+echo "telemetry: $ingest"
+case "$ingest" in
+*'"accepted": 20'*) ;;
+*) fail "telemetry ingest did not accept 20 records: $ingest" ;;
+esac
+
+trigger="$(curl -sf -X POST "http://$addr/v1/learn/trigger" -d '{"reason":"smoke"}')" || fail "learn trigger failed"
+echo "trigger: $trigger"
+
+promoted=""
+for _ in $(seq 1 120); do
+    status="$(curl -sf "http://$addr/v1/learn/status")" || fail "learn status unreachable mid-cycle"
+    case "$status" in
+    *'"decision": "promoted"'*)
+        promoted=yes
+        break
+        ;;
+    *'"decision": "rejected"'* | *'"decision": "skipped"'*)
+        fail "learning cycle did not promote: $status"
+        ;;
+    esac
+    sleep 0.5
+done
+[ -n "$promoted" ] || fail "learning cycle never finished: $status"
+echo "learn status: $status"
+case "$status" in
+*'"promotions": 1'*'"active_model": 1'* | *'"active_model": 1'*'"promotions": 1'*) ;;
+*) fail "promotion not visible in learn status: $status" ;;
+esac
+
+# The promoted version is a real registry version on disk...
+[ -f "$workdir/models/v0001.clf" ] || fail "promoted model blob missing from the registry directory"
+
+# ...the daemon now serves it on the model comparator path...
+classify="$(curl -sf "http://$addr/v1/classify" -d '{
+    "query": "q6",
+    "indexes_b": [{"table":"lineitem","key":["l_shipdate"]}]
+}')" || fail "classify with the promoted model failed"
+case "$classify" in
+*'"comparator": "model"'*'"model_version": 1'* | *'"model_version": 1'*'"comparator": "model"'*) ;;
+*) fail "classify is not using the promoted model: $classify" ;;
+esac
+echo "classify (promoted model): $classify"
+
+# ...and the transition is visible in the metrics snapshot.
+metrics="$(curl -sf "http://$addr/metrics")" || fail "metrics unreachable after promotion"
+case "$metrics" in
+*'learn.promotions'*) ;;
+*) fail "learn.promotions missing from /metrics" ;;
+esac
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$pid"
 status=0
