@@ -55,9 +55,13 @@ func printMetricsSummary() {
 	if h, ok := s.Histograms["whatif.probe.latency"]; ok && h.Count > 0 {
 		fmt.Printf("; probe p50 %.3fms p99 %.3fms", 1e3*h.P50, 1e3*h.P99)
 	}
-	if mh, mm := s.Counters["opt.memo.hit"], s.Counters["opt.memo.miss"]; mh+mm > 0 {
-		fmt.Printf("\nmetrics: access-path memo hits %d misses %d (entries %.0f)",
+	if mh, mm := s.Gauges["opt.memo.hit"], s.Gauges["opt.memo.miss"]; mh+mm > 0 {
+		fmt.Printf("\nmetrics: access-path memo hits %.0f misses %.0f (entries %.0f)",
 			mh, mm, s.Gauges["opt.memo.entries"])
+	}
+	if jh, jm := s.Gauges["opt.jmemo.hit"], s.Gauges["opt.jmemo.miss"]; jh+jm > 0 {
+		fmt.Printf("\nmetrics: join-order memo hits %.0f misses %.0f (entries %.0f)",
+			jh, jm, s.Gauges["opt.jmemo.entries"])
 	}
 	fmt.Printf("\nmetrics: gate verdicts regression=%d improvement=%d unsure=%d; continuous accept=%d revert=%d\n",
 		s.Counters["tuner.gate.regression"], s.Counters["tuner.gate.improvement"], s.Counters["tuner.gate.unsure"],

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // ColumnType enumerates the logical column types supported by the engine.
@@ -170,10 +171,26 @@ type Index struct {
 	Kind            IndexKind
 	KeyColumns      []string
 	IncludedColumns []string
+
+	// id caches ID(). Index definitions are immutable once constructed,
+	// so the first render is reused; the zero value (nil) means "not yet
+	// computed". Indexes must be shared by pointer, never copied.
+	id atomic.Pointer[string]
 }
 
 // ID returns a canonical identifier for the index, stable across processes.
+// The string is computed once per Index and cached: definitions are
+// immutable, and the optimizer's hot path renders index IDs on every plan.
 func (ix *Index) ID() string {
+	if s := ix.id.Load(); s != nil {
+		return *s
+	}
+	s := ix.buildID()
+	ix.id.Store(&s)
+	return s
+}
+
+func (ix *Index) buildID() string {
 	var b strings.Builder
 	b.WriteString(ix.Table)
 	if ix.Kind == Columnstore {
@@ -254,6 +271,15 @@ func (ix *Index) EstimatedBytes(t *Table) int64 {
 // the tuner searches over and the what-if API plans against.
 type Configuration struct {
 	indexes map[string]*Index
+
+	// fp and sorted lazily cache Fingerprint() and the ID-sorted index
+	// slice. Both are invalidated by Add/Remove. Configurations are
+	// mutated single-threaded during construction and shared read-only
+	// afterwards (the tuner clones before adding), so the atomics only
+	// need to make concurrent readers safe, and Configurations must be
+	// shared by pointer, never copied.
+	fp     atomic.Pointer[string]
+	sorted atomic.Pointer[[]*Index]
 }
 
 // NewConfiguration returns a configuration holding the given indexes.
@@ -279,11 +305,20 @@ func (c *Configuration) Clone() *Configuration {
 // already-present index is a no-op.
 func (c *Configuration) Add(ix *Index) *Configuration {
 	c.indexes[ix.ID()] = ix
+	c.invalidate()
 	return c
 }
 
 // Remove deletes an index by identity.
-func (c *Configuration) Remove(ix *Index) { delete(c.indexes, ix.ID()) }
+func (c *Configuration) Remove(ix *Index) {
+	delete(c.indexes, ix.ID())
+	c.invalidate()
+}
+
+func (c *Configuration) invalidate() {
+	c.fp.Store(nil)
+	c.sorted.Store(nil)
+}
 
 // Has reports whether the configuration contains the index.
 func (c *Configuration) Has(ix *Index) bool {
@@ -294,8 +329,20 @@ func (c *Configuration) Has(ix *Index) bool {
 // Len returns the number of indexes.
 func (c *Configuration) Len() int { return len(c.indexes) }
 
-// Indexes returns the indexes sorted by ID for deterministic iteration.
+// Indexes returns the indexes sorted by ID for deterministic iteration. The
+// returned slice is the caller's to modify.
 func (c *Configuration) Indexes() []*Index {
+	return append([]*Index(nil), c.SortedIndexes()...)
+}
+
+// SortedIndexes returns the ID-sorted index slice without copying. The slice
+// is cached on the configuration and shared between callers: it must be
+// treated as read-only. The optimizer's hot path uses it to avoid a sort +
+// allocation per plan.
+func (c *Configuration) SortedIndexes() []*Index {
+	if s := c.sorted.Load(); s != nil {
+		return *s
+	}
 	ids := make([]string, 0, len(c.indexes))
 	for id := range c.indexes {
 		ids = append(ids, id)
@@ -305,6 +352,7 @@ func (c *Configuration) Indexes() []*Index {
 	for i, id := range ids {
 		out[i] = c.indexes[id]
 	}
+	c.sorted.Store(&out)
 	return out
 }
 
@@ -320,14 +368,20 @@ func (c *Configuration) IndexesOn(table string) []*Index {
 }
 
 // Fingerprint returns a canonical string identifying the configuration; two
-// configurations with the same index set share a fingerprint.
+// configurations with the same index set share a fingerprint. The string is
+// cached until the next Add/Remove.
 func (c *Configuration) Fingerprint() string {
+	if s := c.fp.Load(); s != nil {
+		return *s
+	}
 	ids := make([]string, 0, len(c.indexes))
 	for id := range c.indexes {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
-	return strings.Join(ids, ";")
+	s := strings.Join(ids, ";")
+	c.fp.Store(&s)
+	return s
 }
 
 // EstimatedBytes returns the total estimated size of all indexes in the

@@ -804,6 +804,40 @@ func (st *runState) joinGather(left, right *batch, li, ri []int64) *batch {
 	return &batch{cols: cols, vecs: vecs, n: len(li)}
 }
 
+// extraJoinPairs resolves the column vectors of a node's extra join
+// predicates against the two input batches and returns a predicate over
+// (left row, right row) pairs, or nil when the node has none. Join
+// operators apply it to every match of the driving predicate: the first
+// join predicate picks the physical algorithm, the rest filter its output.
+func extraJoinPairs(n *plan.Node, left, right *batch) (func(l, r int64) bool, error) {
+	if len(n.ExtraJoins) == 0 {
+		return nil, nil
+	}
+	type pair struct{ lv, rv []int64 }
+	ps := make([]pair, 0, len(n.ExtraJoins))
+	for i := range n.ExtraJoins {
+		je := &n.ExtraJoins[i]
+		l := left.colIdx(je.LeftTable, je.LeftColumn)
+		r := right.colIdx(je.RightTable, je.RightColumn)
+		if l < 0 {
+			l = left.colIdx(je.RightTable, je.RightColumn)
+			r = right.colIdx(je.LeftTable, je.LeftColumn)
+		}
+		if l < 0 || r < 0 {
+			return nil, fmt.Errorf("exec: extra join columns not found for %s", je)
+		}
+		ps = append(ps, pair{lv: left.vecs[l], rv: right.vecs[r]})
+	}
+	return func(l, r int64) bool {
+		for _, p := range ps {
+			if p.lv[l] != p.rv[r] {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
 func (st *runState) hashJoin(n *plan.Node) (*batch, error) {
 	probe, err := st.run(n.Children[0])
 	if err != nil {
@@ -834,9 +868,16 @@ func (st *runState) hashJoin(n *plan.Node) (*batch, error) {
 		next[i] = head[k]
 		head[k] = int64(i) + 1
 	}
+	extra, err := extraJoinPairs(n, probe, build)
+	if err != nil {
+		return nil, err
+	}
 	var pi, bi []int64
 	for i := 0; i < probe.n; i++ {
 		for e := head[pk[i]]; e != 0; e = next[e-1] {
+			if extra != nil && !extra(int64(i), e-1) {
+				continue
+			}
 			pi = append(pi, int64(i))
 			bi = append(bi, e-1)
 			if len(pi) > MaxIntermediateRows {
@@ -871,6 +912,10 @@ func (st *runState) mergeJoin(n *plan.Node) (*batch, error) {
 	if lIdx < 0 || rIdx < 0 {
 		return nil, fmt.Errorf("exec: merge join columns not found for %s", j)
 	}
+	extra, err := extraJoinPairs(n, left, right)
+	if err != nil {
+		return nil, err
+	}
 	lk, rk := left.vecs[lIdx], right.vecs[rIdx]
 	var li, ri []int64
 	a, b := 0, 0
@@ -893,6 +938,9 @@ func (st *runState) mergeJoin(n *plan.Node) (*batch, error) {
 			}
 			for x := a; x < ae; x++ {
 				for y := b; y < be; y++ {
+					if extra != nil && !extra(int64(x), int64(y)) {
+						continue
+					}
 					li = append(li, int64(x))
 					ri = append(ri, int64(y))
 					if len(li) > MaxIntermediateRows {
@@ -955,12 +1003,19 @@ func (st *runState) nestedLoopJoin(n *plan.Node) (*batch, error) {
 	if oIdx < 0 || iIdx < 0 {
 		return nil, fmt.Errorf("exec: NLJ columns not found for %s", j)
 	}
+	extra, err := extraJoinPairs(n, outer, inner)
+	if err != nil {
+		return nil, err
+	}
 	ok, ik := outer.vecs[oIdx], inner.vecs[iIdx]
 	var oi, ii []int64
 	for x := 0; x < outer.n; x++ {
 		v := ok[x]
 		for y := 0; y < inner.n; y++ {
 			if v == ik[y] {
+				if extra != nil && !extra(int64(x), int64(y)) {
+					continue
+				}
 				oi = append(oi, int64(x))
 				ii = append(ii, int64(y))
 				if len(oi) > MaxIntermediateRows {
@@ -1028,6 +1083,31 @@ func (st *runState) indexNLJ(n *plan.Node, outer *batch, innerPath []*plan.Node)
 		filtPreds = bindPreds(filterNode.ResidualPreds, tc)
 	}
 
+	// Extra join predicates compare an outer batch column against an inner
+	// table column addressed by rid; the join applies them to each probe
+	// match after the inner chain's own predicates.
+	type inljExtra struct {
+		ov []int64 // outer batch column
+		iv []int64 // inner table column, indexed by rid
+	}
+	var extras []inljExtra
+	for i := range n.ExtraJoins {
+		je := &n.ExtraJoins[i]
+		icol := je.ColumnFor(seekNode.Table)
+		if icol == "" {
+			return nil, fmt.Errorf("exec: extra join %s does not touch inner table %s", je, seekNode.Table)
+		}
+		ot, oc := je.LeftTable, je.LeftColumn
+		if ot == seekNode.Table {
+			ot, oc = je.RightTable, je.RightColumn
+		}
+		ox := outer.colIdx(ot, oc)
+		if ox < 0 {
+			return nil, fmt.Errorf("exec: extra join outer column not found for %s", je)
+		}
+		extras = append(extras, inljExtra{ov: outer.vecs[ox], iv: tc.data[tc.byName[icol]]})
+	}
+
 	okey := outer.vecs[oIdx]
 	var oi, rids []int64
 	probes, fetched, seekOut, lookups, filtOut := 0, 0, 0, 0, 0
@@ -1046,6 +1126,11 @@ func (st *runState) indexNLJ(n *plan.Node, outer *batch, innerPath []*plan.Node)
 					return true
 				}
 				filtOut++
+			}
+			for _, ex := range extras {
+				if ex.ov[i] != ex.iv[rid] {
+					return true
+				}
 			}
 			oi = append(oi, int64(i))
 			rids = append(rids, int64(rid))
@@ -1083,7 +1168,17 @@ func (st *runState) indexNLJ(n *plan.Node, outer *batch, innerPath []*plan.Node)
 	if filterNode != nil {
 		st.charge(filterNode, cost.Args{RowsIn: float64(lookups), RowsOut: float64(filtOut)})
 	}
-	st.charge(n, cost.Args{RowsIn: float64(outer.n), RowsOut: float64(out.n)})
+	// Mirror the optimizer's INLJ costing: one probe dispatched per outer
+	// row at Height 1 (the seek above carries the tree descent), with the
+	// inner-side delivered rows in RowsIn2 like the plain NLJ path.
+	innerRows := seekOut
+	if lookupNode != nil {
+		innerRows = filtOut
+	}
+	st.charge(n, cost.Args{
+		RowsIn: float64(outer.n), RowsIn2: float64(innerRows),
+		RowsOut: float64(out.n), Probes: float64(outer.n), Height: 1,
+	})
 	return out, nil
 }
 

@@ -400,6 +400,38 @@ func refRelBytes(r *refRel) float64 {
 	return float64(len(r.rows)) * float64(len(r.cols)) * 8
 }
 
+// refExtraJoinPairs mirrors extraJoinPairs for the row-oriented reference
+// executor: a predicate over (left row, right row) applying every extra
+// join predicate of the node, or nil when there are none.
+func refExtraJoinPairs(n *plan.Node, left, right *refRel) (func(l, r []int64) bool, error) {
+	if len(n.ExtraJoins) == 0 {
+		return nil, nil
+	}
+	type pair struct{ li, ri int }
+	ps := make([]pair, 0, len(n.ExtraJoins))
+	for i := range n.ExtraJoins {
+		je := &n.ExtraJoins[i]
+		l := left.colIdx(je.LeftTable, je.LeftColumn)
+		r := right.colIdx(je.RightTable, je.RightColumn)
+		if l < 0 {
+			l = left.colIdx(je.RightTable, je.RightColumn)
+			r = right.colIdx(je.LeftTable, je.LeftColumn)
+		}
+		if l < 0 || r < 0 {
+			return nil, fmt.Errorf("exec: extra join columns not found for %s", je)
+		}
+		ps = append(ps, pair{li: l, ri: r})
+	}
+	return func(l, r []int64) bool {
+		for _, p := range ps {
+			if l[p.li] != r[p.ri] {
+				return false
+			}
+		}
+		return true
+	}, nil
+}
+
 func (st *refRunState) hashJoin(n *plan.Node) (*refRel, error) {
 	probe, err := st.run(n.Children[0])
 	if err != nil {
@@ -419,6 +451,10 @@ func (st *refRunState) hashJoin(n *plan.Node) (*refRel, error) {
 	if pIdx < 0 || bIdx < 0 {
 		return nil, fmt.Errorf("exec: hash join columns not found for %s", j)
 	}
+	extra, err := refExtraJoinPairs(n, probe, build)
+	if err != nil {
+		return nil, err
+	}
 	ht := make(map[int64][][]int64, len(build.rows))
 	for _, row := range build.rows {
 		ht[row[bIdx]] = append(ht[row[bIdx]], row)
@@ -426,6 +462,9 @@ func (st *refRunState) hashJoin(n *plan.Node) (*refRel, error) {
 	out := &refRel{cols: append(append([]query.ColRef{}, probe.cols...), build.cols...)}
 	for _, prow := range probe.rows {
 		for _, brow := range ht[prow[pIdx]] {
+			if extra != nil && !extra(prow, brow) {
+				continue
+			}
 			out.rows = append(out.rows, refConcatRow(prow, brow))
 			if len(out.rows) > MaxIntermediateRows {
 				return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
@@ -458,6 +497,10 @@ func (st *refRunState) mergeJoin(n *plan.Node) (*refRel, error) {
 	if lIdx < 0 || rIdx < 0 {
 		return nil, fmt.Errorf("exec: merge join columns not found for %s", j)
 	}
+	extra, err := refExtraJoinPairs(n, left, right)
+	if err != nil {
+		return nil, err
+	}
 	out := &refRel{cols: append(append([]query.ColRef{}, left.cols...), right.cols...)}
 	li, ri := 0, 0
 	for li < len(left.rows) && ri < len(right.rows) {
@@ -478,6 +521,9 @@ func (st *refRunState) mergeJoin(n *plan.Node) (*refRel, error) {
 			}
 			for a := li; a < le; a++ {
 				for b := ri; b < re; b++ {
+					if extra != nil && !extra(left.rows[a], right.rows[b]) {
+						continue
+					}
 					out.rows = append(out.rows, refConcatRow(left.rows[a], right.rows[b]))
 					if len(out.rows) > MaxIntermediateRows {
 						return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
@@ -532,10 +578,17 @@ func (st *refRunState) nestedLoopJoin(n *plan.Node) (*refRel, error) {
 	if oIdx < 0 || iIdx < 0 {
 		return nil, fmt.Errorf("exec: NLJ columns not found for %s", j)
 	}
+	extra, err := refExtraJoinPairs(n, outer, inner)
+	if err != nil {
+		return nil, err
+	}
 	out := &refRel{cols: append(append([]query.ColRef{}, outer.cols...), inner.cols...)}
 	for _, orow := range outer.rows {
 		for _, irow := range inner.rows {
 			if orow[oIdx] == irow[iIdx] {
+				if extra != nil && !extra(orow, irow) {
+					continue
+				}
 				out.rows = append(out.rows, refConcatRow(orow, irow))
 				if len(out.rows) > MaxIntermediateRows {
 					return nil, fmt.Errorf("exec: join result exceeds %d rows", MaxIntermediateRows)
@@ -602,6 +655,30 @@ func (st *refRunState) indexNLJ(n *plan.Node, outer *refRel, innerPath []*plan.N
 	}
 	out := &refRel{cols: append(append([]query.ColRef{}, outer.cols...), innerCols...)}
 
+	// Extra join predicates: outer row column vs inner table column at rid,
+	// applied to each probe match after the inner chain's own predicates.
+	type refInljExtra struct {
+		ox int     // outer column index
+		iv []int64 // inner table column, indexed by rid
+	}
+	var extras []refInljExtra
+	for i := range n.ExtraJoins {
+		je := &n.ExtraJoins[i]
+		icol := je.ColumnFor(seekNode.Table)
+		if icol == "" {
+			return nil, fmt.Errorf("exec: extra join %s does not touch inner table %s", je, seekNode.Table)
+		}
+		ot, oc := je.LeftTable, je.LeftColumn
+		if ot == seekNode.Table {
+			ot, oc = je.RightTable, je.RightColumn
+		}
+		ox := outer.colIdx(ot, oc)
+		if ox < 0 {
+			return nil, fmt.Errorf("exec: extra join outer column not found for %s", je)
+		}
+		extras = append(extras, refInljExtra{ox: ox, iv: tb.Column(icol)})
+	}
+
 	probes, fetched, seekOut, lookups, filtOut := 0, 0, 0, 0, 0
 	for _, orow := range outer.rows {
 		key := btree.Key{orow[oIdx]}
@@ -613,13 +690,20 @@ func (st *refRunState) indexNLJ(n *plan.Node, outer *refRel, innerPath []*plan.N
 				return true
 			}
 			seekOut++
-			var irow []int64
 			if lookupNode != nil {
 				lookups++
 				if filterNode != nil && !refMatchAll(filterNode.ResidualPreds, tb, int(rid)) {
 					return true
 				}
 				filtOut++
+			}
+			for _, ex := range extras {
+				if orow[ex.ox] != ex.iv[rid] {
+					return true
+				}
+			}
+			var irow []int64
+			if lookupNode != nil {
 				irow = make([]int64, len(fullCols))
 				for i, c := range fullCols {
 					irow[i] = tb.Column(c.Column)[rid]
@@ -655,7 +739,14 @@ func (st *refRunState) indexNLJ(n *plan.Node, outer *refRel, innerPath []*plan.N
 	if filterNode != nil {
 		st.charge(filterNode, cost.Args{RowsIn: float64(lookups), RowsOut: float64(filtOut)})
 	}
-	st.charge(n, cost.Args{RowsIn: float64(len(outer.rows)), RowsOut: float64(len(out.rows))})
+	innerRows := seekOut
+	if lookupNode != nil {
+		innerRows = filtOut
+	}
+	st.charge(n, cost.Args{
+		RowsIn: float64(len(outer.rows)), RowsIn2: float64(innerRows),
+		RowsOut: float64(len(out.rows)), Probes: float64(len(outer.rows)), Height: 1,
+	})
 	return out, nil
 }
 

@@ -1,0 +1,179 @@
+package opt
+
+import (
+	"sync"
+
+	"repro/internal/engine/cost"
+	"repro/internal/engine/query"
+	"repro/internal/engine/stats"
+	"repro/internal/obs"
+)
+
+// Join-order memo metrics. As with pathMemo, hit/miss totals are gauges
+// mirrored once per Optimize, not per-lookup counters: the DP consults the
+// memo for every table subset, and that loop must stay free of obs traffic.
+var (
+	mJMemoHits    = obs.G("opt.jmemo.hit")
+	mJMemoMisses  = obs.G("opt.jmemo.miss")
+	mJMemoEvict   = obs.C("opt.jmemo.evict")
+	mJMemoEntries = obs.G("opt.jmemo.entries")
+)
+
+// maxJoinMemoEntries bounds the join memo across all queries. Join
+// subtrees are larger than access paths, but the same (query, per-table
+// access paths) pairs recur across thousands of candidate configurations
+// in a tuning run, so the bound is still generous.
+const maxJoinMemoEntries = 8192
+
+// joinMemo caches join-order results across configurations. A join subtree
+// over a table set depends only on the access paths of the tables in the
+// set (plus statistics and the cost model, guarded by generation pointers
+// exactly like pathMemo), so entries are keyed by the concatenation of the
+// per-table access-path memo keys the DP consumed — a candidate
+// configuration that changes indexes on one table invalidates (by key
+// mismatch, not flushing) only the subsets touching that table.
+//
+// Entries are per *query.Query identity: subset keys omit the join graph,
+// which is a property of the query. Negative results (no join order for a
+// disconnected subset) are cached as entries with sp.node == nil.
+type joinMemo struct {
+	mu      sync.Mutex
+	queries map[*query.Query]map[string]*memoEntry
+	order   []joinMemoRef // FIFO eviction order
+	n       int           // total entries across queries
+	stats   *stats.DatabaseStats
+	model   *cost.Model
+	hits    uint64
+	misses  uint64
+}
+
+type joinMemoRef struct {
+	q   *query.Query
+	key string
+}
+
+// lookup returns the entry for (q, key) and whether it exists. Like
+// pathMemo, a statistics or model swap flushes everything.
+func (m *joinMemo) lookup(q *query.Query, key []byte, st *stats.DatabaseStats, model *cost.Model) (*memoEntry, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stats != st || m.model != model {
+		m.queries = nil
+		m.order = m.order[:0]
+		m.n = 0
+		m.stats = st
+		m.model = model
+		mJMemoEntries.Set(0)
+	}
+	e, ok := m.queries[q][string(key)]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	return e, true
+}
+
+// flushObs mirrors the internal hit/miss tallies into the observability
+// gauges, once per Optimize.
+func (m *joinMemo) flushObs() {
+	m.mu.Lock()
+	h, mi := m.hits, m.misses
+	m.mu.Unlock()
+	mJMemoHits.Set(float64(h))
+	mJMemoMisses.Set(float64(mi))
+}
+
+// store inserts an entry (e may describe a negative result), evicting the
+// oldest entries across all queries when full.
+func (m *joinMemo) store(q *query.Query, key string, e *memoEntry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.queries == nil {
+		m.queries = make(map[*query.Query]map[string]*memoEntry)
+	}
+	qm := m.queries[q]
+	if qm == nil {
+		qm = make(map[string]*memoEntry)
+		m.queries[q] = qm
+	}
+	if _, ok := qm[key]; !ok {
+		for m.n >= maxJoinMemoEntries {
+			oldest := m.order[0]
+			m.order = m.order[1:]
+			if om := m.queries[oldest.q]; om != nil {
+				if _, had := om[oldest.key]; had {
+					delete(om, oldest.key)
+					m.n--
+					mJMemoEvict.Inc()
+					if len(om) == 0 {
+						delete(m.queries, oldest.q)
+					}
+				}
+			}
+		}
+		m.order = append(m.order, joinMemoRef{q: q, key: key})
+		m.n++
+	}
+	qm[key] = e
+	mJMemoEntries.Set(float64(m.n))
+}
+
+func (m *joinMemo) reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.queries = nil
+	m.order = nil
+	m.n = 0
+	m.stats = nil
+	m.model = nil
+	mJMemoEntries.Set(0)
+}
+
+// JoinMemoStats returns lifetime hit/miss counts and the current entry
+// count of the join-order memo.
+func (o *Optimizer) JoinMemoStats() (hits, misses uint64, entries int) {
+	m := &o.jmemo
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, m.n
+}
+
+// joinKey builds the memo key for a table subset: the per-table access-path
+// keys (already rendered into p.keyBufs by bestAccessPath) concatenated in
+// ascending ordinal order, each terminated by 0x1d — a byte that never
+// occurs inside a path key.
+func (p *planner) joinKey(set uint64) []byte {
+	b := p.setKey[:0]
+	for ti := 0; ti < len(p.q.Tables); ti++ {
+		if set&(uint64(1)<<uint(ti)) == 0 {
+			continue
+		}
+		b = append(b, p.keyBufs[ti]...)
+		b = append(b, 0x1d)
+	}
+	p.setKey = b
+	return b
+}
+
+// joinMemoLookup probes the join memo for a table subset.
+func (p *planner) joinMemoLookup(set uint64) (*memoEntry, bool) {
+	return p.o.jmemo.lookup(p.q, p.joinKey(set), p.o.Stats, p.o.Model)
+}
+
+// joinMemoStore records the join result for a table subset; sp may be nil
+// (disconnected subset), cached as a negative entry so later plans skip the
+// split enumeration too.
+func (p *planner) joinMemoStore(set uint64, sp *subPlan) {
+	key := string(p.joinKey(set))
+	if sp == nil {
+		p.o.jmemo.store(p.q, key, &memoEntry{})
+		return
+	}
+	p.o.jmemo.store(p.q, key, p.newMemoEntry(sp))
+}
+
+// instantiateJoin clones a memoized join subtree into the current planner.
+func (p *planner) instantiateJoin(e *memoEntry, mask uint64) *subPlan {
+	return p.instantiate(e, mask)
+}

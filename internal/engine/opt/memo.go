@@ -6,16 +6,19 @@ import (
 
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/cost"
-	"repro/internal/engine/plan"
 	"repro/internal/engine/query"
 	"repro/internal/engine/stats"
 	"repro/internal/obs"
 )
 
-// Access-path memo metrics (see DESIGN.md §7 for the conventions).
+// Access-path memo metrics (see DESIGN.md §7 for the conventions). Hit and
+// miss totals are gauges mirrored from the memo's internal tallies once per
+// Optimize rather than counters bumped per lookup: lookups sit on the
+// planning hot path, where even a disabled counter's atomic-load-and-branch
+// is measurable (obs_overhead_test.go budgets it).
 var (
-	mMemoHit     = obs.C("opt.memo.hit")
-	mMemoMiss    = obs.C("opt.memo.miss")
+	mMemoHits    = obs.G("opt.memo.hit")
+	mMemoMisses  = obs.G("opt.memo.miss")
 	mMemoEvict   = obs.C("opt.memo.evict")
 	mMemoEntries = obs.G("opt.memo.entries")
 )
@@ -27,9 +30,11 @@ var (
 // configurations.
 const maxPathMemoEntries = 8192
 
-// memoEntry is one memoized bestAccessPath result: the winning subPlan plus
+// memoEntry is one memoized planning result — an access path or a join
+// subtree — cloned out of the planner's arenas: the winning subPlan plus
 // the cost.Args of every node in its subtree (preorder), so a hit can
-// re-register the args a later parallelize/cloneRecost pass needs.
+// re-register the args a later parallelize/cloneRecost pass needs. The
+// entry owns its tree; hits clone it back into the arena (cloneIn).
 type memoEntry struct {
 	sp   subPlan
 	args []cost.Args // preorder over sp.node's subtree
@@ -52,8 +57,10 @@ type pathMemo struct {
 }
 
 // lookup returns the entry for key, or nil. It flushes the memo when the
-// optimizer's statistics or model object changed since the last call.
-func (m *pathMemo) lookup(key string, st *stats.DatabaseStats, model *cost.Model) *memoEntry {
+// optimizer's statistics or model object changed since the last call. The
+// key is taken as bytes so the hot path probes the map without converting
+// to a heap string.
+func (m *pathMemo) lookup(key []byte, st *stats.DatabaseStats, model *cost.Model) *memoEntry {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.stats != st || m.model != model {
@@ -63,15 +70,24 @@ func (m *pathMemo) lookup(key string, st *stats.DatabaseStats, model *cost.Model
 		m.model = model
 		mMemoEntries.Set(0)
 	}
-	e := m.entries[key]
+	e := m.entries[string(key)] // no alloc: compiler-recognized byte-slice map probe
 	if e == nil {
 		m.misses++
-		mMemoMiss.Inc()
 		return nil
 	}
 	m.hits++
-	mMemoHit.Inc()
 	return e
+}
+
+// flushObs mirrors the internal hit/miss tallies into the observability
+// gauges. Called once per Optimize so per-lookup paths stay free of obs
+// traffic.
+func (m *pathMemo) flushObs() {
+	m.mu.Lock()
+	h, mi := m.hits, m.misses
+	m.mu.Unlock()
+	mMemoHits.Set(float64(h))
+	mMemoMisses.Set(float64(mi))
 }
 
 // store inserts an entry, evicting the oldest when full. A racing store for
@@ -106,10 +122,14 @@ func (m *pathMemo) reset() {
 	mMemoEntries.Set(0)
 }
 
-// InvalidatePathMemo drops all memoized access paths. Swapping o.Stats or
-// o.Model already invalidates implicitly (generation pointers); this is for
-// callers that mutate either in place.
-func (o *Optimizer) InvalidatePathMemo() { o.memo.reset() }
+// InvalidatePathMemo drops all memoized planning state — access paths and
+// join-order results. Swapping o.Stats or o.Model already invalidates both
+// implicitly (generation pointers); this is for callers that mutate either
+// in place.
+func (o *Optimizer) InvalidatePathMemo() {
+	o.memo.reset()
+	o.jmemo.reset()
+}
 
 // PathMemoStats returns lifetime hit/miss counts and the current entry
 // count of the access-path memo.
@@ -120,13 +140,14 @@ func (o *Optimizer) PathMemoStats() (hits, misses uint64, entries int) {
 	return m.hits, m.misses, len(m.entries)
 }
 
-// pathMemoKey renders the inputs bestAccessPath consumes into a compact
-// string key. Predicate order is preserved (selectivities multiply in
-// predicate order, so order is semantically significant for float
-// reproducibility); columns and index IDs arrive pre-sorted from
-// ColumnsUsed/IndexesOn.
-func pathMemoKey(table string, preds []query.Pred, need []string, ixs []*catalog.Index) string {
-	b := make([]byte, 0, 96)
+// appendPathMemoKey renders the inputs bestAccessPath consumes into a
+// compact key appended to b (callers reuse per-table buffers). Predicate
+// order is preserved (selectivities multiply in predicate order, so order
+// is semantically significant for float reproducibility); columns and index
+// IDs arrive pre-sorted from ColumnsUsed/SortedIndexes. The separators
+// 0x1e/0x1f never appear in identifiers, and the join memo relies on 0x1d
+// being absent here when it concatenates these keys (joinmemo.go).
+func appendPathMemoKey(b []byte, table string, preds []query.Pred, need []string, ixs []*catalog.Index) []byte {
 	b = append(b, table...)
 	for _, pr := range preds {
 		b = append(b, 0x1f)
@@ -146,46 +167,27 @@ func pathMemoKey(table string, preds []query.Pred, need []string, ixs []*catalog
 		b = append(b, ix.ID()...)
 		b = append(b, ';')
 	}
-	return string(b)
+	return b
 }
 
-// newMemoEntry snapshots a freshly built access path: the subPlan and the
-// preorder (node, args) pairs from the planner's args map.
-func newMemoEntry(sp *subPlan, args map[*plan.Node]cost.Args) *memoEntry {
+// newMemoEntry snapshots a freshly built subplan for memoization: the node
+// tree is cloned out of the arena into entry-owned slabs and the preorder
+// args are captured alongside.
+func (p *planner) newMemoEntry(sp *subPlan) *memoEntry {
 	e := &memoEntry{sp: *sp}
-	var walk func(n *plan.Node)
-	walk = func(n *plan.Node) {
-		e.args = append(e.args, args[n])
-		for _, ch := range n.Children {
-			walk(ch)
-		}
-	}
-	walk(sp.node)
+	e.args = make([]cost.Args, 0, 4)
+	e.sp.node = p.cloneOut(sp.node, &e.args)
 	return e
 }
 
 // instantiate turns a memo entry into a fresh subPlan for the current
-// planner: the node tree is cloned (plans must not share mutable structure
-// with the memo) and each clone's args are registered so parallelize can
-// recost it; the table bitmask is recomputed for this query's table order.
+// planner: the entry-owned tree is cloned into the arena (plans must not
+// share mutable structure with the memo) and each clone's args are
+// registered so parallelize can recost it; the table bitmask is recomputed
+// for this query's table order.
 func (p *planner) instantiate(e *memoEntry, mask uint64) *subPlan {
-	i := 0
-	var walk func(n *plan.Node) *plan.Node
-	walk = func(n *plan.Node) *plan.Node {
-		c := *n
-		p.args[&c] = e.args[i]
-		i++
-		if len(n.Children) > 0 {
-			c.Children = make([]*plan.Node, len(n.Children))
-			for j, ch := range n.Children {
-				c.Children[j] = walk(ch)
-			}
-		}
-		return &c
-	}
-	root := walk(e.sp.node)
-	sp := e.sp
-	sp.node = root
+	sp := p.sub(e.sp)
+	sp.node = p.cloneIn(e.sp.node, e.args)
 	sp.tables = mask
-	return &sp
+	return sp
 }

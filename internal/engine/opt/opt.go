@@ -11,12 +11,21 @@
 // (internal/engine/stats) and operator costs use the believed calibration
 // of cost.OptimizerModel(). The executor disagrees on both, which creates
 // the estimate-vs-execution gap the paper's classifier learns to correct.
+//
+// Planning is the hot path of every what-if probe, so the implementation is
+// built around three reuse layers (DESIGN.md §12): per-query analysis is
+// cached by query identity (queryInfo), per-table access paths are memoized
+// across configurations (pathMemo), and join-order DP results are memoized
+// keyed by the access-path keys they consumed (joinMemo). All transient
+// planning state lives in per-planner arenas recycled through a sync.Pool;
+// returned plans are cloned out and never alias pooled memory.
 package opt
 
 import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/cost"
@@ -46,6 +55,19 @@ type Optimizer struct {
 	// memo.go). The zero value is ready; swapping Stats or Model
 	// invalidates it automatically.
 	memo pathMemo
+	// jmemo caches join-order results keyed by the access-path memo keys
+	// they consumed (see joinmemo.go), so a configuration change on one
+	// table only replans the table subsets that touch it.
+	jmemo joinMemo
+
+	// qinfo caches per-query analysis (validation, table ordinals,
+	// per-table predicates and columns, join bitmasks) by query identity.
+	// Queries are immutable once built — the same contract WhatIf relies
+	// on to memoize fingerprints.
+	qinfo sync.Map // *query.Query -> *queryInfo
+
+	// planners recycles planner arenas across Optimize calls.
+	planners sync.Pool
 }
 
 // New returns an optimizer with the default believed cost model.
@@ -59,6 +81,10 @@ func New(schema *catalog.Schema, st *stats.DatabaseStats) *Optimizer {
 	}
 }
 
+// emptyConfig backs Optimize(q, nil) so the nil-config path allocates no
+// per-call Configuration. It is never mutated.
+var emptyConfig = catalog.NewConfiguration()
+
 // subPlan is a partial plan during enumeration.
 type subPlan struct {
 	node   *plan.Node
@@ -69,50 +95,191 @@ type subPlan struct {
 	hasCS  bool    // subtree contains a columnstore scan (batch eligible)
 }
 
-// planner carries per-query planning state.
-type planner struct {
-	o        *Optimizer
-	q        *query.Query
-	cfg      *catalog.Configuration
-	tableIdx map[string]int
-	args     map[*plan.Node]cost.Args // for recosting under mode/par changes
+// joinRef is one join predicate of the current query with the table
+// bitmasks of its two sides precomputed, plus a stable pointer into
+// q.Joins for attaching to plan nodes without an allocation.
+type joinRef struct {
+	j      query.Join
+	ptr    *query.Join
+	lm, rm uint64
 }
+
+// queryInfo is the per-query analysis shared by every Optimize call for the
+// same *query.Query: validation outcome, table ordinals, per-table
+// predicate/column slices, and join bitmasks. Computing it once per query
+// (not per probe) is most of the fixed cost a what-if call used to pay.
+type queryInfo struct {
+	err      error
+	tableIdx map[string]int
+	predsOn  [][]query.Pred // by table ordinal
+	colsUsed [][]string     // by table ordinal
+	joins    []joinRef      // parallel to q.Joins
+}
+
+// queryInfo returns the cached analysis for q, computing it on first use.
+func (o *Optimizer) queryInfo(q *query.Query) *queryInfo {
+	if v, ok := o.qinfo.Load(q); ok {
+		return v.(*queryInfo)
+	}
+	qi := &queryInfo{}
+	if err := q.Validate(o.Schema); err != nil {
+		qi.err = err
+	} else {
+		qi.tableIdx = make(map[string]int, len(q.Tables))
+		for i, t := range q.Tables {
+			qi.tableIdx[t] = i
+		}
+		qi.predsOn = make([][]query.Pred, len(q.Tables))
+		qi.colsUsed = make([][]string, len(q.Tables))
+		for i, t := range q.Tables {
+			qi.predsOn[i] = q.PredsOn(t)
+			qi.colsUsed[i] = q.ColumnsUsed(t)
+		}
+		qi.joins = make([]joinRef, len(q.Joins))
+		for i := range q.Joins {
+			j := &q.Joins[i]
+			qi.joins[i] = joinRef{
+				j:   *j,
+				ptr: j,
+				lm:  uint64(1) << uint(qi.tableIdx[j.LeftTable]),
+				rm:  uint64(1) << uint(qi.tableIdx[j.RightTable]),
+			}
+		}
+	}
+	actual, _ := o.qinfo.LoadOrStore(q, qi)
+	return actual.(*queryInfo)
+}
+
+// planner carries per-query planning state. Planners are pooled: all
+// transient objects live in arenas reset between calls, and every scratch
+// slice is reused at its high-water capacity.
+type planner struct {
+	o   *Optimizer
+	q   *query.Query
+	qi  *queryInfo
+	cfg *catalog.Configuration
+
+	nodes nodeArena
+	kids  childArena
+	subs  subArena
+	// args holds the cost.Args of every arena node, indexed by
+	// plan.Node.Scratch; parallelize/cloneRecost recost from it.
+	args []cost.Args
+
+	ixsOn   [][]*catalog.Index // indexes of cfg per table ordinal
+	keyBufs [][]byte           // per-table access-path memo keys
+	setKey  []byte             // scratch for join-memo subset keys
+	base    []*subPlan
+	dp      []*subPlan // dense DP table indexed by table bitmask
+	jscr    []joinRef  // joinsBetween scratch
+	cands   []*subPlan // bestAccessPath candidate scratch
+	gpool   []*subPlan // greedyJoin scratch
+}
+
+func (o *Optimizer) getPlanner(q *query.Query, qi *queryInfo, cfg *catalog.Configuration) *planner {
+	p, _ := o.planners.Get().(*planner)
+	if p == nil {
+		p = &planner{}
+	}
+	p.o, p.q, p.qi, p.cfg = o, q, qi, cfg
+	nt := len(q.Tables)
+	for len(p.ixsOn) < nt {
+		p.ixsOn = append(p.ixsOn, nil)
+	}
+	for len(p.keyBufs) < nt {
+		p.keyBufs = append(p.keyBufs, nil)
+	}
+	for i := 0; i < nt; i++ {
+		p.ixsOn[i] = p.ixsOn[i][:0]
+	}
+	for _, ix := range cfg.SortedIndexes() {
+		if ti, ok := qi.tableIdx[ix.Table]; ok {
+			p.ixsOn[ti] = append(p.ixsOn[ti], ix)
+		}
+	}
+	return p
+}
+
+func (o *Optimizer) putPlanner(p *planner) {
+	p.nodes.reset()
+	p.kids.reset()
+	p.subs.reset()
+	p.args = p.args[:0]
+	p.base = p.base[:0]
+	p.o, p.q, p.qi, p.cfg = nil, nil, nil, nil
+	o.planners.Put(p)
+}
+
+// node copies n into an arena slot and assigns it a fresh args index.
+func (p *planner) node(n plan.Node) *plan.Node {
+	nd := p.nodes.alloc()
+	*nd = n
+	nd.Scratch = int32(len(p.args))
+	p.args = append(p.args, cost.Args{})
+	return nd
+}
+
+func (p *planner) child1(a *plan.Node) []*plan.Node {
+	s := p.kids.alloc(1)
+	s[0] = a
+	return s
+}
+
+func (p *planner) child2(a, b *plan.Node) []*plan.Node {
+	s := p.kids.alloc(2)
+	s[0], s[1] = a, b
+	return s
+}
+
+func (p *planner) sub(sp subPlan) *subPlan { return p.subs.alloc(sp) }
 
 // Optimize produces the physical plan for q under configuration cfg. cfg
 // may contain hypothetical indexes: only statistics are consulted.
 func (o *Optimizer) Optimize(q *query.Query, cfg *catalog.Configuration) (*plan.Plan, error) {
-	if err := q.Validate(o.Schema); err != nil {
-		return nil, err
+	qi := o.queryInfo(q)
+	if qi.err != nil {
+		return nil, qi.err
 	}
 	if cfg == nil {
-		cfg = catalog.NewConfiguration()
+		cfg = emptyConfig
 	}
-	p := &planner{
-		o:        o,
-		q:        q,
-		cfg:      cfg,
-		tableIdx: map[string]int{},
-		args:     map[*plan.Node]cost.Args{},
-	}
-	for i, t := range q.Tables {
-		p.tableIdx[t] = i
-	}
+	p := o.getPlanner(q, qi, cfg)
+	pl, err := p.optimize()
+	o.putPlanner(p)
+	o.memo.flushObs()
+	o.jmemo.flushObs()
+	return pl, err
+}
 
-	// Phase 1: best access path per table.
-	base := make([]*subPlan, len(q.Tables))
-	for i, t := range q.Tables {
-		base[i] = p.bestAccessPath(t)
-	}
+func (p *planner) optimize() (*plan.Plan, error) {
+	o, q := p.o, p.q
 
-	// Phase 2: join ordering.
+	// Phase 1: best access path per table. Each path's memo key is kept in
+	// p.keyBufs[i]; join-memo subset keys are concatenations of them.
+	base := p.base[:0]
+	for i := range q.Tables {
+		base = append(base, p.bestAccessPath(i))
+	}
+	p.base = base
+
+	// Phase 2: join ordering. The full table set is probed in the join
+	// memo first: when no table's access path changed since a previous
+	// plan of this query, the whole join order is reused.
 	var joined *subPlan
-	switch {
-	case len(base) == 1:
+	if len(base) == 1 {
 		joined = base[0]
-	case len(base) <= o.DPTableLimit:
-		joined = p.dpJoin(base)
-	default:
-		joined = p.greedyJoin(base)
+	} else {
+		full := uint64(1)<<uint(len(base)) - 1
+		if e, ok := p.joinMemoLookup(full); ok {
+			if e.sp.node != nil {
+				joined = p.instantiateJoin(e, full)
+			}
+		} else if len(base) <= o.DPTableLimit {
+			joined = p.dpJoin(base)
+		} else {
+			joined = p.greedyJoin(base)
+			p.joinMemoStore(full, joined)
+		}
 	}
 	if joined == nil {
 		return nil, fmt.Errorf("opt: no join order found for query %s", q.Name)
@@ -132,13 +299,12 @@ func (o *Optimizer) Optimize(q *query.Query, cfg *catalog.Configuration) (*plan.
 		}
 	}
 
-	pl := &plan.Plan{
-		Root:         result.node,
+	return &plan.Plan{
+		Root:         p.cloneOut(result.node, nil),
 		Query:        q,
-		ConfigFP:     cfg.Fingerprint(),
+		ConfigFP:     p.cfg.Fingerprint(),
 		EstTotalCost: result.cost,
-	}
-	return pl, nil
+	}, nil
 }
 
 // annotate stores estimates and cost args on a node and returns the node's
@@ -149,7 +315,7 @@ func (p *planner) annotate(n *plan.Node, a cost.Args, width float64) float64 {
 	n.EstRowWidth = width
 	n.EstBytesProcessed = a.Bytes
 	n.EstCost = c
-	p.args[n] = a
+	p.args[n.Scratch] = a
 	return c
 }
 
@@ -197,15 +363,17 @@ func estHeight(rows float64) float64 {
 	return math.Max(1, math.Ceil(math.Log(rows)/math.Log(btreeFanout)))
 }
 
-// bestAccessPath picks the cheapest way to produce the filtered rows of a
-// table: heap scan, columnstore scan, covering index scan, or index seek
-// (with key lookup when not covering).
-func (p *planner) bestAccessPath(table string) *subPlan {
-	preds := p.q.PredsOn(table)
-	need := p.q.ColumnsUsed(table)
-	mask := uint64(1) << p.tableIdx[table]
-	ixs := p.cfg.IndexesOn(table)
-	key := pathMemoKey(table, preds, need, ixs)
+// bestAccessPath picks the cheapest way to produce the filtered rows of the
+// table at ordinal ti: heap scan, columnstore scan, covering index scan, or
+// index seek (with key lookup when not covering).
+func (p *planner) bestAccessPath(ti int) *subPlan {
+	table := p.q.Tables[ti]
+	preds := p.qi.predsOn[ti]
+	need := p.qi.colsUsed[ti]
+	mask := uint64(1) << uint(ti)
+	ixs := p.ixsOn[ti]
+	p.keyBufs[ti] = appendPathMemoKey(p.keyBufs[ti][:0], table, preds, need, ixs)
+	key := p.keyBufs[ti]
 	if e := p.o.memo.lookup(key, p.o.Stats, p.o.Model); e != nil {
 		return p.instantiate(e, mask)
 	}
@@ -215,52 +383,62 @@ func (p *planner) bestAccessPath(table string) *subPlan {
 	needW := p.widthOf(table, need)
 	outRows := rows * p.selAll(preds)
 
-	candidates := []*subPlan{p.tableScanPath(table, meta, rows, preds, outRows, needW, mask)}
+	cands := append(p.cands[:0], p.tableScanPath(table, meta, rows, preds, outRows, needW, mask))
 	for _, ix := range ixs {
 		if ix.Kind == catalog.Columnstore {
-			candidates = append(candidates, p.columnstorePath(table, ix, rows, preds, outRows, needW, mask))
+			cands = append(cands, p.columnstorePath(table, ix, rows, preds, outRows, needW, mask))
 			continue
 		}
 		if sp := p.indexPath(table, meta, ix, rows, preds, outRows, need, needW, mask); sp != nil {
-			candidates = append(candidates, sp)
+			cands = append(cands, sp)
 		}
 	}
-	best := candidates[0]
-	for _, c := range candidates[1:] {
+	best := cands[0]
+	for _, c := range cands[1:] {
 		if c.cost < best.cost {
 			best = c
 		}
 	}
-	p.o.memo.store(key, newMemoEntry(best, p.args))
+	p.cands = cands[:0]
+	p.o.memo.store(string(key), p.newMemoEntry(best))
 	return best
 }
 
 func (p *planner) tableScanPath(table string, meta *catalog.Table, rows float64, preds []query.Pred, outRows, needW float64, mask uint64) *subPlan {
-	n := &plan.Node{Op: plan.TableScan, Table: table, ResidualPreds: preds}
+	n := p.node(plan.Node{Op: plan.TableScan, Table: table, ResidualPreds: preds})
 	c := p.annotate(n, cost.Args{
 		RowsIn: rows, RowsOut: outRows, Bytes: rows * float64(meta.RowWidth()),
 	}, needW)
-	return &subPlan{node: n, tables: mask, rows: outRows, width: needW, cost: c}
+	return p.sub(subPlan{node: n, tables: mask, rows: outRows, width: needW, cost: c})
 }
 
 func (p *planner) columnstorePath(table string, ix *catalog.Index, rows float64, preds []query.Pred, outRows, needW float64, mask uint64) *subPlan {
-	n := &plan.Node{Op: plan.ColumnstoreScan, Mode: plan.Batch, Table: table, Index: ix.ID(), IndexDef: ix, ResidualPreds: preds}
+	n := p.node(plan.Node{Op: plan.ColumnstoreScan, Mode: plan.Batch, Table: table, Index: ix.ID(), IndexDef: ix, ResidualPreds: preds})
 	c := p.annotate(n, cost.Args{
 		RowsIn: rows, RowsOut: outRows, Bytes: rows * needW / cost.ColumnstoreCompression,
 	}, needW)
-	return &subPlan{node: n, tables: mask, rows: outRows, width: needW, cost: c, hasCS: true}
+	return p.sub(subPlan{node: n, tables: mask, rows: outRows, width: needW, cost: c, hasCS: true})
 }
 
 // seekablePrefix splits preds into the prefix satisfiable by the index key
 // (equalities on leading key columns, then at most one range) and the rest.
+// When several predicates constrain the same key column, an equality is
+// preferred over a range: the equality keeps the prefix extensible (a range
+// ends it), so it is never a worse choice.
 func seekablePrefix(ix *catalog.Index, preds []query.Pred) (seek, rest []query.Pred) {
 	used := make([]bool, len(preds))
 	for _, kc := range ix.KeyColumns {
 		found := -1
 		for i, pr := range preds {
-			if !used[i] && pr.Column == kc {
+			if used[i] || pr.Column != kc {
+				continue
+			}
+			if pr.IsEquality() {
 				found = i
-				break
+				break // equality: best possible for this column
+			}
+			if found < 0 {
+				found = i // first range; keep scanning for an equality
 			}
 		}
 		if found < 0 {
@@ -292,9 +470,9 @@ func (p *planner) indexPath(table string, meta *catalog.Table, ix *catalog.Index
 			return nil // no seek and no covering benefit
 		}
 		// Covering ordered index scan: cheaper bytes than the heap scan.
-		n := &plan.Node{Op: plan.IndexScan, Table: table, Index: ix.ID(), IndexDef: ix, ResidualPreds: preds}
+		n := p.node(plan.Node{Op: plan.IndexScan, Table: table, Index: ix.ID(), IndexDef: ix, ResidualPreds: preds})
 		c := p.annotate(n, cost.Args{RowsIn: rows, RowsOut: outRows, Bytes: rows * idxW}, needW)
-		return &subPlan{node: n, tables: mask, rows: outRows, width: needW, cost: c}
+		return p.sub(subPlan{node: n, tables: mask, rows: outRows, width: needW, cost: c})
 	}
 
 	selSeek := p.selAll(seekPreds)
@@ -310,26 +488,28 @@ func (p *planner) indexPath(table string, meta *catalog.Table, ix *catalog.Index
 		}
 	}
 	seekOut := fetched * p.selAll(covRes)
-	seek := &plan.Node{Op: plan.IndexSeek, Table: table, Index: ix.ID(), IndexDef: ix, SeekPreds: seekPreds, ResidualPreds: covRes}
+	seek := p.node(plan.Node{Op: plan.IndexSeek, Table: table, Index: ix.ID(), IndexDef: ix, SeekPreds: seekPreds, ResidualPreds: covRes})
 	seekCost := p.annotate(seek, cost.Args{
 		Probes: 1, Height: estHeight(rows), RowsOut: seekOut, Bytes: fetched * idxW,
 	}, math.Min(idxW, needW))
 
 	if covering {
-		return &subPlan{node: seek, tables: mask, rows: seekOut, width: needW, cost: seekCost}
+		return p.sub(subPlan{node: seek, tables: mask, rows: seekOut, width: needW, cost: seekCost})
 	}
 
 	// Non-covering: key lookup fetches full rows, then a filter applies the
 	// uncovered residual predicates. This is the plan shape whose cost the
 	// optimizer systematically under-estimates (cost.OptimizerModel).
-	lookup := &plan.Node{Op: plan.KeyLookup, Table: table, Children: []*plan.Node{seek}}
+	lookup := p.node(plan.Node{Op: plan.KeyLookup, Table: table})
+	lookup.Children = p.child1(seek)
 	lookCost := p.annotate(lookup, cost.Args{
 		RowsIn: seekOut, RowsOut: seekOut, Bytes: seekOut * float64(meta.RowWidth()),
 	}, needW)
 	top := lookup
 	total := seekCost + lookCost
 	if len(uncovRes) > 0 {
-		filter := &plan.Node{Op: plan.Filter, ResidualPreds: uncovRes, Children: []*plan.Node{lookup}}
+		filter := p.node(plan.Node{Op: plan.Filter, ResidualPreds: uncovRes})
+		filter.Children = p.child1(lookup)
 		fOut := seekOut * p.selAll(uncovRes)
 		total += p.annotate(filter, cost.Args{RowsIn: seekOut, RowsOut: fOut}, needW)
 		top = filter
@@ -338,25 +518,28 @@ func (p *planner) indexPath(table string, meta *catalog.Table, ix *catalog.Index
 	if len(uncovRes) == 0 {
 		finalRows = seekOut
 	}
-	return &subPlan{node: top, tables: mask, rows: finalRows, width: needW, cost: total}
+	return p.sub(subPlan{node: top, tables: mask, rows: finalRows, width: needW, cost: total})
 }
 
-// joinsBetween returns the join predicates connecting two table sets.
-func (p *planner) joinsBetween(a, b uint64) []query.Join {
-	var out []query.Join
-	for _, j := range p.q.Joins {
-		li, ri := uint64(1)<<p.tableIdx[j.LeftTable], uint64(1)<<p.tableIdx[j.RightTable]
-		if (li&a != 0 && ri&b != 0) || (li&b != 0 && ri&a != 0) {
-			out = append(out, j)
+// joinsBetween returns the join predicates connecting two table sets, in
+// q.Joins order, in a scratch slice valid until the next call.
+func (p *planner) joinsBetween(a, b uint64) []joinRef {
+	out := p.jscr[:0]
+	for i := range p.qi.joins {
+		jr := &p.qi.joins[i]
+		if (jr.lm&a != 0 && jr.rm&b != 0) || (jr.lm&b != 0 && jr.rm&a != 0) {
+			out = append(out, *jr)
 		}
 	}
+	p.jscr = out
 	return out
 }
 
 // joinSel multiplies the containment-assumption selectivities of joins.
-func (p *planner) joinSel(joins []query.Join) float64 {
+func (p *planner) joinSel(joins []joinRef) float64 {
 	s := 1.0
-	for _, j := range joins {
+	for i := range joins {
+		j := &joins[i].j
 		s *= p.o.Stats.JoinSelectivity(j.LeftTable, j.LeftColumn, j.RightTable, j.RightColumn)
 	}
 	return s
@@ -375,7 +558,18 @@ func (p *planner) bestJoin(a, b *subPlan) *subPlan {
 	}
 	width := a.width + b.width
 	mask := a.tables | b.tables
-	j := joins[0]
+	jr := joins[0]
+	// The first join predicate drives the physical algorithm; any others
+	// are carried on the node as extra filters so the executor applies
+	// them too (all of them are already priced into outRows above). One
+	// heap slice is shared by every candidate node of this bestJoin call.
+	var extras []query.Join
+	if len(joins) > 1 {
+		extras = make([]query.Join, len(joins)-1)
+		for i := range extras {
+			extras[i] = joins[i+1].j
+		}
+	}
 	hasCS := a.hasCS || b.hasCS
 	mode := plan.Row
 	if hasCS {
@@ -395,29 +589,31 @@ func (p *planner) bestJoin(a, b *subPlan) *subPlan {
 		if build.rows > probe.rows {
 			probe, build = build, probe
 		}
-		n := &plan.Node{Op: plan.HashJoin, Mode: mode, Join: &j, Children: []*plan.Node{probe.node, build.node}}
+		n := p.node(plan.Node{Op: plan.HashJoin, Mode: mode, Join: jr.ptr, ExtraJoins: extras})
+		n.Children = p.child2(probe.node, build.node)
 		c := p.annotate(n, cost.Args{
 			RowsIn: probe.rows, RowsIn2: build.rows, RowsOut: outRows,
 			Bytes: probe.rows*probe.width + build.rows*build.width,
 		}, width)
-		consider(&subPlan{node: n, tables: mask, rows: outRows, width: width, cost: a.cost + b.cost + c, hasCS: hasCS})
+		consider(p.sub(subPlan{node: n, tables: mask, rows: outRows, width: width, cost: a.cost + b.cost + c, hasCS: hasCS}))
 	}
 
 	// Merge join: sort both inputs on their side of the join, then merge.
 	{
-		colA := query.ColRef{Table: j.LeftTable, Column: j.LeftColumn}
-		colB := query.ColRef{Table: j.RightTable, Column: j.RightColumn}
-		if a.tables&(uint64(1)<<p.tableIdx[j.LeftTable]) == 0 {
+		colA := query.ColRef{Table: jr.j.LeftTable, Column: jr.j.LeftColumn}
+		colB := query.ColRef{Table: jr.j.RightTable, Column: jr.j.RightColumn}
+		if a.tables&jr.lm == 0 {
 			colA, colB = colB, colA
 		}
 		sortA := p.sortNode(a, []query.ColRef{colA})
 		sortB := p.sortNode(b, []query.ColRef{colB})
-		n := &plan.Node{Op: plan.MergeJoin, Mode: mode, Join: &j, Children: []*plan.Node{sortA.node, sortB.node}}
+		n := p.node(plan.Node{Op: plan.MergeJoin, Mode: mode, Join: jr.ptr, ExtraJoins: extras})
+		n.Children = p.child2(sortA.node, sortB.node)
 		c := p.annotate(n, cost.Args{
 			RowsIn: a.rows, RowsIn2: b.rows, RowsOut: outRows,
 			Bytes: a.rows*a.width + b.rows*b.width,
 		}, width)
-		consider(&subPlan{node: n, tables: mask, rows: outRows, width: width, cost: sortA.cost + sortB.cost + c, hasCS: hasCS})
+		consider(p.sub(subPlan{node: n, tables: mask, rows: outRows, width: width, cost: sortA.cost + sortB.cost + c, hasCS: hasCS}))
 	}
 
 	// Index nested-loop join: inner must be a single base table with an
@@ -432,12 +628,13 @@ func (p *planner) bestJoin(a, b *subPlan) *subPlan {
 			outer, inner = inner, outer
 		}
 		if inner.rows <= 1000 {
-			n := &plan.Node{Op: plan.NestedLoopJoin, Join: &j, Children: []*plan.Node{outer.node, inner.node}}
+			n := p.node(plan.Node{Op: plan.NestedLoopJoin, Join: jr.ptr, ExtraJoins: extras})
+			n.Children = p.child2(outer.node, inner.node)
 			c := p.annotate(n, cost.Args{
 				RowsIn: outer.rows, RowsIn2: inner.rows, RowsOut: outRows,
 				Bytes: inner.rows * inner.width,
 			}, width)
-			consider(&subPlan{node: n, tables: mask, rows: outRows, width: width, cost: a.cost + b.cost + c, hasCS: hasCS})
+			consider(p.sub(subPlan{node: n, tables: mask, rows: outRows, width: width, cost: a.cost + b.cost + c, hasCS: hasCS}))
 		}
 	}
 	return best
@@ -449,47 +646,61 @@ func (p *planner) sortNode(in *subPlan, cols []query.ColRef) *subPlan {
 	if in.hasCS {
 		mode = plan.Batch
 	}
-	n := &plan.Node{Op: plan.Sort, Mode: mode, SortCols: cols, Children: []*plan.Node{in.node}}
+	n := p.node(plan.Node{Op: plan.Sort, Mode: mode, SortCols: cols})
+	n.Children = p.child1(in.node)
 	c := p.annotate(n, cost.Args{RowsIn: in.rows, RowsOut: in.rows, Bytes: in.rows * in.width}, in.width)
-	return &subPlan{node: n, tables: in.tables, rows: in.rows, width: in.width, cost: in.cost + c, hasCS: in.hasCS}
+	return p.sub(subPlan{node: n, tables: in.tables, rows: in.rows, width: in.width, cost: in.cost + c, hasCS: in.hasCS})
 }
 
 // indexNLJ builds an index nested-loop join with outer driving per-row
 // probes into a base-table index on the inner side.
-func (p *planner) indexNLJ(outer, inner *subPlan, joins []query.Join, outRows, width float64) *subPlan {
+func (p *planner) indexNLJ(outer, inner *subPlan, joins []joinRef, outRows, width float64) *subPlan {
 	// Inner must be exactly one base table.
 	if inner.tables&(inner.tables-1) != 0 {
 		return nil
 	}
-	ti := 0
-	for inner.tables>>uint(ti)&1 == 0 {
-		ti++
-	}
+	ti := bits.TrailingZeros64(inner.tables)
 	table := p.q.Tables[ti]
 	meta := p.o.Schema.Table(table)
 	rows := float64(p.o.Stats.RowCount(table))
-	need := p.q.ColumnsUsed(table)
+	need := p.qi.colsUsed[ti]
 	needW := p.widthOf(table, need)
 
-	// Find the join column on the inner side.
+	// Find the join column on the inner side. The chosen join drives the
+	// probes; the remaining predicates ride on the node as extra filters
+	// (they are priced into outRows by the caller).
 	var joinCol string
-	var j query.Join
-	for _, cand := range joins {
-		if c := cand.ColumnFor(table); c != "" {
-			joinCol, j = c, cand
+	var jp *query.Join
+	ji := -1
+	for i := range joins {
+		if c := joins[i].j.ColumnFor(table); c != "" {
+			joinCol, jp, ji = c, joins[i].ptr, i
 			break
 		}
 	}
 	if joinCol == "" {
 		return nil
 	}
+	var extras []query.Join
+	if len(joins) > 1 {
+		extras = make([]query.Join, 0, len(joins)-1)
+		for i := range joins {
+			if i != ji {
+				extras = append(extras, joins[i].j)
+			}
+		}
+	}
+	mode := plan.Row
+	if outer.hasCS {
+		mode = plan.Batch
+	}
 	var best *subPlan
-	for _, ix := range p.cfg.IndexesOn(table) {
+	for _, ix := range p.ixsOn[ti] {
 		if ix.Kind != catalog.BTree || len(ix.KeyColumns) == 0 || ix.KeyColumns[0] != joinCol {
 			continue
 		}
-		preds := p.q.PredsOn(table)
-		perProbeSel := p.o.Stats.JoinSelectivity(j.LeftTable, j.LeftColumn, j.RightTable, j.RightColumn)
+		preds := p.qi.predsOn[ti]
+		perProbeSel := p.o.Stats.JoinSelectivity(jp.LeftTable, jp.LeftColumn, jp.RightTable, jp.RightColumn)
 		fetched := outer.rows * rows * perProbeSel // total rows fetched across probes
 		var covRes, uncovRes []query.Pred
 		for _, pr := range preds {
@@ -503,29 +714,41 @@ func (p *planner) indexNLJ(outer, inner *subPlan, joins []query.Join, outRows, w
 		idxW := p.widthOf(table, ix.KeyColumns) + p.widthOf(table, ix.IncludedColumns) + 8
 		seekOut := fetched * p.selAll(covRes)
 
-		seek := &plan.Node{Op: plan.IndexSeek, Table: table, Index: ix.ID(), IndexDef: ix, ResidualPreds: covRes}
+		seek := p.node(plan.Node{Op: plan.IndexSeek, Table: table, Index: ix.ID(), IndexDef: ix, ResidualPreds: covRes})
 		innerCost := p.annotate(seek, cost.Args{
 			Probes: outer.rows, Height: estHeight(rows), RowsOut: seekOut, Bytes: fetched * idxW,
 		}, math.Min(idxW, needW))
 		innerTop := seek
 		if !covering {
-			lookup := &plan.Node{Op: plan.KeyLookup, Table: table, Children: []*plan.Node{seek}}
+			lookup := p.node(plan.Node{Op: plan.KeyLookup, Table: table})
+			lookup.Children = p.child1(seek)
 			innerCost += p.annotate(lookup, cost.Args{
 				RowsIn: seekOut, RowsOut: seekOut, Bytes: seekOut * float64(meta.RowWidth()),
 			}, needW)
 			innerTop = lookup
 			if len(uncovRes) > 0 {
-				filter := &plan.Node{Op: plan.Filter, ResidualPreds: uncovRes, Children: []*plan.Node{lookup}}
+				filter := p.node(plan.Node{Op: plan.Filter, ResidualPreds: uncovRes})
+				filter.Children = p.child1(lookup)
 				innerCost += p.annotate(filter, cost.Args{RowsIn: seekOut, RowsOut: seekOut * p.selAll(uncovRes)}, needW)
 				innerTop = filter
 			}
 		}
-		n := &plan.Node{Op: plan.NestedLoopJoin, Join: &j, Children: []*plan.Node{outer.node, innerTop}}
-		c := p.annotate(n, cost.Args{RowsIn: outer.rows, RowsOut: outRows}, width)
-		sp := &subPlan{
+		// The join node is costed like the plain NLJ path in bestJoin but
+		// on the probes branch: the operator dispatches one probe per
+		// outer row (the seek below charges the tree descent; Height 1
+		// here charges only the per-probe join overhead). The inner's
+		// batch eligibility propagates like every other join, and RowsIn2
+		// carries the inner-side cardinality for symmetry with plain NLJ.
+		n := p.node(plan.Node{Op: plan.NestedLoopJoin, Mode: mode, Join: jp, ExtraJoins: extras})
+		n.Children = p.child2(outer.node, innerTop)
+		c := p.annotate(n, cost.Args{
+			RowsIn: outer.rows, RowsIn2: inner.rows, RowsOut: outRows,
+			Probes: outer.rows, Height: 1,
+		}, width)
+		sp := p.sub(subPlan{
 			node: n, tables: outer.tables | inner.tables, rows: outRows, width: width,
 			cost: outer.cost + innerCost + c, hasCS: outer.hasCS,
-		}
+		})
 		if best == nil || sp.cost < best.cost {
 			best = sp
 		}
@@ -534,45 +757,61 @@ func (p *planner) indexNLJ(outer, inner *subPlan, joins []query.Join, outRows, w
 }
 
 // dpJoin finds the cheapest join order by dynamic programming over
-// connected table subsets.
+// connected table subsets. The DP table is a dense slice indexed by table
+// bitmask; sets are visited in ascending numeric order, which is equivalent
+// to the classic by-size order because every strict subset of a set is
+// numerically smaller. Each non-trivial subset is memoized in the join memo
+// under the access-path keys it consumed (joinmemo.go).
 func (p *planner) dpJoin(base []*subPlan) *subPlan {
 	n := len(base)
-	full := (uint64(1) << n) - 1
-	best := map[uint64]*subPlan{}
-	for _, b := range base {
-		best[b.tables] = b
+	full := uint64(1)<<uint(n) - 1
+	if uint64(cap(p.dp)) < full+1 {
+		p.dp = make([]*subPlan, full+1)
 	}
-	for size := 2; size <= n; size++ {
-		for set := uint64(1); set <= full; set++ {
-			if popcount(set) != size {
+	dp := p.dp[:full+1]
+	for i := range dp {
+		dp[i] = nil
+	}
+	for _, b := range base {
+		dp[b.tables] = b
+	}
+	for set := uint64(3); set <= full; set++ {
+		if set&(set-1) == 0 {
+			continue // single table: already seeded
+		}
+		if set != full { // the caller already probed the full set
+			if e, ok := p.joinMemoLookup(set); ok {
+				if e.sp.node != nil {
+					dp[set] = p.instantiateJoin(e, set)
+				}
 				continue
 			}
-			// Split set into (sub, set^sub) pairs.
-			for sub := (set - 1) & set; sub > 0; sub = (sub - 1) & set {
-				other := set ^ sub
-				if sub > other {
-					continue // each unordered split once
-				}
-				a, okA := best[sub]
-				b, okB := best[other]
-				if !okA || !okB {
-					continue
-				}
-				if j := p.bestJoin(a, b); j != nil {
-					if cur, ok := best[set]; !ok || j.cost < cur.cost {
-						best[set] = j
-					}
+		}
+		// Split set into (sub, set^sub) pairs.
+		for sub := (set - 1) & set; sub > 0; sub = (sub - 1) & set {
+			other := set ^ sub
+			if sub > other {
+				continue // each unordered split once
+			}
+			a, b := dp[sub], dp[other]
+			if a == nil || b == nil {
+				continue
+			}
+			if j := p.bestJoin(a, b); j != nil {
+				if cur := dp[set]; cur == nil || j.cost < cur.cost {
+					dp[set] = j
 				}
 			}
 		}
+		p.joinMemoStore(set, dp[set])
 	}
-	return best[full]
+	return dp[full]
 }
 
 // greedyJoin repeatedly joins the cheapest connectable pair; used beyond
 // the DP table limit.
 func (p *planner) greedyJoin(base []*subPlan) *subPlan {
-	pool := append([]*subPlan(nil), base...)
+	pool := append(p.gpool[:0], base...)
 	for len(pool) > 1 {
 		var bi, bj int
 		var bestSP *subPlan
@@ -586,6 +825,7 @@ func (p *planner) greedyJoin(base []*subPlan) *subPlan {
 			}
 		}
 		if bestSP == nil {
+			p.gpool = pool[:0]
 			return nil
 		}
 		next := pool[:0]
@@ -596,7 +836,9 @@ func (p *planner) greedyJoin(base []*subPlan) *subPlan {
 		}
 		pool = append(next, bestSP)
 	}
-	return pool[0]
+	out := pool[0]
+	p.gpool = pool[:0]
+	return out
 }
 
 // addAggregation appends the aggregate operator when the query groups or
@@ -612,17 +854,19 @@ func (p *planner) addAggregation(in *subPlan) *subPlan {
 		mode = plan.Batch
 	}
 
-	hash := &plan.Node{Op: plan.HashAggregate, Mode: mode, GroupCols: p.q.GroupBy, Children: []*plan.Node{in.node}}
+	hash := p.node(plan.Node{Op: plan.HashAggregate, Mode: mode, GroupCols: p.q.GroupBy})
+	hash.Children = p.child1(in.node)
 	hc := p.annotate(hash, cost.Args{RowsIn: in.rows, RowsOut: groups, Bytes: in.rows * in.width}, outW)
-	hashSP := &subPlan{node: hash, tables: in.tables, rows: groups, width: outW, cost: in.cost + hc, hasCS: in.hasCS}
+	hashSP := p.sub(subPlan{node: hash, tables: in.tables, rows: groups, width: outW, cost: in.cost + hc, hasCS: in.hasCS})
 
 	if len(p.q.GroupBy) == 0 {
 		return hashSP // scalar aggregate: stream/hash equivalent; use hash
 	}
 	sorted := p.sortNode(in, p.q.GroupBy)
-	stream := &plan.Node{Op: plan.StreamAggregate, GroupCols: p.q.GroupBy, Children: []*plan.Node{sorted.node}}
+	stream := p.node(plan.Node{Op: plan.StreamAggregate, GroupCols: p.q.GroupBy})
+	stream.Children = p.child1(sorted.node)
 	sc := p.annotate(stream, cost.Args{RowsIn: in.rows, RowsOut: groups, Bytes: in.rows * in.width}, outW)
-	streamSP := &subPlan{node: stream, tables: in.tables, rows: groups, width: outW, cost: sorted.cost + sc, hasCS: in.hasCS}
+	streamSP := p.sub(subPlan{node: stream, tables: in.tables, rows: groups, width: outW, cost: sorted.cost + sc, hasCS: in.hasCS})
 	// When the query also orders by the group columns, the hash path will
 	// need its own sort later (over far fewer rows) while the stream path
 	// gets the ordering for free; credit the hash path with that cost so
@@ -669,9 +913,10 @@ func (p *planner) addOrdering(in *subPlan) *subPlan {
 	}
 	if p.q.Limit > 0 {
 		outRows := math.Min(float64(p.q.Limit), out.rows)
-		n := &plan.Node{Op: plan.Top, TopN: p.q.Limit, Children: []*plan.Node{out.node}}
+		n := p.node(plan.Node{Op: plan.Top, TopN: p.q.Limit})
+		n.Children = p.child1(out.node)
 		c := p.annotate(n, cost.Args{RowsIn: out.rows, RowsOut: outRows}, out.width)
-		out = &subPlan{node: n, tables: out.tables, rows: outRows, width: out.width, cost: out.cost + c, hasCS: out.hasCS}
+		out = p.sub(subPlan{node: n, tables: out.tables, rows: outRows, width: out.width, cost: out.cost + c, hasCS: out.hasCS})
 	}
 	return out
 }
@@ -692,33 +937,103 @@ func sameCols(a, b []query.ColRef) bool {
 // root Exchange runs parallel and is recosted under the believed DOP.
 func (p *planner) parallelize(in *subPlan) *subPlan {
 	cloned, totalCost := p.cloneRecost(in.node, plan.Parallel)
-	ex := &plan.Node{Op: plan.Exchange, Par: plan.Parallel, Children: []*plan.Node{cloned}}
+	ex := p.node(plan.Node{Op: plan.Exchange, Par: plan.Parallel})
+	ex.Children = p.child1(cloned)
 	if cloned.Mode == plan.Batch {
 		ex.Mode = plan.Batch
 	}
 	exCost := p.annotate(ex, cost.Args{RowsIn: cloned.EstRows, RowsOut: cloned.EstRows, Bytes: cloned.EstRows * in.width}, in.width)
-	return &subPlan{
+	return p.sub(subPlan{
 		node: ex, tables: in.tables, rows: in.rows, width: in.width,
 		cost: totalCost + exCost, hasCS: in.hasCS,
-	}
+	})
 }
 
 // cloneRecost deep-copies a tree with the given parallelism and recosts
 // every node from its stored args. Returns the clone and subtree cost.
 func (p *planner) cloneRecost(n *plan.Node, par plan.Parallelism) (*plan.Node, float64) {
-	c := *n
+	a := p.args[n.Scratch]
+	c := p.node(*n)
 	c.Par = par
-	c.Children = make([]*plan.Node, len(n.Children))
 	var total float64
-	for i, ch := range n.Children {
-		cc, sub := p.cloneRecost(ch, par)
-		c.Children[i] = cc
-		total += sub
+	if len(n.Children) > 0 {
+		cs := p.kids.alloc(len(n.Children))
+		for i, ch := range n.Children {
+			cc, sub := p.cloneRecost(ch, par)
+			cs[i] = cc
+			total += sub
+		}
+		c.Children = cs
 	}
-	a := p.args[n]
 	c.EstCost = p.o.Model.OpCost(c.Op, c.Mode, c.Par, a)
-	p.args[&c] = a
-	return &c, total + c.EstCost
+	p.args[c.Scratch] = a
+	return c, total + c.EstCost
+}
+
+// countNodes returns the node and child-slot counts of a subtree.
+func countNodes(n *plan.Node) (nodes, kids int) {
+	nodes = 1
+	kids = len(n.Children)
+	for _, c := range n.Children {
+		cn, ck := countNodes(c)
+		nodes += cn
+		kids += ck
+	}
+	return
+}
+
+// cloneOut copies a subtree out of the planner's arenas into two compact,
+// exactly-sized heap slabs (one for nodes, one for child pointers), so the
+// result owns no arena memory and survives planner recycling. Scratch is
+// zeroed on every clone. When collect is non-nil the cost args of every
+// node are appended to it in preorder (the order cloneIn consumes).
+func (p *planner) cloneOut(root *plan.Node, collect *[]cost.Args) *plan.Node {
+	nn, nk := countNodes(root)
+	nodes := make([]plan.Node, nn)
+	kidSlab := make([]*plan.Node, nk)
+	ni, ki := 0, 0
+	var walk func(n *plan.Node) *plan.Node
+	walk = func(n *plan.Node) *plan.Node {
+		nd := &nodes[ni]
+		ni++
+		*nd = *n
+		nd.Scratch = 0
+		if collect != nil {
+			*collect = append(*collect, p.args[n.Scratch])
+		}
+		if len(n.Children) > 0 {
+			cs := kidSlab[ki : ki+len(n.Children) : ki+len(n.Children)]
+			ki += len(n.Children)
+			nd.Children = cs
+			for i, ch := range n.Children {
+				cs[i] = walk(ch)
+			}
+		}
+		return nd
+	}
+	return walk(root)
+}
+
+// cloneIn copies a memo-owned subtree into the planner's arenas, assigning
+// every clone a fresh args slot filled from the entry's preorder args, so
+// memoized trees are never aliased by planner state.
+func (p *planner) cloneIn(root *plan.Node, args []cost.Args) *plan.Node {
+	i := 0
+	var walk func(n *plan.Node) *plan.Node
+	walk = func(n *plan.Node) *plan.Node {
+		c := p.node(*n)
+		p.args[c.Scratch] = args[i]
+		i++
+		if len(n.Children) > 0 {
+			cs := p.kids.alloc(len(n.Children))
+			for k, ch := range n.Children {
+				cs[k] = walk(ch)
+			}
+			c.Children = cs
+		}
+		return c
+	}
+	return walk(root)
 }
 
 func popcount(x uint64) int { return bits.OnesCount64(x) }

@@ -1,0 +1,130 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/query"
+)
+
+func batchConfigs() []*catalog.Configuration {
+	return []*catalog.Configuration{
+		nil,
+		catalog.NewConfiguration(&catalog.Index{Table: "fact", KeyColumns: []string{"f_date"}}),
+		catalog.NewConfiguration(&catalog.Index{Table: "fact", KeyColumns: []string{"f_date"}, IncludedColumns: []string{"f_val"}}),
+		catalog.NewConfiguration(&catalog.Index{Table: "fact", Kind: catalog.Columnstore}),
+	}
+}
+
+// TestPlanBatchMatchesPlan: a batch must return, in order, exactly what
+// per-configuration Plan calls return — and share the cache with them.
+func TestPlanBatchMatchesPlan(t *testing.T) {
+	s, _, ds := buildEnv(t)
+	q := pointQuery()
+	cfgs := batchConfigs()
+
+	single := NewWhatIf(New(s, ds))
+	batch := NewWhatIf(New(s, ds))
+	plans, err := batch.PlanBatch(q, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(cfgs) {
+		t.Fatalf("got %d plans for %d configs", len(plans), len(cfgs))
+	}
+	for i, cfg := range cfgs {
+		want, err := single.Plan(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plans[i].Fingerprint() != want.Fingerprint() ||
+			math.Float64bits(plans[i].EstTotalCost) != math.Float64bits(want.EstTotalCost) {
+			t.Fatalf("config %d: batch plan differs from single-plan result:\n%s\nvs:\n%s", i, plans[i], want)
+		}
+	}
+	// The batch populated the cache: Plan must now return the same pointers.
+	for i, cfg := range cfgs {
+		p, err := batch.Plan(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != plans[i] {
+			t.Fatalf("config %d: Plan after PlanBatch should hit the cache entry", i)
+		}
+	}
+}
+
+// TestPlanBatchDuplicateConfigs: two configurations with the same
+// fingerprint in one batch are planned once and share the cache entry.
+func TestPlanBatchDuplicateConfigs(t *testing.T) {
+	s, _, ds := buildEnv(t)
+	w := NewWhatIf(New(s, ds))
+	q := pointQuery()
+	a := catalog.NewConfiguration(&catalog.Index{Table: "fact", KeyColumns: []string{"f_date"}})
+	b := catalog.NewConfiguration(&catalog.Index{Table: "fact", KeyColumns: []string{"f_date"}})
+	plans, err := w.PlanBatch(q, []*catalog.Configuration{a, b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plans[0] != plans[1] || plans[1] != plans[2] {
+		t.Fatal("duplicate configurations in one batch must share one cached plan")
+	}
+	calls, hits := w.Stats()
+	if calls != 3 || hits != 2 {
+		t.Fatalf("stats: calls=%d hits=%d, want 3/2", calls, hits)
+	}
+}
+
+// TestPlanBatchStats: a repeated batch hits the cache for every slot.
+func TestPlanBatchStats(t *testing.T) {
+	s, _, ds := buildEnv(t)
+	w := NewWhatIf(New(s, ds))
+	q := joinQuery()
+	cfgs := batchConfigs()
+	if _, err := w.PlanBatch(q, cfgs); err != nil {
+		t.Fatal(err)
+	}
+	calls, hits := w.Stats()
+	if calls != len(cfgs) || hits != 0 {
+		t.Fatalf("cold batch: calls=%d hits=%d", calls, hits)
+	}
+	plans2, err := w.PlanBatch(q, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls, hits = w.Stats()
+	if calls != 2*len(cfgs) || hits != len(cfgs) {
+		t.Fatalf("warm batch: calls=%d hits=%d", calls, hits)
+	}
+	for _, p := range plans2 {
+		if p == nil {
+			t.Fatal("warm batch returned a nil plan")
+		}
+	}
+	// Empty batch is a no-op.
+	plans3, err := w.PlanBatch(q, nil)
+	if err != nil || plans3 != nil {
+		t.Fatalf("empty batch: %v, %v", plans3, err)
+	}
+}
+
+// TestPlanBatchErrorAborts: a failing configuration aborts the batch with
+// the optimizer's error, and the failure is not cached.
+func TestPlanBatchErrorAborts(t *testing.T) {
+	s, _, ds := buildEnv(t)
+	w := NewWhatIf(New(s, ds))
+	bad := &query.Query{
+		Name:   "bad",
+		Tables: []string{"nope"},
+		Select: []query.ColRef{{Table: "nope", Column: "x"}},
+	}
+	if _, err := w.PlanBatch(bad, batchConfigs()); err == nil {
+		t.Fatal("expected an error for an invalid query")
+	}
+	// The error is surfaced again on retry (not a poisoned cache entry that
+	// panics or returns a nil plan).
+	if _, err := w.PlanBatch(bad, batchConfigs()); err == nil {
+		t.Fatal("expected the retry to fail the same way")
+	}
+}

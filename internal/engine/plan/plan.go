@@ -129,6 +129,12 @@ type Node struct {
 
 	// Join annotation (join operators).
 	Join *query.Join
+	// ExtraJoins are additional equijoin predicates applied by the same
+	// join operator beyond Join: when more than one join predicate
+	// connects the two inputs, the first drives the physical algorithm
+	// (hash key, merge order, index probe) and the rest filter its
+	// matches. Empty for single-predicate joins.
+	ExtraJoins []query.Join
 
 	// SortCols / GroupCols annotate Sort/aggregate operators.
 	SortCols  []query.ColRef
@@ -146,6 +152,12 @@ type Node struct {
 	// Execution actuals, filled in by the executor.
 	ActualRows float64
 	ActualCost float64
+
+	// Scratch is free for the plan's producer while the node is being
+	// built (the optimizer indexes per-node cost arguments with it). It
+	// carries no plan semantics: it is excluded from Fingerprint and
+	// String and is zeroed on finished plans.
+	Scratch int32
 }
 
 // Key returns the node's attribute index in the fixed key space.
@@ -216,6 +228,9 @@ func (p *Plan) Fingerprint() uint64 {
 		if n.Join != nil {
 			fmt.Fprintf(h, "j%s", n.Join.String())
 		}
+		for _, j := range n.ExtraJoins {
+			fmt.Fprintf(h, "J%s", j.String())
+		}
 		for _, c := range n.SortCols {
 			fmt.Fprintf(h, "o%s", c.String())
 		}
@@ -249,6 +264,9 @@ func (p *Plan) String() string {
 		}
 		if n.Join != nil {
 			fmt.Fprintf(&b, " on(%s)", n.Join)
+			for _, j := range n.ExtraJoins {
+				fmt.Fprintf(&b, " and(%s)", j)
+			}
 		}
 		if len(n.SeekPreds) > 0 {
 			var ps []string

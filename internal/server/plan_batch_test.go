@@ -1,0 +1,71 @@
+package server
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestPlanBatchEndpoint covers the batched mode of POST /v1/plan: one query
+// planned under several configurations in a single call.
+func TestPlanBatchEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background())
+	base := "http://" + addr
+
+	body := `{"query":"q6","configs":[
+		[],
+		[{"table":"lineitem","key":["l_shipdate"]}],
+		[{"table":"lineitem","key":["l_shipdate"],"include":["l_discount","l_quantity","l_price"]}]
+	]}`
+	var batch planBatchResponse
+	if code := doJSON(t, http.MethodPost, base+"/v1/plan", strings.NewReader(body), &batch); code != http.StatusOK {
+		t.Fatalf("batch plan: %d (%+v)", code, batch)
+	}
+	if batch.Query != "q6" || len(batch.Plans) != 3 {
+		t.Fatalf("batch response = %+v", batch)
+	}
+	for i, pr := range batch.Plans {
+		if pr.EstCost <= 0 || pr.Plan == "" {
+			t.Fatalf("plan %d is empty: %+v", i, pr)
+		}
+		if len(pr.Indexes) != map[int]int{0: 0, 1: 1, 2: 1}[i] {
+			t.Fatalf("plan %d echoes %d indexes", i, len(pr.Indexes))
+		}
+	}
+	// The covering index must not cost more than planning with no indexes,
+	// and the batch results must agree with the single-config endpoint.
+	if batch.Plans[2].EstCost > batch.Plans[0].EstCost {
+		t.Fatalf("covering-index plan costs more than no-index plan: %+v", batch.Plans)
+	}
+	var single planResponse
+	singleBody := `{"query":"q6","indexes":[{"table":"lineitem","key":["l_shipdate"],"include":["l_discount","l_quantity","l_price"]}]}`
+	if code := doJSON(t, http.MethodPost, base+"/v1/plan", strings.NewReader(singleBody), &single); code != http.StatusOK {
+		t.Fatalf("single plan: %d", code)
+	}
+	if math.Float64bits(single.EstCost) != math.Float64bits(batch.Plans[2].EstCost) || single.Plan != batch.Plans[2].Plan {
+		t.Fatalf("batch and single results diverge:\n%+v\nvs\n%+v", batch.Plans[2], single)
+	}
+
+	// Mutual exclusion of indexes and configs.
+	var apiErr map[string]any
+	both := `{"query":"q6","indexes":[{"table":"lineitem","key":["l_shipdate"]}],"configs":[[]]}`
+	if code := doJSON(t, http.MethodPost, base+"/v1/plan", strings.NewReader(both), &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("indexes+configs should be rejected: %d (%v)", code, apiErr)
+	}
+
+	// An invalid configuration is reported with its batch position.
+	bad := `{"query":"q6","configs":[[],[{"table":"lineitem"}]]}`
+	if code := doJSON(t, http.MethodPost, base+"/v1/plan", strings.NewReader(bad), &apiErr); code != http.StatusBadRequest {
+		t.Fatalf("keyless btree in batch: %d", code)
+	}
+	if msg, _ := apiErr["error"].(string); !strings.Contains(msg, "config 1") {
+		t.Fatalf("error should name the failing config: %v", apiErr)
+	}
+}

@@ -355,6 +355,11 @@ type planRequest struct {
 	Query   string      `json:"query,omitempty"`
 	SQL     string      `json:"sql,omitempty"`
 	Indexes []IndexSpec `json:"indexes,omitempty"`
+	// Configs requests batched planning of the same query under many
+	// configurations in one call (WhatIf.PlanBatch); the response carries
+	// one result per configuration, in request order. Mutually exclusive
+	// with the top-level Indexes.
+	Configs [][]IndexSpec `json:"configs,omitempty"`
 }
 
 type planResponse struct {
@@ -362,6 +367,17 @@ type planResponse struct {
 	EstCost float64  `json:"est_cost"`
 	Indexes []string `json:"indexes"`
 	Plan    string   `json:"plan"`
+}
+
+type planConfigResult struct {
+	EstCost float64  `json:"est_cost"`
+	Indexes []string `json:"indexes"`
+	Plan    string   `json:"plan"`
+}
+
+type planBatchResponse struct {
+	Query string             `json:"query"`
+	Plans []planConfigResult `json:"plans"`
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -372,6 +388,14 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	q, err := s.resolveQuery(req.Query, req.SQL)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Configs) > 0 {
+		if len(req.Indexes) > 0 {
+			writeErr(w, http.StatusBadRequest, "indexes and configs are mutually exclusive")
+			return
+		}
+		s.handlePlanBatch(w, q, req.Configs)
 		return
 	}
 	cfg, err := s.toConfig(req.Indexes)
@@ -391,6 +415,32 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, planResponse{
 		Query: q.Name, EstCost: p.EstTotalCost, Indexes: ids, Plan: p.String(),
 	})
+}
+
+func (s *Server) handlePlanBatch(w http.ResponseWriter, q *query.Query, specs [][]IndexSpec) {
+	cfgs := make([]*catalog.Configuration, len(specs))
+	for i, sp := range specs {
+		cfg, err := s.toConfig(sp)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "config %d: %v", i, err)
+			return
+		}
+		cfgs[i] = cfg
+	}
+	plans, err := s.cfg.WhatIf.PlanBatch(q, cfgs)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "planning: %v", err)
+		return
+	}
+	out := make([]planConfigResult, len(plans))
+	for i, p := range plans {
+		ids := make([]string, 0, cfgs[i].Len())
+		for _, ix := range cfgs[i].Indexes() {
+			ids = append(ids, ix.ID())
+		}
+		out[i] = planConfigResult{EstCost: p.EstTotalCost, Indexes: ids, Plan: p.String()}
+	}
+	writeJSON(w, http.StatusOK, planBatchResponse{Query: q.Name, Plans: out})
 }
 
 type classifyRequest struct {

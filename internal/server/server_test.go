@@ -290,34 +290,38 @@ func TestServeQueueBackpressure(t *testing.T) {
 	defer s.Shutdown(context.Background())
 	base := "http://" + addr
 
-	var first JobStatus
-	if code := doJSON(t, http.MethodPost, base+"/v1/jobs/tune", strings.NewReader(`{}`), &first); code != http.StatusAccepted {
-		t.Fatalf("first submit: %d", code)
+	// Deterministically saturate the pool: one job blocks the only worker,
+	// a second fills the one queue slot. (Real tune jobs finish too quickly
+	// to hold the queue open reliably.) Both unblock on ctx cancellation,
+	// which Shutdown's drain triggers.
+	block := func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	first, err := s.jobs.submit(block)
+	if err != nil {
+		t.Fatal(err)
 	}
 	// Wait until the worker owns the first job, so the queue is empty.
 	deadline := time.Now().Add(10 * time.Second)
-	for {
-		var st JobStatus
-		doJSON(t, http.MethodGet, base+"/v1/jobs/"+first.ID, nil, &st)
-		if st.State != JobQueued {
-			break
-		}
+	for first.status().State == JobQueued {
 		if time.Now().After(deadline) {
 			t.Fatal("first job never started")
 		}
 		time.Sleep(time.Millisecond)
 	}
-	var second JobStatus
-	if code := doJSON(t, http.MethodPost, base+"/v1/jobs/tune", strings.NewReader(`{}`), &second); code != http.StatusAccepted {
-		t.Fatalf("second submit: %d", code)
+	second, err := s.jobs.submit(block)
+	if err != nil {
+		t.Fatal(err)
 	}
+	// The HTTP layer must surface the full queue as 429.
 	var apiErr map[string]any
 	if code := doJSON(t, http.MethodPost, base+"/v1/jobs/tune", strings.NewReader(`{}`), &apiErr); code != http.StatusTooManyRequests {
-		t.Fatalf("third submit: %d, want 429", code)
+		t.Fatalf("submit to a full queue: %d, want 429", code)
 	}
 	// Free the pool so shutdown stays fast.
-	doJSON(t, http.MethodDelete, base+"/v1/jobs/"+first.ID, nil, nil)
-	doJSON(t, http.MethodDelete, base+"/v1/jobs/"+second.ID, nil, nil)
+	doJSON(t, http.MethodDelete, base+"/v1/jobs/"+first.id, nil, nil)
+	doJSON(t, http.MethodDelete, base+"/v1/jobs/"+second.id, nil, nil)
 }
 
 // TestConcurrentSubmissionsAndHotSwap races job submissions and classify

@@ -339,13 +339,33 @@ func (t *Tuner) TuneQuery(ctx context.Context, q *query.Query, c0 *catalog.Confi
 			probes = append(probes, &queryProbe{ix: ix, cfg: cfg})
 		}
 		mStepCands.Observe(float64(len(probes)))
-		t.parallelFor(len(probes), func(i int) {
-			pr := probes[i]
-			if pr.err = ctx.Err(); pr.err != nil {
-				return
+		if t.workers == nil {
+			// Serial probing: one batch what-if call amortizes per-probe
+			// setup (query fingerprint, per-query analysis, planner state)
+			// across all of this step's candidates.
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			pr.p, pr.err = t.WhatIf.Plan(q, pr.cfg)
-		})
+			cfgs := make([]*catalog.Configuration, len(probes))
+			for i, pr := range probes {
+				cfgs[i] = pr.cfg
+			}
+			plans, err := t.WhatIf.PlanBatch(q, cfgs)
+			if err != nil {
+				return nil, err
+			}
+			for i, pr := range probes {
+				pr.p = plans[i]
+			}
+		} else {
+			t.parallelFor(len(probes), func(i int) {
+				pr := probes[i]
+				if pr.err = ctx.Err(); pr.err != nil {
+					return
+				}
+				pr.p, pr.err = t.WhatIf.Plan(q, pr.cfg)
+			})
+		}
 		// Serial selection over the probe results, in candidate order:
 		// gate every candidate against the step's fixed incumbent
 		// (bestPlan), then keep the lowest-cost survivor. When every probe

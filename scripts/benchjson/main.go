@@ -41,13 +41,15 @@ type Snapshot struct {
 func main() {
 	out := flag.String("out", "BENCH_probe.json", "output path for the parsed snapshot")
 	diff := flag.Bool("diff", false, "diff two snapshot files instead of parsing stdin")
+	gate := flag.String("gate", "", "comma-separated benchmark names (with or without the Benchmark prefix) whose ns/op must not regress beyond -max-regress in -diff mode; exits 1 on violation")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional ns/op regression for gated benchmarks (0.20 = 20% slower than before)")
 	flag.Parse()
 
 	if *diff {
 		if flag.NArg() != 2 {
-			fatal("usage: benchjson -diff before.json after.json")
+			fatal("usage: benchjson -diff [-gate names] [-max-regress frac] before.json after.json")
 		}
-		if err := runDiff(flag.Arg(0), flag.Arg(1)); err != nil {
+		if err := runDiff(flag.Arg(0), flag.Arg(1), parseGate(*gate), *maxRegress); err != nil {
 			fatal(err.Error())
 		}
 		return
@@ -165,7 +167,27 @@ func load(path string) (*Snapshot, error) {
 	return &s, nil
 }
 
-func runDiff(beforePath, afterPath string) error {
+// parseGate normalizes the -gate list: names may be given with or without
+// the "Benchmark" prefix.
+func parseGate(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if !strings.HasPrefix(n, "Benchmark") {
+			n = "Benchmark" + n
+		}
+		names = append(names, n)
+	}
+	return names
+}
+
+func runDiff(beforePath, afterPath string, gate []string, maxRegress float64) error {
 	before, err := load(beforePath)
 	if err != nil {
 		return err
@@ -197,6 +219,26 @@ func runDiff(beforePath, afterPath string) error {
 		fmt.Printf("%-34s %14.0f %14.0f %8.2fx %12.0f %12.0f %8.2fx\n",
 			n, b.NsPerOp, a.NsPerOp, ratio(b.NsPerOp, a.NsPerOp),
 			b.AllocsPerOp, a.AllocsPerOp, ratio(b.AllocsPerOp, a.AllocsPerOp))
+	}
+	var violations []string
+	for _, n := range gate {
+		b, okB := byName[n]
+		a, okA := afterBy[n]
+		if !okB || !okA {
+			violations = append(violations, fmt.Sprintf("%s: missing from %s snapshot", n,
+				map[bool]string{true: "after", false: "before"}[okB]))
+			continue
+		}
+		if b.NsPerOp > 0 && a.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			violations = append(violations, fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (%.1f%% > %.0f%% allowed)",
+				n, b.NsPerOp, a.NsPerOp, (a.NsPerOp/b.NsPerOp-1)*100, maxRegress*100))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("bench regression gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	if len(gate) > 0 {
+		fmt.Printf("gate ok: %s within %.0f%% of baseline\n", strings.Join(gate, ", "), maxRegress*100)
 	}
 	return nil
 }
