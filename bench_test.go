@@ -20,6 +20,7 @@ import (
 	"testing"
 
 	"repro/aimai"
+	"repro/internal/candidates"
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/exec"
 	"repro/internal/engine/opt"
@@ -242,6 +243,38 @@ func benchTuneWorkload(b *testing.B, parallelism int) {
 
 func BenchmarkTuneWorkloadSerial(b *testing.B)    { benchTuneWorkload(b, 1) }
 func BenchmarkTuneWorkloadParallel4(b *testing.B) { benchTuneWorkload(b, 4) }
+
+// BenchmarkCandidateGen measures the role-classified candidate generator
+// on the composite workload's full query mix — the per-query cost the
+// tuner pays before any what-if probe.
+func BenchmarkCandidateGen(b *testing.B) {
+	w := workload.Composite("bench-cands", 4000, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range w.Queries {
+			if len(candidates.CandidateIndexes(q, w.Schema)) == 0 {
+				b.Fatalf("%s: no candidates", q.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkTuneWorkloadCompressed tunes a duplicate-heavy trace (6 renamed
+// copies per template) with workload compression on. Compare against
+// BenchmarkTuneWorkloadSerial for the probe savings compression buys.
+func BenchmarkTuneWorkloadCompressed(b *testing.B) {
+	w := workload.Composite("bench-tunec", 4000, 7)
+	ds := stats.BuildDatabaseStats(w.DB, util.NewRNG(4), stats.DefaultSampleSize, stats.DefaultBuckets)
+	o := opt.New(w.Schema, ds)
+	qs := workload.Replicate(w.Queries, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn := tuner.New(w.Schema, opt.NewWhatIf(o), nil, tuner.Options{Parallelism: 1, Compress: true})
+		if _, err := tn.TuneWorkload(context.Background(), qs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkTuneWorkloadSerialMetricsOn is the metrics-enabled companion of
 // BenchmarkTuneWorkloadSerial: the delta between the two is the live cost

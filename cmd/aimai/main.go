@@ -63,6 +63,12 @@ func printMetricsSummary() {
 		fmt.Printf("\nmetrics: join-order memo hits %.0f misses %.0f (entries %.0f)",
 			jh, jm, s.Gauges["opt.jmemo.entries"])
 	}
+	if gen, drop := s.Counters["candidates.generated"], s.Counters["candidates.dropped"]; gen+drop > 0 {
+		fmt.Printf("\nmetrics: candidates generated %d, dropped by budgets %d", gen, drop)
+	}
+	if in, out := s.Counters["tuner.compress.queries"], s.Counters["tuner.compress.representatives"]; in > 0 {
+		fmt.Printf("\nmetrics: workload compression %d queries -> %d representatives", in, out)
+	}
 	fmt.Printf("\nmetrics: gate verdicts regression=%d improvement=%d unsure=%d; continuous accept=%d revert=%d\n",
 		s.Counters["tuner.gate.regression"], s.Counters["tuner.gate.improvement"], s.Counters["tuner.gate.unsure"],
 		s.Counters["tuner.cont.accept"], s.Counters["tuner.cont.revert"])

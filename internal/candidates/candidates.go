@@ -2,91 +2,242 @@
 // the first phase of a Chaudhuri–Narasayya-style index tuner, shared by the
 // tuner's search and by the execution-data collector (which explores
 // subsets of tuner recommendations, §7.3).
+//
+// Generation follows the TiDB index-advisor recipe: each query's columns
+// are classified per table into EQ / JOIN / RANGE / ORDER / REF roles, and
+// multi-column keys are enumerated under the leftmost-prefix rules —
+// equality columns (in any prefix order), then at most one range column,
+// then order columns — with covering variants carrying the remaining
+// referenced columns. Output is bounded by per-table budgets (max key
+// width, max key fraction of table columns, max candidates per table)
+// instead of a flat per-query cap; everything a budget drops is counted on
+// the candidates.dropped metric, per the no-silent-caps convention.
 package candidates
 
 import (
+	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/query"
+	"repro/internal/obs"
 )
 
-// MaxCandidatesPerQuery caps the syntactic candidates generated per query.
-const MaxCandidatesPerQuery = 8
+var (
+	mGenerated = obs.C("candidates.generated")
+	mDropped   = obs.C("candidates.dropped")
+)
 
-// CandidateIndexes generates syntactic candidate indexes for one query:
-// single-column indexes on equality/range/join columns, multi-column
-// indexes ordered equalities-then-range, covering variants with included
-// columns, and a columnstore candidate for aggregation-heavy fact access.
-// Results are deduplicated and capped at MaxCandidatesPerQuery.
-func CandidateIndexes(q *query.Query, schema *catalog.Schema) []*catalog.Index {
-	var out []*catalog.Index
-	seen := map[string]bool{}
-	add := func(ix *catalog.Index) {
-		if ix == nil {
-			return
-		}
-		id := ix.ID()
-		if !seen[id] {
-			seen[id] = true
-			out = append(out, ix)
+// Roles classifies the columns one query touches on one table. A column
+// appears in exactly one role slice; equality wins over range when a column
+// carries both predicate shapes (`a = 5 AND a < 10` pins a to one value, so
+// the range adds nothing to the key).
+type Roles struct {
+	Table string
+	// EQ are columns with an equality predicate.
+	EQ []string
+	// Range are columns with only non-equality predicates.
+	Range []string
+	// Join are equijoin columns (that are not EQ or Range columns).
+	Join []string
+	// Order are GROUP BY then ORDER BY columns not already classified.
+	Order []string
+	// Ref are the remaining referenced columns (projection / aggregation
+	// inputs); they only ever appear as included columns.
+	Ref []string
+}
+
+// has reports whether the column already holds a stronger role.
+func (r *Roles) has(c string) bool {
+	return contains(r.EQ, c) || contains(r.Range, c) || contains(r.Join, c) || contains(r.Order, c)
+}
+
+// Classify splits the columns the query uses on one table into roles.
+// Precedence is EQ > Range > Join > Order > Ref: a join column that also
+// carries an equality predicate classifies as EQ (the seek through the
+// equality is at least as strong as the join lookup), which is what makes
+// key construction duplicate-free by construction.
+func Classify(q *query.Query, table string) Roles {
+	r := Roles{Table: table}
+	for _, p := range q.PredsOn(table) {
+		if p.IsEquality() {
+			r.EQ = appendUnique(r.EQ, p.Column)
 		}
 	}
+	for _, p := range q.PredsOn(table) {
+		if !p.IsEquality() && !contains(r.EQ, p.Column) {
+			r.Range = appendUnique(r.Range, p.Column)
+		}
+	}
+	for _, j := range q.JoinsOn(table) {
+		if c := j.ColumnFor(table); c != "" && !contains(r.EQ, c) && !contains(r.Range, c) {
+			r.Join = appendUnique(r.Join, c)
+		}
+	}
+	for _, c := range q.GroupBy {
+		if c.Table == table && !r.has(c.Column) {
+			r.Order = appendUnique(r.Order, c.Column)
+		}
+	}
+	for _, c := range q.OrderBy {
+		if c.Table == table && !r.has(c.Column) {
+			r.Order = appendUnique(r.Order, c.Column)
+		}
+	}
+	for _, c := range q.ColumnsUsed(table) {
+		if !r.has(c) {
+			r.Ref = append(r.Ref, c)
+		}
+	}
+	return r
+}
+
+// Limits bound candidate generation per table. The zero value of any field
+// falls back to the DefaultLimits value, so Limits{} means "defaults".
+type Limits struct {
+	// MaxKeyColumns caps the key width of generated indexes.
+	MaxKeyColumns int
+	// MaxKeyFraction additionally caps the key width at
+	// ceil(fraction × table columns), so narrow tables get narrow keys
+	// (the %-of-columns budget of the index-tuning literature).
+	MaxKeyFraction float64
+	// MaxPerTable caps the candidates generated per table per query.
+	// Excess candidates are dropped in enumeration order (composites are
+	// enumerated first, so budgets shed singles and covering variants
+	// before multi-column keys) and counted on candidates.dropped.
+	MaxPerTable int
+}
+
+// DefaultLimits returns the default generation budgets: keys of at most 3
+// columns, at most half a table's columns per key, 16 candidates per table.
+func DefaultLimits() Limits {
+	return Limits{MaxKeyColumns: 3, MaxKeyFraction: 0.5, MaxPerTable: 16}
+}
+
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxKeyColumns <= 0 {
+		l.MaxKeyColumns = d.MaxKeyColumns
+	}
+	if l.MaxKeyFraction <= 0 {
+		l.MaxKeyFraction = d.MaxKeyFraction
+	}
+	if l.MaxPerTable <= 0 {
+		l.MaxPerTable = d.MaxPerTable
+	}
+	return l
+}
+
+// keyWidth returns the effective key-width cap for a table with the given
+// column count (always at least 1).
+func (l Limits) keyWidth(tableCols int) int {
+	w := l.MaxKeyColumns
+	if frac := int(math.Ceil(l.MaxKeyFraction * float64(tableCols))); frac < w {
+		w = frac
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// CandidateIndexes generates syntactic candidate indexes for one query
+// under DefaultLimits. See Generate.
+func CandidateIndexes(q *query.Query, schema *catalog.Schema) []*catalog.Index {
+	return Generate(q, schema, Limits{})
+}
+
+// Generate produces the candidate indexes for one query under the given
+// budgets: role-classified multi-column keys respecting the prefix rules
+// (equalities in any leading order, then at most one range column, then
+// order columns), order-first keys for sort/group access, join-lookup keys,
+// covering variants with included columns, single-column keys, and a
+// columnstore candidate for aggregation-heavy scans of large tables.
+// Results are deduplicated, budgeted per table, and ordered biggest table
+// first (where indexing matters most), then by ID.
+func Generate(q *query.Query, schema *catalog.Schema, lim Limits) []*catalog.Index {
+	lim = lim.withDefaults()
+	var out []*catalog.Index
+	var dropped int64
 
 	for _, table := range q.Tables {
 		meta := schema.Table(table)
 		if meta == nil {
 			continue
 		}
-		var eqCols, rangeCols, joinCols []string
-		for _, p := range q.PredsOn(table) {
-			if p.IsEquality() {
-				eqCols = appendUnique(eqCols, p.Column)
-			} else {
-				rangeCols = appendUnique(rangeCols, p.Column)
-			}
+		g := &tableGen{
+			table: table,
+			maxW:  lim.keyWidth(len(meta.Columns)),
+			cap:   lim.MaxPerTable,
+			used:  q.ColumnsUsed(table),
+			seen:  map[string]bool{},
 		}
-		for _, j := range q.JoinsOn(table) {
-			joinCols = appendUnique(joinCols, j.ColumnFor(table))
-		}
-		used := q.ColumnsUsed(table)
+		r := Classify(q, table)
+		eq, rng, joins, ord := r.EQ, r.Range, r.Join, r.Order
 
-		// Multi-column key: equalities first, then the first range column.
-		var key []string
-		key = append(key, eqCols...)
-		if len(rangeCols) > 0 {
-			key = append(key, rangeCols[0])
+		// Equality-led composites: each equality column leads once (the
+		// optimizer can seek any prefix ordering of the equalities), then at
+		// most one range column, then the order columns. Covering variants
+		// are emitted for the canonical (predicate) order only.
+		rots := 1
+		if len(eq) > 1 {
+			rots = len(eq)
 		}
-		if len(key) > 0 {
-			add(&catalog.Index{Table: table, KeyColumns: key})
-			// Covering variant including all remaining used columns.
-			if inc := subtract(used, key); len(inc) > 0 {
-				add(&catalog.Index{Table: table, KeyColumns: key, IncludedColumns: inc})
+		for k := 0; k < rots; k++ {
+			ek := rotate(eq, k)
+			canon := k == 0
+			if len(ek) > 0 {
+				g.emit(canon, ek)
+			}
+			for _, rc := range rng {
+				g.emit(canon, ek, []string{rc})
+			}
+			if canon && len(ord) > 0 {
+				g.emit(true, ek, ord)
+				for _, rc := range rng {
+					g.emit(true, ek, []string{rc}, ord)
+				}
 			}
 		}
-		// Per-column candidates on predicates.
-		for _, c := range append(append([]string{}, eqCols...), rangeCols...) {
-			add(&catalog.Index{Table: table, KeyColumns: []string{c}})
-		}
-		// Join-column candidates, with a covering variant.
-		for _, c := range joinCols {
-			add(&catalog.Index{Table: table, KeyColumns: []string{c}})
-			if inc := subtract(used, []string{c}); len(inc) > 0 {
-				add(&catalog.Index{Table: table, KeyColumns: []string{c}, IncludedColumns: inc})
+		// Order-first keys: scanning the index in key order satisfies the
+		// sort/group; trailing equalities still narrow residual filtering
+		// and widen covering.
+		if len(ord) > 0 {
+			g.emit(true, ord)
+			if len(eq) > 0 {
+				g.emit(false, ord, eq)
 			}
 		}
-		// Join column + predicate key (index NLJ with pushed filter).
-		if len(joinCols) > 0 && len(eqCols) > 0 {
-			add(&catalog.Index{Table: table, KeyColumns: append([]string{joinCols[0]}, eqCols[0])})
+		// Join-lookup keys (index nested-loop joins), optionally extended
+		// with the equality columns as pushed filters. Building through
+		// emit dedups a join column that reappears as an equality column.
+		for _, jc := range joins {
+			g.emit(true, []string{jc})
+			if len(eq) > 0 {
+				g.emit(false, []string{jc}, eq)
+			}
+		}
+		// Single-column fallbacks on every seekable role column.
+		for _, c := range eq {
+			g.emit(false, []string{c})
+		}
+		for _, c := range rng {
+			g.emit(false, []string{c})
+		}
+		if len(ord) > 0 {
+			g.emit(false, ord[:1])
 		}
 		// Columnstore candidate for aggregate scans over wider tables.
-		if len(q.Aggs) > 0 && len(used) >= 2 && meta.Rows >= 1000 {
-			add(&catalog.Index{Table: table, Kind: catalog.Columnstore})
+		if len(q.Aggs) > 0 && len(g.used) >= 2 && meta.Rows >= 1000 {
+			g.add(&catalog.Index{Table: table, Kind: catalog.Columnstore})
 		}
+		out = append(out, g.out...)
+		dropped += int64(g.dropped)
 	}
 
-	// Deterministic order, then cap: prefer candidates on bigger tables
-	// (where indexing matters most), breaking ties by ID.
+	// Deterministic order: prefer candidates on bigger tables (where
+	// indexing matters most), breaking ties by ID.
 	sort.SliceStable(out, func(i, j int) bool {
 		ri := tableRows(schema, out[i].Table)
 		rj := tableRows(schema, out[j].Table)
@@ -95,10 +246,82 @@ func CandidateIndexes(q *query.Query, schema *catalog.Schema) []*catalog.Index {
 		}
 		return out[i].ID() < out[j].ID()
 	})
-	if len(out) > MaxCandidatesPerQuery {
-		out = out[:MaxCandidatesPerQuery]
-	}
+	mGenerated.Add(int64(len(out)))
+	mDropped.Add(dropped)
 	return out
+}
+
+// tableGen accumulates one table's candidates under the per-table budget.
+type tableGen struct {
+	table   string
+	maxW    int
+	cap     int
+	used    []string
+	out     []*catalog.Index
+	seen    map[string]bool
+	dropped int
+}
+
+// emit builds a key by concatenating blocks, deduplicating columns and
+// trimming at the key-width budget, and adds the resulting index — plus a
+// covering variant carrying the remaining used columns when withCovering.
+func (g *tableGen) emit(withCovering bool, blocks ...[]string) {
+	key := buildKey(g.maxW, blocks...)
+	if len(key) == 0 {
+		return
+	}
+	g.add(&catalog.Index{Table: g.table, KeyColumns: key})
+	if withCovering {
+		if inc := subtract(g.used, key); len(inc) > 0 {
+			g.add(&catalog.Index{Table: g.table, KeyColumns: key, IncludedColumns: inc})
+		}
+	}
+}
+
+func (g *tableGen) add(ix *catalog.Index) {
+	if err := ix.Validate(); err != nil {
+		// A malformed candidate is a generator bug; fail at the source
+		// rather than inside the what-if planner (as catalog.AddTable does
+		// for schema bugs).
+		panic(fmt.Sprintf("candidates: generated invalid index: %v", err))
+	}
+	id := ix.ID()
+	if g.seen[id] {
+		return
+	}
+	g.seen[id] = true
+	if len(g.out) >= g.cap {
+		g.dropped++
+		return
+	}
+	g.out = append(g.out, ix)
+}
+
+// buildKey concatenates column blocks into one key, skipping duplicates and
+// trimming at the width budget.
+func buildKey(maxW int, blocks ...[]string) []string {
+	var key []string
+	for _, b := range blocks {
+		for _, c := range b {
+			if len(key) >= maxW {
+				return key
+			}
+			if !contains(key, c) {
+				key = append(key, c)
+			}
+		}
+	}
+	return key
+}
+
+// rotate returns xs rotated left by k (a copy when k > 0).
+func rotate(xs []string, k int) []string {
+	if k == 0 || len(xs) < 2 {
+		return xs
+	}
+	out := make([]string, 0, len(xs))
+	out = append(out, xs[k:]...)
+	return append(out, xs[:k]...)
 }
 
 func tableRows(s *catalog.Schema, table string) int64 {
@@ -108,11 +331,18 @@ func tableRows(s *catalog.Schema, table string) int64 {
 	return 0
 }
 
-func appendUnique(xs []string, x string) []string {
+func contains(xs []string, x string) bool {
 	for _, v := range xs {
 		if v == x {
-			return xs
+			return true
 		}
+	}
+	return false
+}
+
+func appendUnique(xs []string, x string) []string {
+	if contains(xs, x) {
+		return xs
 	}
 	return append(xs, x)
 }
@@ -121,14 +351,7 @@ func appendUnique(xs []string, x string) []string {
 func subtract(a, b []string) []string {
 	var out []string
 	for _, x := range a {
-		found := false
-		for _, y := range b {
-			if x == y {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if !contains(b, x) {
 			out = append(out, x)
 		}
 	}

@@ -1,0 +1,144 @@
+package candidates
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine/catalog"
+	"repro/internal/engine/query"
+	"repro/internal/util"
+)
+
+// TestGeneratePropertyInvariants drives randomized queries and budgets
+// through Generate and checks the structural invariants every candidate
+// must satisfy: validity (no repeated key or included columns), the
+// key-width and per-table budgets, the prefix rules (key columns are role
+// columns the query uses; at most one range column per key; no equality
+// column after the range column), and determinism.
+func TestGeneratePropertyInvariants(t *testing.T) {
+	s := catalog.NewSchema("prop")
+	t0cols := make([]catalog.Column, 8)
+	for i := range t0cols {
+		t0cols[i] = catalog.Column{Name: fmt.Sprintf("c%d", i)}
+	}
+	t1cols := make([]catalog.Column, 4)
+	for i := range t1cols {
+		t1cols[i] = catalog.Column{Name: fmt.Sprintf("d%d", i)}
+	}
+	s.AddTable(&catalog.Table{Name: "t0", Rows: 10000, Columns: t0cols})
+	s.AddTable(&catalog.Table{Name: "t1", Rows: 500, Columns: t1cols})
+
+	rng := util.NewRNG(42)
+	for iter := 0; iter < 300; iter++ {
+		q := randomQuery(rng.SplitInt(iter), iter)
+		lim := Limits{
+			MaxKeyColumns:  1 + rng.Intn(4),
+			MaxKeyFraction: []float64{0.25, 0.5, 1.0}[rng.Intn(3)],
+			MaxPerTable:    2 + rng.Intn(18),
+		}
+		cands := Generate(q, s, lim)
+		again := Generate(q, s, lim)
+		if len(again) != len(cands) {
+			t.Fatalf("iter %d: non-deterministic candidate count", iter)
+		}
+		perTable := map[string]int{}
+		for i, ix := range cands {
+			if again[i].ID() != ix.ID() {
+				t.Fatalf("iter %d: non-deterministic order at %d: %s vs %s", iter, i, ix.ID(), again[i].ID())
+			}
+			if err := ix.Validate(); err != nil {
+				t.Fatalf("iter %d: invalid candidate: %v", iter, err)
+			}
+			perTable[ix.Table]++
+			if ix.Kind == catalog.Columnstore {
+				continue
+			}
+			meta := s.Table(ix.Table)
+			if w := lim.withDefaults().keyWidth(len(meta.Columns)); len(ix.KeyColumns) > w {
+				t.Fatalf("iter %d: key width %d exceeds budget %d: %s", iter, len(ix.KeyColumns), w, ix.ID())
+			}
+			roles := Classify(q, ix.Table)
+			used := q.ColumnsUsed(ix.Table)
+			rangeAt := -1
+			for pos, c := range ix.KeyColumns {
+				if !contains(used, c) {
+					t.Fatalf("iter %d: key column %q not used by query: %s", iter, c, ix.ID())
+				}
+				if contains(roles.Ref, c) {
+					t.Fatalf("iter %d: pure-Ref column %q in key: %s", iter, c, ix.ID())
+				}
+				if contains(roles.Range, c) {
+					if rangeAt >= 0 {
+						t.Fatalf("iter %d: two range columns in key: %s", iter, ix.ID())
+					}
+					rangeAt = pos
+				}
+				if rangeAt >= 0 && pos > rangeAt && contains(roles.EQ, c) {
+					t.Fatalf("iter %d: equality column %q after range column: %s", iter, c, ix.ID())
+				}
+			}
+			for _, c := range ix.IncludedColumns {
+				if !contains(used, c) {
+					t.Fatalf("iter %d: included column %q not used by query: %s", iter, c, ix.ID())
+				}
+			}
+		}
+		for table, n := range perTable {
+			if n > lim.MaxPerTable {
+				t.Fatalf("iter %d: %d candidates on %s exceed budget %d", iter, n, table, lim.MaxPerTable)
+			}
+		}
+	}
+}
+
+// randomQuery builds a random but well-formed one- or two-table query:
+// random equality/range predicates (sometimes both shapes on one column),
+// optional join, group-by, order-by, projection, and aggregates.
+func randomQuery(rng *util.RNG, iter int) *query.Query {
+	pick := func(table string, n int) query.ColRef {
+		prefix := "c"
+		if table == "t1" {
+			prefix = "d"
+		}
+		return query.ColRef{Table: table, Column: fmt.Sprintf("%s%d", prefix, rng.Intn(n))}
+	}
+	cols := func(table string) int {
+		if table == "t1" {
+			return 4
+		}
+		return 8
+	}
+	q := &query.Query{Name: fmt.Sprintf("rand%d", iter), Tables: []string{"t0"}}
+	twoTables := rng.Intn(3) == 0
+	if twoTables {
+		q.Tables = append(q.Tables, "t1")
+		q.Joins = []query.Join{{LeftTable: "t0", LeftColumn: "c1", RightTable: "t1", RightColumn: "d0"}}
+	}
+	for _, table := range q.Tables {
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			c := pick(table, cols(table))
+			switch rng.Intn(3) {
+			case 0: // equality
+				v := rng.Int64Range(0, 99)
+				q.Preds = append(q.Preds, query.Pred{Table: table, Column: c.Column, Lo: v, Hi: v})
+			case 1: // closed range
+				lo := rng.Int64Range(0, 50)
+				q.Preds = append(q.Preds, query.Pred{Table: table, Column: c.Column, Lo: lo, Hi: lo + rng.Int64Range(1, 40)})
+			default: // half-open range
+				q.Preds = append(q.Preds, query.Pred{Table: table, Column: c.Column, Lo: query.NoLo, Hi: rng.Int64Range(0, 99)})
+			}
+		}
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		q.GroupBy = append(q.GroupBy, pick("t0", 8))
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		q.OrderBy = append(q.OrderBy, pick("t0", 8))
+	}
+	if len(q.GroupBy) > 0 || rng.Intn(2) == 0 {
+		q.Aggs = append(q.Aggs, query.Agg{Func: query.Sum, Col: pick("t0", 8)})
+	} else {
+		q.Select = append(q.Select, pick("t0", 8))
+	}
+	return q
+}

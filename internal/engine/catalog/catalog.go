@@ -210,6 +210,38 @@ func (ix *Index) buildID() string {
 	return b.String()
 }
 
+// Validate checks structural well-formedness of an index definition: a
+// columnstore lists no explicit columns; a B+ tree has at least one key
+// column, no repeated key or included columns, and no included column
+// duplicating a key column. Candidate generators call this so malformed
+// indexes fail loudly at construction instead of inside the what-if
+// planner, where a duplicated key column silently skews seek costing.
+func (ix *Index) Validate() error {
+	if ix.Kind == Columnstore {
+		if len(ix.KeyColumns) > 0 || len(ix.IncludedColumns) > 0 {
+			return fmt.Errorf("catalog: columnstore index on %q must not list columns", ix.Table)
+		}
+		return nil
+	}
+	if len(ix.KeyColumns) == 0 {
+		return fmt.Errorf("catalog: btree index on %q has no key columns", ix.Table)
+	}
+	seen := make(map[string]bool, len(ix.KeyColumns)+len(ix.IncludedColumns))
+	for _, c := range ix.KeyColumns {
+		if seen[c] {
+			return fmt.Errorf("catalog: index %s repeats key column %q", ix.ID(), c)
+		}
+		seen[c] = true
+	}
+	for _, c := range ix.IncludedColumns {
+		if seen[c] {
+			return fmt.Errorf("catalog: index %s repeats column %q", ix.ID(), c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
 // Covers reports whether the index materializes the named column (either as
 // a key or included column, or implicitly for columnstore).
 func (ix *Index) Covers(col string) bool {

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/engine/opt"
+	"repro/internal/engine/query"
+	"repro/internal/engine/stats"
+	"repro/internal/tuner"
+	"repro/internal/util"
+	"repro/internal/workload"
+)
+
+// compositeEnv builds the multi-column workload plus a fresh what-if
+// probe counter. Each configuration gets its own instance so the probe
+// counts in the table are attributable to that run alone.
+func compositeEnv(e *Env) (*workload.Workload, *opt.WhatIf) {
+	rows := int(16000 * e.Cfg.Scale)
+	if rows < 2000 {
+		rows = 2000
+	}
+	w := workload.Composite("composite", rows, e.Cfg.Seed+31)
+	ds := stats.BuildDatabaseStats(w.DB, util.NewRNG(e.Cfg.Seed+32), 512, 32)
+	return w, opt.NewWhatIf(opt.New(w.Schema, ds))
+}
+
+// baselineCost is the weighted workload cost with no extra indexes.
+func baselineCost(w *workload.Workload, whatIf *opt.WhatIf, qs []*query.Query) (float64, error) {
+	var total float64
+	for _, q := range qs {
+		p, err := whatIf.Plan(q, nil)
+		if err != nil {
+			return 0, err
+		}
+		wt := q.Weight
+		if wt <= 0 {
+			wt = 1
+		}
+		total += wt * p.EstTotalCost
+	}
+	return total, nil
+}
+
+// CompositeTuning exercises the role-classified candidate generator on a
+// workload built to reward multi-column indexes, sweeping the added-index
+// budgets and measuring what workload compression saves on a
+// duplicate-heavy trace. Columns: indexes added, widest key, estimated
+// cost reduction, and what-if optimizer probes spent.
+func CompositeTuning(e *Env) (*Table, error) {
+	t := &Table{
+		ID:     "composite-tuning",
+		Title:  "Composite-index tuning under budgets, with workload compression",
+		Header: []string{"setup", "queries", "indexes", "widest_key", "cost_drop", "probes"},
+	}
+
+	run := func(label string, qs []*query.Query, opts tuner.Options) (*tuner.WorkloadRecommendation, error) {
+		w, whatIf := compositeEnv(e)
+		base, err := baselineCost(w, whatIf, qs)
+		if err != nil {
+			return nil, err
+		}
+		whatIf.Reset()
+		opts.Parallelism = e.Cfg.Parallelism
+		tn := tuner.New(w.Schema, whatIf, nil, opts)
+		rec, err := tn.TuneWorkload(context.Background(), qs, nil)
+		if err != nil {
+			return nil, err
+		}
+		widest := 0
+		for _, ix := range rec.NewIndexes {
+			if len(ix.KeyColumns) > widest {
+				widest = len(ix.KeyColumns)
+			}
+		}
+		drop := 0.0
+		if base > 0 {
+			drop = 1 - rec.EstCost/base
+		}
+		calls, _ := whatIf.Stats()
+		t.AddRow(label, fmt.Sprintf("%d", len(qs)), fmt.Sprintf("%d", len(rec.NewIndexes)),
+			fmt.Sprintf("%d", widest), pct(drop), fmt.Sprintf("%d", calls))
+		return rec, nil
+	}
+
+	// The workload itself is identical across rows; only budgets change.
+	w, _ := compositeEnv(e)
+	budget := tuner.Options{
+		MaxNewIndexes:      12,
+		MaxIndexesPerTable: 2,
+		StorageBudget:      64 << 20,
+	}
+	for _, frac := range []float64{0.1, 0.2} {
+		opts := budget
+		opts.MaxColumnFraction = frac
+		if _, err := run(fmt.Sprintf("budget %s of columns", pct(frac)), w.Queries, opts); err != nil {
+			return nil, err
+		}
+	}
+
+	// Duplicate-heavy trace: 6 renamed copies of each template, tuned in
+	// full and again with template-level compression. Recommendations must
+	// match; the probe column shows what compression saves.
+	qs := workload.Replicate(w.Queries, 6)
+	recFull, err := run("trace x6 full", qs, budget)
+	if err != nil {
+		return nil, err
+	}
+	comp := budget
+	comp.Compress = true
+	recComp, err := run("trace x6 compressed", qs, comp)
+	if err != nil {
+		return nil, err
+	}
+	same := len(recFull.NewIndexes) == len(recComp.NewIndexes)
+	if same {
+		for i := range recFull.NewIndexes {
+			if recFull.NewIndexes[i].ID() != recComp.NewIndexes[i].ID() {
+				same = false
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("compressed recommendation identical to full: %v", same),
+		"budgets: <=2 indexes/table, 64MB storage, column-% as labelled")
+	return t, nil
+}

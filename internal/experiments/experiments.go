@@ -271,6 +271,9 @@ func Registry() map[string]Runner {
 		// hyper-parameter observations on this substrate.
 		"ablation-trees": AblationTrees,
 		"ablation-alpha": AblationAlpha,
+		// Candidate-generation study: composite indexes under budgets
+		// plus workload compression (§6 of DESIGN.md).
+		"composite-tuning": CompositeTuning,
 	}
 }
 
@@ -280,6 +283,6 @@ func Order() []string {
 		"figure1", "table2", "figure6", "table3", "figure7", "figure8",
 		"figure9", "figure10", "figure11", "table4", "figure12", "figure15",
 		"table5", "figure13", "table6", "figure14",
-		"ablation-trees", "ablation-alpha",
+		"ablation-trees", "ablation-alpha", "composite-tuning",
 	}
 }

@@ -57,8 +57,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(reg))
+	if len(reg) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(reg))
 	}
 	for _, id := range Order() {
 		if reg[id] == nil {
@@ -241,6 +241,33 @@ func TestAblations(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkTable(t, aa, "ablation-alpha")
+}
+
+func TestCompositeTuning(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload-level tuning is slow")
+	}
+	tab, err := CompositeTuning(getEnv(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "composite-tuning")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 rows (2 budget sweeps + full/compressed trace), got %d", len(tab.Rows))
+	}
+	// Compression must reproduce the full-trace recommendation.
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "identical to full") && !strings.Contains(n, "true") {
+			t.Fatalf("compressed recommendation diverged: %s", n)
+		}
+	}
+	// The probe column (last) must show compression doing less work.
+	full, err1 := strconv.Atoi(tab.Rows[2][5])
+	comp, err2 := strconv.Atoi(tab.Rows[3][5])
+	if err1 != nil || err2 != nil || full < 3*comp {
+		t.Fatalf("compression should cut probes >= 3x: full %s, compressed %s",
+			tab.Rows[2][5], tab.Rows[3][5])
+	}
 }
 
 func TestTable4(t *testing.T) {

@@ -637,10 +637,16 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 type tuneRequest struct {
 	// Queries names workload queries to tune (empty = the whole workload).
 	Queries []string `json:"queries,omitempty"`
-	// MaxNewIndexes / StorageBudget override the server's tuner options
-	// for this job (0 keeps the default).
-	MaxNewIndexes int   `json:"max_new_indexes,omitempty"`
-	StorageBudget int64 `json:"storage_budget,omitempty"`
+	// MaxNewIndexes / StorageBudget / MaxIndexesPerTable /
+	// MaxColumnFraction override the server's tuner budgets for this job
+	// (0 keeps the default).
+	MaxNewIndexes      int     `json:"max_new_indexes,omitempty"`
+	StorageBudget      int64   `json:"storage_budget,omitempty"`
+	MaxIndexesPerTable int     `json:"max_indexes_per_table,omitempty"`
+	MaxColumnFraction  float64 `json:"max_column_fraction,omitempty"`
+	// Compress dedups the workload by query template into weighted
+	// representatives before tuning (see tuner.CompressWorkload).
+	Compress bool `json:"compress,omitempty"`
 	// Comparator gates the search: "model" (default when one is active),
 	// "optimizer", or "none" for the estimate-only classic tuner.
 	Comparator string `json:"comparator,omitempty"`
@@ -695,6 +701,15 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.StorageBudget > 0 {
 		opts.StorageBudget = req.StorageBudget
+	}
+	if req.MaxIndexesPerTable > 0 {
+		opts.MaxIndexesPerTable = req.MaxIndexesPerTable
+	}
+	if req.MaxColumnFraction > 0 {
+		opts.MaxColumnFraction = req.MaxColumnFraction
+	}
+	if req.Compress {
+		opts.Compress = true
 	}
 	tn := tuner.New(s.cfg.Workload.Schema, s.cfg.WhatIf, cmp, opts)
 	j, err := s.jobs.submit(func(ctx context.Context) (any, error) {

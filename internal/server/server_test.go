@@ -225,6 +225,29 @@ func TestServeJobLifecycle(t *testing.T) {
 		t.Fatalf("tune result = %v", res)
 	}
 
+	// A job with the per-table / column-fraction budgets and compression:
+	// must complete and respect the tighter budgets.
+	budgetBody := `{"max_indexes_per_table":1,"max_column_fraction":0.1,"compress":true}`
+	if code := doJSON(t, http.MethodPost, base+"/v1/jobs/tune", strings.NewReader(budgetBody), &sub); code != http.StatusAccepted {
+		t.Fatalf("budgeted tune submit: %d (%+v)", code, sub)
+	}
+	st = pollJob(t, base, sub.ID)
+	if st.State != JobDone {
+		t.Fatalf("budgeted job finished %s: %s", st.State, st.Error)
+	}
+	if res, ok := st.Result.(map[string]any); ok {
+		perTable := map[string]int{}
+		if ixs, ok := res["new_indexes"].([]any); ok {
+			for _, v := range ixs {
+				id := v.(string)
+				table := id[:strings.IndexByte(id, '/')]
+				if perTable[table]++; perTable[table] > 1 {
+					t.Fatalf("per-table budget violated in job result: %v", ixs)
+				}
+			}
+		}
+	}
+
 	// Cancel a second job mid-run: the whole workload is slow enough that
 	// the DELETE lands while the tuner is probing; context cancellation
 	// must unwind it to "cancelled", not "failed".

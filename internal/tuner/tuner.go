@@ -60,6 +60,22 @@ type Options struct {
 	MaxNewIndexes int
 	// StorageBudget bounds the estimated bytes of added indexes (0 = off).
 	StorageBudget int64
+	// MaxIndexesPerTable bounds the indexes added per table (0 = off),
+	// keeping a recommendation from piling onto one hot fact table.
+	MaxIndexesPerTable int
+	// MaxColumnFraction bounds the number of added indexes at
+	// max(1, floor(fraction × total schema columns)) (0 = off) — the
+	// %-of-columns budget the index-tuning literature benchmarks at
+	// 10%/20% of database columns.
+	MaxColumnFraction float64
+	// CandidateLimits bound candidate generation per query; zero fields
+	// take candidates.DefaultLimits.
+	CandidateLimits candidates.Limits
+	// Compress dedups the workload by constant-stripped template into
+	// weighted representatives before TuneWorkload's search (see
+	// CompressWorkload), cutting what-if probes on duplicate-heavy
+	// workloads without changing the recommendation.
+	Compress bool
 	// Alpha is the significance threshold used with the comparator.
 	Alpha float64
 	// MinEstImprovement is the OptTr baseline knob: a configuration is
@@ -104,6 +120,10 @@ type Tuner struct {
 	// workers is a counting semaphore bounding the extra goroutines spawned
 	// across all (possibly nested) fan-outs; nil means fully serial.
 	workers chan struct{}
+
+	// colBudget is the added-index count implied by MaxColumnFraction
+	// (0 = off), resolved once against the schema at construction.
+	colBudget int
 }
 
 // New creates a tuner over a schema and what-if facade. cmp may be nil.
@@ -111,6 +131,15 @@ func New(schema *catalog.Schema, whatIf *opt.WhatIf, cmp models.Comparator, opts
 	t := &Tuner{Schema: schema, WhatIf: whatIf, Cmp: cmp, Opts: opts.withDefaults()}
 	if t.Opts.Parallelism > 1 {
 		t.workers = make(chan struct{}, t.Opts.Parallelism-1)
+	}
+	if f := t.Opts.MaxColumnFraction; f > 0 && schema != nil {
+		var cols int
+		for _, name := range schema.TableNames() {
+			cols += len(schema.Table(name).Columns)
+		}
+		if t.colBudget = int(f * float64(cols)); t.colBudget < 1 {
+			t.colBudget = 1
+		}
 	}
 	return t
 }
@@ -181,16 +210,36 @@ type Recommendation struct {
 	EstImprovement float64
 }
 
-// allowedByBudget checks the storage budget on the added indexes.
+// allowedByBudget checks every added-index budget — storage bytes,
+// per-table index count, and the %-of-columns count — on the diff versus
+// the initial configuration. It is the single budget gate shared by the
+// query-level and workload-level searches, so all budgets hold at both.
 func (t *Tuner) allowedByBudget(c0, c *catalog.Configuration) bool {
-	if t.Opts.StorageBudget <= 0 {
+	if t.Opts.StorageBudget <= 0 && t.Opts.MaxIndexesPerTable <= 0 && t.colBudget <= 0 {
 		return true
 	}
-	var added int64
-	for _, ix := range c.Diff(c0) {
-		added += ix.EstimatedBytes(t.Schema.Table(ix.Table))
+	diff := c.Diff(c0)
+	if t.colBudget > 0 && len(diff) > t.colBudget {
+		return false
 	}
-	return added <= t.Opts.StorageBudget
+	if max := t.Opts.MaxIndexesPerTable; max > 0 {
+		perTable := map[string]int{}
+		for _, ix := range diff {
+			if perTable[ix.Table]++; perTable[ix.Table] > max {
+				return false
+			}
+		}
+	}
+	if t.Opts.StorageBudget > 0 {
+		var added int64
+		for _, ix := range diff {
+			added += ix.EstimatedBytes(t.Schema.Table(ix.Table))
+		}
+		if added > t.Opts.StorageBudget {
+			return false
+		}
+	}
+	return true
 }
 
 // gateVerdict tallies one no-regression verdict and reports acceptance.
@@ -318,7 +367,7 @@ func (t *Tuner) TuneQuery(ctx context.Context, q *query.Query, c0 *catalog.Confi
 	if err != nil {
 		return nil, fmt.Errorf("tuner: initial plan for %s: %w", q.Name, err)
 	}
-	cands := candidates.CandidateIndexes(q, t.Schema)
+	cands := candidates.Generate(q, t.Schema, t.Opts.CandidateLimits)
 	bestCfg, bestPlan := c0, p0
 	used := map[string]bool{}
 
@@ -506,6 +555,9 @@ func (t *Tuner) TuneWorkload(ctx context.Context, qs []*query.Query, c0 *catalog
 	}
 	if len(qs) == 0 {
 		return nil, fmt.Errorf("tuner: empty workload")
+	}
+	if t.Opts.Compress {
+		qs = CompressWorkload(qs)
 	}
 	initPlans := make([]*plan.Plan, len(qs))
 	initErrs := make([]error, len(qs))

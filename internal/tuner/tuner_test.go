@@ -40,8 +40,8 @@ func TestCandidateGeneration(t *testing.T) {
 	if len(cands) == 0 {
 		t.Fatal("no candidates for a filtered scan query")
 	}
-	if len(cands) > candidates.MaxCandidatesPerQuery {
-		t.Fatalf("candidate cap exceeded: %d", len(cands))
+	if max := len(q.Tables) * candidates.DefaultLimits().MaxPerTable; len(cands) > max {
+		t.Fatalf("candidate budget exceeded: %d > %d", len(cands), max)
 	}
 	seen := map[string]bool{}
 	hasLineitem := false

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/engine/query"
+	"repro/internal/util"
+)
+
+// Composite builds a TPC-H-schema workload whose queries stack equalities,
+// selective ranges, and GROUP BY / ORDER BY columns on the same tables —
+// the query mix where multi-column (composite) indexes pay off. It reuses
+// the TPCH schema and data generator (lineitemRows sizes the fact table)
+// and swaps in a multi-column-friendly query set.
+func Composite(name string, lineitemRows int, seed int64) *Workload {
+	w := TPCH(name, lineitemRows, seed)
+	w.Queries = compositeQueries(util.NewRNG(seed).Split("composite-queries"))
+	return w
+}
+
+// compositeQueries builds queries that each concentrate several seekable
+// predicates plus sort/group columns on one or two tables.
+func compositeQueries(rng *util.RNG) []*query.Query {
+	d := func(width int64) (int64, int64) {
+		start := rng.Int64Range(0, 2555-width)
+		return start, start + width
+	}
+	qs := make([]*query.Query, 0, 8)
+	add := func(q *query.Query) {
+		q.Weight = 1
+		qs = append(qs, q)
+	}
+
+	// c1: two stacked equalities + tight shipdate range on lineitem —
+	// rewards (l_returnflag, l_discount, l_shipdate).
+	lo, hi := d(60)
+	disc := rng.Int64Range(0, 10)
+	add(&query.Query{
+		Name: "c1", Tables: []string{"lineitem"},
+		Preds: []query.Pred{
+			{Table: "lineitem", Column: "l_returnflag", Lo: 2, Hi: 2},
+			{Table: "lineitem", Column: "l_discount", Lo: disc, Hi: disc},
+			{Table: "lineitem", Column: "l_shipdate", Lo: lo, Hi: hi},
+		},
+		Aggs: []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+	})
+
+	// c2: priority equality + quarter range on orders, grouped by customer —
+	// rewards (o_priority, o_date) with covering.
+	lo, hi = d(90)
+	add(&query.Query{
+		Name: "c2", Tables: []string{"orders"},
+		Preds: []query.Pred{
+			{Table: "orders", Column: "o_priority", Lo: 0, Hi: 0},
+			{Table: "orders", Column: "o_date", Lo: lo, Hi: hi},
+		},
+		GroupBy: []query.ColRef{col("orders", "o_cust")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("orders", "o_totalprice")}},
+	})
+
+	// c3: segment + nation equalities with a balance sort on customer —
+	// rewards (c_mktsegment, c_nation, c_acctbal).
+	add(&query.Query{
+		Name: "c3", Tables: []string{"customer"},
+		Preds: []query.Pred{
+			{Table: "customer", Column: "c_mktsegment", Lo: 1, Hi: 1},
+			{Table: "customer", Column: "c_nation", Lo: rng.Int64Range(0, 24), Hi: query.NoHi},
+		},
+		Select:  []query.ColRef{col("customer", "c_name"), col("customer", "c_acctbal")},
+		OrderBy: []query.ColRef{col("customer", "c_acctbal")},
+		Limit:   50,
+	})
+
+	// c4: join with composite-friendly predicates on both sides — rewards
+	// (o_priority, o_date) and shipdate access on lineitem. The returnflag
+	// band (not an equality) keeps every (l_returnflag, l_shipdate) seek
+	// composite out of reach of eq-then-first-range-only generators.
+	lo, hi = d(180)
+	add(&query.Query{
+		Name: "c4", Tables: []string{"lineitem", "orders"},
+		Preds: []query.Pred{
+			{Table: "lineitem", Column: "l_returnflag", Lo: 0, Hi: 1},
+			{Table: "lineitem", Column: "l_shipdate", Lo: lo, Hi: hi},
+			{Table: "orders", Column: "o_priority", Lo: 0, Hi: 1},
+		},
+		Joins:   []query.Join{{LeftTable: "lineitem", LeftColumn: "l_order", RightTable: "orders", RightColumn: "o_id"}},
+		GroupBy: []query.ColRef{col("orders", "o_priority")},
+		Aggs:    []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+	})
+
+	// c5: brand equality + narrow size band with a price sort on part —
+	// rewards (p_brand, p_size) and order-first (p_retailprice, ...).
+	add(&query.Query{
+		Name: "c5", Tables: []string{"part"},
+		Preds: []query.Pred{
+			{Table: "part", Column: "p_brand", Lo: 0, Hi: 0},
+			{Table: "part", Column: "p_size", Lo: 10, Hi: 14},
+		},
+		Select:  []query.ColRef{col("part", "p_retailprice")},
+		OrderBy: []query.ColRef{col("part", "p_retailprice")},
+		Limit:   20,
+	})
+
+	// c6: one equality + two ranges where the *second* range is far more
+	// selective: a prefix-order-blind generator keys on the first range
+	// (l_quantity, nearly the whole domain) and misses the winning
+	// (l_returnflag, l_shipdate) composite.
+	lo, hi = d(30)
+	add(&query.Query{
+		Name: "c6", Tables: []string{"lineitem"},
+		Preds: []query.Pred{
+			{Table: "lineitem", Column: "l_quantity", Lo: 1, Hi: 49},
+			{Table: "lineitem", Column: "l_shipdate", Lo: lo, Hi: hi},
+			{Table: "lineitem", Column: "l_returnflag", Lo: 1, Hi: 1},
+		},
+		Aggs: []query.Agg{{Func: query.Sum, Col: col("lineitem", "l_price")}},
+	})
+
+	// c7: partsupp availability band joined to filtered parts — rewards
+	// (ps_availqty) plus (p_brand, p_size) on the dimension side.
+	add(&query.Query{
+		Name: "c7", Tables: []string{"partsupp", "part"},
+		Preds: []query.Pred{
+			{Table: "partsupp", Column: "ps_availqty", Lo: 9000, Hi: 9999},
+			{Table: "part", Column: "p_brand", Lo: 1, Hi: 1},
+			{Table: "part", Column: "p_size", Lo: 1, Hi: 10},
+		},
+		Joins:   []query.Join{{LeftTable: "partsupp", LeftColumn: "ps_part", RightTable: "part", RightColumn: "p_id"}},
+		GroupBy: []query.ColRef{col("part", "p_brand")},
+		Aggs:    []query.Agg{{Func: query.Min, Col: col("partsupp", "ps_supplycost")}},
+	})
+
+	// c8: supplier nation equality ordered by balance — a narrow table, so
+	// the key-fraction budget bites.
+	add(&query.Query{
+		Name: "c8", Tables: []string{"supplier"},
+		Preds:   []query.Pred{{Table: "supplier", Column: "s_nation", Lo: 3, Hi: 3}},
+		Select:  []query.ColRef{col("supplier", "s_name"), col("supplier", "s_acctbal")},
+		OrderBy: []query.ColRef{col("supplier", "s_acctbal")},
+		Desc:    true,
+		Limit:   10,
+	})
+
+	return qs
+}
+
+// Replicate models a duplicate-heavy trace: it returns the queries followed
+// by copies-1 renamed duplicates of each (identical parameters, weight 1
+// each), in original order per round. Tuning the result must match tuning
+// the originals with copies× the weight — the workload-compression
+// equivalence CompressWorkload exploits.
+func Replicate(qs []*query.Query, copies int) []*query.Query {
+	out := append([]*query.Query(nil), qs...)
+	for c := 1; c < copies; c++ {
+		for _, q := range qs {
+			cp := *q
+			cp.Name = fmt.Sprintf("%s#%d", q.Name, c)
+			out = append(out, &cp)
+		}
+	}
+	return out
+}

@@ -27,6 +27,53 @@ func TestTPCHValid(t *testing.T) {
 	}
 }
 
+func TestCompositeValid(t *testing.T) {
+	w := Composite("composite-test", 1500, 3)
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 8 {
+		t.Fatalf("composite should have 8 queries, got %d", len(w.Queries))
+	}
+	// The mix must stack at least two seekable predicates on one table
+	// somewhere — that's its reason to exist.
+	stacked := false
+	for _, q := range w.Queries {
+		perTable := map[string]int{}
+		for _, p := range q.Preds {
+			perTable[p.Table]++
+		}
+		for _, n := range perTable {
+			if n >= 2 {
+				stacked = true
+			}
+		}
+	}
+	if !stacked {
+		t.Fatal("composite mix has no multi-predicate table")
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	w := Composite("composite-rep", 1500, 3)
+	qs := Replicate(w.Queries[:3], 4)
+	if len(qs) != 12 {
+		t.Fatalf("replicate: got %d queries, want 12", len(qs))
+	}
+	// Originals lead unchanged; copies are renamed but otherwise identical.
+	for i, q := range w.Queries[:3] {
+		if qs[i] != q {
+			t.Fatal("replicate must keep the originals first")
+		}
+	}
+	if qs[3].Name != "c1#1" || qs[3].TemplateHash() != w.Queries[0].TemplateHash() {
+		t.Fatalf("copy should share the original's template: %s", qs[3].Name)
+	}
+	if qs[3].Fingerprint() == w.Queries[0].Fingerprint() {
+		t.Fatal("copy must have a distinct fingerprint (it is a separate trace entry)")
+	}
+}
+
 func TestTPCDSValid(t *testing.T) {
 	w := TPCDS("tpcds-test", 1200, 2)
 	if err := w.Validate(); err != nil {
