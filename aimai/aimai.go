@@ -28,6 +28,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/obs"
 	sqlparse "repro/internal/sql"
+	"repro/internal/tenant"
 	"repro/internal/tuner"
 	"repro/internal/util"
 	"repro/internal/workload"
@@ -321,3 +322,14 @@ type LearnReport = learn.CycleReport
 func LearnFromTelemetry(recs []PlanRecord, champion *Classifier, o LearnOptions) (*LearnReport, *Classifier, error) {
 	return learn.RunOnce(recs, champion, o)
 }
+
+// DefaultTenant is the tenant every serve-daemon request without an
+// explicit tenant resolves to; it preserves single-tenant behaviour and
+// the pre-multi-tenant on-disk layout.
+const DefaultTenant = tenant.DefaultID
+
+// ValidateTenantID checks an identifier against the serving plane's tenant
+// grammar (1-64 chars of [a-z0-9] plus non-leading '-' and '_'). IDs are
+// used verbatim as directory components under the tenants data root, so
+// the grammar admits nothing that could traverse or alias paths.
+func ValidateTenantID(id string) error { return tenant.ValidateID(id) }

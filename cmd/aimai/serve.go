@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,8 +38,14 @@ func cmdServe(args []string) error {
 	learnInterval := fs.Duration("learn-interval", 0, "background learning tick period (0 = cycles run only via POST /v1/learn/trigger)")
 	learnRecords := fs.Int("learn-records", 0, "retrain after this many new telemetry records (0 = default 64)")
 	learnSeed := fs.Int64("learn-seed", 0, "learning loop seed (0 = the -seed value)")
+	tenantsDir := fs.String("tenants-dir", "", "data root for non-default tenants (empty = in-memory tenants)")
+	tenantsMaxActive := fs.Int("tenants-max-active", 0, "materialized-tenant bound; LRU idle tenants evict and reload on demand (0 = 8 default)")
+	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant synchronous-plane requests/second (0 = unlimited)")
+	tenantBurst := fs.Int("tenant-burst", 0, "per-tenant admission burst (0 = 2x rate)")
+	tenantWeights := fs.String("tenant-weights", "", "weighted-round-robin tuning shares, e.g. \"acme=3,beta=1\" (absent tenants get 1)")
+	tenantIngestRate := fs.Float64("tenant-ingest-rate", 0, "per-tenant telemetry records/second before sampling engages (0 = never sample)")
 	workers := fs.Int("workers", 1, "tuning-job workers")
-	queue := fs.Int("queue", 8, "tuning-job queue capacity (full queue answers 429)")
+	queue := fs.Int("queue", 8, "per-tenant tuning-job queue capacity (full tenant queue answers 429)")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "synchronous request timeout")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +69,10 @@ func cmdServe(args []string) error {
 	if *learnSeed == 0 {
 		*learnSeed = *seed
 	}
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		return err
+	}
 	srv, err := server.New(server.Config{
 		Workload:              sys.Workload,
 		WhatIf:                sys.WhatIf,
@@ -71,6 +83,12 @@ func cmdServe(args []string) error {
 		TelemetryPath:         *telemetry,
 		TelemetrySegmentBytes: *telemetrySegBytes,
 		TelemetrySegments:     *telemetrySegments,
+		TenantsDir:            *tenantsDir,
+		MaxActiveTenants:      *tenantsMaxActive,
+		TenantRate:            *tenantRate,
+		TenantBurst:           *tenantBurst,
+		TenantWeights:         weights,
+		TenantIngestRate:      *tenantIngestRate,
 		Learn: learn.Options{
 			Seed:            *learnSeed,
 			Interval:        *learnInterval,
@@ -100,6 +118,40 @@ func cmdServe(args []string) error {
 	if err := srv.Shutdown(sctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	active, depths := srv.TenantStats()
+	fmt.Printf("tenants: %d materialized at exit, %d loads, %d evictions; admission rejected %d, queue rejected %d\n",
+		len(active),
+		obs.C("server.tenant.loads").Value(),
+		obs.C("server.tenant.evictions").Value(),
+		obs.C("server.admission.rejected").Value(),
+		obs.C("server.jobs.rejected").Value())
+	for id, d := range depths {
+		fmt.Printf("  tenant %s: %d jobs still queued\n", id, d)
+	}
 	fmt.Println("bye")
 	return nil
+}
+
+// parseTenantWeights parses "-tenant-weights acme=3,beta=1" into WRR
+// shares, validating tenant IDs so a typo fails at startup.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		id, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("tenant-weights: %q is not tenant=weight", part)
+		}
+		if err := aimai.ValidateTenantID(id); err != nil {
+			return nil, fmt.Errorf("tenant-weights: %w", err)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("tenant-weights: weight %q for %s must be a positive integer", val, id)
+		}
+		out[id] = w
+	}
+	return out, nil
 }

@@ -22,6 +22,21 @@ type PlanRecord struct {
 	Cost         float64              `json:"cost"`
 	EstTotalCost float64              `json:"est_total_cost"`
 	Channels     map[string][]float64 `json:"channels"`
+	// Weight is the number of real executions this record represents.
+	// 0 or absent means 1. Ingest paths that thin a firehose by keeping
+	// each record with probability p scale the survivors' weights by 1/p,
+	// so downstream aggregates over weights stay unbiased estimates of the
+	// unsampled stream.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// EffectiveWeight returns the record's weight, treating the zero value
+// (records written before sampling existed, or never sampled) as 1.
+func (r *PlanRecord) EffectiveWeight() float64 {
+	if r.Weight <= 0 {
+		return 1
+	}
+	return r.Weight
 }
 
 // ToRecord featurizes one executed plan into its telemetry form.
@@ -78,6 +93,9 @@ func (r *PlanRecord) CheckCosts() error {
 	}
 	if math.IsNaN(r.EstTotalCost) || math.IsInf(r.EstTotalCost, 0) || r.EstTotalCost < 0 {
 		return fmt.Errorf("expdata: record %s/%s: bad estimated cost %v", r.DB, r.Query, r.EstTotalCost)
+	}
+	if math.IsNaN(r.Weight) || math.IsInf(r.Weight, 0) || r.Weight < 0 {
+		return fmt.Errorf("expdata: record %s/%s: bad weight %v", r.DB, r.Query, r.Weight)
 	}
 	return nil
 }

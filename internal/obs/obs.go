@@ -286,7 +286,11 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 
 // SpanEvent is one completed span in the trace ring.
 type SpanEvent struct {
-	Name  string    `json:"name"`
+	Name string `json:"name"`
+	// Tag carries request-scoped context into the ring — the HTTP layer
+	// stamps spans with the request ID so a trace line correlates with the
+	// X-Request-ID a client saw.
+	Tag   string    `json:"tag,omitempty"`
 	Start time.Time `json:"start"`
 	// Seconds is the span duration.
 	Seconds float64 `json:"seconds"`
@@ -297,7 +301,15 @@ type SpanEvent struct {
 type Span struct {
 	r     *Registry
 	name  string
+	tag   string
 	start time.Time
+}
+
+// WithTag returns the span carrying tag; the tag lands on the trace-ring
+// event at End. Safe on the zero Span.
+func (s Span) WithTag(tag string) Span {
+	s.tag = tag
+	return s
 }
 
 // End completes the span. Safe on the zero Span (disabled registry).
@@ -308,7 +320,7 @@ func (s Span) End() time.Duration {
 	d := time.Since(s.start)
 	s.r.Histogram("span." + s.name).Observe(d.Seconds())
 	s.r.traceMu.Lock()
-	s.r.trace[s.r.traceNext%len(s.r.trace)] = SpanEvent{Name: s.name, Start: s.start, Seconds: d.Seconds()}
+	s.r.trace[s.r.traceNext%len(s.r.trace)] = SpanEvent{Name: s.name, Tag: s.tag, Start: s.start, Seconds: d.Seconds()}
 	s.r.traceNext++
 	s.r.traceMu.Unlock()
 	return d

@@ -8,17 +8,17 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/tenant"
 )
 
-// Job-manager metric handles (see DESIGN.md §7/§8).
+// Job-manager metric handles (see DESIGN.md §7/§8). Queue depth and
+// rejection counts live in tenant.Scheduler, which owns the queues.
 var (
-	mJobsSubmitted  = obs.C("server.jobs.submitted")
-	mJobsRejected   = obs.C("server.jobs.rejected")
-	mJobsDone       = obs.C("server.jobs.done")
-	mJobsFailed     = obs.C("server.jobs.failed")
-	mJobsCancelled  = obs.C("server.jobs.cancelled")
-	mJobsQueueDepth = obs.G("server.jobs.queue.depth")
-	mJobLatency     = obs.H("server.jobs.latency")
+	mJobsSubmitted = obs.C("server.jobs.submitted")
+	mJobsDone      = obs.C("server.jobs.done")
+	mJobsFailed    = obs.C("server.jobs.failed")
+	mJobsCancelled = obs.C("server.jobs.cancelled")
+	mJobLatency    = obs.H("server.jobs.latency")
 )
 
 // JobState is a tuning job's lifecycle state. Transitions:
@@ -43,16 +43,17 @@ func (s JobState) Terminal() bool {
 	return s == JobDone || s == JobFailed || s == JobCancelled
 }
 
-// ErrQueueFull is returned by Submit when the bounded job queue is at
-// capacity; HTTP maps it to 429.
+// ErrQueueFull is returned by submit when the submitting tenant's queue is
+// at capacity; HTTP maps it to a per-tenant 429.
 var ErrQueueFull = errors.New("server: job queue full")
 
-// ErrShuttingDown is returned by Submit after Drain began.
+// ErrShuttingDown is returned by submit after drain began.
 var ErrShuttingDown = errors.New("server: shutting down")
 
 // JobStatus is the JSON view of a job.
 type JobStatus struct {
 	ID         string     `json:"id"`
+	Tenant     string     `json:"tenant,omitempty"`
 	State      JobState   `json:"state"`
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
@@ -63,8 +64,9 @@ type JobStatus struct {
 
 // job is one asynchronous unit of work.
 type job struct {
-	id  string
-	run func(ctx context.Context) (any, error)
+	id     string
+	tenant string
+	run    func(ctx context.Context) (any, error)
 
 	// ctx is derived from the manager's base context; cancel aborts the
 	// job whether queued or running.
@@ -84,7 +86,7 @@ type job struct {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := JobStatus{ID: j.id, State: j.state, CreatedAt: j.created, Error: j.err, Result: j.result}
+	st := JobStatus{ID: j.id, Tenant: j.tenant, State: j.state, CreatedAt: j.created, Error: j.err, Result: j.result}
 	if !j.started.IsZero() {
 		t := j.started
 		st.StartedAt = &t
@@ -96,9 +98,11 @@ func (j *job) status() JobStatus {
 	return st
 }
 
-// jobs is a bounded queue drained by a fixed worker pool.
+// jobs runs tuning work from per-tenant bounded queues drained by a fixed
+// worker pool in weighted round-robin order (tenant.Scheduler), so one
+// tenant flooding its queue delays its own jobs, not its neighbours'.
 type jobs struct {
-	queue chan *job
+	sched *tenant.Scheduler
 	wg    sync.WaitGroup
 
 	baseCtx    context.Context
@@ -111,17 +115,15 @@ type jobs struct {
 	closing bool
 }
 
-// newJobs starts a manager with the given worker count and queue capacity.
-func newJobs(workers, queueCap int) *jobs {
+// newJobs starts a manager with the given worker count, per-tenant queue
+// capacity, and WRR weights (nil = every tenant weight 1).
+func newJobs(workers, perTenantCap int, weights map[string]int) *jobs {
 	if workers < 1 {
 		workers = 1
 	}
-	if queueCap < 1 {
-		queueCap = 1
-	}
 	base, cancel := context.WithCancel(context.Background())
 	m := &jobs{
-		queue:      make(chan *job, queueCap),
+		sched:      tenant.NewScheduler(perTenantCap, weights),
 		baseCtx:    base,
 		baseCancel: cancel,
 		byID:       map[string]*job{},
@@ -135,9 +137,12 @@ func newJobs(workers, queueCap int) *jobs {
 
 func (m *jobs) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
-		mJobsQueueDepth.Set(float64(len(m.queue)))
-		m.execute(j)
+	for {
+		item, _, ok := m.sched.Next()
+		if !ok {
+			return
+		}
+		m.execute(item.(*job))
 	}
 }
 
@@ -176,9 +181,10 @@ func (m *jobs) execute(j *job) {
 	}
 }
 
-// submit enqueues fn. It never blocks: a full queue returns ErrQueueFull
-// immediately (backpressure for the HTTP layer to surface as 429).
-func (m *jobs) submit(fn func(ctx context.Context) (any, error)) (*job, error) {
+// submit enqueues fn on tenantID's queue. It never blocks: a full tenant
+// queue returns ErrQueueFull immediately (per-tenant backpressure for the
+// HTTP layer to surface as 429; other tenants keep submitting).
+func (m *jobs) submit(tenantID string, fn func(ctx context.Context) (any, error)) (*job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closing {
@@ -188,24 +194,28 @@ func (m *jobs) submit(fn func(ctx context.Context) (any, error)) (*job, error) {
 	ctx, cancel := context.WithCancelCause(m.baseCtx)
 	j := &job{
 		id:      fmt.Sprintf("job-%06d", m.nextID),
+		tenant:  tenantID,
 		run:     fn,
 		ctx:     ctx,
 		cancel:  func() { cancel(errors.New("job cancelled")) },
 		state:   JobQueued,
 		created: time.Now(),
 	}
-	select {
-	case m.queue <- j:
-	default:
+	if err := m.sched.Submit(tenantID, j); err != nil {
 		cancel(nil)
 		m.nextID-- // the id was never visible; reuse it
-		mJobsRejected.Inc()
-		return nil, ErrQueueFull
+		switch {
+		case errors.Is(err, tenant.ErrQueueFull):
+			return nil, ErrQueueFull
+		case errors.Is(err, tenant.ErrSchedulerClosed):
+			return nil, ErrShuttingDown
+		default:
+			return nil, err
+		}
 	}
 	m.byID[j.id] = j
 	m.order = append(m.order, j.id)
 	mJobsSubmitted.Inc()
-	mJobsQueueDepth.Set(float64(len(m.queue)))
 	return j, nil
 }
 
@@ -216,8 +226,9 @@ func (m *jobs) get(id string) *job {
 	return m.byID[id]
 }
 
-// list snapshots every job's status in submission order.
-func (m *jobs) list() []JobStatus {
+// list snapshots every job's status in submission order; tenantID filters
+// to one tenant ("" = all).
+func (m *jobs) list(tenantID string) []JobStatus {
 	m.mu.Lock()
 	ids := append([]string(nil), m.order...)
 	byID := make([]*job, 0, len(ids))
@@ -227,6 +238,9 @@ func (m *jobs) list() []JobStatus {
 	m.mu.Unlock()
 	out := make([]JobStatus, 0, len(byID))
 	for _, j := range byID {
+		if tenantID != "" && j.tenant != tenantID {
+			continue
+		}
 		out = append(out, j.status())
 	}
 	return out
@@ -256,18 +270,18 @@ func (m *jobs) cancelJob(j *job) bool {
 }
 
 // counts tallies jobs by state for /healthz.
-func (m *jobs) counts() map[JobState]int {
+func (m *jobs) counts(tenantID string) map[JobState]int {
 	out := map[JobState]int{}
-	for _, st := range m.list() {
+	for _, st := range m.list(tenantID) {
 		out[st.State]++
 	}
 	return out
 }
 
 // drain stops accepting new jobs and waits for in-flight ones. Queued jobs
-// still run (the queue is drained, not dropped) unless ctx expires first, in
-// which case every remaining job is cancelled and drain waits for the
-// workers to unwind before returning ctx's error.
+// still run (the queues drain in fair order, they are not dropped) unless
+// ctx expires first, in which case every remaining job is cancelled and
+// drain waits for the workers to unwind before returning ctx's error.
 func (m *jobs) drain(ctx context.Context) error {
 	m.mu.Lock()
 	if m.closing {
@@ -275,8 +289,8 @@ func (m *jobs) drain(ctx context.Context) error {
 		return nil
 	}
 	m.closing = true
-	close(m.queue)
 	m.mu.Unlock()
+	m.sched.Close()
 
 	done := make(chan struct{})
 	go func() {

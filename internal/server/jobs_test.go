@@ -22,9 +22,9 @@ func waitState(t *testing.T, j *job) JobState {
 }
 
 func TestJobRunsToDone(t *testing.T) {
-	m := newJobs(1, 4)
+	m := newJobs(1, 4, nil)
 	defer m.drain(context.Background())
-	j, err := m.submit(func(ctx context.Context) (any, error) { return 42, nil })
+	j, err := m.submit("default", func(ctx context.Context) (any, error) { return 42, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,9 +37,9 @@ func TestJobRunsToDone(t *testing.T) {
 }
 
 func TestJobFailure(t *testing.T) {
-	m := newJobs(1, 4)
+	m := newJobs(1, 4, nil)
 	defer m.drain(context.Background())
-	j, err := m.submit(func(ctx context.Context) (any, error) { return nil, errors.New("boom") })
+	j, err := m.submit("default", func(ctx context.Context) (any, error) { return nil, errors.New("boom") })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,10 +52,10 @@ func TestJobFailure(t *testing.T) {
 }
 
 func TestCancelRunningJob(t *testing.T) {
-	m := newJobs(1, 4)
+	m := newJobs(1, 4, nil)
 	defer m.drain(context.Background())
 	started := make(chan struct{})
-	j, err := m.submit(func(ctx context.Context) (any, error) {
+	j, err := m.submit("default", func(ctx context.Context) (any, error) {
 		close(started)
 		<-ctx.Done() // deterministic mid-run block until cancelled
 		return nil, ctx.Err()
@@ -77,17 +77,17 @@ func TestCancelRunningJob(t *testing.T) {
 }
 
 func TestCancelQueuedJob(t *testing.T) {
-	m := newJobs(1, 4)
+	m := newJobs(1, 4, nil)
 	defer m.drain(context.Background())
 	release := make(chan struct{})
-	blocker, err := m.submit(func(ctx context.Context) (any, error) {
+	blocker, err := m.submit("default", func(ctx context.Context) (any, error) {
 		<-release
 		return nil, nil
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	queued, err := m.submit(func(ctx context.Context) (any, error) { return "ran", nil })
+	queued, err := m.submit("default", func(ctx context.Context) (any, error) { return "ran", nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,10 +109,10 @@ func TestCancelQueuedJob(t *testing.T) {
 }
 
 func TestQueueBackpressure(t *testing.T) {
-	m := newJobs(1, 1)
+	m := newJobs(1, 1, nil)
 	defer m.drain(context.Background())
 	started, release := make(chan struct{}), make(chan struct{})
-	running, err := m.submit(func(ctx context.Context) (any, error) {
+	running, err := m.submit("default", func(ctx context.Context) (any, error) {
 		close(started)
 		<-release
 		return nil, nil
@@ -121,10 +121,10 @@ func TestQueueBackpressure(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-started // the worker holds the running job; the queue is empty
-	if _, err := m.submit(func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
+	if _, err := m.submit("default", func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
 		t.Fatalf("second submit should queue: %v", err)
 	}
-	if _, err := m.submit(func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
+	if _, err := m.submit("default", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submit: err = %v, want ErrQueueFull", err)
 	}
 	close(release)
@@ -132,8 +132,8 @@ func TestQueueBackpressure(t *testing.T) {
 }
 
 func TestDrainWaitsAndRejectsNewWork(t *testing.T) {
-	m := newJobs(2, 4)
-	slow, err := m.submit(func(ctx context.Context) (any, error) {
+	m := newJobs(2, 4, nil)
+	slow, err := m.submit("default", func(ctx context.Context) (any, error) {
 		time.Sleep(50 * time.Millisecond)
 		return "done", nil
 	})
@@ -146,7 +146,7 @@ func TestDrainWaitsAndRejectsNewWork(t *testing.T) {
 	if st := slow.status().State; st != JobDone {
 		t.Fatalf("drain returned before job finished: %s", st)
 	}
-	if _, err := m.submit(func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrShuttingDown) {
+	if _, err := m.submit("default", func(ctx context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrShuttingDown) {
 		t.Fatalf("submit after drain: %v", err)
 	}
 	// Draining twice is a no-op.
@@ -156,8 +156,8 @@ func TestDrainWaitsAndRejectsNewWork(t *testing.T) {
 }
 
 func TestDrainDeadlineCancelsStragglers(t *testing.T) {
-	m := newJobs(1, 4)
-	j, err := m.submit(func(ctx context.Context) (any, error) {
+	m := newJobs(1, 4, nil)
+	j, err := m.submit("default", func(ctx context.Context) (any, error) {
 		<-ctx.Done() // never finishes on its own
 		return nil, ctx.Err()
 	})

@@ -15,11 +15,11 @@ type learnTriggerRequest struct {
 	Reason string `json:"reason,omitempty"`
 }
 
-// handleLearnStatus reports the learning loop's state: cycle counters,
-// the last cycle's full report, and any promotion awaiting live
+// handleLearnStatus reports the tenant's learning loop state: cycle
+// counters, the last cycle's full report, and any promotion awaiting live
 // confirmation.
 func (s *Server) handleLearnStatus(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.loop.Status())
+	writeJSON(w, http.StatusOK, tenantFrom(r).Loop.Status())
 }
 
 // handleLearnTrigger starts a learning cycle in the background. Cycles are
@@ -35,7 +35,7 @@ func (s *Server) handleLearnTrigger(w http.ResponseWriter, r *http.Request) {
 			req.Reason = "manual"
 		}
 	}
-	if err := s.loop.TriggerAsync(req.Reason); err != nil {
+	if err := tenantFrom(r).Loop.TriggerAsync(req.Reason); err != nil {
 		if errors.Is(err, learn.ErrCycleRunning) {
 			writeErr(w, http.StatusConflict, "%v", err)
 			return

@@ -18,12 +18,21 @@
 //     POST /v1/telemetry appends execution records for later retraining,
 //     closing the paper's feedback loop.
 //
+// Every endpoint is multi-tenant (see internal/tenant): requests resolve a
+// tenant via the /v1/t/{tenant}/... path prefix or the X-Tenant header
+// (default: the "default" tenant, preserving single-tenant behaviour), and
+// operate on that tenant's model registry, telemetry partition, and
+// learning loop. Per-tenant token buckets gate the synchronous plane and
+// per-tenant bounded queues with weighted-round-robin draining gate the
+// tuning plane, so saturation answers 429 per tenant, not globally.
+//
 // Graceful shutdown drains the job queue (SIGTERM → stop accepting →
 // finish or cancel jobs → flush telemetry) so a restarting service loses
 // neither running work nor ingested records.
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -31,7 +40,9 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine/catalog"
@@ -42,18 +53,20 @@ import (
 	"repro/internal/learn"
 	"repro/internal/models"
 	"repro/internal/obs"
-	"repro/internal/server/registry"
 	sqlparse "repro/internal/sql"
+	"repro/internal/tenant"
 	"repro/internal/tuner"
 	"repro/internal/workload"
 )
 
-// HTTP-plane metric handles (see DESIGN.md §8).
+// HTTP-plane metric handles (see DESIGN.md §8/§14).
 var (
-	mHTTPRequests = obs.C("server.http.requests")
-	mHTTPErrors   = obs.C("server.http.errors")
-	mHTTPLatency  = obs.H("server.http.latency")
-	mModelsActive = obs.C("server.models.activated")
+	mHTTPRequests      = obs.C("server.http.requests")
+	mHTTPErrors        = obs.C("server.http.errors")
+	mHTTPLatency       = obs.H("server.http.latency")
+	mModelsActive      = obs.C("server.models.activated")
+	mAdmissionRejected = obs.C("server.admission.rejected")
+	mTenantBadID       = obs.C("server.tenant.bad_id")
 )
 
 // maxBodyBytes bounds every request body; model uploads are the largest
@@ -73,31 +86,55 @@ type Config struct {
 	// what-if probe fan-out).
 	TunerOpts tuner.Options
 
-	// ModelDir is the versioned model registry directory; empty keeps
-	// models in memory only.
+	// ModelDir is the default tenant's versioned model registry directory;
+	// empty keeps its models in memory only.
 	ModelDir string
-	// RegistryKeep bounds the registry after promotions and uploads: the
-	// active version, its predecessor (the rollback target), and the newest
-	// RegistryKeep versions survive pruning. 0 keeps everything.
+	// RegistryKeep bounds each tenant's registry after promotions and
+	// uploads: the active version, its predecessor (the rollback target),
+	// and the newest RegistryKeep versions survive pruning. 0 keeps
+	// everything.
 	RegistryKeep int
-	// TelemetryPath appends ingested telemetry as JSON lines; empty keeps
-	// records in memory only.
+	// TelemetryPath appends the default tenant's ingested telemetry as JSON
+	// lines; empty keeps records in memory only.
 	TelemetryPath string
-	// TelemetrySegmentBytes / TelemetrySegments bound the on-disk telemetry
-	// window: segments rotate at TelemetrySegmentBytes and at most
+	// TelemetrySegmentBytes / TelemetrySegments bound each tenant's on-disk
+	// telemetry window: segments rotate at TelemetrySegmentBytes and at most
 	// TelemetrySegments are retained (0 = defaults).
 	TelemetrySegmentBytes int64
 	TelemetrySegments     int
 
-	// Learn configures the online learning loop (GET /v1/learn/status,
-	// POST /v1/learn/trigger; a background ticker when Learn.Interval > 0).
+	// TenantsDir is the data root for non-default tenants: tenant t keeps
+	// its registry at <TenantsDir>/<t>/models and telemetry at
+	// <TenantsDir>/<t>/telemetry.jsonl. Empty keeps non-default tenants in
+	// memory only.
+	TenantsDir string
+	// MaxActiveTenants bounds the materialized tenant set; the LRU idle
+	// tenant is evicted (loop stopped, telemetry flushed) and reloaded on
+	// its next request. Default 8.
+	MaxActiveTenants int
+	// TenantRate / TenantBurst configure each tenant's synchronous-plane
+	// token bucket in requests/second (0 = no rate limiting).
+	TenantRate  float64
+	TenantBurst int
+	// TenantWeights sets weighted-round-robin shares for the tuning-job
+	// queues (absent tenants get weight 1).
+	TenantWeights map[string]int
+	// TenantIngestRate engages per-tenant telemetry sampling above this
+	// many records/second (0 = never sample); sampled-out records are
+	// compensated by weighting survivors, keeping learn-loop aggregates
+	// unbiased.
+	TenantIngestRate float64
+
+	// Learn configures every tenant's online learning loop (GET
+	// /v1/learn/status, POST /v1/learn/trigger; a background ticker when
+	// Learn.Interval > 0).
 	Learn learn.Options
 
 	// Workers is the tuning-job worker pool size (default 1: tuning jobs
 	// are internally parallel already via TunerOpts.Parallelism).
 	Workers int
-	// QueueSize bounds queued tuning jobs; a full queue answers 429
-	// (default 8).
+	// QueueSize bounds each tenant's queued tuning jobs; a full tenant
+	// queue answers 429 (default 8).
 	QueueSize int
 	// RequestTimeout bounds synchronous request handling (default 30s).
 	RequestTimeout time.Duration
@@ -119,40 +156,51 @@ func (c Config) withDefaults() Config {
 // Server is the tuning service. Create with New, serve via Handler (tests)
 // or Start (owns a listener), stop with Shutdown.
 type Server struct {
-	cfg       Config
-	reg       *registry.Registry
-	jobs      *jobs
-	telemetry *telemetrySink
-	loop      *learn.Loop
-	handler   http.Handler
+	cfg     Config
+	tenants *tenant.Manager
+	jobs    *jobs
+	handler http.Handler
+
+	reqSeq    atomic.Uint64
+	reqPrefix string
 
 	httpSrv *http.Server
 	addr    string
 }
 
-// New validates cfg and assembles the service (registry opened, worker
-// pool started). The server is usable immediately via Handler.
+// New validates cfg and assembles the service (default tenant materialized,
+// worker pool started). The server is usable immediately via Handler.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Workload == nil || cfg.WhatIf == nil || cfg.Exec == nil {
 		return nil, fmt.Errorf("server: Config needs Workload, WhatIf, and Exec")
 	}
-	reg, err := registry.Open(cfg.ModelDir)
+	mgr := tenant.NewManager(tenant.Config{
+		Dir:                   cfg.TenantsDir,
+		DefaultModelDir:       cfg.ModelDir,
+		DefaultTelemetryPath:  cfg.TelemetryPath,
+		MaxActive:             cfg.MaxActiveTenants,
+		RegistryKeep:          cfg.RegistryKeep,
+		TelemetrySegmentBytes: cfg.TelemetrySegmentBytes,
+		TelemetrySegments:     cfg.TelemetrySegments,
+		IngestRate:            cfg.TenantIngestRate,
+		Learn:                 cfg.Learn,
+		Rate:                  cfg.TenantRate,
+		Burst:                 cfg.TenantBurst,
+	})
+	// Materialize the default tenant eagerly so a corrupt model store or
+	// unwritable telemetry path fails startup, not the first request.
+	def, err := mgr.Acquire(tenant.DefaultID)
 	if err != nil {
 		return nil, err
 	}
-	sink, err := openTelemetrySink(cfg.TelemetryPath, cfg.TelemetrySegmentBytes, cfg.TelemetrySegments)
-	if err != nil {
-		return nil, err
-	}
+	mgr.Release(def)
 	s := &Server{
 		cfg:       cfg,
-		reg:       reg,
-		jobs:      newJobs(cfg.Workers, cfg.QueueSize),
-		telemetry: sink,
+		tenants:   mgr,
+		jobs:      newJobs(cfg.Workers, cfg.QueueSize, cfg.TenantWeights),
+		reqPrefix: fmt.Sprintf("%06x", time.Now().UnixNano()&0xffffff),
 	}
-	s.loop = learn.NewLoop(reg, sink.snapshot, cfg.RegistryKeep, cfg.Learn)
-	s.loop.Start()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", obs.Default())
@@ -167,20 +215,164 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	s.handler = s.instrument(http.TimeoutHandler(mux, cfg.RequestTimeout, "request timed out"))
+	s.handler = s.instrument(
+		http.TimeoutHandler(s.withTenant(mux), cfg.RequestTimeout, "request timed out"))
 	return s, nil
 }
 
 // Handler returns the service's HTTP handler (for httptest servers).
 func (s *Server) Handler() http.Handler { return s.handler }
 
-// instrument wraps the mux with request counting and latency observation.
+// ---- middleware ----
+
+type ctxKey int
+
+const (
+	tenantKey ctxKey = iota
+	requestIDKey
+)
+
+// tenantFrom returns the request's resolved tenant (set by withTenant).
+func tenantFrom(r *http.Request) *tenant.Tenant {
+	t, _ := r.Context().Value(tenantKey).(*tenant.Tenant)
+	return t
+}
+
+// RequestIDFrom returns the request's ID (set by instrument).
+func RequestIDFrom(r *http.Request) string {
+	id, _ := r.Context().Value(requestIDKey).(string)
+	return id
+}
+
+// instrument is the outermost middleware: it assigns every request an
+// X-Request-ID (honouring a client-supplied one), counts and times the
+// request, stamps a trace span with the ID, and guarantees the JSON error
+// envelope — any non-JSON error body produced below it (the mux's plain
+// 404/405, the timeout handler's 503) is rewritten to apiError.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mHTTPRequests.Inc()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" || len(reqID) > 128 {
+			reqID = fmt.Sprintf("req-%s-%06x", s.reqPrefix, s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		sp := obs.Default().StartSpan("http.request").WithTag(reqID)
+		ew := &envelopeWriter{ResponseWriter: w}
 		start := mHTTPLatency.Start()
-		next.ServeHTTP(w, r)
+		next.ServeHTTP(ew, r.WithContext(context.WithValue(r.Context(), requestIDKey, reqID)))
+		ew.finish()
 		mHTTPLatency.Stop(start)
+		if ew.status >= http.StatusBadRequest {
+			mHTTPErrors.Inc()
+		}
+		sp.End()
+	})
+}
+
+// envelopeWriter rewrites non-JSON error responses into the apiError
+// envelope so clients can always json-decode failures: handlers below the
+// middleware that write text (http.Error, TimeoutHandler) get converted;
+// JSON responses pass through untouched.
+type envelopeWriter struct {
+	http.ResponseWriter
+	status  int
+	wrote   bool
+	rewrite bool
+	buf     bytes.Buffer
+}
+
+func (e *envelopeWriter) WriteHeader(code int) {
+	if e.wrote {
+		return
+	}
+	e.wrote = true
+	e.status = code
+	ct := e.Header().Get("Content-Type")
+	if code >= http.StatusBadRequest && !strings.HasPrefix(ct, "application/json") {
+		e.rewrite = true
+		e.Header().Set("Content-Type", "application/json")
+		e.Header().Del("Content-Length")
+	}
+	e.ResponseWriter.WriteHeader(code)
+}
+
+func (e *envelopeWriter) Write(b []byte) (int, error) {
+	if !e.wrote {
+		e.WriteHeader(http.StatusOK)
+	}
+	if e.rewrite {
+		// Buffer the plain-text body; finish() emits it as JSON.
+		e.buf.Write(b)
+		return len(b), nil
+	}
+	return e.ResponseWriter.Write(b)
+}
+
+// finish flushes a rewritten error body as the JSON envelope.
+func (e *envelopeWriter) finish() {
+	if !e.wrote {
+		e.status = http.StatusOK
+		return
+	}
+	if !e.rewrite {
+		return
+	}
+	msg := strings.TrimSpace(e.buf.String())
+	if msg == "" {
+		msg = http.StatusText(e.status)
+	}
+	data, _ := json.Marshal(apiError{Error: msg})
+	_, _ = e.ResponseWriter.Write(append(data, '\n'))
+}
+
+// withTenant resolves the request's tenant — path prefix /v1/t/{tenant}/...
+// (rewritten to the canonical /v1/... route) or the X-Tenant header, with
+// the default tenant as fallback — validates the ID, materializes the
+// tenant, and admits the request through the tenant's token bucket. The
+// tenant rides the request context; the reference is released when the
+// handler returns.
+func (s *Server) withTenant(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := tenant.DefaultID
+		if h := r.Header.Get("X-Tenant"); h != "" {
+			id = h
+		}
+		if rest, ok := strings.CutPrefix(r.URL.Path, "/v1/t/"); ok {
+			slash := strings.IndexByte(rest, '/')
+			if slash <= 0 {
+				writeErr(w, http.StatusNotFound, "tenant path needs /v1/t/{tenant}/...")
+				return
+			}
+			id = rest[:slash]
+			r = r.Clone(r.Context())
+			r.URL.Path = "/v1" + rest[slash:]
+		}
+		if err := tenant.ValidateID(id); err != nil {
+			mTenantBadID.Inc()
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		tn, err := s.tenants.Acquire(id)
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "tenant %q unavailable: %v", id, err)
+			return
+		}
+		defer s.tenants.Release(tn)
+		// Admission control gates the API planes only; /healthz and
+		// /metrics stay reachable for probes even when a tenant is
+		// saturated.
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			if ok, retry := tn.Admit(time.Now()); !ok {
+				mAdmissionRejected.Inc()
+				secs := int(retry/time.Second) + 1
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeErr(w, http.StatusTooManyRequests,
+					"tenant %q rate limit exceeded; retry in %ds", id, secs)
+				return
+			}
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey, tn)))
 	})
 }
 
@@ -200,10 +392,17 @@ func (s *Server) Start(addr string) (string, error) {
 // Addr returns the bound address after Start.
 func (s *Server) Addr() string { return s.addr }
 
+// TenantStats reports per-tenant serving-plane state for the shutdown
+// summary and tests: materialized tenant IDs and queue depths.
+func (s *Server) TenantStats() (active []string, queueDepths map[string]int) {
+	return s.tenants.ActiveIDs(), s.jobs.sched.Depths()
+}
+
 // Shutdown stops the service gracefully: the listener closes, in-flight
-// requests finish, the job queue drains (jobs still running when ctx
-// expires are cancelled and awaited), and telemetry flushes to disk. Safe
-// to call without Start (tests using Handler directly).
+// requests finish, the job queues drain (jobs still running when ctx
+// expires are cancelled and awaited), and every tenant finalizes — learning
+// loop stopped, telemetry flushed to disk. Safe to call without Start
+// (tests using Handler directly).
 func (s *Server) Shutdown(ctx context.Context) error {
 	var first error
 	if s.httpSrv != nil {
@@ -214,9 +413,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if err := s.jobs.drain(ctx); err != nil && first == nil {
 		first = err
 	}
-	// The loop reads the telemetry sink: stop it before closing the sink.
-	s.loop.Stop()
-	if err := s.telemetry.close(); err != nil && first == nil {
+	// Tenant finalization stops each loop before closing its sink (the
+	// loop reads the sink).
+	if err := s.tenants.Close(ctx); err != nil && first == nil {
 		first = err
 	}
 	return first
@@ -313,8 +512,9 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// writeErr emits the JSON error envelope; instrument counts errors by
+// observing the response status, so writeErr stays side-effect free.
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	mHTTPErrors.Inc()
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
@@ -333,15 +533,18 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 // ---- synchronous endpoints ----
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	tn := tenantFrom(r)
 	resp := map[string]any{
 		"status":         "ok",
 		"db":             s.cfg.Workload.Name,
 		"queries":        len(s.cfg.Workload.Queries),
-		"jobs":           s.jobs.counts(),
-		"telemetry":      s.telemetry.total(),
+		"tenant":         tn.ID,
+		"tenants_active": s.tenants.ActiveCount(),
+		"jobs":           s.jobs.counts(tn.ID),
+		"telemetry":      tn.Sink.Total(),
 		"indexes_cached": len(s.cfg.Exec.CachedIndexes()),
 	}
-	if v := s.reg.Active(); v != nil {
+	if v := tn.Reg.Active(); v != nil {
 		resp["model"] = v.ID
 	} else {
 		resp["model"] = nil
@@ -493,13 +696,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "pairs is mutually exclusive with indexes_a/indexes_b")
 		return
 	}
+	tn := tenantFrom(r)
 	resp := classifyResponse{Query: q.Name}
 	var cmp models.Comparator
 	switch req.Comparator {
 	case "", "model":
-		v := s.reg.Active()
+		v := tn.Reg.Active()
 		if v == nil {
-			writeErr(w, http.StatusConflict, "no model activated; upload one via POST /v1/models or pass comparator=optimizer")
+			writeErr(w, http.StatusConflict, "no model activated for tenant %q; upload one via POST /v1/models or pass comparator=optimizer", tn.ID)
 			return
 		}
 		cmp = v.Clf
@@ -577,13 +781,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 // ---- model registry endpoints ----
 
 func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	tn := tenantFrom(r)
 	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "reading model blob: %v", err)
 		return
 	}
-	prior := s.reg.Active()
-	v, err := s.reg.AddAndActivate(data)
+	prior := tn.Reg.Active()
+	v, err := tn.Reg.AddAndActivate(data)
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -594,16 +799,17 @@ func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
 		if prior != nil {
 			pin = append(pin, prior.ID)
 		}
-		_, _ = s.reg.Prune(s.cfg.RegistryKeep, pin...)
+		_, _ = tn.Reg.Prune(s.cfg.RegistryKeep, pin...)
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{
-		"version": v.ID, "activated": true, "size": v.Size,
+		"version": v.ID, "activated": true, "size": v.Size, "tenant": tn.ID,
 	})
 }
 
 func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{"versions": s.reg.List()}
-	if v := s.reg.Active(); v != nil {
+	tn := tenantFrom(r)
+	resp := map[string]any{"versions": tn.Reg.List(), "tenant": tn.ID}
+	if v := tn.Reg.Active(); v != nil {
 		resp["active"] = v.ID
 	} else {
 		resp["active"] = nil
@@ -614,6 +820,7 @@ func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
 // ---- telemetry ingest ----
 
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	tn := tenantFrom(r)
 	recs, err := expdata.ImportTelemetry(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -623,12 +830,14 @@ func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "empty telemetry payload")
 		return
 	}
-	if err := s.telemetry.append(recs); err != nil {
+	stored, err := tn.Sink.Append(recs)
+	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"accepted": len(recs), "total": s.telemetry.total(),
+		"accepted": len(recs), "stored": stored,
+		"total": tn.Sink.Total(), "sample_rate": tn.Sink.SampleRate(),
 	})
 }
 
@@ -661,6 +870,7 @@ type tuneResult struct {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	tn := tenantFrom(r)
 	var req tuneRequest
 	if !readJSON(w, r, &req) {
 		return
@@ -677,15 +887,17 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 			qs = append(qs, q)
 		}
 	}
+	// The comparator is captured at submission time, so a later eviction of
+	// the tenant cannot pull the model out from under a queued job.
 	var cmp models.Comparator
 	modelVersion := 0
 	switch req.Comparator {
 	case "", "model":
-		if v := s.reg.Active(); v != nil {
+		if v := tn.Reg.Active(); v != nil {
 			cmp = v.Clf
 			modelVersion = v.ID
 		} else if req.Comparator == "model" {
-			writeErr(w, http.StatusConflict, "no model activated")
+			writeErr(w, http.StatusConflict, "no model activated for tenant %q", tn.ID)
 			return
 		}
 	case "optimizer":
@@ -711,9 +923,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if req.Compress {
 		opts.Compress = true
 	}
-	tn := tuner.New(s.cfg.Workload.Schema, s.cfg.WhatIf, cmp, opts)
-	j, err := s.jobs.submit(func(ctx context.Context) (any, error) {
-		rec, err := tn.TuneWorkload(ctx, qs, nil)
+	tnr := tuner.New(s.cfg.Workload.Schema, s.cfg.WhatIf, cmp, opts)
+	j, err := s.jobs.submit(tn.ID, func(ctx context.Context) (any, error) {
+		rec, err := tnr.TuneWorkload(ctx, qs, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -726,7 +938,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
-		writeErr(w, http.StatusTooManyRequests, "job queue full (capacity %d)", s.cfg.QueueSize)
+		writeErr(w, http.StatusTooManyRequests, "tenant %q job queue full (capacity %d)", tn.ID, s.cfg.QueueSize)
 		return
 	case errors.Is(err, ErrShuttingDown):
 		writeErr(w, http.StatusServiceUnavailable, "%v", err)
@@ -740,11 +952,22 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+	tn := tenantFrom(r)
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list(tn.ID), "tenant": tn.ID})
+}
+
+// tenantJob looks a job up and enforces tenant ownership: a job is visible
+// only to the tenant that submitted it.
+func (s *Server) tenantJob(r *http.Request) *job {
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil || j.tenant != tenantFrom(r).ID {
+		return nil
+	}
+	return j
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	j := s.jobs.get(r.PathValue("id"))
+	j := s.tenantJob(r)
 	if j == nil {
 		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
@@ -753,7 +976,7 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
-	j := s.jobs.get(r.PathValue("id"))
+	j := s.tenantJob(r)
 	if j == nil {
 		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return

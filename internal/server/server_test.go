@@ -17,6 +17,7 @@ import (
 	"repro/internal/engine/stats"
 	"repro/internal/feat"
 	"repro/internal/models"
+	"repro/internal/tenant"
 	"repro/internal/tuner"
 	"repro/internal/util"
 	"repro/internal/workload"
@@ -321,7 +322,7 @@ func TestServeQueueBackpressure(t *testing.T) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
-	first, err := s.jobs.submit(block)
+	first, err := s.jobs.submit(tenant.DefaultID, block)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +334,7 @@ func TestServeQueueBackpressure(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	second, err := s.jobs.submit(block)
+	second, err := s.jobs.submit(tenant.DefaultID, block)
 	if err != nil {
 		t.Fatal(err)
 	}

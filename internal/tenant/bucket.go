@@ -1,0 +1,57 @@
+package tenant
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Bucket is a token bucket gating a tenant's synchronous-plane requests:
+// rate tokens accrue per second up to burst, each admitted request spends
+// one. A nil Bucket admits everything (rate limiting disabled). Callers
+// pass the clock explicitly so admission decisions are testable without
+// sleeping.
+type Bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewBucket builds a bucket admitting rate requests/second with the given
+// burst. rate <= 0 returns nil — the "unlimited" bucket.
+func NewBucket(rate float64, burst int) *Bucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = math.Max(1, 2*rate)
+	}
+	return &Bucket{rate: rate, burst: b, tokens: b}
+}
+
+// Allow spends one token when available. When the bucket is empty it
+// returns false plus the duration until a token accrues — the
+// Retry-After the HTTP layer surfaces with the 429.
+func (b *Bucket) Allow(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := (1 - b.tokens) / b.rate
+	return false, time.Duration(math.Ceil(wait * float64(time.Second)))
+}

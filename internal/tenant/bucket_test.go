@@ -1,0 +1,73 @@
+package tenant
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketNilAdmitsEverything(t *testing.T) {
+	var b *Bucket // NewBucket(0, ...) returns nil: rate limiting disabled
+	if b = NewBucket(0, 10); b != nil {
+		t.Fatalf("NewBucket(0) = %v, want nil", b)
+	}
+	now := time.Now()
+	for i := 0; i < 1000; i++ {
+		if ok, wait := b.Allow(now); !ok || wait != 0 {
+			t.Fatalf("nil bucket rejected request %d (wait %v)", i, wait)
+		}
+	}
+}
+
+func TestBucketBurstThenRefill(t *testing.T) {
+	start := time.Unix(1000, 0)
+	b := NewBucket(2, 4) // 2 tokens/s, burst 4
+
+	for i := 0; i < 4; i++ {
+		if ok, _ := b.Allow(start); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, retry := b.Allow(start)
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	// Empty bucket at 2 tokens/s: the next token is 500ms away.
+	if retry <= 0 || retry > 500*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want (0, 500ms]", retry)
+	}
+
+	// After the advertised wait, exactly one more request fits.
+	later := start.Add(retry)
+	if ok, _ := b.Allow(later); !ok {
+		t.Fatal("request after advertised Retry-After rejected")
+	}
+	if ok, _ := b.Allow(later); ok {
+		t.Fatal("second request after partial refill admitted")
+	}
+
+	// A long idle period refills to burst, never beyond.
+	idle := later.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := b.Allow(idle); ok {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Fatalf("after long idle admitted %d, want burst=4", admitted)
+	}
+}
+
+func TestBucketDefaultBurst(t *testing.T) {
+	b := NewBucket(3, 0) // burst defaults to max(1, 2*rate) = 6
+	now := time.Unix(2000, 0)
+	admitted := 0
+	for i := 0; i < 20; i++ {
+		if ok, _ := b.Allow(now); ok {
+			admitted++
+		}
+	}
+	if admitted != 6 {
+		t.Fatalf("default burst admitted %d, want 6", admitted)
+	}
+}

@@ -1,0 +1,56 @@
+// Package tenant is the serving plane's multi-tenant layer: per-tenant
+// state (model registry namespace, telemetry partition, learning loop)
+// materialized lazily behind an LRU-bounded manager, plus the admission
+// machinery — per-tenant token buckets for the synchronous plane and a
+// weighted-round-robin scheduler for the asynchronous tuning plane — that
+// keeps one noisy tenant from starving the rest.
+//
+// The paper's §4.3 vision is a cloud service where execution feedback from
+// many customer databases improves per-database recommendations; this
+// package is the isolation substrate that lets one daemon serve those
+// databases with independent champions, drift references, and telemetry
+// windows.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultID is the tenant every request without an explicit tenant
+// resolves to; it preserves the single-tenant behaviour (and on-disk
+// layout) of a pre-multi-tenant server.
+const DefaultID = "default"
+
+// MaxIDLen bounds tenant identifiers. IDs become registry and telemetry
+// directory components, so the bound also bounds path lengths.
+const MaxIDLen = 64
+
+// ErrInvalidID wraps every identifier rejection; the HTTP layer maps it
+// to 400.
+var ErrInvalidID = errors.New("tenant: invalid tenant id")
+
+// ValidateID enforces the tenant identifier grammar: 1–64 characters from
+// [a-z0-9_-], starting with a letter or digit. The grammar is deliberately
+// hostile to path tricks — no dots (so no ".."), no separators, no
+// uppercase (case-insensitive filesystems would alias two tenants onto one
+// directory) — because IDs are used verbatim as directory components under
+// the data root. FuzzTenantID proves no accepted ID can escape it.
+func ValidateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty", ErrInvalidID)
+	}
+	if len(id) > MaxIDLen {
+		return fmt.Errorf("%w: %d characters exceeds the %d limit", ErrInvalidID, len(id), MaxIDLen)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		case (c == '-' || c == '_') && i > 0:
+		default:
+			return fmt.Errorf("%w: %q (allowed: [a-z0-9] plus non-leading '-' '_', at most %d chars)", ErrInvalidID, id, MaxIDLen)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package tenant
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateID(t *testing.T) {
+	valid := []string{
+		"default", "a", "0", "acme", "acme-prod", "acme_prod-2",
+		"a1b2c3", strings.Repeat("x", MaxIDLen),
+	}
+	for _, id := range valid {
+		if err := ValidateID(id); err != nil {
+			t.Errorf("ValidateID(%q) = %v, want nil", id, err)
+		}
+	}
+	invalid := []string{
+		"", "..", ".", "a.b", "A", "Acme", "a/b", `a\b`, "a b", "-lead",
+		"_lead", "a:b", "a..b", "../etc", "a\x00b", "héllo", "a\n",
+		strings.Repeat("x", MaxIDLen+1),
+	}
+	for _, id := range invalid {
+		err := ValidateID(id)
+		if err == nil {
+			t.Errorf("ValidateID(%q) = nil, want error", id)
+			continue
+		}
+		if !errors.Is(err, ErrInvalidID) {
+			t.Errorf("ValidateID(%q) error %v does not wrap ErrInvalidID", id, err)
+		}
+	}
+}
+
+// FuzzTenantID proves the satellite's security property: any identifier
+// ValidateID accepts, used verbatim as a directory component, resolves to
+// a path strictly inside the data root — no traversal, no aliasing of the
+// root itself, no separator injection.
+func FuzzTenantID(f *testing.F) {
+	for _, seed := range []string{
+		"default", "acme", "..", "../../etc/passwd", "a/../../b", "a/b",
+		`..\..`, "a\x00b", ".", "-", "_", "A", strings.Repeat("z", 65),
+		"tenant-1", "tenant_2", "..hidden", "trailing.", "mixed.Case",
+	} {
+		f.Add(seed)
+	}
+	const root = "/data/tenants"
+	f.Fuzz(func(t *testing.T, id string) {
+		if err := ValidateID(id); err != nil {
+			return // rejected IDs never reach the filesystem
+		}
+		if len(id) == 0 || len(id) > MaxIDLen {
+			t.Fatalf("accepted ID %q violates length bounds", id)
+		}
+		joined := filepath.Join(root, id)
+		if filepath.Clean(joined) != joined {
+			t.Fatalf("accepted ID %q joins to non-clean path %q", id, joined)
+		}
+		if !strings.HasPrefix(joined, root+string(filepath.Separator)) {
+			t.Fatalf("accepted ID %q escapes the data root: %q", id, joined)
+		}
+		rel, err := filepath.Rel(root, joined)
+		if err != nil || rel != id {
+			t.Fatalf("accepted ID %q does not round-trip as a child component (rel=%q err=%v)", id, rel, err)
+		}
+		if strings.ContainsAny(id, `/\.`) || strings.ContainsRune(id, 0) {
+			t.Fatalf("accepted ID %q contains a separator, dot, or NUL", id)
+		}
+	})
+}

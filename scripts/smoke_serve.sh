@@ -17,6 +17,7 @@ go build -o "$workdir/aimai" ./cmd/aimai
 
 "$workdir/aimai" serve -addr 127.0.0.1:0 -db tpch10 -scale 0.05 \
     -models-dir "$workdir/models" -telemetry "$workdir/telemetry.jsonl" \
+    -tenants-dir "$workdir/tenants" \
     >"$logfile" 2>&1 &
 pid=$!
 
@@ -70,7 +71,7 @@ code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/classify" -d '{"
 [ "$code" = "400" ] || fail "bad classify request answered $code, want 400"
 
 # Metrics are served from the same process.
-curl -sf "http://$addr/metrics" | head -c 200 >/dev/null || fail "metrics unreachable"
+curl -sf -o /dev/null "http://$addr/metrics" || fail "metrics unreachable"
 
 # ---- online learning round trip ----
 # Ingest synthetic telemetry (4 templates × 5 plans, cost tracking the
@@ -146,11 +147,87 @@ case "$metrics" in
 *) fail "learn.promotions missing from /metrics" ;;
 esac
 
+# ---- multi-tenant serving plane ----
+# Tenant "acme" gets its own registry, telemetry partition, and learning
+# loop under -tenants-dir; the default tenant and tenant "beta" must not
+# observe any of it.
+
+# Tenant IDs are validated at the edge.
+code="$(curl -s -o /dev/null -w '%{http_code}' -H 'X-Tenant: ../evil' "http://$addr/v1/models")"
+[ "$code" = "400" ] || fail "hostile tenant id answered $code, want 400"
+
+# Ingest the same workload as tenant acme and promote a model there.
+ingest="$(gen_telemetry | curl -sf -H 'X-Tenant: acme' "http://$addr/v1/telemetry" --data-binary @-)" \
+    || fail "acme telemetry ingest failed"
+case "$ingest" in
+*'"accepted": 20'*) ;;
+*) fail "acme ingest did not accept 20 records: $ingest" ;;
+esac
+
+curl -sf -X POST "http://$addr/v1/t/acme/learn/trigger" -d '{"reason":"smoke-acme"}' >/dev/null \
+    || fail "acme learn trigger failed"
+
+promoted=""
+for _ in $(seq 1 120); do
+    status="$(curl -sf "http://$addr/v1/t/acme/learn/status")" || fail "acme learn status unreachable"
+    case "$status" in
+    *'"decision": "promoted"'*)
+        promoted=yes
+        break
+        ;;
+    *'"decision": "rejected"'* | *'"decision": "skipped"'*)
+        fail "acme learning cycle did not promote: $status"
+        ;;
+    esac
+    sleep 0.5
+done
+[ -n "$promoted" ] || fail "acme learning cycle never finished: $status"
+echo "acme learn status: $status"
+
+# Acme's model landed in its own namespace on disk...
+[ -f "$workdir/tenants/acme/models/v0001.clf" ] || fail "acme model blob missing from tenant namespace"
+[ -f "$workdir/tenants/acme/telemetry.jsonl" ] || fail "acme telemetry partition missing"
+
+# ...and acme serves it.
+classify="$(curl -sf "http://$addr/v1/t/acme/classify" -d '{
+    "query": "q6",
+    "indexes_b": [{"table":"lineitem","key":["l_shipdate"]}]
+}')" || fail "acme classify failed"
+case "$classify" in
+*'"comparator": "model"'*'"model_version": 1'* | *'"model_version": 1'*'"comparator": "model"'*) ;;
+*) fail "acme classify is not using acme's promoted model: $classify" ;;
+esac
+
+# Cross-tenant isolation: beta never ingested or promoted anything, so its
+# model-comparator classify must 409 even while acme serves a model...
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/t/beta/classify" -d '{
+    "query": "q6",
+    "indexes_b": [{"table":"lineitem","key":["l_shipdate"]}]
+}')"
+[ "$code" = "409" ] || fail "beta classify answered $code, want 409 (no model in beta namespace)"
+
+# ...beta's telemetry partition is empty...
+beta_health="$(curl -sf -H 'X-Tenant: beta' "http://$addr/healthz")" || fail "beta healthz failed"
+case "$beta_health" in
+*'"telemetry": 0'*) ;;
+*) fail "beta saw foreign telemetry: $beta_health" ;;
+esac
+
+# ...and the default tenant still counts exactly its own 20 records.
+def_health="$(curl -sf "http://$addr/healthz")" || fail "default healthz failed"
+case "$def_health" in
+*'"telemetry": 20'*) ;;
+*) fail "default tenant telemetry drifted: $def_health" ;;
+esac
+
+echo "multi-tenant isolation checks passed"
+
 # Graceful shutdown: SIGTERM must drain and exit 0.
 kill -TERM "$pid"
 status=0
 wait "$pid" || status=$?
 [ "$status" = "0" ] || fail "serve exited $status after SIGTERM"
 grep -q "bye" "$logfile" || fail "graceful-shutdown banner missing"
+grep -q "tenants:" "$logfile" || fail "tenant shutdown summary missing"
 
 echo "smoke test passed"
