@@ -14,6 +14,7 @@ package repro_test
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"strconv"
 	"sync"
@@ -28,8 +29,12 @@ import (
 	"repro/internal/expdata"
 	"repro/internal/experiments"
 	"repro/internal/feat"
+	"repro/internal/learn"
+	"repro/internal/ml/forest"
+	"repro/internal/ml/tree"
 	"repro/internal/models"
 	"repro/internal/obs"
+	"repro/internal/server/registry"
 	"repro/internal/tuner"
 	"repro/internal/util"
 	"repro/internal/workload"
@@ -284,6 +289,112 @@ func BenchmarkTuneWorkloadSerialMetricsOn(b *testing.B) {
 	obs.SetEnabled(true)
 	defer obs.SetEnabled(false)
 	benchTuneWorkload(b, 1)
+}
+
+// synthTrainingData builds a deterministic matrix shaped like the learn
+// loop's pair features: PairDim columns mixing tie-heavy discrete values
+// (sparse pair-diff channels) with continuous ones, three cost labels.
+func synthTrainingData(n int, seed int64) ([][]float64, []int) {
+	d := feat.Default().PairDim()
+	rng := util.NewRNG(seed)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			if j%3 == 0 {
+				row[j] = float64(rng.Intn(5))
+			} else {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		X[i] = row
+		s := row[1] + 0.5*row[4] + 0.25*float64(rng.Intn(3))
+		switch {
+		case s < -0.4:
+			y[i] = 0
+		case s < 0.6:
+			y[i] = 1
+		default:
+			y[i] = 2
+		}
+	}
+	return X, y
+}
+
+// BenchmarkTreeFit measures a single full-feature decision-tree fit — the
+// unit of work every forest tree and GBT round pays.
+func BenchmarkTreeFit(b *testing.B) {
+	X, y := synthTrainingData(2000, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := tree.New(tree.Config{MinLeaf: 1, ImpurityThreshold: 1e-6})
+		if err := tr.FitClassifier(X, y, 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestTrain measures a challenger-sized random-forest fit (the
+// learn loop's per-cycle training cost) at default parallelism.
+func BenchmarkForestTrain(b *testing.B) {
+	X, y := synthTrainingData(600, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := forest.NewClassifier(forest.Config{Trees: 60, MinLeaf: 1, ImpurityThreshold: 1e-6, Seed: 7})
+		if err := f.Fit(X, y, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTelemetry emits synthetic learn-loop telemetry: templates x 5
+// records whose measured cost equals the channel mass.
+func benchTelemetry(templates int) []expdata.PlanRecord {
+	var out []expdata.PlanRecord
+	var fp uint64
+	for t := 0; t < templates; t++ {
+		for _, m := range []float64{100, 200, 400, 800, 820} {
+			fp++
+			out = append(out, expdata.PlanRecord{
+				DB:           "db",
+				Query:        fmt.Sprintf("q%02d", t),
+				TemplateHash: uint64(1000 + t),
+				Fingerprint:  fp,
+				Cost:         m,
+				EstTotalCost: m,
+				Channels: map[string][]float64{
+					"EstNodeCost":                   {m},
+					"LeafWeightEstBytesWeightedSum": {m / 2},
+				},
+			})
+		}
+	}
+	return out
+}
+
+// BenchmarkLearnCycle measures a full dry-run learn cycle on a steady
+// telemetry window: compaction + featurization + challenger training +
+// shadow eval, end to end.
+func BenchmarkLearnCycle(b *testing.B) {
+	recs := benchTelemetry(24)
+	reg, err := registry.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	loop := learn.NewLoop(reg, func() ([]expdata.PlanRecord, int64) {
+		return recs, int64(len(recs))
+	}, 0, learn.Options{Seed: 3, Trees: 40, DryRun: true})
+	defer loop.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loop.RunCycle(context.Background(), "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func BenchmarkCollectExecutionData(b *testing.B) {

@@ -25,6 +25,7 @@ func cmdLearn(args []string) error {
 	seed := fs.Int64("seed", 1, "cycle seed (split + forest)")
 	alpha := fs.Float64("alpha", 0, "pair-labeling significance threshold (0 = paper default)")
 	trees := fs.Int("trees", 0, "challenger random-forest size (0 = default)")
+	trainParallel := fs.Int("train-parallel", 0, "forest-training workers (0 = GOMAXPROCS, 1 = serial; same model at any setting)")
 	window := fs.Int("window", 0, "recency window in records (0 = default, <0 = unbounded)")
 	dryRun := fs.Bool("dry-run", false, "evaluate a challenger but never write the registry")
 	if err := fs.Parse(args); err != nil {
@@ -54,11 +55,12 @@ func cmdLearn(args []string) error {
 	}
 	source := func() ([]expdata.PlanRecord, int64) { return recs, int64(len(recs)) }
 	loop := learn.NewLoop(reg, source, *registryKeep, learn.Options{
-		Seed:   *seed,
-		Alpha:  *alpha,
-		Trees:  *trees,
-		Window: *window,
-		DryRun: *dryRun,
+		Seed:             *seed,
+		Alpha:            *alpha,
+		Trees:            *trees,
+		TrainParallelism: *trainParallel,
+		Window:           *window,
+		DryRun:           *dryRun,
 	})
 	defer loop.Stop()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)

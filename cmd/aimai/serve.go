@@ -38,6 +38,7 @@ func cmdServe(args []string) error {
 	learnInterval := fs.Duration("learn-interval", 0, "background learning tick period (0 = cycles run only via POST /v1/learn/trigger)")
 	learnRecords := fs.Int("learn-records", 0, "retrain after this many new telemetry records (0 = default 64)")
 	learnSeed := fs.Int64("learn-seed", 0, "learning loop seed (0 = the -seed value)")
+	learnTrainParallel := fs.Int("learn-train-parallel", 0, "challenger-training workers (0 = GOMAXPROCS, 1 = serial; same model at any setting)")
 	tenantsDir := fs.String("tenants-dir", "", "data root for non-default tenants (empty = in-memory tenants)")
 	tenantsMaxActive := fs.Int("tenants-max-active", 0, "materialized-tenant bound; LRU idle tenants evict and reload on demand (0 = 8 default)")
 	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant synchronous-plane requests/second (0 = unlimited)")
@@ -90,9 +91,10 @@ func cmdServe(args []string) error {
 		TenantWeights:         weights,
 		TenantIngestRate:      *tenantIngestRate,
 		Learn: learn.Options{
-			Seed:            *learnSeed,
-			Interval:        *learnInterval,
-			RecordThreshold: *learnRecords,
+			Seed:             *learnSeed,
+			Interval:         *learnInterval,
+			RecordThreshold:  *learnRecords,
+			TrainParallelism: *learnTrainParallel,
 		},
 		Workers:        *workers,
 		QueueSize:      *queue,

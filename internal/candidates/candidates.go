@@ -15,9 +15,11 @@
 package candidates
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/query"
@@ -238,13 +240,11 @@ func Generate(q *query.Query, schema *catalog.Schema, lim Limits) []*catalog.Ind
 
 	// Deterministic order: prefer candidates on bigger tables (where
 	// indexing matters most), breaking ties by ID.
-	sort.SliceStable(out, func(i, j int) bool {
-		ri := tableRows(schema, out[i].Table)
-		rj := tableRows(schema, out[j].Table)
-		if ri != rj {
-			return ri > rj
+	slices.SortStableFunc(out, func(a, b *catalog.Index) int {
+		if c := cmp.Compare(tableRows(schema, b.Table), tableRows(schema, a.Table)); c != 0 {
+			return c
 		}
-		return out[i].ID() < out[j].ID()
+		return strings.Compare(a.ID(), b.ID())
 	})
 	mGenerated.Add(int64(len(out)))
 	mDropped.Add(dropped)

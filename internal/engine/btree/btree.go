@@ -5,7 +5,10 @@
 // possible in the executor.
 package btree
 
-import "sort"
+import (
+	"slices"
+	"sort"
+)
 
 // fanout is the maximum number of keys per node. Chosen small enough to
 // exercise multi-level trees in tests while keeping probe depth realistic.
@@ -73,9 +76,9 @@ func BulkLoad(userEntries []Entry) *Tree {
 	for i, e := range userEntries {
 		entries[i] = Entry{Key: augment(e.Key, e.Row), Row: e.Row}
 	}
-	sort.Slice(entries, func(i, j int) bool {
-		return Compare(entries[i].Key, entries[j].Key) < 0
-	})
+	// Augmented keys embed the row id, so Compare is a total order and the
+	// unstable sort cannot reorder observably.
+	slices.SortFunc(entries, func(a, b Entry) int { return Compare(a.Key, b.Key) })
 	// Build leaf level.
 	var leaves []*node
 	const fill = fanout * 3 / 4

@@ -21,6 +21,7 @@ package exec
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -1200,17 +1201,17 @@ func (st *runState) sortOp(n *plan.Node) (*batch, error) {
 	for i := range perm {
 		perm[i] = int64(i)
 	}
-	sort.SliceStable(perm, func(a, b int) bool {
-		pa, pb := perm[a], perm[b]
+	slices.SortStableFunc(perm, func(pa, pb int64) int {
 		for _, kv := range keys {
-			if kv[pa] != kv[pb] {
-				if desc {
-					return kv[pa] > kv[pb]
-				}
-				return kv[pa] < kv[pb]
+			if kv[pa] == kv[pb] {
+				continue
 			}
+			if (kv[pa] < kv[pb]) != desc {
+				return -1
+			}
+			return 1
 		}
-		return false
+		return 0
 	})
 	out := st.gatherBatch(in, perm)
 	st.charge(n, cost.Args{RowsIn: float64(in.n), RowsOut: float64(out.n), Bytes: batchBytes(in)})

@@ -12,7 +12,7 @@ package stats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/engine/data"
 	"repro/internal/util"
@@ -177,7 +177,7 @@ func BuildColumnStats(table, column string, vals []int64, rng *util.RNG, sampleS
 		return cs
 	}
 	sample := Reservoir(vals, rng, sampleSize)
-	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	slices.Sort(sample)
 	cs.Hist = buildHistogram(sample, int64(n), buckets)
 	cs.Distinct = estimateDistinct(sample, n)
 	return cs

@@ -1,7 +1,9 @@
 package expdata
 
 import (
-	"sort"
+	"cmp"
+	"slices"
+	"strings"
 
 	"repro/internal/util"
 )
@@ -186,17 +188,16 @@ func LabelCounts(pairs []Pair, alpha float64) map[Label]int {
 // SortPairs orders pairs deterministically (by db, query, plan costs) for
 // reproducible downstream batching.
 func SortPairs(pairs []Pair) {
-	sort.SliceStable(pairs, func(i, j int) bool {
-		a, b := pairs[i], pairs[j]
-		if a.DB() != b.DB() {
-			return a.DB() < b.DB()
+	slices.SortStableFunc(pairs, func(a, b Pair) int {
+		if c := strings.Compare(a.DB(), b.DB()); c != 0 {
+			return c
 		}
-		if a.QueryName() != b.QueryName() {
-			return a.QueryName() < b.QueryName()
+		if c := strings.Compare(a.QueryName(), b.QueryName()); c != 0 {
+			return c
 		}
-		if a.P1.Cost != b.P1.Cost {
-			return a.P1.Cost < b.P1.Cost
+		if c := cmp.Compare(a.P1.Cost, b.P1.Cost); c != 0 {
+			return c
 		}
-		return a.P2.Cost < b.P2.Cost
+		return cmp.Compare(a.P2.Cost, b.P2.Cost)
 	})
 }

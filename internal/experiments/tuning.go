@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"cmp"
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/exec"
@@ -129,7 +130,7 @@ func expensiveQueries(w *workload.Workload, whatIf *opt.WhatIf, init *catalog.Co
 		}
 		all = append(all, qc{q: q, c: p.EstTotalCost})
 	}
-	sort.SliceStable(all, func(i, j int) bool { return all[i].c > all[j].c })
+	slices.SortStableFunc(all, func(a, b qc) int { return cmp.Compare(b.c, a.c) })
 	if limit > len(all) {
 		limit = len(all)
 	}

@@ -3,6 +3,7 @@ package learn
 import (
 	"hash/fnv"
 	"math"
+	"time"
 
 	"repro/internal/engine/plan"
 	"repro/internal/expdata"
@@ -16,6 +17,9 @@ var (
 	mCompactSkipped = obs.C("learn.compact.skipped")
 	mCompactDeduped = obs.C("learn.compact.deduped")
 	mCompactPairs   = obs.C("learn.compact.pairs")
+	// Featurize phase of the train path (DESIGN.md §15); fit and eval live
+	// in loop.go.
+	mFeaturizeLatency = obs.H("learn.train.featurize")
 )
 
 // CompactStats accounts for every input record of a compaction: records
@@ -57,6 +61,12 @@ type LabeledSet struct {
 	// summarized from them).
 	Records []compactRecord
 	Stats   CompactStats
+	// FeaturizeSeconds is the time spent materializing X — fingerprinting
+	// plus featurization (near-zero when a TrainSet served its cached rows).
+	FeaturizeSeconds float64
+	// Reused reports that X came straight from a TrainSet's previous cycle
+	// (identical pair content, no featurization ran).
+	Reused bool
 }
 
 // compactRecord is one validated, canonicalized record.
@@ -73,6 +83,14 @@ type compactRecord struct {
 // into ordered, α-labeled vectors. Deterministic: records are processed in
 // input order and groups emitted in first-seen order.
 func Compact(recs []expdata.PlanRecord, f *feat.Featurizer, o Options) *LabeledSet {
+	return compactInto(recs, f, o, nil)
+}
+
+// compactInto is Compact with an optional featurization arena: with a
+// TrainSet the pair vectors land in its pooled slab (or, for an unchanged
+// pair sequence, are served straight from the previous cycle); with nil
+// every pair vector is freshly allocated. Identical output either way.
+func compactInto(recs []expdata.PlanRecord, f *feat.Featurizer, o Options, ts *TrainSet) *LabeledSet {
 	o = o.withDefaults()
 	chNames := make([]string, len(f.Channels))
 	for i, c := range f.Channels {
@@ -138,6 +156,7 @@ func Compact(recs []expdata.PlanRecord, f *feat.Featurizer, o Options) *LabeledS
 		groups[k] = append(groups[k], i)
 	}
 	templates := map[uint64]bool{}
+	var refs []pairRef
 	for _, k := range order {
 		idxs := groups[k]
 		templates[live[idxs[0]].template] = true
@@ -152,7 +171,7 @@ func Compact(recs []expdata.PlanRecord, f *feat.Featurizer, o Options) *LabeledS
 					break pairs
 				}
 				a, b := &live[i], &live[j]
-				set.X = append(set.X, f.PairFromVectors(a.vectors, b.vectors, a.rec.EstTotalCost, b.rec.EstTotalCost))
+				refs = append(refs, pairRef{a: int32(i), b: int32(j)})
 				lbl := expdata.LabelOf(a.rec.Cost, b.rec.Cost, o.Alpha)
 				set.Y = append(set.Y, int(lbl))
 				set.Groups = append(set.Groups, a.template)
@@ -162,6 +181,20 @@ func Compact(recs []expdata.PlanRecord, f *feat.Featurizer, o Options) *LabeledS
 		}
 	}
 	set.Stats.Templates = len(templates)
+
+	// Featurization, split from pairing so an arena can pool (or skip) it.
+	t0 := time.Now()
+	if ts != nil {
+		set.Reused = ts.materialize(set, f, live, refs)
+	} else if len(refs) > 0 {
+		set.X = make([][]float64, len(refs))
+		for i, pr := range refs {
+			a, b := &live[pr.a], &live[pr.b]
+			set.X[i] = f.PairFromVectors(a.vectors, b.vectors, a.rec.EstTotalCost, b.rec.EstTotalCost)
+		}
+	}
+	set.FeaturizeSeconds = time.Since(t0).Seconds()
+	mFeaturizeLatency.Observe(set.FeaturizeSeconds)
 	set.Stats.Pairs = len(set.X)
 	mCompactSkipped.Add(int64(set.Stats.SkippedCost + set.Stats.SkippedChannels))
 	mCompactDeduped.Add(int64(set.Stats.Deduped))

@@ -65,6 +65,11 @@ type Options struct {
 	Seed int64
 	// Trees is the challenger's random-forest size.
 	Trees int
+	// TrainParallelism bounds the workers growing the challenger's trees
+	// (0 = GOMAXPROCS, 1 = serial). Purely an execution knob: per-tree seeds
+	// derive from the cycle seed alone, so every setting trains the
+	// byte-identical model.
+	TrainParallelism int
 
 	// Window bounds compaction to the most recent records (after dedup);
 	// 0 means the default, <0 means unbounded.

@@ -22,7 +22,12 @@ var (
 	mPromotions    = obs.C("learn.promotions")
 	mRejections    = obs.C("learn.rejections")
 	mRollbacks     = obs.C("learn.rollbacks")
+	// The train path is timed in three phases — learn.train.featurize (in
+	// compact.go), learn.train.fit, learn.train.eval. learn.train.latency
+	// predates the split and keeps observing the fit phase.
 	mTrainLatency  = obs.H("learn.train.latency")
+	mFitLatency    = obs.H("learn.train.fit")
+	mEvalLatency   = obs.H("learn.train.eval")
 	mCycleLatency  = obs.H("learn.cycle.latency")
 	mChampionAcc   = obs.G("learn.eval.champion_accuracy")
 	mChallengerAcc = obs.G("learn.eval.challenger_accuracy")
@@ -79,6 +84,14 @@ type CycleReport struct {
 	// ActiveVersion is the serving version after the cycle.
 	ActiveVersion int     `json:"active_version"`
 	TrainSeconds  float64 `json:"train_seconds"`
+	// FeaturizeSeconds/EvalSeconds break the cycle's model work into its
+	// remaining phases: pair-vector materialization during compaction and
+	// the shadow evaluation (TrainSeconds is the fit).
+	FeaturizeSeconds float64 `json:"featurize_seconds,omitempty"`
+	EvalSeconds      float64 `json:"eval_seconds,omitempty"`
+	// FeaturizeReused marks a cycle whose pair vectors were served from the
+	// loop's training arena without re-featurizing (unchanged pair content).
+	FeaturizeReused bool `json:"featurize_reused,omitempty"`
 }
 
 // MonitorStatus describes a promotion awaiting live confirmation.
@@ -121,6 +134,13 @@ type Loop struct {
 	// through it to drive the rejection and rollback paths.
 	trainFn func(X [][]float64, y []int, seed int64) (*models.Classifier, error)
 
+	// ts is the loop's featurization arena: training cycles pack their pair
+	// vectors into its pooled slab instead of re-allocating rows every
+	// cycle. Only the serialized cycle body touches it — the trigger and
+	// live-check paths compact into fresh memory, since they can run while
+	// the arena's rows are still referenced by an in-flight cycle.
+	ts *TrainSet
+
 	mu          sync.Mutex
 	running     bool
 	cycles      int
@@ -149,11 +169,12 @@ func NewLoop(reg *registry.Registry, source Source, keep int, o Options) *Loop {
 		reg:    reg,
 		source: source,
 		keep:   keep,
+		ts:     NewTrainSet(),
 		ctx:    ctx,
 		cancel: cancel,
 	}
 	l.trainFn = func(X [][]float64, y []int, seed int64) (*models.Classifier, error) {
-		clf := models.NewClassifier(l.f, models.RF(o.Trees, seed), o.Alpha)
+		clf := models.NewClassifier(l.f, models.RFWorkers(o.Trees, seed, o.TrainParallelism), o.Alpha)
 		if err := clf.TrainVectors(X, y); err != nil {
 			return nil, err
 		}
@@ -364,9 +385,11 @@ func (l *Loop) cycleBody(ctx context.Context, rep *CycleReport, recs []expdata.P
 		}
 	}
 
-	// Stage 1: compaction.
-	set := Compact(recs, l.f, o)
+	// Stage 1: compaction, featurizing into the loop's pooled arena.
+	set := compactInto(recs, l.f, o, l.ts)
 	rep.Compaction = set.Stats
+	rep.FeaturizeSeconds = set.FeaturizeSeconds
+	rep.FeaturizeReused = set.Reused
 	l.mu.Lock()
 	ref := l.reference
 	l.mu.Unlock()
@@ -397,7 +420,7 @@ func (l *Loop) cycleBody(ctx context.Context, rep *CycleReport, recs []expdata.P
 	}
 	rep.TrainPairs, rep.EvalPairs = res.trainPairs, res.evalPairs
 	rep.Champion, rep.Challenger = res.champion, res.challenger
-	rep.TrainSeconds = res.trainSeconds
+	rep.TrainSeconds, rep.EvalSeconds = res.trainSeconds, res.evalSeconds
 	if !res.promote {
 		rep.Decision, rep.Reason = DecisionRejected, res.reason
 		return
@@ -525,6 +548,7 @@ type shadowResult struct {
 	promote               bool
 	reason                string
 	trainSeconds          float64
+	evalSeconds           float64
 }
 
 // shadowCycle runs stages 2–4 on a compacted set: the template-hash split,
@@ -556,6 +580,7 @@ func shadowCycle(ctx context.Context, set *LabeledSet, champion *models.Classifi
 	res.clf = clf
 	res.trainSeconds = time.Since(t0).Seconds()
 	mTrainLatency.Observe(res.trainSeconds)
+	mFitLatency.Observe(res.trainSeconds)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("learn: cancelled before evaluation: %w", err)
 	}
@@ -563,6 +588,7 @@ func shadowCycle(ctx context.Context, set *LabeledSet, champion *models.Classifi
 	if !clf.Feat.ConfigEqual(f) {
 		return nil, fmt.Errorf("learn: challenger featurization differs from the loop's")
 	}
+	e0 := time.Now()
 	res.challenger = evalVectors(clf, evalX, evalY)
 	mChallengerAcc.Set(res.challenger.Accuracy)
 	championComparable := champion != nil && champion.Feat.ConfigEqual(f)
@@ -571,6 +597,8 @@ func shadowCycle(ctx context.Context, set *LabeledSet, champion *models.Classifi
 		mChampionAcc.Set(res.champion.Accuracy)
 		mEvalDelta.Set(res.challenger.Accuracy - res.champion.Accuracy)
 	}
+	res.evalSeconds = time.Since(e0).Seconds()
+	mEvalLatency.Observe(res.evalSeconds)
 
 	switch {
 	case res.challenger.Accuracy < o.MinAccuracy:
@@ -605,6 +633,7 @@ func RunOnce(recs []expdata.PlanRecord, champion *models.Classifier, o Options) 
 	set := Compact(recs, f, o)
 	rep.Records = len(recs)
 	rep.Compaction = set.Stats
+	rep.FeaturizeSeconds = set.FeaturizeSeconds
 	if set.Stats.Used < o.MinRecords {
 		rep.Decision = DecisionSkipped
 		rep.Reason = fmt.Sprintf("only %d usable records (need %d)", set.Stats.Used, o.MinRecords)
@@ -612,7 +641,7 @@ func RunOnce(recs []expdata.PlanRecord, champion *models.Classifier, o Options) 
 		return rep, nil, nil
 	}
 	trainFn := func(X [][]float64, y []int, seed int64) (*models.Classifier, error) {
-		clf := models.NewClassifier(f, models.RF(o.Trees, seed), o.Alpha)
+		clf := models.NewClassifier(f, models.RFWorkers(o.Trees, seed, o.TrainParallelism), o.Alpha)
 		if err := clf.TrainVectors(X, y); err != nil {
 			return nil, err
 		}
@@ -626,7 +655,7 @@ func RunOnce(recs []expdata.PlanRecord, champion *models.Classifier, o Options) 
 	}
 	rep.TrainPairs, rep.EvalPairs = res.trainPairs, res.evalPairs
 	rep.Champion, rep.Challenger = res.champion, res.challenger
-	rep.TrainSeconds = res.trainSeconds
+	rep.TrainSeconds, rep.EvalSeconds = res.trainSeconds, res.evalSeconds
 	rep.FinishedAt = time.Now()
 	if !res.promote {
 		rep.Decision, rep.Reason = DecisionRejected, res.reason

@@ -1,0 +1,119 @@
+package learn
+
+import (
+	"math"
+
+	"repro/internal/feat"
+	"repro/internal/obs"
+)
+
+// TrainSet metric handles (see DESIGN.md §15).
+var (
+	mTrainSetReused  = obs.C("learn.trainset.reused")
+	mTrainSetRebuilt = obs.C("learn.trainset.rebuilt")
+)
+
+// pairRef names one labeled pair by the indices of its two records in the
+// compacted (validated, deduped, windowed) record list.
+type pairRef struct{ a, b int32 }
+
+// TrainSet is a loop's reusable featurization arena. Compaction describes
+// the cycle's pairs as pairRefs; materialize packs their feature vectors
+// into one pooled flat slab (row headers sub-slice it), reusing the slab's
+// capacity cycle over cycle. A content fingerprint over the pair sequence
+// short-circuits entirely unchanged cycles: when the same records pair the
+// same way, the previous cycle's rows are served back with zero
+// featurization work and zero allocations.
+//
+// A TrainSet is owned by a single Loop and is not safe for concurrent use;
+// the loop's cycle serialization provides the needed exclusion. Rows handed
+// out via LabeledSet.X are valid until the next materialize call rebuilds
+// the slab — callers must not retain them across cycles (the loop doesn't).
+type TrainSet struct {
+	dim   int
+	slab  []float64   // flat row-major pair-vector storage
+	rows  [][]float64 // per-pair headers into slab
+	fp    uint64      // fingerprint of the pair sequence slab holds
+	rhash []uint64    // scratch: per-record content hashes
+}
+
+// NewTrainSet returns an empty arena.
+func NewTrainSet() *TrainSet { return &TrainSet{} }
+
+// FNV-1a, inlined so fingerprinting stays allocation-free (hash.Hash64
+// forces its state onto the heap).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 64; i += 8 {
+		h ^= v >> i & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// contentHash digests everything of a record that reaches its feature
+// vectors: the canonicalized channel vectors and the estimated cost.
+// (Measured cost feeds only the labels, which are rebuilt every cycle.)
+func contentHash(cr *compactRecord) uint64 {
+	h := uint64(fnvOffset64)
+	for _, v := range cr.vectors {
+		for _, x := range v {
+			h = fnvU64(h, math.Float64bits(x))
+		}
+		h = fnvU64(h, 0xff)
+	}
+	return fnvU64(h, math.Float64bits(cr.rec.EstTotalCost))
+}
+
+// materialize fills set.X for the given pairs, reusing the previous
+// cycle's featurization when the pair-content fingerprint is unchanged.
+// Reports whether the cached rows were served. The fingerprint is FNV-64
+// over each pair's record content hashes in emission order — a collision
+// would serve stale features, at odds comparable to the plan-dedup hash
+// the compactor already relies on.
+func (ts *TrainSet) materialize(set *LabeledSet, f *feat.Featurizer, live []compactRecord, pairs []pairRef) bool {
+	dim := f.PairDim()
+	if cap(ts.rhash) < len(live) {
+		ts.rhash = make([]uint64, len(live))
+	}
+	ts.rhash = ts.rhash[:len(live)]
+	for i := range live {
+		ts.rhash[i] = contentHash(&live[i])
+	}
+	fp := fnvU64(fnvOffset64, uint64(dim))
+	for _, pr := range pairs {
+		fp = fnvU64(fp, ts.rhash[pr.a])
+		fp = fnvU64(fp, ts.rhash[pr.b])
+	}
+	if fp == ts.fp && dim == ts.dim && len(pairs) == len(ts.rows) {
+		set.X = ts.rows
+		mTrainSetReused.Inc()
+		return true
+	}
+
+	need := len(pairs) * dim
+	if cap(ts.slab) < need {
+		ts.slab = make([]float64, need)
+	}
+	ts.slab = ts.slab[:need]
+	if cap(ts.rows) < len(pairs) {
+		ts.rows = make([][]float64, len(pairs))
+	}
+	ts.rows = ts.rows[:len(pairs)]
+	for i, pr := range pairs {
+		a, b := &live[pr.a], &live[pr.b]
+		// Each row gets its own zero-length, dim-capacity window so a
+		// malformed over-long vector can only spill into a private
+		// reallocation, never into a neighboring row.
+		row := ts.slab[i*dim : i*dim : (i+1)*dim]
+		ts.rows[i] = f.AppendPairFromVectors(row, a.vectors, b.vectors, a.rec.EstTotalCost, b.rec.EstTotalCost)
+	}
+	ts.dim, ts.fp = dim, fp
+	set.X = ts.rows
+	mTrainSetRebuilt.Inc()
+	return false
+}

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"repro/internal/ml"
 	"repro/internal/ml/tree"
@@ -83,7 +82,11 @@ func (f *Classifier) Fit(X [][]float64, y []int, numClasses int) error {
 	}
 	sp := obs.StartSpan("train.forest")
 	defer sp.End()
-	return parallelFor(f.cfg.Trees, f.cfg.Workers, func(i int) error {
+	// One presorted column view shared by every tree: each feature is
+	// sorted once for the whole ensemble instead of once per node per tree.
+	m := tree.AcquireMatrix(X)
+	defer m.Release()
+	return ml.ParallelFor(f.cfg.Trees, f.cfg.Workers, func(i int) error {
 		trng := util.NewRNG(seeds[i])
 		idx := bootstrap(len(X), trng)
 		t := tree.New(tree.Config{
@@ -93,7 +96,7 @@ func (f *Classifier) Fit(X [][]float64, y []int, numClasses int) error {
 			MaxFeatures:       maxFeat,
 			Seed:              seeds[i] ^ 0x5f5f,
 		})
-		if err := t.FitClassifier(X, y, numClasses, idx); err != nil {
+		if err := t.FitClassifierMatrix(m, y, numClasses, idx); err != nil {
 			return err
 		}
 		f.trees[i] = t
@@ -195,7 +198,9 @@ func (f *Regressor) Fit(X [][]float64, y []float64) error {
 	for i := range seeds {
 		seeds[i] = rng.SplitInt(i).Seed()
 	}
-	return parallelFor(f.cfg.Trees, f.cfg.Workers, func(i int) error {
+	m := tree.AcquireMatrix(X)
+	defer m.Release()
+	return ml.ParallelFor(f.cfg.Trees, f.cfg.Workers, func(i int) error {
 		trng := util.NewRNG(seeds[i])
 		idx := bootstrap(len(X), trng)
 		t := tree.New(tree.Config{
@@ -205,7 +210,7 @@ func (f *Regressor) Fit(X [][]float64, y []float64) error {
 			MaxFeatures:       maxFeat,
 			Seed:              seeds[i] ^ 0x6f6f,
 		})
-		if err := t.FitRegressor(X, y, idx); err != nil {
+		if err := t.FitRegressorMatrix(m, y, idx); err != nil {
 			return err
 		}
 		f.trees[i] = t
@@ -229,41 +234,4 @@ func bootstrap(n int, rng *util.RNG) []int {
 		out[i] = rng.Intn(n)
 	}
 	return out
-}
-
-// parallelFor runs fn(0..n-1) on up to workers goroutines, returning the
-// first error.
-func parallelFor(n, workers int, fn func(int) error) error {
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, workers)
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
-			}
-		}()
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
-	}
 }

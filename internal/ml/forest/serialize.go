@@ -16,11 +16,15 @@ type Dump struct {
 }
 
 // EncodeDump flattens the trained classifier into its serializable form.
+// Workers is an execution knob, not part of the model: it is zeroed so the
+// blob is byte-identical whatever parallelism trained the forest.
 func (f *Classifier) EncodeDump() (*Dump, error) {
 	if len(f.trees) == 0 {
 		return nil, fmt.Errorf("forest: dumping an untrained classifier")
 	}
-	d := &Dump{NumClasses: f.numClasses, Config: f.cfg}
+	cfg := f.cfg
+	cfg.Workers = 0
+	d := &Dump{NumClasses: f.numClasses, Config: cfg}
 	for _, t := range f.trees {
 		d.Trees = append(d.Trees, t.Encode())
 	}

@@ -35,6 +35,11 @@ type Config struct {
 	Seed int64
 	// Subsample is the row fraction per round (default 1.0).
 	Subsample float64
+	// Workers bounds training parallelism: the per-class tree fits inside
+	// a boosting round for the classifier, the per-split feature scan for
+	// the regressor (0 = GOMAXPROCS). Tree seeds derive from the round and
+	// class alone, so any setting trains the identical ensemble.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,36 +90,61 @@ func (g *Classifier) Fit(X [][]float64, y []int, numClasses int) error {
 	}
 	sp := obs.StartSpan("train.gbt")
 	defer sp.End()
+	// One presorted view serves every round: features never change, so the
+	// d global sorts are paid once for the whole ensemble.
+	m := tree.AcquireMatrix(X)
+	defer m.Release()
 	rng := util.NewRNG(g.cfg.Seed)
-	resid := make([]float64, n)
+	// Per-class residual rows. Residuals for every class in a round depend
+	// only on the scores F as of the round's start (F updates after the
+	// class loop), so they can be computed up front — one softmax per
+	// sample instead of one per sample per class — and the class trees fit
+	// in parallel: seeds derive from (round, class), never from shared RNG
+	// state, so scheduling cannot change the ensemble.
+	resid := make([][]float64, numClasses)
+	for k := range resid {
+		resid[k] = make([]float64, n)
+	}
+	p := make([]float64, numClasses)
 	for round := 0; round < g.cfg.Rounds; round++ {
 		var idx []int
 		if g.cfg.Subsample < 1 {
 			idx = rng.SampleWithoutReplacement(n, int(float64(n)*g.cfg.Subsample))
 		}
-		roundTrees := make([]*tree.Tree, numClasses)
-		for k := 0; k < numClasses; k++ {
-			for i := 0; i < n; i++ {
-				p := ml.Softmax(F[i])
+		for i := 0; i < n; i++ {
+			p = ml.SoftmaxInto(F[i], p)
+			for k := 0; k < numClasses; k++ {
 				t := 0.0
 				if y[i] == k {
 					t = 1
 				}
-				resid[i] = t - p[k]
+				resid[k][i] = t - p[k]
 			}
+		}
+		roundTrees := make([]*tree.Tree, numClasses)
+		err := ml.ParallelFor(numClasses, g.cfg.Workers, func(k int) error {
 			t := tree.New(tree.Config{
 				MaxDepth: g.cfg.MaxDepth,
 				MinLeaf:  g.cfg.MinLeaf,
 				Seed:     rng.SplitInt(round*numClasses + k).Seed(),
 			})
-			if err := t.FitRegressor(X, resid, idx); err != nil {
+			if err := t.FitRegressorMatrix(m, resid[k], idx); err != nil {
 				return err
 			}
 			roundTrees[k] = t
+			return nil
+		})
+		if err != nil {
+			return err
 		}
-		for i := 0; i < n; i++ {
-			for k := 0; k < numClasses; k++ {
-				F[i][k] += g.cfg.LearningRate * roundTrees[k].Predict(X[i])
+		// Tree-outer update order keeps each tree's nodes cache-hot; every
+		// F[i][k] cell still receives exactly one contribution per round,
+		// so the result is bit-identical to the row-outer order.
+		for k := 0; k < numClasses; k++ {
+			t := roundTrees[k]
+			lr := g.cfg.LearningRate
+			for i := 0; i < n; i++ {
+				F[i][k] += lr * t.Predict(X[i])
 			}
 		}
 		g.trees = append(g.trees, roundTrees)
@@ -170,6 +200,11 @@ func (g *Regressor) Fit(X [][]float64, y []float64) error {
 	}
 	resid := make([]float64, n)
 	rng := util.NewRNG(g.cfg.Seed)
+	// Boosting rounds are inherently serial (each fits the previous
+	// round's residuals), so parallelism goes inside the tree: the shared
+	// presorted view plus wide-node feature-scan workers.
+	m := tree.AcquireMatrix(X)
+	defer m.Release()
 	for round := 0; round < g.cfg.Rounds; round++ {
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
@@ -179,11 +214,12 @@ func (g *Regressor) Fit(X [][]float64, y []float64) error {
 			idx = rng.SampleWithoutReplacement(n, int(float64(n)*g.cfg.Subsample))
 		}
 		t := tree.New(tree.Config{
-			MaxDepth: g.cfg.MaxDepth,
-			MinLeaf:  g.cfg.MinLeaf,
-			Seed:     rng.SplitInt(round).Seed(),
+			MaxDepth:    g.cfg.MaxDepth,
+			MinLeaf:     g.cfg.MinLeaf,
+			Seed:        rng.SplitInt(round).Seed(),
+			Parallelism: g.cfg.Workers,
 		})
-		if err := t.FitRegressor(X, resid, idx); err != nil {
+		if err := t.FitRegressorMatrix(m, resid, idx); err != nil {
 			return err
 		}
 		for i := range pred {

@@ -1,0 +1,203 @@
+package gbt
+
+// Frozen reference trainer: the seed's strictly-serial boosting loops,
+// preserved verbatim — per-(class,sample) softmax residuals recomputed in
+// the class loop, one shared residual buffer, row-outer score updates.
+// The live Fit computes residuals once per sample per round and fits the
+// class trees in parallel; these tests pin that the ensembles (and their
+// predictions) stay identical, including under row subsampling where the
+// shared RNG's draw order is the easiest thing to break.
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/tree"
+	"repro/internal/util"
+)
+
+// --- frozen seed implementation (do not modify) ---
+
+func refGBTFitClassifier(cfg Config, X [][]float64, y []int, numClasses int) (*Classifier, error) {
+	g := &Classifier{cfg: cfg.withDefaults(), numClasses: numClasses}
+	n := len(X)
+	g.base = make([]float64, numClasses)
+	F := make([][]float64, n)
+	for i := range F {
+		F[i] = make([]float64, numClasses)
+	}
+	rng := util.NewRNG(g.cfg.Seed)
+	resid := make([]float64, n)
+	for round := 0; round < g.cfg.Rounds; round++ {
+		var idx []int
+		if g.cfg.Subsample < 1 {
+			idx = rng.SampleWithoutReplacement(n, int(float64(n)*g.cfg.Subsample))
+		}
+		roundTrees := make([]*tree.Tree, numClasses)
+		for k := 0; k < numClasses; k++ {
+			for i := 0; i < n; i++ {
+				p := ml.Softmax(F[i])
+				t := 0.0
+				if y[i] == k {
+					t = 1
+				}
+				resid[i] = t - p[k]
+			}
+			t := tree.New(tree.Config{
+				MaxDepth: g.cfg.MaxDepth,
+				MinLeaf:  g.cfg.MinLeaf,
+				Seed:     rng.SplitInt(round*numClasses + k).Seed(),
+			})
+			if err := t.FitRegressor(X, resid, idx); err != nil {
+				return nil, err
+			}
+			roundTrees[k] = t
+		}
+		for i := 0; i < n; i++ {
+			for k := 0; k < numClasses; k++ {
+				F[i][k] += g.cfg.LearningRate * roundTrees[k].Predict(X[i])
+			}
+		}
+		g.trees = append(g.trees, roundTrees)
+	}
+	return g, nil
+}
+
+func refGBTFitRegressor(cfg Config, X [][]float64, y []float64) (*Regressor, error) {
+	g := &Regressor{cfg: cfg.withDefaults()}
+	n := len(X)
+	g.base = util.Mean(y)
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = g.base
+	}
+	resid := make([]float64, n)
+	rng := util.NewRNG(g.cfg.Seed)
+	for round := 0; round < g.cfg.Rounds; round++ {
+		for i := range resid {
+			resid[i] = y[i] - pred[i]
+		}
+		var idx []int
+		if g.cfg.Subsample < 1 {
+			idx = rng.SampleWithoutReplacement(n, int(float64(n)*g.cfg.Subsample))
+		}
+		t := tree.New(tree.Config{
+			MaxDepth: g.cfg.MaxDepth,
+			MinLeaf:  g.cfg.MinLeaf,
+			Seed:     rng.SplitInt(round).Seed(),
+		})
+		if err := t.FitRegressor(X, resid, idx); err != nil {
+			return nil, err
+		}
+		for i := range pred {
+			pred[i] += g.cfg.LearningRate * t.Predict(X[i])
+		}
+		g.trees = append(g.trees, t)
+	}
+	return g, nil
+}
+
+// --- fixtures ---
+
+func refGBTData(n, d int, seed int64) ([][]float64, []int, []float64) {
+	rng := util.NewRNG(seed)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	yf := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			if j%2 == 0 {
+				row[j] = float64(rng.Intn(4))
+			} else {
+				row[j] = rng.NormFloat64()
+			}
+		}
+		X[i] = row
+		s := row[0]*0.8 - row[1] + 0.3*rng.NormFloat64()
+		switch {
+		case s < 0:
+			y[i] = 0
+		case s < 1.8:
+			y[i] = 1
+		default:
+			y[i] = 2
+		}
+		yf[i] = s
+	}
+	return X, y, yf
+}
+
+// --- pinning tests ---
+
+func TestRefGBTClassifierBitExactAcrossWorkers(t *testing.T) {
+	X, y, _ := refGBTData(150, 8, 41)
+	for ci, cfg := range []Config{
+		{Rounds: 6, MaxDepth: 3, Seed: 9},
+		{Rounds: 5, MaxDepth: 4, MinLeaf: 3, Subsample: 0.8, Seed: 13},
+	} {
+		ref, err := refGBTFitClassifier(cfg, X, y, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			wcfg := cfg
+			wcfg.Workers = workers
+			live := NewClassifier(wcfg)
+			if err := live.Fit(X, y, 3); err != nil {
+				t.Fatal(err)
+			}
+			name := fmt.Sprintf("cfg%d/workers=%d", ci, workers)
+			if !reflect.DeepEqual(live.trees, ref.trees) {
+				t.Fatalf("%s: boosted trees diverged from the frozen serial reference", name)
+			}
+			if !reflect.DeepEqual(live.base, ref.base) {
+				t.Fatalf("%s: base scores diverged", name)
+			}
+			for i := 0; i < len(X); i += 17 {
+				lp, rp := live.PredictProba(X[i]), ref.PredictProba(X[i])
+				for c := range lp {
+					if math.Float64bits(lp[c]) != math.Float64bits(rp[c]) {
+						t.Fatalf("%s: prediction %d class %d differs: %v vs %v", name, i, c, lp[c], rp[c])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRefGBTRegressorBitExact(t *testing.T) {
+	X, _, yf := refGBTData(150, 8, 87)
+	for ci, cfg := range []Config{
+		{Rounds: 8, MaxDepth: 3, Seed: 3},
+		{Rounds: 6, MaxDepth: 4, Subsample: 0.7, Seed: 29},
+		{Rounds: 6, MaxDepth: 4, Seed: 5, Workers: 4},
+	} {
+		refCfg := cfg
+		refCfg.Workers = 0
+		ref, err := refGBTFitRegressor(refCfg, X, yf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := NewRegressor(cfg)
+		if err := live.Fit(X, yf); err != nil {
+			t.Fatal(err)
+		}
+		if len(live.trees) != len(ref.trees) {
+			t.Fatalf("cfg%d: %d trees, ref %d", ci, len(live.trees), len(ref.trees))
+		}
+		// Compare the trained model (dumps carry structure and payloads,
+		// not execution knobs like the feature-scan parallelism).
+		for ti := range live.trees {
+			if !reflect.DeepEqual(live.trees[ti].Encode(), ref.trees[ti].Encode()) {
+				t.Fatalf("cfg%d: tree %d diverged from the frozen serial reference", ci, ti)
+			}
+		}
+		if math.Float64bits(live.base) != math.Float64bits(ref.base) {
+			t.Fatalf("cfg%d: base differs", ci)
+		}
+	}
+}

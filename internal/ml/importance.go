@@ -1,7 +1,8 @@
 package ml
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/util"
 )
@@ -41,7 +42,7 @@ func TopFeatures(importance []float64, k int) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return importance[idx[a]] > importance[idx[b]] })
+	slices.SortStableFunc(idx, func(a, b int) int { return cmp.Compare(importance[b], importance[a]) })
 	if k > len(idx) {
 		k = len(idx)
 	}

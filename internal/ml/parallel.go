@@ -1,0 +1,53 @@
+package ml
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelFor runs fn(0..n-1) on up to workers goroutines (0 = GOMAXPROCS)
+// and returns the first error in index order. Indices are claimed from an
+// atomic counter, so scheduling never affects which index runs — callers
+// that write results into per-index slots get scheduling-independent
+// output, the property every trainer here relies on for determinism.
+// workers <= 1 (or n < 2) degenerates to a plain serial loop.
+func ParallelFor(n, workers int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

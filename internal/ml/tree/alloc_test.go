@@ -1,0 +1,41 @@
+package tree
+
+import (
+	"testing"
+
+	"repro/internal/race"
+)
+
+// TestTreeFitAllocBudget pins the presorted engine's steady-state
+// allocation profile: fitting on a warm matrix and scratch pool allocates
+// only what the model itself needs — the node structs and leaf payloads —
+// with a small per-fit constant (tree, RNG). The seed's per-node
+// sort.Slice closures and index slices are gone; this test keeps them gone.
+func TestTreeFitAllocBudget(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	X, y, _ := refData(400, 8, 3, true)
+	m := AcquireMatrix(X)
+	defer m.Release()
+
+	fit := func() *Tree {
+		tr := New(Config{MinLeaf: 1, ImpurityThreshold: 1e-6})
+		if err := tr.FitClassifierMatrix(m, y, 3, nil); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	warm := fit() // populate the scratch pool at this problem size
+	nodes := warm.NumNodes()
+	if nodes < 10 {
+		t.Fatalf("fixture grew a trivial tree (%d nodes)", nodes)
+	}
+	allocs := testing.AllocsPerRun(20, func() { fit() })
+	// Every node costs one struct allocation and every leaf one payload
+	// slice; 2×nodes covers both with headroom for the per-fit constants.
+	budget := float64(2*nodes + 16)
+	if allocs > budget {
+		t.Fatalf("tree fit allocates %.0f per run on a warm pool; budget is %.0f (%d nodes)", allocs, budget, nodes)
+	}
+}

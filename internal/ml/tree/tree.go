@@ -3,14 +3,14 @@
 // regularization knobs the paper tunes (§7.4): minimum samples per leaf and
 // an impurity early-stopping threshold, plus per-split feature subsampling
 // for random forests.
+//
+// Training runs over a presorted column-major Matrix (one global sort per
+// feature, threaded through recursion by stable partitioning — see fit.go);
+// the split semantics are pinned bit-exact to the original per-node-sort
+// trainer by ref_train_test.go.
 package tree
 
-import (
-	"fmt"
-	"sort"
-
-	"repro/internal/util"
-)
+import "fmt"
 
 // Config controls tree induction.
 type Config struct {
@@ -25,6 +25,10 @@ type Config struct {
 	MaxFeatures int
 	// Seed drives feature subsampling.
 	Seed int64
+	// Parallelism bounds the per-split feature-scan workers engaged on
+	// wide nodes (0 or 1 = serial). The winning split is reduced in
+	// feature order, so any setting produces the identical tree.
+	Parallelism int
 }
 
 func (c Config) minLeaf() int {
@@ -58,15 +62,8 @@ type Tree struct {
 // NumNodes returns the node count (a size/complexity measure).
 func (t *Tree) NumNodes() int { return t.nodes }
 
-// splitCtx carries induction state.
-type splitCtx struct {
-	X   [][]float64
-	y   []int     // classification labels
-	yf  []float64 // regression targets
-	k   int
-	rng *util.RNG
-	cfg Config
-}
+// New creates an untrained tree with the given config.
+func New(cfg Config) *Tree { return &Tree{cfg: cfg} }
 
 // FitClassifier trains a Gini classification tree on rows idx of (X, y).
 // idx == nil uses all rows.
@@ -74,16 +71,9 @@ func (t *Tree) FitClassifier(X [][]float64, y []int, numClasses int, idx []int) 
 	if len(X) == 0 {
 		return fmt.Errorf("tree: empty training set")
 	}
-	if numClasses < 2 {
-		return fmt.Errorf("tree: need at least 2 classes, got %d", numClasses)
-	}
-	t.numClasses = numClasses
-	if idx == nil {
-		idx = seq(len(X))
-	}
-	ctx := &splitCtx{X: X, y: y, k: numClasses, rng: util.NewRNG(t.cfg.Seed), cfg: t.cfg}
-	t.root = t.grow(ctx, idx, 0)
-	return nil
+	m := AcquireMatrix(X)
+	defer m.Release()
+	return t.FitClassifierMatrix(m, y, numClasses, idx)
 }
 
 // FitRegressor trains a variance-reduction regression tree.
@@ -91,220 +81,35 @@ func (t *Tree) FitRegressor(X [][]float64, y []float64, idx []int) error {
 	if len(X) == 0 {
 		return fmt.Errorf("tree: empty training set")
 	}
-	t.numClasses = 0
-	if idx == nil {
-		idx = seq(len(X))
+	m := AcquireMatrix(X)
+	defer m.Release()
+	return t.FitRegressorMatrix(m, y, idx)
+}
+
+// FitClassifierMatrix trains on the shared presorted view m. idx selects
+// samples by row, duplicates allowed (forests pass bootstrap multisets);
+// nil uses every row once. Forests and boosters build m once and share it
+// across trees.
+func (t *Tree) FitClassifierMatrix(m *Matrix, y []int, numClasses int, idx []int) error {
+	if m == nil || m.rows == 0 {
+		return fmt.Errorf("tree: empty training set")
 	}
-	ctx := &splitCtx{X: X, yf: y, rng: util.NewRNG(t.cfg.Seed), cfg: t.cfg}
-	t.root = t.grow(ctx, idx, 0)
+	if numClasses < 2 {
+		return fmt.Errorf("tree: need at least 2 classes, got %d", numClasses)
+	}
+	t.numClasses = numClasses
+	t.fitMatrix(m, y, nil, numClasses, idx)
 	return nil
 }
 
-// New creates an untrained tree with the given config.
-func New(cfg Config) *Tree { return &Tree{cfg: cfg} }
-
-func seq(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
+// FitRegressorMatrix is FitClassifierMatrix's regression counterpart.
+func (t *Tree) FitRegressorMatrix(m *Matrix, y []float64, idx []int) error {
+	if m == nil || m.rows == 0 {
+		return fmt.Errorf("tree: empty training set")
 	}
-	return out
-}
-
-// leaf builds a leaf node for the samples in idx.
-func (t *Tree) leaf(ctx *splitCtx, idx []int) *node {
-	t.nodes++
-	if ctx.k > 0 {
-		proba := make([]float64, ctx.k)
-		for _, i := range idx {
-			proba[ctx.y[i]]++
-		}
-		for c := range proba {
-			proba[c] /= float64(len(idx))
-		}
-		return &node{feature: -1, proba: proba}
-	}
-	var sum float64
-	for _, i := range idx {
-		sum += ctx.yf[i]
-	}
-	return &node{feature: -1, value: sum / float64(len(idx))}
-}
-
-// impurity computes Gini (classification) or variance (regression).
-func impurity(ctx *splitCtx, idx []int) float64 {
-	n := float64(len(idx))
-	if n == 0 {
-		return 0
-	}
-	if ctx.k > 0 {
-		counts := make([]float64, ctx.k)
-		for _, i := range idx {
-			counts[ctx.y[i]]++
-		}
-		g := 1.0
-		for _, c := range counts {
-			p := c / n
-			g -= p * p
-		}
-		return g
-	}
-	var sum, sumsq float64
-	for _, i := range idx {
-		v := ctx.yf[i]
-		sum += v
-		sumsq += v * v
-	}
-	mean := sum / n
-	return sumsq/n - mean*mean
-}
-
-// grow recursively builds the tree.
-func (t *Tree) grow(ctx *splitCtx, idx []int, depth int) *node {
-	if len(idx) < 2*ctx.cfg.minLeaf() ||
-		(ctx.cfg.MaxDepth > 0 && depth >= ctx.cfg.MaxDepth) ||
-		impurity(ctx, idx) <= ctx.cfg.ImpurityThreshold {
-		return t.leaf(ctx, idx)
-	}
-	feat, thresh, ok := t.bestSplit(ctx, idx)
-	if !ok {
-		return t.leaf(ctx, idx)
-	}
-	var left, right []int
-	for _, i := range idx {
-		if ctx.X[i][feat] <= thresh {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
-	if len(left) < ctx.cfg.minLeaf() || len(right) < ctx.cfg.minLeaf() {
-		return t.leaf(ctx, idx)
-	}
-	t.nodes++
-	return &node{
-		feature: feat,
-		thresh:  thresh,
-		left:    t.grow(ctx, left, depth+1),
-		right:   t.grow(ctx, right, depth+1),
-	}
-}
-
-// bestSplit scans candidate features for the split with the largest
-// impurity reduction.
-func (t *Tree) bestSplit(ctx *splitCtx, idx []int) (feat int, thresh float64, ok bool) {
-	d := len(ctx.X[0])
-	feats := seq(d)
-	if ctx.cfg.MaxFeatures > 0 && ctx.cfg.MaxFeatures < d {
-		feats = ctx.rng.SampleWithoutReplacement(d, ctx.cfg.MaxFeatures)
-	}
-	bestGain := 1e-12
-	vals := make([]fvPair, len(idx))
-	for _, f := range feats {
-		for p, i := range idx {
-			vals[p] = fvPair{v: ctx.X[i][f], i: i}
-		}
-		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
-		if vals[0].v == vals[len(vals)-1].v {
-			continue // constant feature
-		}
-		if ctx.k > 0 {
-			if g, th, found := bestGiniSplit(ctx, vals); found && g > bestGain {
-				bestGain, feat, thresh, ok = g, f, th, true
-			}
-		} else {
-			if g, th, found := bestVarSplit(ctx, vals); found && g > bestGain {
-				bestGain, feat, thresh, ok = g, f, th, true
-			}
-		}
-	}
-	return feat, thresh, ok
-}
-
-// fvPair is a (feature value, row index) pair for split scanning.
-type fvPair struct {
-	v float64
-	i int
-}
-
-// bestGiniSplit scans sorted values accumulating class counts.
-func bestGiniSplit(ctx *splitCtx, vals []fvPair) (gain, thresh float64, ok bool) {
-	n := len(vals)
-	total := make([]float64, ctx.k)
-	for _, p := range vals {
-		total[ctx.y[p.i]]++
-	}
-	parent := giniOf(total, float64(n))
-	left := make([]float64, ctx.k)
-	minLeaf := ctx.cfg.minLeaf()
-	for p := 0; p < n-1; p++ {
-		left[ctx.y[vals[p].i]]++
-		if vals[p].v == vals[p+1].v {
-			continue
-		}
-		nl := p + 1
-		nr := n - nl
-		if nl < minLeaf || nr < minLeaf {
-			continue
-		}
-		right := make([]float64, ctx.k)
-		for c := range right {
-			right[c] = total[c] - left[c]
-		}
-		g := parent - (float64(nl)*giniOf(left, float64(nl))+float64(nr)*giniOf(right, float64(nr)))/float64(n)
-		if g > gain {
-			gain = g
-			thresh = (vals[p].v + vals[p+1].v) / 2
-			ok = true
-		}
-	}
-	return gain, thresh, ok
-}
-
-func giniOf(counts []float64, n float64) float64 {
-	g := 1.0
-	for _, c := range counts {
-		p := c / n
-		g -= p * p
-	}
-	return g
-}
-
-// bestVarSplit scans sorted values accumulating sums for variance gain.
-func bestVarSplit(ctx *splitCtx, vals []fvPair) (gain, thresh float64, ok bool) {
-	n := len(vals)
-	var totSum, totSq float64
-	for _, p := range vals {
-		v := ctx.yf[p.i]
-		totSum += v
-		totSq += v * v
-	}
-	parent := totSq/float64(n) - (totSum/float64(n))*(totSum/float64(n))
-	var lSum, lSq float64
-	minLeaf := ctx.cfg.minLeaf()
-	for p := 0; p < n-1; p++ {
-		v := ctx.yf[vals[p].i]
-		lSum += v
-		lSq += v * v
-		if vals[p].v == vals[p+1].v {
-			continue
-		}
-		nl := float64(p + 1)
-		nr := float64(n) - nl
-		if int(nl) < minLeaf || int(nr) < minLeaf {
-			continue
-		}
-		rSum, rSq := totSum-lSum, totSq-lSq
-		lVar := lSq/nl - (lSum/nl)*(lSum/nl)
-		rVar := rSq/nr - (rSum/nr)*(rSum/nr)
-		g := parent - (nl*lVar+nr*rVar)/float64(n)
-		if g > gain {
-			gain = g
-			thresh = (vals[p].v + vals[p+1].v) / 2
-			ok = true
-		}
-	}
-	return gain, thresh, ok
+	t.numClasses = 0
+	t.fitMatrix(m, nil, y, 0, idx)
+	return nil
 }
 
 // descend walks to the leaf for x.

@@ -14,13 +14,22 @@ import (
 // widths as knobs).
 
 // RF builds a random-forest classifier: the paper's best offline model
-// (min-leaf 1, Gini threshold 1e-6, §7.4).
+// (min-leaf 1, Gini threshold 1e-6, §7.4). Training parallelism defaults
+// to GOMAXPROCS; use RFWorkers to bound it.
 func RF(trees int, seed int64) ml.Classifier {
+	return RFWorkers(trees, seed, 0)
+}
+
+// RFWorkers is RF with an explicit training-parallelism bound
+// (0 = GOMAXPROCS, 1 = serial). Tree seeds derive from seed alone, so every
+// worker count trains the byte-identical forest.
+func RFWorkers(trees int, seed int64, workers int) ml.Classifier {
 	return forest.NewClassifier(forest.Config{
 		Trees:             trees,
 		MinLeaf:           1,
 		ImpurityThreshold: 1e-6,
 		Seed:              seed,
+		Workers:           workers,
 	})
 }
 

@@ -30,7 +30,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -483,7 +483,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Spans = append(s.Spans, r.trace[i])
 	}
 	r.traceMu.Unlock()
-	sort.Slice(s.Spans, func(i, j int) bool { return s.Spans[i].Start.Before(s.Spans[j].Start) })
+	slices.SortFunc(s.Spans, func(a, b SpanEvent) int { return a.Start.Compare(b.Start) })
 	return s
 }
 
