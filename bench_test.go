@@ -22,6 +22,7 @@ import (
 
 	"repro/aimai"
 	"repro/internal/candidates"
+	"repro/internal/embed"
 	"repro/internal/engine/catalog"
 	"repro/internal/engine/exec"
 	"repro/internal/engine/opt"
@@ -393,6 +394,53 @@ func BenchmarkLearnCycle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := loop.RunCycle(context.Background(), "bench"); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEmbedPlan measures one plan-embedding forward pass — the
+// per-record cost the embedding drift detector pays inside each cycle.
+func BenchmarkEmbedPlan(b *testing.B) {
+	recs := benchTelemetry(24)
+	channels := feat.DefaultChannels()
+	samples := embed.RecordSamples(recs, channels)
+	inputs := make([][]float64, len(samples))
+	for i, s := range samples {
+		inputs[i] = embed.PlanInput(channels, s.Vectors, s.Est)
+	}
+	enc, err := embed.Train(inputs, embed.Config{Epochs: 10, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &samples[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := enc.EmbedPlan(s.Vectors, s.Est); len(out) == 0 {
+			b.Fatal("empty embedding")
+		}
+	}
+}
+
+// BenchmarkWorkloadEmbed measures pooling a full telemetry window into a
+// workload embedding (featurization + forward passes + moment pooling).
+func BenchmarkWorkloadEmbed(b *testing.B) {
+	recs := benchTelemetry(24)
+	channels := feat.DefaultChannels()
+	samples := embed.RecordSamples(recs, channels)
+	inputs := make([][]float64, len(samples))
+	for i, s := range samples {
+		inputs[i] = embed.PlanInput(channels, s.Vectors, s.Est)
+	}
+	enc, err := embed.Train(inputs, embed.Config{Epochs: 10, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if we := enc.Workload(samples); we == nil {
+			b.Fatal("empty workload embedding")
 		}
 	}
 }

@@ -27,6 +27,8 @@ func cmdLearn(args []string) error {
 	trees := fs.Int("trees", 0, "challenger random-forest size (0 = default)")
 	trainParallel := fs.Int("train-parallel", 0, "forest-training workers (0 = GOMAXPROCS, 1 = serial; same model at any setting)")
 	window := fs.Int("window", 0, "recency window in records (0 = default, <0 = unbounded)")
+	driftMode := fs.String("drift-mode", "", "drift detector: z (default), embed, or both (non-z modes train a plan encoder at promotion)")
+	embedThreshold := fs.Float64("embed-drift-threshold", 0, "embedding cosine-distance drift threshold (0 = default 0.10)")
 	dryRun := fs.Bool("dry-run", false, "evaluate a challenger but never write the registry")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,12 +57,14 @@ func cmdLearn(args []string) error {
 	}
 	source := func() ([]expdata.PlanRecord, int64) { return recs, int64(len(recs)) }
 	loop := learn.NewLoop(reg, source, *registryKeep, learn.Options{
-		Seed:             *seed,
-		Alpha:            *alpha,
-		Trees:            *trees,
-		TrainParallelism: *trainParallel,
-		Window:           *window,
-		DryRun:           *dryRun,
+		Seed:                *seed,
+		Alpha:               *alpha,
+		Trees:               *trees,
+		TrainParallelism:    *trainParallel,
+		Window:              *window,
+		DriftMode:           *driftMode,
+		EmbedDriftThreshold: *embedThreshold,
+		DryRun:              *dryRun,
 	})
 	defer loop.Stop()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)

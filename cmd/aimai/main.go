@@ -91,6 +91,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "learn":
 		err = cmdLearn(os.Args[2:])
+	case "embed":
+		err = cmdEmbed(os.Args[2:])
 	case "workloads":
 		err = cmdWorkloads(os.Args[2:])
 	case "sql":
@@ -117,6 +119,7 @@ commands:
   tune        tune a query of a suite database with/without the classifier
   serve       run the tuning service daemon (JSON HTTP API, async jobs)
   learn       run one offline learning cycle over telemetry JSONL files
+  embed       embed a telemetry workload (train or reuse a plan encoder)
   sql         run an ad-hoc SQL query against a suite database
   workloads   print workload statistics (and optionally query SQL)`)
 }

@@ -39,6 +39,9 @@ func cmdServe(args []string) error {
 	learnRecords := fs.Int("learn-records", 0, "retrain after this many new telemetry records (0 = default 64)")
 	learnSeed := fs.Int64("learn-seed", 0, "learning loop seed (0 = the -seed value)")
 	learnTrainParallel := fs.Int("learn-train-parallel", 0, "challenger-training workers (0 = GOMAXPROCS, 1 = serial; same model at any setting)")
+	driftMode := fs.String("drift-mode", "", "drift detector: z (default), embed, or both (non-z modes train a plan encoder at promotion)")
+	embedThreshold := fs.Float64("embed-drift-threshold", 0, "embedding cosine-distance drift threshold (0 = default 0.10)")
+	warmStartFloor := fs.Float64("warm-start-floor", 0, "cross-tenant warm-start similarity floor (0 = default 0.80, negative disables)")
 	tenantsDir := fs.String("tenants-dir", "", "data root for non-default tenants (empty = in-memory tenants)")
 	tenantsMaxActive := fs.Int("tenants-max-active", 0, "materialized-tenant bound; LRU idle tenants evict and reload on demand (0 = 8 default)")
 	tenantRate := fs.Float64("tenant-rate", 0, "per-tenant synchronous-plane requests/second (0 = unlimited)")
@@ -90,11 +93,14 @@ func cmdServe(args []string) error {
 		TenantBurst:           *tenantBurst,
 		TenantWeights:         weights,
 		TenantIngestRate:      *tenantIngestRate,
+		WarmStartFloor:        *warmStartFloor,
 		Learn: learn.Options{
-			Seed:             *learnSeed,
-			Interval:         *learnInterval,
-			RecordThreshold:  *learnRecords,
-			TrainParallelism: *learnTrainParallel,
+			Seed:                *learnSeed,
+			Interval:            *learnInterval,
+			RecordThreshold:     *learnRecords,
+			TrainParallelism:    *learnTrainParallel,
+			DriftMode:           *driftMode,
+			EmbedDriftThreshold: *embedThreshold,
 		},
 		Workers:        *workers,
 		QueueSize:      *queue,

@@ -1,0 +1,193 @@
+package embed
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/expdata"
+	"repro/internal/feat"
+)
+
+// testRecords synthesizes telemetry in the shape the learn tests use: two
+// channels, per-template masses, truthful or inverted costs.
+func testRecords(n int, shift float64) []expdata.PlanRecord {
+	masses := []float64{100, 200, 400, 800, 820}
+	recs := make([]expdata.PlanRecord, 0, n*len(masses))
+	for rep := 0; rep < n; rep++ {
+		for ti, m := range masses {
+			m += shift
+			recs = append(recs, expdata.PlanRecord{
+				DB:           "db",
+				Query:        fmt.Sprintf("q%d", ti),
+				Fingerprint:  uint64(rep*len(masses)+ti) + 1,
+				Cost:         m,
+				EstTotalCost: m,
+				Channels: map[string][]float64{
+					"EstNodeCost":                   {m},
+					"LeafWeightEstBytesWeightedSum": {m / 2},
+				},
+			})
+		}
+	}
+	return recs
+}
+
+func trainTestEncoder(t *testing.T, recs []expdata.PlanRecord, seed int64) (*Encoder, []Sample) {
+	t.Helper()
+	samples := RecordSamples(recs, feat.DefaultChannels())
+	if len(samples) == 0 {
+		t.Fatal("no samples survived conversion")
+	}
+	inputs := make([][]float64, len(samples))
+	for i, s := range samples {
+		inputs[i] = PlanInput(feat.DefaultChannels(), s.Vectors, s.Est)
+	}
+	enc, err := Train(inputs, Config{Seed: seed, Epochs: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc, samples
+}
+
+// TestEncoderDeterministic: two independent train+embed runs under one seed
+// are bit-identical — the property the drift detector and warm start rest
+// on, independent of any host parallelism knob (nn trains serially).
+func TestEncoderDeterministic(t *testing.T) {
+	recs := testRecords(4, 0)
+	run := func() ([][]float64, *WorkloadEmbedding) {
+		enc, samples := trainTestEncoder(t, recs, 42)
+		plans := make([][]float64, len(samples))
+		for i, s := range samples {
+			plans[i] = enc.EmbedPlan(s.Vectors, s.Est)
+		}
+		return plans, enc.Workload(samples)
+	}
+	p1, w1 := run()
+	p2, w2 := run()
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("plan embeddings differ between identical runs")
+	}
+	if !reflect.DeepEqual(w1, w2) {
+		t.Fatal("workload embeddings differ between identical runs")
+	}
+}
+
+// TestWorkloadEmbedding: unit norm, dims, and sensitivity — a heavily
+// shifted workload must be farther from the reference than a replay of the
+// reference itself.
+func TestWorkloadEmbedding(t *testing.T) {
+	recs := testRecords(4, 0)
+	enc, samples := trainTestEncoder(t, recs, 7)
+	we := enc.Workload(samples)
+	if we == nil || we.Dim != 2*DefaultDim || len(we.Vector) != 2*DefaultDim {
+		t.Fatalf("workload embedding shape wrong: %+v", we)
+	}
+	var norm float64
+	for _, v := range we.Vector {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("non-finite embedding component: %v", we.Vector)
+		}
+		norm += v * v
+	}
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("embedding norm² = %v, want 1", norm)
+	}
+	if we.Records != len(samples) || we.Templates != 5 {
+		t.Fatalf("records/templates = %d/%d, want %d/5", we.Records, we.Templates, len(samples))
+	}
+
+	same := enc.Workload(RecordSamples(testRecords(4, 0), feat.DefaultChannels()))
+	shifted := enc.Workload(RecordSamples(testRecords(4, 5000), feat.DefaultChannels()))
+	dSame, dShifted := Distance(we.Vector, same.Vector), Distance(we.Vector, shifted.Vector)
+	if dSame > 1e-9 {
+		t.Fatalf("distance to identical workload = %v, want ~0", dSame)
+	}
+	if dShifted <= dSame {
+		t.Fatalf("shifted workload distance %v not above identical-workload distance %v", dShifted, dSame)
+	}
+}
+
+// TestRecordSamplesSkipsHostile: invalid records are dropped, not fatal.
+func TestRecordSamplesSkipsHostile(t *testing.T) {
+	recs := testRecords(1, 0)
+	recs[0].Cost = math.NaN()
+	recs[1].Channels["EstNodeCost"] = []float64{math.Inf(1)}
+	samples := RecordSamples(recs, feat.DefaultChannels())
+	if len(samples) != len(recs)-2 {
+		t.Fatalf("samples = %d, want %d (two hostile records skipped)", len(samples), len(recs)-2)
+	}
+}
+
+// TestCosine covers the degenerate inputs the warm-start path can see.
+func TestCosine(t *testing.T) {
+	if c := Cosine([]float64{1, 0}, []float64{1, 0}); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("cos(identical) = %v", c)
+	}
+	if c := Cosine([]float64{1, 0}, []float64{-1, 0}); math.Abs(c+1) > 1e-12 {
+		t.Fatalf("cos(opposite) = %v", c)
+	}
+	if c := Cosine([]float64{1, 0}, []float64{0, 0}); c != 0 {
+		t.Fatalf("cos(zero vector) = %v, want 0", c)
+	}
+	if c := Cosine([]float64{1}, []float64{1, 0}); c != 0 {
+		t.Fatalf("cos(mismatched dims) = %v, want 0", c)
+	}
+}
+
+// TestSaveLoadEncoder: the round-tripped encoder embeds bit-identically.
+func TestSaveLoadEncoder(t *testing.T) {
+	recs := testRecords(3, 0)
+	enc, samples := trainTestEncoder(t, recs, 5)
+	var buf bytes.Buffer
+	if err := SaveEncoder(enc, &buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadEncoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Dim() != enc.Dim() || !reflect.DeepEqual(back.Channels(), enc.Channels()) {
+		t.Fatalf("restored encoder config differs: dim %d/%d", back.Dim(), enc.Dim())
+	}
+	for _, s := range samples[:5] {
+		if !reflect.DeepEqual(enc.EmbedPlan(s.Vectors, s.Est), back.EmbedPlan(s.Vectors, s.Est)) {
+			t.Fatal("restored encoder embeds differently")
+		}
+	}
+}
+
+// TestLoadEncoderRejectsHostile: truncations and corruptions error cleanly.
+func TestLoadEncoderRejectsHostile(t *testing.T) {
+	recs := testRecords(3, 0)
+	enc, _ := trainTestEncoder(t, recs, 5)
+	var buf bytes.Buffer
+	if err := SaveEncoder(enc, &buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	if _, err := LoadEncoder(bytes.NewReader(nil)); err == nil {
+		t.Error("empty blob accepted")
+	}
+	if _, err := LoadEncoder(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	if _, err := LoadEncoder(bytes.NewReader([]byte("not a gob stream at all"))); err == nil {
+		t.Error("garbage blob accepted")
+	}
+	for _, off := range []int{10, len(good) / 2, len(good) - 10} {
+		c := append([]byte(nil), good...)
+		c[off] ^= 0xff
+		if _, err := LoadEncoder(bytes.NewReader(c)); err == nil {
+			// A flipped bit may land in slack space gob ignores; only a
+			// decode that *succeeds and then misbehaves* would be a bug, so
+			// exercise the decoded encoder when it loads.
+			e2, err := LoadEncoder(bytes.NewReader(c))
+			if err == nil && e2 != nil {
+				_ = e2.EmbedPlan(nil, 1)
+			}
+		}
+	}
+}

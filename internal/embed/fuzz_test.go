@@ -1,0 +1,72 @@
+package embed
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"testing"
+
+	"repro/internal/feat"
+	"repro/internal/ml/nn"
+)
+
+// FuzzLoadEncoder: hostile encoder blobs must error, never panic or hang —
+// the registry admits uploaded encoder bytes and the warm-start path reads
+// sibling tenants' blobs, so decode is a trust boundary. The corpus seeds a
+// valid blob plus structured corruptions (bad dims, non-finite weights) so
+// the fuzzer starts deep inside the format.
+func FuzzLoadEncoder(f *testing.F) {
+	recs := testRecords(2, 0)
+	samples := RecordSamples(recs, feat.DefaultChannels())
+	inputs := make([][]float64, len(samples))
+	for i, s := range samples {
+		inputs[i] = PlanInput(feat.DefaultChannels(), s.Vectors, s.Est)
+	}
+	enc, err := Train(inputs, Config{Seed: 1, Epochs: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := SaveEncoder(enc, &valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(valid.Bytes()[:len(valid.Bytes())/3])
+
+	// Structured corruptions: well-formed gob carrying out-of-bound claims.
+	hostile := func(h encoderHeader, d *nn.Dump) []byte {
+		var buf bytes.Buffer
+		ge := gob.NewEncoder(&buf)
+		_ = ge.Encode(&h)
+		if d != nil {
+			_ = ge.Encode(d)
+		}
+		return buf.Bytes()
+	}
+	f.Add(hostile(encoderHeader{Magic: "wrong", Format: 1, Channels: []int32{0}, Dim: 8}, nil))
+	f.Add(hostile(encoderHeader{Magic: encoderMagic, Format: 99, Channels: []int32{0}, Dim: 8}, nil))
+	f.Add(hostile(encoderHeader{Magic: encoderMagic, Format: 1, Channels: []int32{127}, Dim: 8}, nil))
+	f.Add(hostile(encoderHeader{Magic: encoderMagic, Format: 1, Channels: []int32{0}, Dim: 1 << 30}, nil))
+	f.Add(hostile(encoderHeader{Magic: encoderMagic, Format: 1, Channels: []int32{0, 1}, Dim: 2},
+		&nn.Dump{InDim: 4, Hidden: []nn.LayerDump{{W: [][]float64{{math.NaN()}}, B: []float64{0}}}}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := LoadEncoder(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A blob that decodes must yield a usable encoder: finite embedding
+		// of the zero plan, correct dimensionality.
+		got := e.EmbedPlan(nil, 0)
+		if len(got) != e.Dim() {
+			t.Fatalf("embedding dim %d, declared %d", len(got), e.Dim())
+		}
+		for _, v := range got {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("decoded encoder produced non-finite embedding %v", got)
+			}
+		}
+	})
+}

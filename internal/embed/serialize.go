@@ -1,0 +1,131 @@
+package embed
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/feat"
+	"repro/internal/ml/nn"
+)
+
+// encoderMagic / encoderFormat version the blob layout; a bump invalidates
+// old blobs explicitly instead of misreading them.
+const (
+	encoderMagic  = "aimai-encoder"
+	encoderFormat = 1
+)
+
+// encoderHeader precedes the weight dump in one gob stream, mirroring the
+// classifierHeader pattern of internal/models: everything needed to
+// validate the payload before trusting it.
+type encoderHeader struct {
+	Magic    string
+	Format   int
+	Channels []int32
+	Dim      int
+	// Center and Scale are the encoder's training geometry (centroid and
+	// RMS radius of training embeddings) — workload pooling is expressed
+	// relative to them, so they travel with the weights.
+	Center []float64
+	Scale  float64
+}
+
+// SaveEncoder serializes an encoder: header then nn weight dump, one gob
+// stream.
+func SaveEncoder(e *Encoder, w io.Writer) error {
+	dump, err := e.net.Dump()
+	if err != nil {
+		return fmt.Errorf("embed: %w", err)
+	}
+	h := encoderHeader{
+		Magic:  encoderMagic,
+		Format: encoderFormat,
+		Dim:    e.dim,
+		Center: e.center,
+		Scale:  e.scale,
+	}
+	for _, c := range e.channels {
+		h.Channels = append(h.Channels, int32(c))
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(&h); err != nil {
+		return fmt.Errorf("embed: encoding header: %w", err)
+	}
+	if err := enc.Encode(dump); err != nil {
+		return fmt.Errorf("embed: encoding weights: %w", err)
+	}
+	return nil
+}
+
+// maxEncoderBlob bounds how much of a reader LoadEncoder will consume: a
+// hostile stream cannot make the decoder buffer unbounded input. Real
+// encoder blobs are tens of KiB.
+const maxEncoderBlob = 16 << 20
+
+// LoadEncoder deserializes and validates an encoder blob. This is a trust
+// boundary (registry uploads, cross-tenant warm start): every field is
+// range-checked — channel ids against feat's channel space, the network
+// input dim against the channel set, layer dims and weight finiteness
+// inside nn.NetFromDump — so hostile bytes error, never panic (pinned by
+// FuzzLoadEncoder).
+func LoadEncoder(r io.Reader) (*Encoder, error) {
+	dec := gob.NewDecoder(io.LimitReader(r, maxEncoderBlob))
+	var h encoderHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("embed: decoding header: %w", err)
+	}
+	if h.Magic != encoderMagic {
+		return nil, fmt.Errorf("embed: not an encoder blob (magic %q)", h.Magic)
+	}
+	if h.Format != encoderFormat {
+		return nil, fmt.Errorf("embed: unsupported format %d (want %d)", h.Format, encoderFormat)
+	}
+	if len(h.Channels) == 0 || len(h.Channels) > feat.NumChannels {
+		return nil, fmt.Errorf("embed: %d channels out of range [1,%d]", len(h.Channels), feat.NumChannels)
+	}
+	channels := make([]feat.Channel, len(h.Channels))
+	for i, c := range h.Channels {
+		if c < 0 || int(c) >= feat.NumChannels {
+			return nil, fmt.Errorf("embed: unknown channel id %d", c)
+		}
+		channels[i] = feat.Channel(c)
+	}
+	if h.Dim <= 0 || h.Dim > 256 {
+		return nil, fmt.Errorf("embed: embedding dim %d out of range [1,256]", h.Dim)
+	}
+	if len(h.Center) != h.Dim {
+		return nil, fmt.Errorf("embed: center has dim %d, want %d", len(h.Center), h.Dim)
+	}
+	for i, v := range h.Center {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("embed: center[%d] is not finite", i)
+		}
+	}
+	if math.IsNaN(h.Scale) || math.IsInf(h.Scale, 0) || h.Scale < minScale {
+		return nil, fmt.Errorf("embed: scale %v out of range [%v,+inf)", h.Scale, minScale)
+	}
+	var dump nn.Dump
+	if err := dec.Decode(&dump); err != nil {
+		return nil, fmt.Errorf("embed: decoding weights: %w", err)
+	}
+	if dump.InDim != InputDim(channels) {
+		return nil, fmt.Errorf("embed: input dim %d does not match %d channels (want %d)",
+			dump.InDim, len(channels), InputDim(channels))
+	}
+	if len(dump.Hidden) == 0 {
+		return nil, fmt.Errorf("embed: encoder has no hidden layers")
+	}
+	if got := len(dump.Hidden[len(dump.Hidden)-1].W); got != h.Dim {
+		return nil, fmt.Errorf("embed: bottleneck width %d does not match declared dim %d", got, h.Dim)
+	}
+	if got := len(dump.Output.W); got != dump.InDim {
+		return nil, fmt.Errorf("embed: output width %d does not reconstruct input dim %d", got, dump.InDim)
+	}
+	net, err := nn.NetFromDump(&dump)
+	if err != nil {
+		return nil, fmt.Errorf("embed: %w", err)
+	}
+	return &Encoder{channels: channels, dim: h.Dim, net: net, center: h.Center, scale: h.Scale}, nil
+}

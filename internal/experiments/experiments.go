@@ -274,6 +274,9 @@ func Registry() map[string]Runner {
 		// Candidate-generation study: composite indexes under budgets
 		// plus workload compression (§6 of DESIGN.md).
 		"composite-tuning": CompositeTuning,
+		// Drift-detector comparison: z-score vs workload-embedding lead
+		// time on a synthetic plan-shape drift (§16 of DESIGN.md).
+		"embedding-drift": EmbedDrift,
 	}
 }
 
@@ -284,5 +287,6 @@ func Order() []string {
 		"figure9", "figure10", "figure11", "table4", "figure12", "figure15",
 		"table5", "figure13", "table6", "figure14",
 		"ablation-trees", "ablation-alpha", "composite-tuning",
+		"embedding-drift",
 	}
 }

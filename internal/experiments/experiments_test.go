@@ -57,8 +57,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 19 {
-		t.Fatalf("expected 19 experiments, got %d", len(reg))
+	if len(reg) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(reg))
 	}
 	for _, id := range Order() {
 		if reg[id] == nil {
@@ -279,4 +279,42 @@ func TestTable4(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkTable(t, tab, "table4")
+}
+
+// TestEmbeddingDrift checks the drift-detector comparison's acceptance
+// criteria: the embedding detector fires at least as early as the z-score
+// on the synthetic plan-shape ramp, and neither detector false-fires on the
+// stationary prefix. The experiment is corpus-free, so a bare Env suffices.
+func TestEmbeddingDrift(t *testing.T) {
+	e := &Env{Cfg: Config{Seed: 42, Quick: true}.withDefaults()}
+	tab, err := EmbedDrift(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tab, "embedding-drift")
+
+	firstFire := func(col int) int {
+		for _, r := range tab.Rows {
+			if r[col] == "true" {
+				step, err := strconv.Atoi(r[0])
+				if err != nil {
+					t.Fatalf("bad step cell %q", r[0])
+				}
+				return step
+			}
+		}
+		return 0
+	}
+	zFirst, embedFirst := firstFire(3), firstFire(5)
+	if embedFirst == 0 {
+		t.Fatal("embedding drift never fired on the ramp")
+	}
+	if zFirst != 0 && embedFirst > zFirst {
+		t.Fatalf("embedding fired at step %d, later than z-score at step %d", embedFirst, zFirst)
+	}
+	for _, n := range tab.Notes {
+		if strings.Contains(n, "false fires") && !strings.Contains(n, ": 0") {
+			t.Fatalf("detector false-fired on the stationary prefix: %s", n)
+		}
+	}
 }

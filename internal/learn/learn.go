@@ -53,6 +53,16 @@ const (
 	defaultRollbackMinPairs    = 12
 	defaultDriftThreshold      = 3.0
 	defaultRecordThreshold     = 64
+	defaultEmbedDriftThreshold = 0.10
+)
+
+// Drift-detector modes (Options.DriftMode): the hand-built per-channel
+// z-score detector, the learned embedding-distance detector (DESIGN.md
+// §16), or both side by side (either firing triggers a retrain).
+const (
+	DriftModeZ     = "z"
+	DriftModeEmbed = "embed"
+	DriftModeBoth  = "both"
 )
 
 // Options configure the learning loop. The zero value is usable: every
@@ -105,6 +115,20 @@ type Options struct {
 	// DriftThreshold is the feature-drift score above which a retrain
 	// triggers (see DriftScore: normalized channel-mass shift in std units).
 	DriftThreshold float64
+	// DriftMode selects the drift detector: DriftModeZ (default, the
+	// z-score detector above), DriftModeEmbed (cosine distance between the
+	// current window's workload embedding and the reference captured at the
+	// last promotion), or DriftModeBoth (either firing triggers). Outside
+	// DriftModeZ, every promotion also trains and versions a plan encoder.
+	DriftMode string
+	// EmbedDriftThreshold is the workload-embedding cosine distance above
+	// which embedding-mode drift fires (default 0.10).
+	EmbedDriftThreshold float64
+	// EmbedDim / EmbedHidden / EmbedEpochs configure the plan encoder
+	// trained at promotions (0 = embed package defaults).
+	EmbedDim    int
+	EmbedHidden int
+	EmbedEpochs int
 	// AccuracyFloor triggers a retrain when the champion's accuracy on
 	// fresh labeled pairs falls below it (0 = MinAccuracy).
 	AccuracyFloor float64
@@ -161,6 +185,14 @@ func (o Options) withDefaults() Options {
 	}
 	if o.DriftThreshold <= 0 {
 		o.DriftThreshold = defaultDriftThreshold
+	}
+	switch o.DriftMode {
+	case DriftModeEmbed, DriftModeBoth:
+	default:
+		o.DriftMode = DriftModeZ
+	}
+	if o.EmbedDriftThreshold <= 0 {
+		o.EmbedDriftThreshold = defaultEmbedDriftThreshold
 	}
 	if o.AccuracyFloor <= 0 {
 		o.AccuracyFloor = o.MinAccuracy

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/embed"
 	"repro/internal/expdata"
 	"repro/internal/feat"
 	"repro/internal/models"
@@ -18,10 +19,10 @@ import (
 
 // Loop metric handles (see DESIGN.md §11).
 var (
-	mCycles        = obs.C("learn.cycles")
-	mPromotions    = obs.C("learn.promotions")
-	mRejections    = obs.C("learn.rejections")
-	mRollbacks     = obs.C("learn.rollbacks")
+	mCycles     = obs.C("learn.cycles")
+	mPromotions = obs.C("learn.promotions")
+	mRejections = obs.C("learn.rejections")
+	mRollbacks  = obs.C("learn.rollbacks")
 	// The train path is timed in three phases — learn.train.featurize (in
 	// compact.go), learn.train.fit, learn.train.eval. learn.train.latency
 	// predates the split and keeps observing the fit phase.
@@ -68,6 +69,12 @@ type CycleReport struct {
 	// Drift is the window's feature-drift score against the reference
 	// summary captured at the last promotion (0 when no reference exists).
 	Drift float64 `json:"drift"`
+	// EmbedDrift is the workload-embedding cosine distance to the reference
+	// embedding (only outside DriftModeZ, and only once an encoder exists).
+	EmbedDrift float64 `json:"embed_drift,omitempty"`
+	// EncoderVersion is the registry encoder version a promotion trained
+	// (only outside DriftModeZ).
+	EncoderVersion int `json:"encoder_version,omitempty"`
 
 	TrainPairs int `json:"train_pairs"`
 	EvalPairs  int `json:"eval_pairs"`
@@ -151,6 +158,7 @@ type Loop struct {
 	lastCycleAt time.Time
 	lastSeen    int64
 	reference   *ChannelSummary
+	embedRef    *embed.WorkloadEmbedding
 	monitor     *MonitorStatus
 
 	wg     sync.WaitGroup
@@ -298,6 +306,7 @@ func (l *Loop) dueTrigger() string {
 	lastSeen := l.lastSeen
 	lastAt := l.lastCycleAt
 	ref := l.reference
+	embedRef := l.embedRef
 	l.mu.Unlock()
 
 	recs, total := l.source()
@@ -317,10 +326,19 @@ func (l *Loop) dueTrigger() string {
 	if set.Stats.Used < l.opts.MinRecords {
 		return ""
 	}
+	var zScore float64
 	if ref != nil {
-		if DriftScore(ref, Summarize(set, len(l.f.Channels))) > l.opts.DriftThreshold {
-			return "drift"
+		zScore = DriftScore(ref, Summarize(set, len(l.f.Channels)))
+	}
+	var enc *embed.Encoder
+	if l.opts.embedMode() {
+		if ev := l.reg.ActiveEncoder(); ev != nil {
+			enc = ev.Enc
 		}
+	}
+	dist, distOK := embedDistance(enc, embedRef, set)
+	if fired, trigger := driftVerdict(l.opts, zScore, ref != nil, dist, distOK); fired {
+		return trigger
 	}
 	if v := l.reg.Active(); v != nil && v.Clf.Feat.ConfigEqual(l.f) && len(set.X) >= l.opts.MinEvalPairs {
 		if evalVectors(v.Clf, set.X, set.Y).Accuracy < l.opts.AccuracyFloor {
@@ -392,9 +410,19 @@ func (l *Loop) cycleBody(ctx context.Context, rep *CycleReport, recs []expdata.P
 	rep.FeaturizeReused = set.Reused
 	l.mu.Lock()
 	ref := l.reference
+	embedRef := l.embedRef
 	l.mu.Unlock()
 	if ref != nil {
 		rep.Drift = DriftScore(ref, Summarize(set, len(l.f.Channels)))
+	}
+	if o.embedMode() {
+		var enc *embed.Encoder
+		if ev := l.reg.ActiveEncoder(); ev != nil {
+			enc = ev.Enc
+		}
+		if d, ok := embedDistance(enc, embedRef, set); ok {
+			rep.EmbedDrift = d
+		}
 	}
 	if set.Stats.Used < o.MinRecords {
 		rep.Decision = DecisionSkipped
@@ -447,6 +475,11 @@ func (l *Loop) cycleBody(ctx context.Context, rep *CycleReport, recs []expdata.P
 	rep.Decision = DecisionPromoted
 	rep.Reason = res.reason
 	mPromotions.Inc()
+	if o.embedMode() {
+		// The embedding side of the promotion: a fresh encoder for the
+		// promoted window and its workload embedding as the new reference.
+		l.promoteEncoder(rep, set, cycleSeed)
+	}
 
 	l.mu.Lock()
 	l.reference = Summarize(set, len(l.f.Channels))
@@ -520,7 +553,9 @@ func (l *Loop) liveCheck(rep *CycleReport, recs []expdata.PlanRecord, total int6
 		mRollbacks.Inc()
 		l.mu.Lock()
 		l.monitor = nil
-		l.reference = nil // the reference described the rolled-back window
+		// Both drift references described the rolled-back window.
+		l.reference = nil
+		l.embedRef = nil
 		l.mu.Unlock()
 		return true
 	}

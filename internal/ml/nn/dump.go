@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+)
+
+// Dump bounds: a hostile blob must not be able to request unbounded
+// allocations at decode time. The plan encoder's stacks are tiny (a few
+// hundred units); these ceilings leave two orders of magnitude of headroom.
+const (
+	maxDumpLayers = 32
+	maxDumpWidth  = 1 << 14
+)
+
+// LayerDump is one dense layer's weights in the Dump.
+type LayerDump struct {
+	Act Activation
+	W   [][]float64 // [out][in]
+	B   []float64   // [out]
+}
+
+// Dump is a Net's portable weight snapshot, restricted to simple dense
+// stacks (no PartialGroup, Highway, skip, or dropout structure) — the only
+// shape the plan encoder uses. Encode it with gob/JSON at the call site;
+// NetFromDump validates every dimension and weight before building a Net,
+// so a hostile blob errors instead of panicking (the LoadClassifier
+// discipline from internal/models).
+type Dump struct {
+	InDim  int
+	Hidden []LayerDump
+	Output LayerDump
+	Mean   []float64 // standardizer, length InDim
+	Std    []float64
+}
+
+// Dump snapshots a trained dense-stack network. Networks using structured
+// layers (PartialGroup, Highway, skip, dropout) are refused: their topology
+// is not captured by the flat format.
+func (n *Net) Dump() (*Dump, error) {
+	if !n.built {
+		return nil, fmt.Errorf("nn: dump of an untrained network")
+	}
+	d := &Dump{InDim: n.inDim}
+	if n.std != nil {
+		d.Mean = append([]float64(nil), n.std.Mean...)
+		d.Std = append([]float64(nil), n.std.Std...)
+	}
+	dumpLayer := func(l *layer) (LayerDump, error) {
+		if l.spec.Kind != Dense || l.spec.Skip || l.spec.Dropout != 0 || len(l.blocks) != 1 || len(l.gate) != 0 {
+			return LayerDump{}, fmt.Errorf("nn: dump supports only plain dense layers")
+		}
+		b := l.blocks[0]
+		ld := LayerDump{Act: l.spec.Act, B: append([]float64(nil), b.B...)}
+		ld.W = make([][]float64, len(b.W))
+		for o := range b.W {
+			ld.W[o] = append([]float64(nil), b.W[o]...)
+		}
+		return ld, nil
+	}
+	for _, l := range n.layers {
+		ld, err := dumpLayer(l)
+		if err != nil {
+			return nil, err
+		}
+		d.Hidden = append(d.Hidden, ld)
+	}
+	out, err := dumpLayer(n.out)
+	if err != nil {
+		return nil, err
+	}
+	d.Output = out
+	return d, nil
+}
+
+// NetFromDump rebuilds an inference-ready network from a Dump, validating
+// shapes, bounds, and weight finiteness. The restored network is inference
+// only in spirit (Adam state is zeroed), but its forward pass is
+// bit-identical to the dumped network's.
+func NetFromDump(d *Dump) (*Net, error) {
+	if d == nil {
+		return nil, fmt.Errorf("nn: nil dump")
+	}
+	if d.InDim <= 0 || d.InDim > maxDumpWidth {
+		return nil, fmt.Errorf("nn: dump input dim %d out of range", d.InDim)
+	}
+	if len(d.Hidden) > maxDumpLayers {
+		return nil, fmt.Errorf("nn: dump has %d hidden layers (max %d)", len(d.Hidden), maxDumpLayers)
+	}
+	if len(d.Mean) != d.InDim || len(d.Std) != d.InDim {
+		return nil, fmt.Errorf("nn: dump standardizer length %d/%d, want %d", len(d.Mean), len(d.Std), d.InDim)
+	}
+	for i := 0; i < d.InDim; i++ {
+		if !finite(d.Mean[i]) || !finite(d.Std[i]) {
+			return nil, fmt.Errorf("nn: non-finite standardizer at %d", i)
+		}
+	}
+	checkLayer := func(ld LayerDump, in int, name string) (int, error) {
+		if ld.Act != Tanh && ld.Act != ReLU && ld.Act != Identity {
+			return 0, fmt.Errorf("nn: %s layer has unknown activation %d", name, ld.Act)
+		}
+		out := len(ld.W)
+		if out == 0 || out > maxDumpWidth {
+			return 0, fmt.Errorf("nn: %s layer width %d out of range", name, out)
+		}
+		if len(ld.B) != out {
+			return 0, fmt.Errorf("nn: %s layer bias length %d, want %d", name, len(ld.B), out)
+		}
+		for o := range ld.W {
+			if len(ld.W[o]) != in {
+				return 0, fmt.Errorf("nn: %s layer row %d has %d weights, want %d", name, o, len(ld.W[o]), in)
+			}
+			if !finite(ld.B[o]) {
+				return 0, fmt.Errorf("nn: non-finite bias in %s layer", name)
+			}
+			for _, w := range ld.W[o] {
+				if !finite(w) {
+					return 0, fmt.Errorf("nn: non-finite weight in %s layer", name)
+				}
+			}
+		}
+		return out, nil
+	}
+	cur := d.InDim
+	var err error
+	for i, ld := range d.Hidden {
+		if cur, err = checkLayer(ld, cur, fmt.Sprintf("hidden[%d]", i)); err != nil {
+			return nil, err
+		}
+	}
+	outDim, err := checkLayer(d.Output, cur, "output")
+	if err != nil {
+		return nil, err
+	}
+
+	n := New(Config{})
+	n.inDim = d.InDim
+	n.k = outDim
+	n.std = &ml.Standardizer{
+		Mean: append([]float64(nil), d.Mean...),
+		Std:  append([]float64(nil), d.Std...),
+	}
+	mk := func(ld LayerDump, in int) *layer {
+		b := &block{inIdx: seqIdx(in), out: len(ld.W)}
+		b.W = make([][]float64, len(ld.W))
+		for o := range ld.W {
+			b.W[o] = append([]float64(nil), ld.W[o]...)
+		}
+		b.B = append([]float64(nil), ld.B...)
+		return &layer{
+			spec:   LayerSpec{Kind: Dense, Out: len(ld.W), Act: ld.Act},
+			blocks: []*block{b},
+			outDim: len(ld.W),
+		}
+	}
+	cur = d.InDim
+	for _, ld := range d.Hidden {
+		l := mk(ld, cur)
+		n.layers = append(n.layers, l)
+		cur = l.outDim
+	}
+	n.out = mk(d.Output, cur)
+	n.built = true
+	return n, nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

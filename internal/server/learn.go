@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"repro/internal/learn"
+	"repro/internal/server/registry"
 )
 
 // ---- online learning endpoints ----
@@ -20,6 +21,37 @@ type learnTriggerRequest struct {
 // confirmation.
 func (s *Server) handleLearnStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, tenantFrom(r).Loop.Status())
+}
+
+// learnEmbeddingResponse wraps the loop's embedding status with the tenant
+// id and any warm-start provenance the registry carries.
+type learnEmbeddingResponse struct {
+	Tenant string `json:"tenant"`
+	*learn.EmbeddingStatus
+	Provenance *registry.Provenance `json:"provenance,omitempty"`
+}
+
+// handleLearnEmbedding reports the tenant's workload-embedding plane: the
+// active encoder version, the current window's embedding, the reference
+// captured at the last promotion, and the drift distance between them.
+// 409 until a promotion has trained an encoder (or in pure z mode, where
+// no encoder is ever trained).
+func (s *Server) handleLearnEmbedding(w http.ResponseWriter, r *http.Request) {
+	tn := tenantFrom(r)
+	st, err := tn.Loop.Embedding()
+	if err != nil {
+		if errors.Is(err, learn.ErrNoEncoder) {
+			writeErr(w, http.StatusConflict,
+				"tenant %q has no plan encoder yet (drift-mode z, or no promotion so far)", tn.ID)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	prov, _ := tn.Reg.LoadProvenance()
+	writeJSON(w, http.StatusOK, learnEmbeddingResponse{
+		Tenant: tn.ID, EmbeddingStatus: st, Provenance: prov,
+	})
 }
 
 // handleLearnTrigger starts a learning cycle in the background. Cycles are

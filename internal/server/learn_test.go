@@ -176,3 +176,80 @@ func TestServeLearnRoundTrip(t *testing.T) {
 		t.Fatalf("active model = %d, want the promoted v2", ml.Active)
 	}
 }
+
+// TestServeLearnEmbedding drives the workload-embedding surface: 409 before
+// any encoder exists, then — after a promotion in an embedding drift mode —
+// a finite unit-norm embedding with the encoder version and a near-zero
+// drift distance against the just-captured reference.
+func TestServeLearnEmbedding(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Learn = learn.Options{
+			Seed:             11,
+			Trees:            15,
+			Window:           20,
+			MinRecords:       10,
+			MinTrainPairs:    8,
+			MinEvalPairs:     4,
+			RollbackMinPairs: 8,
+			DriftMode:        learn.DriftModeBoth,
+			EmbedEpochs:      10,
+		}
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	var errResp apiError
+	if code := doJSON(t, http.MethodGet, base+"/v1/learn/embedding", nil, &errResp); code != http.StatusConflict {
+		t.Fatalf("embedding before any encoder: %d, want 409", code)
+	}
+
+	var tel, trig map[string]any
+	if code := doJSON(t, http.MethodPost, base+"/v1/telemetry",
+		strings.NewReader(learnTelemetryJSONL(t, 4, 0, false)), &tel); code != http.StatusOK {
+		t.Fatalf("telemetry ingest: %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, base+"/v1/learn/trigger", nil, &trig); code != http.StatusAccepted {
+		t.Fatalf("trigger: %d", code)
+	}
+	st := pollLearnIdle(t, base, 1)
+	if st.Promotions != 1 {
+		t.Fatalf("after cycle 1: %+v, want a promotion", st)
+	}
+
+	var emb struct {
+		Tenant         string  `json:"tenant"`
+		DriftMode      string  `json:"drift_mode"`
+		EncoderVersion int     `json:"encoder_version"`
+		Distance       float64 `json:"distance"`
+		Embedding      *struct {
+			Dim    int       `json:"dim"`
+			Vector []float64 `json:"vector"`
+		} `json:"embedding"`
+	}
+	if code := doJSON(t, http.MethodGet, base+"/v1/learn/embedding", nil, &emb); code != http.StatusOK {
+		t.Fatalf("embedding after promotion: %d", code)
+	}
+	if emb.Tenant != "default" || emb.DriftMode != learn.DriftModeBoth || emb.EncoderVersion != 1 {
+		t.Fatalf("embedding response = %+v, want default tenant, both mode, encoder v1", emb)
+	}
+	if emb.Embedding == nil || emb.Embedding.Dim <= 0 || len(emb.Embedding.Vector) != emb.Embedding.Dim {
+		t.Fatalf("embedding vector malformed: %+v", emb.Embedding)
+	}
+	var norm float64
+	for _, v := range emb.Embedding.Vector {
+		norm += v * v
+	}
+	if norm == 0 || norm != norm || emb.Distance > 1e-6 {
+		t.Fatalf("embedding norm² = %v, distance = %v; want unit norm and ~0 drift", norm, emb.Distance)
+	}
+}

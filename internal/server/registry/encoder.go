@@ -1,0 +1,340 @@
+// Encoder store: plan-encoder blobs (internal/embed) are versioned next to
+// classifier blobs with the same discipline — validate before admit,
+// temp-file+rename persistence, atomic hot-swap of the active pointer.
+//
+// On-disk layout additions:
+//
+//	<dir>/v0001.enc      encoder blob (embed.SaveEncoder format)
+//	<dir>/CURRENT_ENC    the active encoder version in ASCII
+//	<dir>/workload.emb   the reference workload embedding (JSON)
+//	<dir>/provenance.json warm-start provenance, written once when a tenant
+//	                      is seeded from another tenant's champion
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/models"
+)
+
+// EncoderVersion is one immutable encoder entry.
+type EncoderVersion struct {
+	ID      int
+	Path    string
+	Size    int64
+	AddedAt time.Time
+	Enc     *embed.Encoder
+}
+
+func (r *Registry) encPath(id int) string {
+	return filepath.Join(r.dir, fmt.Sprintf("v%04d.enc", id))
+}
+
+// loadEncoders restores encoder versions and the CURRENT_ENC pointer during
+// Open (single-threaded; no locking).
+func (r *Registry) loadEncoders(entries []os.DirEntry) error {
+	var ids []int
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "v") || !strings.HasSuffix(name, ".enc") {
+			continue
+		}
+		id, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "v"), ".enc"))
+		if err != nil || id <= 0 {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		path := r.encPath(id)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("registry: reading %s: %w", path, err)
+		}
+		enc, err := embed.LoadEncoder(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("registry: loading %s: %w", path, err)
+		}
+		info, _ := os.Stat(path)
+		added := time.Now()
+		if info != nil {
+			added = info.ModTime()
+		}
+		r.encoders = append(r.encoders, &EncoderVersion{
+			ID: id, Path: path, Size: int64(len(data)), AddedAt: added, Enc: enc,
+		})
+	}
+	cur, err := os.ReadFile(filepath.Join(r.dir, "CURRENT_ENC"))
+	if err == nil {
+		id, perr := strconv.Atoi(strings.TrimSpace(string(cur)))
+		if perr != nil {
+			return fmt.Errorf("registry: corrupt CURRENT_ENC file: %q", cur)
+		}
+		v := r.findEncoder(id)
+		if v == nil {
+			return fmt.Errorf("registry: CURRENT_ENC points at missing encoder %d", id)
+		}
+		r.activeEnc.Store(v)
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("registry: reading CURRENT_ENC: %w", err)
+	}
+	return nil
+}
+
+// findEncoder returns the encoder version with the given id; callers hold
+// r.mu or run during single-threaded Open.
+func (r *Registry) findEncoder(id int) *EncoderVersion {
+	for _, v := range r.encoders {
+		if v.ID == id {
+			return v
+		}
+	}
+	return nil
+}
+
+// AddEncoder validates an encoder blob and stores it as the next encoder
+// version without activating it. The blob must round-trip through
+// embed.LoadEncoder; anything else is rejected.
+func (r *Registry) AddEncoder(data []byte) (*EncoderVersion, error) {
+	enc, err := embed.LoadEncoder(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("registry: invalid encoder: %w", err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := 1
+	if n := len(r.encoders); n > 0 {
+		id = r.encoders[n-1].ID + 1
+	}
+	v := &EncoderVersion{ID: id, Size: int64(len(data)), AddedAt: time.Now(), Enc: enc}
+	if r.dir != "" {
+		path := r.encPath(id)
+		if err := writeFileAtomic(path, data); err != nil {
+			return nil, err
+		}
+		v.Path = path
+	}
+	r.encoders = append(r.encoders, v)
+	return v, nil
+}
+
+// ActivateEncoder makes encoder id the serving encoder (atomic swap; the
+// CURRENT_ENC pointer is durably updated first for persistent stores).
+func (r *Registry) ActivateEncoder(id int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.findEncoder(id)
+	if v == nil {
+		return fmt.Errorf("registry: unknown encoder version %d", id)
+	}
+	if r.dir != "" {
+		if err := writeFileAtomic(filepath.Join(r.dir, "CURRENT_ENC"), []byte(fmt.Sprintf("%d\n", id))); err != nil {
+			return err
+		}
+	}
+	r.activeEnc.Store(v)
+	return nil
+}
+
+// AddAndActivateEncoder stores an encoder blob and immediately serves it.
+func (r *Registry) AddAndActivateEncoder(data []byte) (*EncoderVersion, error) {
+	v, err := r.AddEncoder(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.ActivateEncoder(v.ID); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ActiveEncoder returns the serving encoder version, or nil. One atomic
+// load, no locks.
+func (r *Registry) ActiveEncoder() *EncoderVersion {
+	return r.activeEnc.Load()
+}
+
+// PruneEncoders keeps the newest keep encoder versions plus the active one
+// (keep <= 0 keeps everything). Returns removed ids in ascending order.
+func (r *Registry) PruneEncoders(keep int) ([]int, error) {
+	if keep <= 0 {
+		return nil, nil
+	}
+	act := r.ActiveEncoder()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	protected := map[int]bool{}
+	if act != nil {
+		protected[act.ID] = true
+	}
+	for i := len(r.encoders) - keep; i < len(r.encoders); i++ {
+		if i >= 0 {
+			protected[r.encoders[i].ID] = true
+		}
+	}
+	var removed []int
+	var kept []*EncoderVersion
+	var firstErr error
+	for _, v := range r.encoders {
+		if protected[v.ID] {
+			kept = append(kept, v)
+			continue
+		}
+		if v.Path != "" {
+			if err := os.Remove(v.Path); err != nil && !os.IsNotExist(err) {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("registry: pruning encoder v%04d: %w", v.ID, err)
+				}
+				kept = append(kept, v)
+				continue
+			}
+		}
+		removed = append(removed, v.ID)
+	}
+	r.encoders = kept
+	return removed, firstErr
+}
+
+// SaveWorkloadEmbedding persists the reference workload embedding
+// (atomically; no-op for memory-only registries). The learning loop writes
+// it at every promotion so sibling tenants can compare workloads without
+// materializing this one.
+func (r *Registry) SaveWorkloadEmbedding(we *embed.WorkloadEmbedding) error {
+	if r.dir == "" || we == nil {
+		return nil
+	}
+	data, err := json.Marshal(we)
+	if err != nil {
+		return fmt.Errorf("registry: encoding workload embedding: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(r.dir, "workload.emb"), data)
+}
+
+// Provenance records where a warm-started tenant's first champion came
+// from — written once at seeding, never overwritten by later promotions.
+type Provenance struct {
+	// SeededFrom is the source tenant id ("default" for the default
+	// tenant's registry).
+	SeededFrom string `json:"seeded_from"`
+	// SourceVersion is the source registry's classifier version that was
+	// copied; SourceEncoder the encoder version that scored the match.
+	SourceVersion int `json:"source_version"`
+	SourceEncoder int `json:"source_encoder,omitempty"`
+	// Similarity is the cosine similarity between the two workload
+	// embeddings at seeding time.
+	Similarity float64   `json:"similarity"`
+	At         time.Time `json:"at"`
+}
+
+// SaveProvenance persists warm-start provenance next to the registry blobs.
+func (r *Registry) SaveProvenance(p *Provenance) error {
+	if r.dir == "" || p == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry: encoding provenance: %w", err)
+	}
+	return writeFileAtomic(filepath.Join(r.dir, "provenance.json"), data)
+}
+
+// LoadProvenance reads warm-start provenance; (nil, nil) when none exists.
+func (r *Registry) LoadProvenance() (*Provenance, error) {
+	if r.dir == "" {
+		return nil, nil
+	}
+	return PeekProvenance(r.dir)
+}
+
+// The Peek helpers below read one artifact from a registry directory
+// without opening (and validating) the whole store — the cross-tenant
+// warm-start scan touches every sibling tenant and must stay cheap and
+// isolated: a corrupt candidate is skipped, not fatal.
+
+// PeekWorkloadEmbedding reads a directory's persisted workload embedding.
+func PeekWorkloadEmbedding(dir string) (*embed.WorkloadEmbedding, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "workload.emb"))
+	if err != nil {
+		return nil, err
+	}
+	var we embed.WorkloadEmbedding
+	if err := json.Unmarshal(data, &we); err != nil {
+		return nil, fmt.Errorf("registry: corrupt workload embedding in %s: %w", dir, err)
+	}
+	if we.Dim <= 0 || len(we.Vector) != we.Dim {
+		return nil, fmt.Errorf("registry: workload embedding in %s has inconsistent dims", dir)
+	}
+	return &we, nil
+}
+
+// PeekActiveEncoder reads and validates a directory's CURRENT_ENC encoder,
+// returning the encoder, its version id, and the raw blob (ready for
+// AddAndActivateEncoder in another registry).
+func PeekActiveEncoder(dir string) (*embed.Encoder, int, []byte, error) {
+	cur, err := os.ReadFile(filepath.Join(dir, "CURRENT_ENC"))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(string(cur)))
+	if err != nil || id <= 0 {
+		return nil, 0, nil, fmt.Errorf("registry: corrupt CURRENT_ENC in %s", dir)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("v%04d.enc", id)))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	enc, err := embed.LoadEncoder(bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return enc, id, data, nil
+}
+
+// PeekActiveModel reads a directory's CURRENT classifier blob, validating
+// it before returning the raw bytes (ready for AddAndActivate elsewhere)
+// and the version id it had in its home registry.
+func PeekActiveModel(dir string) ([]byte, int, error) {
+	cur, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err != nil {
+		return nil, 0, err
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(string(cur)))
+	if err != nil || id <= 0 {
+		return nil, 0, fmt.Errorf("registry: corrupt CURRENT in %s", dir)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("v%04d.clf", id)))
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := models.LoadClassifier(bytes.NewReader(data)); err != nil {
+		return nil, 0, fmt.Errorf("registry: invalid model in %s: %w", dir, err)
+	}
+	return data, id, nil
+}
+
+// PeekProvenance reads a directory's warm-start provenance; (nil, nil) when
+// none was written.
+func PeekProvenance(dir string) (*Provenance, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "provenance.json"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var p Provenance
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("registry: corrupt provenance in %s: %w", dir, err)
+	}
+	return &p, nil
+}

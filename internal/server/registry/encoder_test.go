@@ -1,0 +1,164 @@
+package registry
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/embed"
+	"repro/internal/expdata"
+	"repro/internal/feat"
+)
+
+// encoderBlob trains a tiny encoder on synthetic telemetry and serializes
+// it — the fixture every encoder-store test admits.
+func encoderBlob(t *testing.T, seed int64) ([]byte, *embed.Encoder) {
+	t.Helper()
+	var recs []expdata.PlanRecord
+	for i, m := range []float64{100, 200, 400, 800, 820, 900} {
+		recs = append(recs, expdata.PlanRecord{
+			DB: "db", Query: fmt.Sprintf("q%d", i), Fingerprint: uint64(i + 1),
+			Cost: m, EstTotalCost: m,
+			Channels: map[string][]float64{
+				"EstNodeCost":                   {m},
+				"LeafWeightEstBytesWeightedSum": {m / 2},
+			},
+		})
+	}
+	samples := embed.RecordSamples(recs, feat.DefaultChannels())
+	inputs := make([][]float64, len(samples))
+	for i, s := range samples {
+		inputs[i] = embed.PlanInput(feat.DefaultChannels(), s.Vectors, s.Est)
+	}
+	enc, err := embed.Train(inputs, embed.Config{Seed: seed, Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := embed.SaveEncoder(enc, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), enc
+}
+
+// TestEncoderStoreLifecycle: add → activate → persist → reopen → peek.
+func TestEncoderStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ActiveEncoder() != nil {
+		t.Fatal("fresh registry has an active encoder")
+	}
+	blob, _ := encoderBlob(t, 1)
+	v, err := r.AddAndActivateEncoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != 1 || r.ActiveEncoder() == nil || r.ActiveEncoder().ID != 1 {
+		t.Fatalf("active encoder after add = %+v", r.ActiveEncoder())
+	}
+	blob2, _ := encoderBlob(t, 2)
+	if _, err := r.AddEncoder(blob2); err != nil {
+		t.Fatal(err)
+	}
+	if r.ActiveEncoder().ID != 1 {
+		t.Fatal("Add without Activate must not change the active encoder")
+	}
+
+	we := &embed.WorkloadEmbedding{Dim: 2, Vector: []float64{0.6, 0.8}, Records: 6, Templates: 6, EncoderVersion: 1}
+	if err := r.SaveWorkloadEmbedding(we); err != nil {
+		t.Fatal(err)
+	}
+	prov := &Provenance{SeededFrom: "acme", SourceVersion: 3, SourceEncoder: 1, Similarity: 0.93, At: time.Now().UTC()}
+	if err := r.SaveProvenance(prov); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen restores encoder versions and the CURRENT_ENC pointer.
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ActiveEncoder() == nil || r2.ActiveEncoder().ID != 1 {
+		t.Fatalf("reopened active encoder = %+v, want v1", r2.ActiveEncoder())
+	}
+	if r2.findEncoder(2) == nil {
+		t.Fatal("reopened registry lost encoder v2")
+	}
+
+	// Peek reads the same artifacts without a full Open.
+	gotWE, err := PeekWorkloadEmbedding(dir)
+	if err != nil || !reflect.DeepEqual(gotWE, we) {
+		t.Fatalf("PeekWorkloadEmbedding = %+v, %v", gotWE, err)
+	}
+	enc, id, blob, err := PeekActiveEncoder(dir)
+	if err != nil || id != 1 || enc.Dim() != embed.DefaultDim || len(blob) == 0 {
+		t.Fatalf("PeekActiveEncoder = dim %v id %d blob %d err %v", enc, id, len(blob), err)
+	}
+	gotProv, err := PeekProvenance(dir)
+	if err != nil || gotProv == nil || gotProv.SeededFrom != "acme" || gotProv.SourceVersion != 3 {
+		t.Fatalf("PeekProvenance = %+v, %v", gotProv, err)
+	}
+}
+
+// TestEncoderStoreRejectsHostile: invalid blobs never enter the store.
+func TestEncoderStoreRejectsHostile(t *testing.T) {
+	r, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddEncoder([]byte("junk")); err == nil {
+		t.Fatal("junk encoder blob admitted")
+	}
+	if r.ActiveEncoder() != nil || len(r.encoders) != 0 {
+		t.Fatal("rejected blob leaked into the store")
+	}
+}
+
+// TestEncoderPrune: retention keeps the newest + active encoders.
+func TestEncoderPrune(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := encoderBlob(t, 1)
+	for i := 0; i < 4; i++ {
+		if _, err := r.AddEncoder(blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.ActivateEncoder(1); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := r.PruneEncoders(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(removed, []int{2, 3}) {
+		t.Fatalf("removed = %v, want [2 3] (v1 active, v4 newest)", removed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v0002.enc")); !os.IsNotExist(err) {
+		t.Fatal("pruned encoder blob still on disk")
+	}
+}
+
+// TestPeekActiveModelMissing: peeks on an empty directory fail cleanly.
+func TestPeekActiveModelMissing(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := PeekActiveModel(dir); err == nil {
+		t.Fatal("peek on empty dir succeeded")
+	}
+	if _, _, _, err := PeekActiveEncoder(dir); err == nil {
+		t.Fatal("encoder peek on empty dir succeeded")
+	}
+	if p, err := PeekProvenance(dir); err != nil || p != nil {
+		t.Fatalf("provenance peek on empty dir = %+v, %v, want nil, nil", p, err)
+	}
+}

@@ -70,8 +70,10 @@ type Registry struct {
 
 	mu       sync.Mutex
 	versions []*Version
+	encoders []*EncoderVersion
 
-	active atomic.Pointer[Version]
+	active    atomic.Pointer[Version]
+	activeEnc atomic.Pointer[EncoderVersion]
 }
 
 // Open opens (creating if needed) a registry rooted at dir. An empty dir
@@ -136,6 +138,9 @@ func Open(dir string) (*Registry, error) {
 		r.active.Store(v)
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("registry: reading CURRENT: %w", err)
+	}
+	if err := r.loadEncoders(entries); err != nil {
+		return nil, err
 	}
 	r.updateGauges()
 	return r, nil

@@ -124,6 +124,9 @@ type Config struct {
 	// compensated by weighting survivors, keeping learn-loop aggregates
 	// unbiased.
 	TenantIngestRate float64
+	// WarmStartFloor is the minimum workload-embedding cosine similarity
+	// for cross-tenant warm start (0 = default 0.80; negative disables).
+	WarmStartFloor float64
 
 	// Learn configures every tenant's online learning loop (GET
 	// /v1/learn/status, POST /v1/learn/trigger; a background ticker when
@@ -187,6 +190,7 @@ func New(cfg Config) (*Server, error) {
 		Learn:                 cfg.Learn,
 		Rate:                  cfg.TenantRate,
 		Burst:                 cfg.TenantBurst,
+		WarmStartFloor:        cfg.WarmStartFloor,
 	})
 	// Materialize the default tenant eagerly so a corrupt model store or
 	// unwritable telemetry path fails startup, not the first request.
@@ -210,6 +214,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /v1/models", s.handleModelList)
 	mux.HandleFunc("POST /v1/telemetry", s.handleTelemetry)
 	mux.HandleFunc("GET /v1/learn/status", s.handleLearnStatus)
+	mux.HandleFunc("GET /v1/learn/embedding", s.handleLearnEmbedding)
 	mux.HandleFunc("POST /v1/learn/trigger", s.handleLearnTrigger)
 	mux.HandleFunc("POST /v1/jobs/tune", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)

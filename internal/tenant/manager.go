@@ -9,6 +9,7 @@ import (
 
 	"sync"
 
+	"repro/internal/embed"
 	"repro/internal/learn"
 	"repro/internal/obs"
 	"repro/internal/server/registry"
@@ -17,9 +18,11 @@ import (
 
 // Manager metric handles (see DESIGN.md §14).
 var (
-	mActive    = obs.G("server.tenant.active")
-	mEvictions = obs.C("server.tenant.evictions")
-	mLoads     = obs.C("server.tenant.loads")
+	mActive     = obs.G("server.tenant.active")
+	mEvictions  = obs.C("server.tenant.evictions")
+	mLoads      = obs.C("server.tenant.loads")
+	mWarmStarts = obs.C("server.tenant.warm_starts")
+	mSpills     = obs.C("server.tenant.state_spills")
 )
 
 // Config wires a Manager to the per-tenant resources it materializes.
@@ -62,14 +65,28 @@ type Config struct {
 	// (requests/second; Rate 0 disables admission control).
 	Rate  float64
 	Burst int
+
+	// WarmStartFloor is the minimum cosine similarity between a modelless
+	// tenant's workload embedding and a sibling's persisted one for the
+	// sibling's champion to seed it (0 = default 0.80; negative disables
+	// cross-tenant warm start).
+	WarmStartFloor float64
 }
 
 func (c Config) withDefaults() Config {
 	if c.MaxActive <= 0 {
 		c.MaxActive = 8
 	}
+	if c.WarmStartFloor == 0 {
+		c.WarmStartFloor = DefaultWarmStartFloor
+	}
 	return c
 }
+
+// DefaultWarmStartFloor is the similarity bar a cross-tenant match must
+// clear: high enough that only near-identical workload shapes seed a new
+// tenant, so a bad borrow is rarer than a cold start.
+const DefaultWarmStartFloor = 0.80
 
 // Tenant is one materialized tenant: its registry namespace, telemetry
 // partition, learning loop, and admission bucket. Fields are read-only
@@ -81,6 +98,10 @@ type Tenant struct {
 	Loop *learn.Loop
 
 	bucket *Bucket
+	// statePath is where the learning loop's in-memory state (drift
+	// references, promotion monitor, counters) spills at finalization and
+	// restores from at materialization ("" = memory-only tenant, no spill).
+	statePath string
 }
 
 // Admit spends one synchronous-plane token. ok=false carries the
@@ -122,19 +143,26 @@ func NewManager(cfg Config) *Manager {
 	}
 }
 
-// paths resolves tenant id's on-disk locations ("" = memory-only).
-func (m *Manager) paths(id string) (modelDir, telPath string, err error) {
+// paths resolves tenant id's on-disk locations ("" = memory-only). The
+// learn-state spill lives next to the tenant's other artifacts: inside the
+// model dir for the default tenant (whose layout predates the tenants
+// root), beside models/ and telemetry.jsonl for everyone else.
+func (m *Manager) paths(id string) (modelDir, telPath, statePath string, err error) {
 	if id == DefaultID {
-		return m.cfg.DefaultModelDir, m.cfg.DefaultTelemetryPath, nil
+		if m.cfg.DefaultModelDir != "" {
+			statePath = filepath.Join(m.cfg.DefaultModelDir, "learn_state.json")
+		}
+		return m.cfg.DefaultModelDir, m.cfg.DefaultTelemetryPath, statePath, nil
 	}
 	if m.cfg.Dir == "" {
-		return "", "", nil
+		return "", "", "", nil
 	}
 	base := filepath.Join(m.cfg.Dir, id)
 	if err := os.MkdirAll(base, 0o755); err != nil {
-		return "", "", fmt.Errorf("tenant: creating %s: %w", base, err)
+		return "", "", "", fmt.Errorf("tenant: creating %s: %w", base, err)
 	}
-	return filepath.Join(base, "models"), filepath.Join(base, "telemetry.jsonl"), nil
+	return filepath.Join(base, "models"), filepath.Join(base, "telemetry.jsonl"),
+		filepath.Join(base, "learn_state.json"), nil
 }
 
 // Acquire returns tenant id's materialized state, loading (or reloading,
@@ -178,10 +206,12 @@ func (m *Manager) Acquire(id string) (*Tenant, error) {
 
 // materializeLocked opens tenant id's registry and telemetry partition and
 // starts its learning loop. A persistent tenant that was evicted earlier
-// resumes from its CURRENT pointer and on-disk telemetry window; in-memory
-// loop state (drift reference, promotion monitor) restarts clean.
+// resumes from its CURRENT pointer, on-disk telemetry window, and spilled
+// learn state (drift references, promotion monitor, counters); a modelless
+// tenant with telemetry may be warm-started from a sibling's champion
+// (see warmStart).
 func (m *Manager) materializeLocked(id string) (*Tenant, error) {
-	modelDir, telPath, err := m.paths(id)
+	modelDir, telPath, statePath, err := m.paths(id)
 	if err != nil {
 		return nil, err
 	}
@@ -201,14 +231,106 @@ func (m *Manager) materializeLocked(id string) (*Tenant, error) {
 		return nil, fmt.Errorf("tenant %q: %w", id, err)
 	}
 	t := &Tenant{
-		ID:     id,
-		Reg:    reg,
-		Sink:   sink,
-		Loop:   learn.NewLoop(reg, sink.Snapshot, m.cfg.RegistryKeep, m.cfg.Learn),
-		bucket: NewBucket(m.cfg.Rate, m.cfg.Burst),
+		ID:        id,
+		Reg:       reg,
+		Sink:      sink,
+		Loop:      learn.NewLoop(reg, sink.Snapshot, m.cfg.RegistryKeep, m.cfg.Learn),
+		bucket:    NewBucket(m.cfg.Rate, m.cfg.Burst),
+		statePath: statePath,
 	}
+	// A corrupt spill file starts the loop clean instead of refusing the
+	// tenant — the spill is an optimization, never a gate.
+	_ = t.Loop.RestoreStateFile(statePath)
+	m.warmStart(t)
 	t.Loop.Start()
 	return t, nil
+}
+
+// warmStart seeds a modelless tenant from its most similar sibling. The
+// tenant's own telemetry is embedded under each sibling's active plan
+// encoder and compared (cosine) against that sibling's persisted workload
+// embedding; the best match above WarmStartFloor donates its champion
+// classifier and encoder, with full provenance recorded in the registry.
+// Every failure path simply leaves the tenant cold — warm start is an
+// optimization, never a gate.
+func (m *Manager) warmStart(t *Tenant) {
+	if m.cfg.WarmStartFloor <= 0 || m.cfg.Dir == "" || t.Reg.Active() != nil {
+		return
+	}
+	recs, _ := t.Sink.Snapshot()
+	if len(recs) == 0 {
+		return // nothing to match a sibling's workload against
+	}
+	type candidate struct {
+		id        string
+		modelDir  string
+		sim       float64
+		modelBlob []byte
+		modelVer  int
+		encBlob   []byte
+		encVer    int
+	}
+	dirs := []candidate{}
+	if entries, err := os.ReadDir(m.cfg.Dir); err == nil {
+		for _, e := range entries {
+			if e.IsDir() && e.Name() != t.ID {
+				dirs = append(dirs, candidate{id: e.Name(), modelDir: filepath.Join(m.cfg.Dir, e.Name(), "models")})
+			}
+		}
+	}
+	if t.ID != DefaultID && m.cfg.DefaultModelDir != "" {
+		dirs = append(dirs, candidate{id: DefaultID, modelDir: m.cfg.DefaultModelDir})
+	}
+	var best *candidate
+	for i := range dirs {
+		c := &dirs[i]
+		// A corrupt or incomplete sibling is skipped, not fatal: every peek
+		// validates before the blob is trusted.
+		we, err := registry.PeekWorkloadEmbedding(c.modelDir)
+		if err != nil {
+			continue
+		}
+		enc, encVer, encBlob, err := registry.PeekActiveEncoder(c.modelDir)
+		if err != nil {
+			continue
+		}
+		modelBlob, modelVer, err := registry.PeekActiveModel(c.modelDir)
+		if err != nil {
+			continue
+		}
+		ours := enc.Workload(embed.RecordSamples(recs, enc.Channels()))
+		if ours == nil {
+			continue
+		}
+		c.sim = embed.Cosine(ours.Vector, we.Vector)
+		c.modelBlob, c.modelVer = modelBlob, modelVer
+		c.encBlob, c.encVer = encBlob, encVer
+		// Strictly-greater keeps the lexicographically first sibling on
+		// ties (os.ReadDir sorts), so the scan is deterministic.
+		if c.sim >= m.cfg.WarmStartFloor && (best == nil || c.sim > best.sim) {
+			best = c
+		}
+	}
+	if best == nil {
+		return
+	}
+	if _, err := t.Reg.AddAndActivate(best.modelBlob); err != nil {
+		return
+	}
+	// The encoder ride-along gives the seeded tenant an embedding-drift
+	// reference path from cycle one; losing it degrades gracefully.
+	if _, err := t.Reg.AddAndActivateEncoder(best.encBlob); err == nil {
+		_ = t.Reg.SaveProvenance(&registry.Provenance{
+			SeededFrom: best.id, SourceVersion: best.modelVer,
+			SourceEncoder: best.encVer, Similarity: best.sim, At: time.Now().UTC(),
+		})
+	} else {
+		_ = t.Reg.SaveProvenance(&registry.Provenance{
+			SeededFrom: best.id, SourceVersion: best.modelVer,
+			Similarity: best.sim, At: time.Now().UTC(),
+		})
+	}
+	mWarmStarts.Inc()
 }
 
 // Release drops a reference taken by Acquire.
@@ -264,10 +386,17 @@ func (m *Manager) evictOverflowLocked() {
 }
 
 // finalize cleanly shuts one tenant down: the loop stops first (it reads
-// the sink), then the sink flushes and closes. Registry state is already
-// durable (every Activate persisted CURRENT).
+// the sink), spills its in-memory state (drift references, monitor,
+// counters) so a reload resumes mid-lifecycle, then the sink flushes and
+// closes. Registry state is already durable (every Activate persisted
+// CURRENT).
 func finalize(t *Tenant) {
 	t.Loop.Stop()
+	if t.statePath != "" {
+		if err := t.Loop.SaveStateFile(t.statePath); err == nil {
+			mSpills.Inc()
+		}
+	}
 	_ = t.Sink.Flush()
 	_ = t.Sink.Close()
 }

@@ -17,7 +17,7 @@ go build -o "$workdir/aimai" ./cmd/aimai
 
 "$workdir/aimai" serve -addr 127.0.0.1:0 -db tpch10 -scale 0.05 \
     -models-dir "$workdir/models" -telemetry "$workdir/telemetry.jsonl" \
-    -tenants-dir "$workdir/tenants" \
+    -tenants-dir "$workdir/tenants" -drift-mode both \
     >"$logfile" 2>&1 &
 pid=$!
 
@@ -84,6 +84,11 @@ case "$status" in
 *) fail "unexpected initial learn status: $status" ;;
 esac
 
+# No encoder exists before the first promotion: the embedding endpoint
+# must answer 409, not crash.
+code="$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/v1/learn/embedding")"
+[ "$code" = "409" ] || fail "embedding before any promotion answered $code, want 409"
+
 gen_telemetry() {
     local fp=0 t m
     for t in 0 1 2 3; do
@@ -145,6 +150,30 @@ metrics="$(curl -sf "http://$addr/metrics")" || fail "metrics unreachable after 
 case "$metrics" in
 *'learn.promotions'*) ;;
 *) fail "learn.promotions missing from /metrics" ;;
+esac
+
+# ---- workload embedding round trip ----
+# The promotion (in -drift-mode both) trained a plan encoder; the current
+# window's embedding must be served with the encoder version and a drift
+# distance against the promotion-time reference. JSON encoding guarantees
+# the vector is finite (NaN/Inf would fail to marshal and answer 500).
+embedding="$(curl -sf "http://$addr/v1/learn/embedding")" || fail "embedding after promotion failed"
+echo "embedding: $embedding"
+case "$embedding" in
+*'"drift_mode": "both"'*) ;;
+*) fail "embedding missing drift mode: $embedding" ;;
+esac
+case "$embedding" in
+*'"encoder_version": 1'*) ;;
+*) fail "embedding missing encoder version: $embedding" ;;
+esac
+case "$embedding" in
+*'"vector"'*) ;;
+*) fail "embedding missing vector: $embedding" ;;
+esac
+case "$embedding" in
+*'"distance"'*) ;;
+*) fail "embedding missing drift distance: $embedding" ;;
 esac
 
 # ---- multi-tenant serving plane ----
